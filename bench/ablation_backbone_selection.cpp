@@ -1,0 +1,59 @@
+// Ablation: which nodes should carry the backbone filters? The paper
+// designates the top 5% by *degree*; routing betweenness (how many
+// paths actually transit a node) is the natural alternative. This
+// bench compares the two rules' path coverage and worm slowdown at
+// several designation depths.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/builders.hpp"
+#include "simulator/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+  std::cout << std::fixed << std::setprecision(2);
+
+  Rng rng(options.seed ^ 0xbb67ae8584caa73bULL);
+  graph::Graph g = graph::make_barabasi_albert(1000, 2, rng);
+  const graph::RoutingTable routing(g);
+
+  auto evaluate = [&](const graph::RoleAssignment& roles) {
+    sim::Network net(g, roles);
+    const double alpha = net.routing().path_coverage(
+        net.roles().hosts,
+        net.roles().indicator(graph::NodeRole::kBackboneRouter));
+    sim::SimulationConfig cfg;
+    cfg.worm.contact_rate = 0.8;
+    cfg.worm.initial_infected = 1;
+    cfg.max_ticks = 200.0;
+    cfg.seed = options.seed;
+    cfg.deployment.backbone_limited = true;
+    const double t50 = sim::run_many(net, cfg, options.sim_runs)
+                           .ever_infected.time_to_reach(0.5);
+    return std::pair{alpha, t50};
+  };
+
+  std::cout << "1000-node power-law graph; backbone rate limiting with "
+               "the paper's weighted-share capacities\n\n";
+  std::cout << "  depth    rule          coverage   t50(ticks)\n";
+  for (double depth : {0.01, 0.02, 0.05}) {
+    const auto [a_deg, t_deg] =
+        evaluate(graph::assign_roles(g, depth, 0.0));
+    const auto [a_btw, t_btw] = evaluate(
+        graph::assign_roles_by_transit(g, routing, depth, 0.0));
+    std::cout << "  " << std::setw(5) << depth << "    degree      "
+              << std::setw(8) << a_deg << "   " << std::setw(9) << t_deg
+              << '\n';
+    std::cout << "  " << std::setw(5) << depth << "    betweenness "
+              << std::setw(8) << a_btw << "   " << std::setw(9) << t_btw
+              << '\n';
+  }
+  std::cout << "\nreadings: on preferential-attachment graphs the "
+               "degree and betweenness rankings nearly coincide at the "
+               "top, so the paper's simple degree rule loses little; "
+               "betweenness matters on topologies with low-degree cut "
+               "vertices.\n";
+  return 0;
+}

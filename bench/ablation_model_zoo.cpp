@@ -1,0 +1,67 @@
+// Ablation: the epidemic-model zoo. Puts the paper's
+// delayed-immunization analysis side by side with the classical
+// baselines its related work cites — Kephart-White SIS (constant cure
+// rate) and Zou et al.'s two-factor Code Red model — all at β = 0.8 on
+// 1000 hosts, so the modeling choices are visible in one table.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "epidemic/classic_models.hpp"
+#include "epidemic/immunization.hpp"
+#include "epidemic/si_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  (void)bench::options_from_args(argc, argv);
+  std::cout << std::fixed << std::setprecision(3);
+
+  const std::vector<double> grid = uniform_grid(0.0, 60.0, 121);
+
+  epidemic::SiParams si_p;
+  const TimeSeries si = epidemic::HomogeneousSi(si_p).closed_form(grid);
+
+  epidemic::SisParams sis_p;
+  sis_p.cure_rate = 0.2;
+  const epidemic::SisModel sis(sis_p);
+  const TimeSeries sis_curve = sis.closed_form(grid);
+
+  epidemic::TwoFactorParams tf_p;
+  const epidemic::TwoFactorCurves tf =
+      epidemic::TwoFactorModel(tf_p).integrate(grid);
+
+  epidemic::DelayedImmunizationParams di_p;
+  di_p.delay = epidemic::DelayedImmunizationModel::delay_for_infection_level(
+      1000.0, 0.8, 1.0, 0.2);
+  const epidemic::DelayedImmunizationModel di(di_p);
+  const epidemic::ImmunizationCurves di_curves = di.integrate(grid);
+
+  std::cout << "active-infected fraction over time (beta=0.8, N=1000)\n";
+  std::cout << std::setw(6) << "t" << std::setw(10) << "SI"
+            << std::setw(10) << "SIS" << std::setw(12) << "two-factor"
+            << std::setw(16) << "delayed-immun" << '\n';
+  for (double t = 0.0; t <= 60.0; t += 5.0) {
+    std::cout << std::setw(6) << t << std::setw(10) << si.interpolate(t)
+              << std::setw(10) << sis_curve.interpolate(t) << std::setw(12)
+              << tf.infected_fraction.interpolate(t) << std::setw(16)
+              << di_curves.active_fraction.interpolate(t) << '\n';
+  }
+
+  std::cout << "\nsteady / final states:\n";
+  std::cout << "  SI          : saturates at 1.0 (no recovery at all)\n";
+  std::cout << "  SIS         : endemic plateau at "
+            << sis.endemic_fraction()
+            << " (constant cure rate, no immunity)\n";
+  std::cout << "  two-factor  : ever-infected "
+            << epidemic::TwoFactorModel(tf_p).final_ever_infected()
+            << " (congestion + constant-rate patching)\n";
+  std::cout << "  delayed-imm : ever-infected " << di.final_ever_infected()
+            << " (patching only after the 20% alarm — the paper's "
+               "realistic assumption)\n";
+  std::cout << "\nreadings: constant-rate models understate the early "
+               "free-run period a real outbreak enjoys; the paper's "
+               "delayed immunization captures it, which is exactly why "
+               "rate limiting (which stretches that period's timescale) "
+               "matters.\n";
+  return 0;
+}

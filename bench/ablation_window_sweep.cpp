@@ -1,0 +1,59 @@
+// Ablation: throttle window size (Section 7's closing observation).
+// Longer windows allow lower long-term limits because bursts average
+// out, but they risk long post-burst delays; this bench quantifies
+// both sides from the synthetic department trace.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "trace/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+  std::cout << std::fixed << std::setprecision(2);
+
+  const trace::Trace department = core::make_department_trace(options);
+  const auto normals =
+      department.hosts_in(trace::HostCategory::kNormalClient);
+
+  std::cout << "== 99.9% aggregate limits vs window size (normal "
+               "clients) ==\n";
+  std::cout << "  window   distinct-IPs  no-prior  no-prior-no-DNS  "
+               "per-second-of-window\n";
+  for (double window : {1.0, 5.0, 15.0, 60.0, 300.0}) {
+    trace::ContactRateOptions o;
+    o.window = window;
+    o.aggregate = true;
+    const double all = trace::rate_limit_for_coverage(
+        department, normals, trace::Refinement::kAllDistinct, o, 0.999);
+    const double prior = trace::rate_limit_for_coverage(
+        department, normals, trace::Refinement::kNoPriorContact, o, 0.999);
+    const double dns = trace::rate_limit_for_coverage(
+        department, normals, trace::Refinement::kNoPriorNoDns, o, 0.999);
+    std::cout << "  " << std::setw(6) << window << "   " << std::setw(12)
+              << all << "  " << std::setw(8) << prior << "  "
+              << std::setw(15) << dns << "  " << std::setw(12)
+              << all / window << "/s\n";
+  }
+
+  std::cout << "\n== worst-case legit delay if the strictest limit is "
+               "enforced as a queue ==\n";
+  // A burst that fills a window of size w at limit L waits ~w before
+  // the next contact is admitted; report w as the delay bound.
+  for (double window : {1.0, 5.0, 60.0}) {
+    trace::ContactRateOptions o;
+    o.window = window;
+    o.aggregate = false;
+    const double limit = trace::rate_limit_for_coverage(
+        department, normals, trace::Refinement::kAllDistinct, o, 0.999);
+    std::cout << "  window " << std::setw(4) << window << " s, per-host "
+              << "limit " << limit << ": post-burst delay up to "
+              << window << " s\n";
+  }
+  std::cout << "\ntakeaway: 99.9% limits grow sub-linearly with the "
+               "window (bursts average out), so longer windows allow "
+               "lower sustained rates at the cost of longer worst-case "
+               "delays — the paper's motivation for hybrid windows.\n";
+  return 0;
+}

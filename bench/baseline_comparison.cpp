@@ -1,0 +1,82 @@
+// Baseline comparison: backbone rate limiting (this paper) vs the
+// containment responses of Moore et al.'s "Internet Quarantine"
+// (address blacklisting, content filtering), at several reaction
+// times. Rate limiting needs no detection at all — that is its selling
+// point — while the responses live or die by their reaction time.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/builders.hpp"
+#include "simulator/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+  std::cout << std::fixed << std::setprecision(2);
+
+  Rng rng(options.seed ^ 0x94d049bb133111ebULL);
+  const sim::Network net(graph::make_barabasi_albert(1000, 2, rng));
+
+  auto run = [&](auto configure) {
+    sim::SimulationConfig cfg;
+    cfg.worm.contact_rate = 0.8;
+    cfg.worm.initial_infected = 1;
+    cfg.max_ticks = 120.0;
+    cfg.seed = options.seed;
+    configure(cfg);
+    const sim::AveragedResult avg =
+        sim::run_many(net, cfg, options.sim_runs);
+    return std::pair{avg.ever_infected.time_to_reach(0.5),
+                     avg.ever_infected.back_value()};
+  };
+
+  std::cout << "random worm, 1000-node power-law graph; filters at "
+               "backbone links\n";
+  std::cout << std::left << std::setw(40) << "defense" << std::right
+            << std::setw(12) << "t50(ticks)" << std::setw(16)
+            << "final infected\n";
+
+  auto print = [&](const std::string& name, std::pair<double, double> r) {
+    std::cout << std::left << std::setw(40) << name << std::right
+              << std::setw(12);
+    if (r.first < 0)
+      std::cout << "-";
+    else
+      std::cout << r.first;
+    std::cout << std::setw(15) << 100.0 * r.second << "%\n";
+  };
+
+  print("none", run([](sim::SimulationConfig&) {}));
+  print("backbone rate limiting (no detection)",
+        run([](sim::SimulationConfig& cfg) {
+          cfg.deployment.backbone_limited = true;
+        }));
+  for (double reaction : {2.0, 5.0, 10.0}) {
+    print("blacklist, reaction " + std::to_string(int(reaction)),
+          run([&](sim::SimulationConfig& cfg) {
+            cfg.response.kind = sim::ResponseConfig::Kind::kBlacklist;
+            cfg.response.reaction_time = reaction;
+          }));
+  }
+  for (double reaction : {2.0, 5.0, 10.0}) {
+    print("content filter, reaction " + std::to_string(int(reaction)),
+          run([&](sim::SimulationConfig& cfg) {
+            cfg.response.kind = sim::ResponseConfig::Kind::kContentFilter;
+            cfg.response.reaction_time = reaction;
+          }));
+  }
+  print("rate limiting + content filter (5)",
+        run([](sim::SimulationConfig& cfg) {
+          cfg.deployment.backbone_limited = true;
+          cfg.response.kind = sim::ResponseConfig::Kind::kContentFilter;
+          cfg.response.reaction_time = 5.0;
+        }));
+
+  std::cout << "\nreadings: content filtering beats blacklisting at equal "
+               "reaction time (Moore et al.); rate limiting is weaker "
+               "than a fast content filter but needs no signature, and "
+               "the combination dominates — rate limiting buys the time "
+               "the detector needs.\n";
+  return 0;
+}

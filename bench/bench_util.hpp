@@ -1,0 +1,38 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every fig* binary prints its figure as an aligned text table by
+// default; pass --csv for machine-readable output and --quick for a
+// reduced-fidelity run (fewer simulation repetitions, shorter synthetic
+// traces).
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/figure.hpp"
+
+namespace dq::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+inline core::ExperimentOptions options_from_args(int argc, char** argv) {
+  return has_flag(argc, argv, "--quick")
+             ? core::ExperimentOptions::quick()
+             : core::ExperimentOptions{};
+}
+
+inline void print_figure(const core::FigureData& figure, int argc,
+                         char** argv) {
+  if (has_flag(argc, argv, "--csv"))
+    std::cout << core::render_csv(figure);
+  else
+    std::cout << core::render_table(figure) << '\n';
+}
+
+}  // namespace dq::bench

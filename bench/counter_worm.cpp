@@ -1,0 +1,79 @@
+// Counter-worm wargame: the Blaster vs Welchia dynamic observed in the
+// paper's trace, in the simulator. A patching worm released R ticks
+// after the outbreak races the malicious worm; we sweep R and the
+// predator's scan rate, with and without backbone rate limiting — which
+// throttles the cure as much as the disease.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "epidemic/predator_prey.hpp"
+#include "graph/builders.hpp"
+#include "simulator/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+  std::cout << std::fixed << std::setprecision(2);
+
+  Rng rng(options.seed ^ 0xa54ff53a5f1d36f1ULL);
+  const sim::Network net(graph::make_barabasi_albert(1000, 2, rng));
+
+  auto run = [&](double release, double rate, bool limited) {
+    sim::SimulationConfig cfg;
+    cfg.worm.contact_rate = 0.8;
+    cfg.worm.initial_infected = 1;
+    cfg.predator.enabled = true;
+    cfg.predator.start_tick = release;
+    cfg.predator.contact_rate = rate;
+    cfg.predator.patch_delay = 10.0;
+    cfg.max_ticks = 200.0;
+    cfg.seed = options.seed;
+    if (limited) {
+      cfg.deployment.backbone_limited = true;
+      cfg.deployment.weight_by_routing_load = false;
+      cfg.deployment.base_link_capacity = 1.0;
+      cfg.deployment.min_link_capacity = 1.0;
+    }
+    const sim::AveragedResult avg =
+        sim::run_many(net, cfg, options.sim_runs);
+    return std::pair{avg.ever_infected.back_value(),
+                     avg.removed.back_value()};
+  };
+
+  auto analytic = [&](double release, double rate) {
+    epidemic::PredatorPreyParams p;
+    p.population = 1000.0;
+    p.worm_rate = 0.8;
+    p.predator_rate = rate;
+    p.patch_time = 10.0;
+    p.predator_delay = release;
+    return epidemic::PredatorPreyModel(p).final_ever_infected();
+  };
+
+  std::cout << "Blaster-like worm (beta=0.8) vs Welchia-like patching "
+               "worm; final fraction ever infected by the main worm\n\n";
+  std::cout << "  release tick   predator rate   open network   "
+               "backbone-RL   mean-field ODE\n";
+  for (double release : {2.0, 5.0, 10.0, 20.0}) {
+    for (double rate : {0.8, 2.0}) {
+      const auto [open, open_removed] = run(release, rate, false);
+      const auto [rl, rl_removed] = run(release, rate, true);
+      (void)open_removed;
+      (void)rl_removed;
+      std::cout << "  " << std::setw(12) << release << "   "
+                << std::setw(13) << rate << "   " << std::setw(12)
+                << 100.0 * open << "%   " << std::setw(10) << 100.0 * rl
+                << "%   " << std::setw(12)
+                << 100.0 * analytic(release, rate) << "%\n";
+    }
+  }
+  std::cout << "\nreadings: a fast early counter-worm suppresses the "
+               "outbreak on its own; rate limiting is a double-edged "
+               "sword here — it throttles the cure too, so the"
+               " ever-infected total can rise when the predator was "
+               "winning the open race. (Welchia's real-world legacy: "
+               "its cure traffic was itself the paper's biggest "
+               "scan-rate spike.)\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 1: rate-limiting deployment on a 200-node star topology —
+// (a) analytical, (b) simulated. Also checks the paper's ratio claim:
+// reaching 60% infection with 30% leaf RL is ~3x quicker than with
+// hub RL.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+
+  const core::FigureData fig1a = core::fig1a_star_analytical();
+  bench::print_figure(fig1a, argc, argv);
+
+  const core::FigureData fig1b = core::fig1b_star_simulated(options);
+  bench::print_figure(fig1b, argc, argv);
+
+  const double t_leaf_model = fig1a.find("30%-leaf-RL").time_to_reach(0.6);
+  const double t_hub_model = fig1a.find("hub-RL").time_to_reach(0.6);
+  const double t_leaf_sim = fig1b.find("30%-leaf-RL").time_to_reach(0.6);
+  const double t_hub_sim = fig1b.find("hub-RL").time_to_reach(0.6);
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "paper claim: 60% infection ~3x quicker with 30% leaf RL "
+               "than hub RL\n";
+  std::cout << "  analytical: t60(leaf-30%) = " << t_leaf_model
+            << ", t60(hub) = " << t_hub_model
+            << ", ratio = " << t_hub_model / t_leaf_model << "x\n";
+  if (t_leaf_sim > 0.0 && t_hub_sim > 0.0) {
+    std::cout << "  simulated : t60(leaf-30%) = " << t_leaf_sim
+              << ", t60(hub) = " << t_hub_sim
+              << ", ratio = " << t_hub_sim / t_leaf_sim << "x\n";
+  } else {
+    std::cout << "  simulated : 60% not reached within the horizon "
+              << "(t60 leaf = " << t_leaf_sim << ", hub = " << t_hub_sim
+              << ")\n";
+  }
+  return 0;
+}

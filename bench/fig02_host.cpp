@@ -1,0 +1,28 @@
+// Figure 2: analytical host-based rate limiting at 0/5/50/80/100%
+// deployment — the linear-slowdown law λ = qβ₂ + (1−q)β₁. Note the gulf
+// between 80% and 100% deployment.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const core::FigureData fig = core::fig2_host_analytical();
+  bench::print_figure(fig, argc, argv);
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "time to 50% infection (slowdown vs no RL):\n";
+  const double t0 = fig.find("no-RL").time_to_reach(0.5);
+  for (const core::NamedSeries& s : fig.series) {
+    const double t = s.series.time_to_reach(0.5);
+    std::cout << "  " << s.label << " : "
+              << (t >= 0 ? t : -1.0);
+    if (t >= 0)
+      std::cout << "  (" << t / t0 << "x)";
+    else
+      std::cout << "  (not reached in horizon)";
+    std::cout << '\n';
+  }
+  return 0;
+}

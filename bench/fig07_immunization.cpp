@@ -1,0 +1,23 @@
+// Figure 7: analytical delayed immunization, (a) alone and (b) combined
+// with backbone rate limiting.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const core::FigureData fig7a = core::fig7a_immunization_analytical();
+  bench::print_figure(fig7a, argc, argv);
+  const core::FigureData fig7b =
+      core::fig7b_immunization_ratelimited_analytical();
+  bench::print_figure(fig7b, argc, argv);
+
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "peak active infection (fraction):\n";
+  for (const core::NamedSeries& s : fig7a.series)
+    std::cout << "  7a " << s.label << " : " << s.series.max_value() << '\n';
+  for (const core::NamedSeries& s : fig7b.series)
+    std::cout << "  7b " << s.label << " : " << s.series.max_value() << '\n';
+  return 0;
+}

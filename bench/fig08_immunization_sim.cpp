@@ -1,0 +1,31 @@
+// Figure 8: simulated delayed immunization (total ever-infected), (a)
+// alone and (b) with backbone rate limiting. Paper: immunizing at 20%
+// infection caps the outbreak at ~80% ever-infected; adding backbone
+// rate limiting drops that to ~72% (a ~10% improvement).
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dq;
+  const auto options = bench::options_from_args(argc, argv);
+
+  const core::FigureData fig8a = core::fig8a_immunization_simulated(options);
+  bench::print_figure(fig8a, argc, argv);
+  const core::FigureData fig8b =
+      core::fig8b_immunization_ratelimited_simulated(options);
+  bench::print_figure(fig8b, argc, argv);
+
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "final fraction ever infected:\n";
+  for (const core::NamedSeries& s : fig8a.series)
+    std::cout << "  8a " << s.label << " : " << s.series.back_value()
+              << '\n';
+  for (const core::NamedSeries& s : fig8b.series)
+    std::cout << "  8b " << s.label << " : " << s.series.back_value()
+              << '\n';
+  std::cout << "paper: 8a 20/50/80% -> ~0.80/0.90/0.98; 8b tick-6 -> "
+               "~0.72 (10% below 8a's 0.80)\n";
+  return 0;
+}

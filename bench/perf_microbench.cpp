@@ -1,0 +1,169 @@
+// Google-benchmark microbenchmarks for the engines underneath the
+// figure reproductions: ODE integration, routing-table construction,
+// a full worm-simulation run, throttle decision paths, and trace
+// analysis. These guard against performance regressions that would
+// make the 10-run figure averages painful.
+#include <benchmark/benchmark.h>
+
+#include "epidemic/immunization.hpp"
+#include "epidemic/si_model.hpp"
+#include "graph/builders.hpp"
+#include "graph/routing.hpp"
+#include "ratelimit/dns_throttle.hpp"
+#include "ratelimit/sliding_window.hpp"
+#include "ratelimit/williamson.hpp"
+#include "simulator/worm_sim.hpp"
+#include "stats/rng.hpp"
+#include "trace/analysis.hpp"
+#include "trace/department.hpp"
+
+namespace {
+
+using namespace dq;
+
+void BM_RngPoisson(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.poisson(0.8));
+}
+BENCHMARK(BM_RngPoisson);
+
+void BM_OdeSiIntegration(benchmark::State& state) {
+  epidemic::SiParams p;
+  const epidemic::HomogeneousSi model(p);
+  const std::vector<double> grid = uniform_grid(0.0, 50.0, 101);
+  for (auto _ : state) benchmark::DoNotOptimize(model.integrate(grid));
+}
+BENCHMARK(BM_OdeSiIntegration);
+
+void BM_ImmunizationIntegration(benchmark::State& state) {
+  epidemic::DelayedImmunizationParams p;
+  const epidemic::DelayedImmunizationModel model(p);
+  const std::vector<double> grid = uniform_grid(0.0, 50.0, 101);
+  for (auto _ : state) benchmark::DoNotOptimize(model.integrate(grid));
+}
+BENCHMARK(BM_ImmunizationIntegration);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(graph::make_barabasi_albert(n, 2, rng));
+  }
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(200)->Arg(1000);
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  Rng rng(7);
+  const graph::Graph g =
+      graph::make_barabasi_albert(static_cast<std::size_t>(state.range(0)),
+                                  2, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(std::make_unique<graph::RoutingTable>(g));
+}
+BENCHMARK(BM_RoutingTableBuild)->Arg(200)->Arg(1000);
+
+void BM_WormSimulationRun(benchmark::State& state) {
+  Rng rng(7);
+  const sim::Network net(graph::make_barabasi_albert(1000, 2, rng));
+  for (auto _ : state) {
+    sim::SimulationConfig cfg;
+    cfg.worm.contact_rate = 0.8;
+    cfg.max_ticks = 50.0;
+    cfg.seed = 3;
+    sim::WormSimulation sim(net, cfg);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_WormSimulationRun);
+
+void BM_WormSimulationBackboneRl(benchmark::State& state) {
+  Rng rng(7);
+  const sim::Network net(graph::make_barabasi_albert(1000, 2, rng));
+  for (auto _ : state) {
+    sim::SimulationConfig cfg;
+    cfg.worm.contact_rate = 0.8;
+    cfg.max_ticks = 50.0;
+    cfg.seed = 3;
+    cfg.deployment.backbone_limited = true;
+    sim::WormSimulation sim(net, cfg);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_WormSimulationBackboneRl);
+
+void BM_WilliamsonSubmit(benchmark::State& state) {
+  ratelimit::WilliamsonThrottle throttle(ratelimit::WilliamsonConfig{});
+  Rng rng(5);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    benchmark::DoNotOptimize(
+        throttle.submit(t, static_cast<ratelimit::IpAddress>(rng.next_u64())));
+  }
+}
+BENCHMARK(BM_WilliamsonSubmit);
+
+void BM_DnsThrottleAllow(benchmark::State& state) {
+  ratelimit::DnsThrottle throttle(ratelimit::DnsThrottleConfig{});
+  Rng rng(5);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    benchmark::DoNotOptimize(
+        throttle.allow(t, static_cast<ratelimit::IpAddress>(rng.next_u64())));
+  }
+}
+BENCHMARK(BM_DnsThrottleAllow);
+
+void BM_SlidingWindowAllow(benchmark::State& state) {
+  ratelimit::SlidingWindowLimiter limiter(5.0, 16);
+  Rng rng(5);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    benchmark::DoNotOptimize(
+        limiter.allow(t, static_cast<ratelimit::IpAddress>(rng.next_u64())));
+  }
+}
+BENCHMARK(BM_SlidingWindowAllow);
+
+const trace::Trace& bench_trace() {
+  static const trace::Trace t = [] {
+    trace::DepartmentConfig config;
+    config.normal_clients = 200;
+    config.servers = 4;
+    config.p2p_clients = 8;
+    config.blaster_hosts = 8;
+    config.welchia_hosts = 8;
+    config.duration = 1800.0;
+    return trace::generate_department_trace(config, 1);
+  }();
+  return t;
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::DepartmentConfig config;
+  config.normal_clients = 100;
+  config.servers = 2;
+  config.p2p_clients = 4;
+  config.blaster_hosts = 4;
+  config.welchia_hosts = 4;
+  config.duration = 600.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trace::generate_department_trace(config, 1));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_WindowCounts(benchmark::State& state) {
+  const trace::Trace& t = bench_trace();
+  const auto hosts = t.hosts_in(trace::HostCategory::kNormalClient);
+  trace::ContactRateOptions options;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trace::window_counts(
+        t, hosts, trace::Refinement::kNoPriorNoDns, options));
+}
+BENCHMARK(BM_WindowCounts);
+
+}  // namespace
+
+BENCHMARK_MAIN();

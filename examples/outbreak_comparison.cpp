@@ -1,0 +1,82 @@
+// Worm wargame: three worm profiles (Code-Red-like slow random scanner,
+// Slammer-like fast random scanner, Blaster-like local-preferential)
+// against four defense postures, as a time-to-50% matrix. Demonstrates
+// the paper's deployment findings in one table.
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+struct WormProfile {
+  std::string name;
+  double contact_rate;
+  dq::epidemic::WormClass worm_class;
+};
+
+struct DefensePosture {
+  std::string name;
+  dq::core::Deployment deployment;
+  double host_fraction;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dq;
+  std::cout << std::fixed << std::setprecision(1);
+
+  const std::vector<WormProfile> worms = {
+      {"codered-like (beta=0.4, random)", 0.4,
+       epidemic::WormClass::kRandom},
+      {"slammer-like (beta=2.0, random)", 2.0,
+       epidemic::WormClass::kRandom},
+      {"blaster-like (beta=0.8, localpref)", 0.8,
+       epidemic::WormClass::kLocalPreferential},
+  };
+  const std::vector<DefensePosture> defenses = {
+      {"none", core::Deployment::kNone, 0.0},
+      {"30% hosts", core::Deployment::kHostBased, 0.3},
+      {"edge", core::Deployment::kEdgeRouter, 0.0},
+      {"backbone", core::Deployment::kBackbone, 0.0},
+  };
+
+  std::cout << "time to 50% of nodes ever infected (simulation ticks, "
+               "5-run average; '-' = not reached in 200 ticks)\n\n";
+  std::cout << std::left << std::setw(36) << "worm \\ defense";
+  for (const DefensePosture& d : defenses)
+    std::cout << std::right << std::setw(12) << d.name;
+  std::cout << '\n';
+
+  for (const WormProfile& worm : worms) {
+    std::cout << std::left << std::setw(36) << worm.name << std::right;
+    for (const DefensePosture& defense : defenses) {
+      core::Scenario scenario;
+      scenario.topology.kind = core::ScenarioTopology::Kind::kSubnets;
+      scenario.topology.num_subnets = 20;
+      scenario.topology.hosts_per_subnet = 25;
+      scenario.worm.contact_rate = worm.contact_rate;
+      scenario.worm.worm_class = worm.worm_class;
+      scenario.worm.local_bias = 0.8;
+      scenario.defense.deployment = defense.deployment;
+      scenario.defense.host_fraction = defense.host_fraction;
+      scenario.horizon = 200.0;
+      const double t = run_simulation(scenario, 5).time_to_half();
+      if (t < 0.0)
+        std::cout << std::setw(12) << "-";
+      else
+        std::cout << std::setw(12) << t;
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nreadings (per the paper): host filters barely move any "
+               "column; edge filters slow random worms but not the "
+               "local-preferential one;\nbackbone filters dominate "
+               "everywhere, and nothing stops a Slammer-class worm "
+               "without them.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The full Section 7 trace study as a pipeline: generate a department
+// trace, print the contact-rate CDFs behind Figure 9, derive practical
+// rate limits under each refinement, and replay the two throttle
+// mechanisms (Williamson's virus throttle and the DNS-based throttle)
+// over legitimate vs worm traffic.
+#include <iomanip>
+#include <iostream>
+
+#include "trace/analysis.hpp"
+#include "trace/department.hpp"
+
+int main() {
+  using namespace dq;
+  using trace::Refinement;
+  std::cout << std::fixed << std::setprecision(3);
+
+  trace::DepartmentConfig config;  // the paper's 1128-host census
+  config.duration = 3600.0;
+  std::cout << "synthesizing " << trace::total_hosts(config)
+            << " hosts x " << config.duration << " s...\n";
+  const trace::Trace department =
+      trace::generate_department_trace(config, 42);
+  std::cout << "  " << department.events().size() << " events\n\n";
+
+  const auto normals =
+      department.hosts_in(trace::HostCategory::kNormalClient);
+  const auto infected = [&] {
+    auto hosts = department.hosts_in(trace::HostCategory::kWormBlaster);
+    const auto welchia =
+        department.hosts_in(trace::HostCategory::kWormWelchia);
+    hosts.insert(hosts.end(), welchia.begin(), welchia.end());
+    return hosts;
+  }();
+
+  trace::ContactRateOptions options;
+  options.window = 5.0;
+  options.aggregate = true;
+
+  // Figure 9 in miniature: a few CDF points per refinement.
+  const char* names[] = {"distinct IPs        ", "no prior contact    ",
+                         "no prior, no DNS    "};
+  const Refinement refinements[] = {Refinement::kAllDistinct,
+                                    Refinement::kNoPriorContact,
+                                    Refinement::kNoPriorNoDns};
+  for (const auto& [label, hosts] :
+       {std::pair{"normal clients", &normals},
+        std::pair{"worm-infected hosts", &infected}}) {
+    std::cout << "contact-rate CDF, " << label << " (5 s windows):\n";
+    std::cout << "  refinement            P(<=1)  P(<=4)  P(<=16) "
+                 "P(<=100) 99.9%-limit\n";
+    for (int r = 0; r < 3; ++r) {
+      const EmpiricalCdf cdf =
+          contact_rate_cdf(department, *hosts, refinements[r], options);
+      std::cout << "  " << names[r] << ' ' << std::setw(7)
+                << cdf.at_or_below(1.0) << ' ' << std::setw(7)
+                << cdf.at_or_below(4.0) << ' ' << std::setw(7)
+                << cdf.at_or_below(16.0) << ' ' << std::setw(8)
+                << cdf.at_or_below(100.0) << ' ' << std::setw(9)
+                << cdf.limit_for_coverage(0.999) << '\n';
+    }
+    std::cout << '\n';
+  }
+
+  // Throttle replays.
+  std::cout << "throttle replay (per host):\n";
+  for (const auto& [label, hosts] :
+       {std::pair{"normal clients  ", &normals},
+        std::pair{"worm-infected   ", &infected}}) {
+    const trace::ThrottleReplayReport w = trace::replay_williamson(
+        department, *hosts, ratelimit::WilliamsonConfig{});
+    const trace::ThrottleReplayReport d = trace::replay_dns_throttle(
+        department, *hosts, ratelimit::DnsThrottleConfig{});
+    std::cout << "  " << label << " williamson: " << w.contacts
+              << " contacts, "
+              << 100.0 * static_cast<double>(w.delayed + w.dropped) /
+                     std::max<double>(1.0, static_cast<double>(w.contacts))
+              << "% slowed, mean delay " << w.mean_delay << " s\n";
+    std::cout << "  " << label << " dns-based : " << d.contacts
+              << " contacts, "
+              << 100.0 * static_cast<double>(d.dropped) /
+                     std::max<double>(1.0, static_cast<double>(d.contacts))
+              << "% blocked\n";
+  }
+  std::cout << "\nworms are throttled to a crawl; legitimate traffic "
+               "barely notices — the paper's practical takeaway.\n";
+  return 0;
+}

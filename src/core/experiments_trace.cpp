@@ -1,0 +1,218 @@
+// Trace-study experiments: Figure 9 and the Section 7 numbers.
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/experiments.hpp"
+#include "trace/analysis.hpp"
+
+namespace dq::core {
+
+namespace {
+
+using trace::HostCategory;
+using trace::HostId;
+using trace::Refinement;
+using trace::Trace;
+
+/// CDF-as-series: x = attempted contacts, y = fraction of windows at
+/// or below x, sampled on a 1..1000-ish log-spaced integer grid
+/// (Figure 9's x-axis).
+TimeSeries cdf_series(const EmpiricalCdf& cdf) {
+  TimeSeries out;
+  double last = -1.0;
+  for (double x = 1.0; x <= 4096.0; x *= std::pow(2.0, 0.25)) {
+    const double xi = std::floor(x);
+    if (xi <= last) continue;
+    last = xi;
+    out.push(xi, cdf.at_or_below(xi));
+  }
+  return out;
+}
+
+FigureData cdf_figure(const Trace& trace, const std::vector<HostId>& hosts,
+                      const std::string& id, const std::string& title) {
+  trace::ContactRateOptions options;
+  options.window = 5.0;
+  options.aggregate = true;
+  FigureData fig{id, title, "attempted contacts per 5s",
+                 "fraction of time", {}};
+  fig.series.push_back(
+      {"distinct-IPs",
+       cdf_series(trace::contact_rate_cdf(
+           trace, hosts, Refinement::kAllDistinct, options))});
+  fig.series.push_back(
+      {"no-prior-contact",
+       cdf_series(trace::contact_rate_cdf(
+           trace, hosts, Refinement::kNoPriorContact, options))});
+  fig.series.push_back(
+      {"no-prior-no-DNS",
+       cdf_series(trace::contact_rate_cdf(
+           trace, hosts, Refinement::kNoPriorNoDns, options))});
+  return fig;
+}
+
+std::vector<HostId> worm_hosts(const Trace& trace) {
+  std::vector<HostId> hosts = trace.hosts_in(HostCategory::kWormBlaster);
+  const std::vector<HostId> welchia =
+      trace.hosts_in(HostCategory::kWormWelchia);
+  hosts.insert(hosts.end(), welchia.begin(), welchia.end());
+  std::sort(hosts.begin(), hosts.end());
+  return hosts;
+}
+
+}  // namespace
+
+trace::Trace make_department_trace(const ExperimentOptions& options) {
+  trace::DepartmentConfig config;
+  config.duration = options.trace_duration;
+  return trace::generate_department_trace(config, options.seed);
+}
+
+FigureData fig9a_normal_client_cdf(const Trace& trace) {
+  return cdf_figure(trace, trace.hosts_in(HostCategory::kNormalClient),
+                    "fig9a",
+                    "CDF of aggregate contact rates, normal clients "
+                    "(5s window)");
+}
+
+FigureData fig9b_worm_host_cdf(const Trace& trace) {
+  return cdf_figure(trace, worm_hosts(trace), "fig9b",
+                    "CDF of aggregate contact rates, worm-infected hosts "
+                    "(5s window)");
+}
+
+std::string trace_study_report(const Trace& trace) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+
+  const auto normals = trace.hosts_in(HostCategory::kNormalClient);
+  const auto servers = trace.hosts_in(HostCategory::kServer);
+  const auto p2p = trace.hosts_in(HostCategory::kP2P);
+  const auto blaster = trace.hosts_in(HostCategory::kWormBlaster);
+  const auto welchia = trace.hosts_in(HostCategory::kWormWelchia);
+  const auto worms = worm_hosts(trace);
+
+  os << "== Section 7 trace study ==\n";
+  os << "hosts: " << trace.num_hosts() << " total | normal "
+     << normals.size() << ", servers " << servers.size() << ", p2p "
+     << p2p.size() << ", worm-infected " << worms.size() << " (blaster "
+     << blaster.size() << ", welchia " << welchia.size() << ")\n";
+  os << "trace duration: " << trace.duration() << " s, events: "
+     << trace.events().size() << "\n\n";
+
+  const auto limits_block = [&](const std::string& name,
+                                const std::vector<HostId>& hosts,
+                                bool aggregate) {
+    trace::ContactRateOptions options;
+    options.window = 5.0;
+    options.aggregate = aggregate;
+    os << name << " (99.9% coverage, 5s window, "
+       << (aggregate ? "aggregate" : "per-host") << "):\n";
+    const char* labels[] = {"distinct IPs", "no prior contact",
+                            "no prior, no DNS"};
+    const Refinement refinements[] = {Refinement::kAllDistinct,
+                                      Refinement::kNoPriorContact,
+                                      Refinement::kNoPriorNoDns};
+    for (int i = 0; i < 3; ++i) {
+      const double limit = trace::rate_limit_for_coverage(
+          trace, hosts, refinements[i], options, 0.999);
+      os << "  " << std::setw(18) << labels[i] << " : " << limit
+         << " per 5s\n";
+    }
+  };
+
+  limits_block("normal clients", normals, true);
+  limits_block("normal clients", normals, false);
+  limits_block("p2p clients", p2p, true);
+  limits_block("servers", servers, true);
+  os << '\n';
+
+  // Window-size study on the strictest refinement (Section 7: "5 for
+  // one second, 12 for five seconds, 50 for sixty seconds").
+  os << "window-size study (normal clients, aggregate, no-prior-no-DNS, "
+        "99.9%):\n";
+  for (double window : {1.0, 5.0, 60.0}) {
+    trace::ContactRateOptions options;
+    options.window = window;
+    options.aggregate = true;
+    const double limit = trace::rate_limit_for_coverage(
+        trace, normals, Refinement::kNoPriorNoDns, options, 0.999);
+    os << "  " << std::setw(4) << window << "s window : " << limit << '\n';
+  }
+  os << '\n';
+
+  // Peak per-host scanning rates per minute (footnote 1: Welchia peaked
+  // at 7068 hosts/minute, Blaster at 671).
+  const auto peak_rate = [&](const std::vector<HostId>& hosts) {
+    trace::ContactRateOptions options;
+    options.window = 60.0;
+    options.aggregate = false;
+    const auto counts = trace::window_counts(
+        trace, hosts, Refinement::kAllDistinct, options);
+    return counts.empty() ? 0.0
+                          : *std::max_element(counts.begin(), counts.end());
+  };
+  os << "peak per-host scan rates (distinct IPs per 60s):\n";
+  os << "  blaster : " << peak_rate(blaster) << '\n';
+  os << "  welchia : " << peak_rate(welchia) << '\n';
+  os << '\n';
+
+  // Impact of the paper's aggregate edge limit (16 per 5s) on each
+  // category.
+  os << "impact of a 16-per-5s aggregate edge limit (fraction of windows "
+        "clipped / contacts blocked):\n";
+  const auto impact = [&](const std::string& name,
+                          const std::vector<HostId>& hosts) {
+    trace::ContactRateOptions options;
+    options.window = 5.0;
+    options.aggregate = true;
+    const auto counts = trace::window_counts(
+        trace, hosts, Refinement::kAllDistinct, options);
+    const trace::ImpactReport report = trace::evaluate_limit(counts, 16.0);
+    os << "  " << std::setw(14) << name << " : "
+       << 100.0 * report.fraction_windows_clipped << "% windows, "
+       << 100.0 * report.fraction_contacts_blocked << "% contacts"
+       << " (mean " << report.mean_count << ", max " << report.max_count
+       << ")\n";
+  };
+  impact("normal", normals);
+  impact("p2p", p2p);
+  impact("servers", servers);
+  impact("worm-infected", worms);
+  os << '\n';
+
+  // Throttle replays: Williamson per-host throttle and the DNS-based
+  // throttle, on normal vs worm traffic.
+  os << "throttle replay (per-host):\n";
+  const auto replay = [&](const std::string& name,
+                          const std::vector<HostId>& hosts) {
+    ratelimit::WilliamsonConfig wcfg;
+    const trace::ThrottleReplayReport w =
+        trace::replay_williamson(trace, hosts, wcfg);
+    ratelimit::DnsThrottleConfig dcfg;
+    const trace::ThrottleReplayReport d =
+        trace::replay_dns_throttle(trace, hosts, dcfg);
+    os << "  " << std::setw(14) << name << " williamson: "
+       << w.contacts << " contacts, "
+       << (w.contacts
+               ? 100.0 * static_cast<double>(w.delayed + w.dropped) /
+                     static_cast<double>(w.contacts)
+               : 0.0)
+       << "% delayed-or-dropped, mean delay " << w.mean_delay << "s\n";
+    os << "  " << std::setw(14) << name << " dns-throttle: "
+       << d.contacts << " contacts, "
+       << (d.contacts ? 100.0 * static_cast<double>(d.dropped) /
+                            static_cast<double>(d.contacts)
+                      : 0.0)
+       << "% blocked\n";
+  };
+  replay("normal", normals);
+  replay("p2p", p2p);
+  replay("worm-infected", worms);
+
+  return os.str();
+}
+
+}  // namespace dq::core

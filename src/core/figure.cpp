@@ -1,0 +1,73 @@
+#include "core/figure.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dq::core {
+
+const TimeSeries& FigureData::find(const std::string& label) const {
+  for (const NamedSeries& s : series)
+    if (s.label == label) return s.series;
+  throw std::invalid_argument("FigureData::find: no series named " + label);
+}
+
+std::string render_table(const FigureData& figure, std::size_t max_rows) {
+  if (figure.series.empty())
+    throw std::invalid_argument("render_table: figure has no series");
+  std::ostringstream os;
+  os << "== " << figure.id << ": " << figure.title << " ==\n";
+  os << "   (" << figure.y_label << " vs " << figure.x_label << ")\n";
+
+  const std::vector<double>& grid = figure.series.front().series.times();
+  const std::size_t stride =
+      std::max<std::size_t>(1, grid.size() / std::max<std::size_t>(1, max_rows));
+
+  constexpr int kColWidth = 12;
+  os << std::setw(kColWidth) << figure.x_label.substr(0, kColWidth - 1);
+  for (const NamedSeries& s : figure.series)
+    os << std::setw(std::max<int>(kColWidth,
+                                  static_cast<int>(s.label.size()) + 2))
+       << s.label;
+  os << '\n';
+
+  os << std::fixed << std::setprecision(4);
+  for (std::size_t i = 0; i < grid.size(); i += stride) {
+    os << std::setw(kColWidth) << grid[i];
+    for (const NamedSeries& s : figure.series)
+      os << std::setw(std::max<int>(kColWidth,
+                                    static_cast<int>(s.label.size()) + 2))
+         << s.series.interpolate(grid[i]);
+    os << '\n';
+  }
+  // Always include the final row.
+  if ((grid.size() - 1) % stride != 0) {
+    os << std::setw(kColWidth) << grid.back();
+    for (const NamedSeries& s : figure.series)
+      os << std::setw(std::max<int>(kColWidth,
+                                    static_cast<int>(s.label.size()) + 2))
+         << s.series.interpolate(grid.back());
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_csv(const FigureData& figure) {
+  if (figure.series.empty())
+    throw std::invalid_argument("render_csv: figure has no series");
+  std::ostringstream os;
+  os << "x";
+  for (const NamedSeries& s : figure.series) os << ',' << s.label;
+  os << '\n';
+  const std::vector<double>& grid = figure.series.front().series.times();
+  for (double x : grid) {
+    os << x;
+    for (const NamedSeries& s : figure.series)
+      os << ',' << s.series.interpolate(x);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dq::core

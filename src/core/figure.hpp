@@ -1,0 +1,40 @@
+// Figure data containers and text renderers.
+//
+// Every reproduced table/figure is materialized as a FigureData: a set
+// of labeled series over a common x-axis. The bench binaries render
+// them as aligned text tables (and CSV with --csv), which is the
+// reproducible artifact in place of the paper's gnuplot output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::core {
+
+struct NamedSeries {
+  std::string label;
+  TimeSeries series;
+};
+
+struct FigureData {
+  std::string id;       ///< e.g. "fig4"
+  std::string title;    ///< the paper's caption, abbreviated
+  std::string x_label;  ///< e.g. "time (ticks)"
+  std::string y_label;  ///< e.g. "fraction of nodes infected"
+  std::vector<NamedSeries> series;
+
+  /// The series with the given label; throws if absent.
+  const TimeSeries& find(const std::string& label) const;
+};
+
+/// Aligned text table: x column then one column per series, resampled
+/// onto the first series' grid, down-sampled to at most `max_rows`.
+std::string render_table(const FigureData& figure,
+                         std::size_t max_rows = 26);
+
+/// CSV: header "x,label1,label2,...", full resolution.
+std::string render_csv(const FigureData& figure);
+
+}  // namespace dq::core

@@ -1,0 +1,151 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "epidemic/hub_model.hpp"
+#include "epidemic/si_model.hpp"
+#include "trace/analysis.hpp"
+#include "trace/classifier.hpp"
+
+namespace dq::core {
+
+namespace {
+
+using trace::HostCategory;
+using trace::HostId;
+using trace::Refinement;
+
+std::vector<HostId> hosts_of(const std::vector<HostCategory>& categories,
+                             std::initializer_list<HostCategory> wanted) {
+  std::vector<HostId> hosts;
+  for (std::size_t h = 0; h < categories.size(); ++h)
+    for (HostCategory c : wanted)
+      if (categories[h] == c) {
+        hosts.push_back(static_cast<HostId>(h));
+        break;
+      }
+  return hosts;
+}
+
+}  // namespace
+
+QuarantinePlan plan_from_trace(const trace::Trace& trace,
+                               const PlannerOptions& options) {
+  if (!trace.finalized())
+    throw std::invalid_argument("plan_from_trace: trace not finalized");
+  // Categories: ground truth if attached and trusted, else behavioural
+  // classification (always, on a raw capture).
+  const std::vector<HostCategory> categories =
+      (options.classify_hosts || trace.host_categories().empty())
+          ? trace::classify_hosts(trace)
+          : trace.host_categories();
+  const std::vector<HostId> legit =
+      hosts_of(categories, {HostCategory::kNormalClient,
+                            HostCategory::kServer, HostCategory::kP2P});
+  const std::vector<HostId> worms = hosts_of(
+      categories,
+      {HostCategory::kWormBlaster, HostCategory::kWormWelchia});
+  if (legit.empty())
+    throw std::invalid_argument("plan_from_trace: no legitimate hosts");
+  const double coverage = 1.0 - options.legit_tolerance;
+
+  QuarantinePlan plan;
+  trace::ContactRateOptions aggregate;
+  aggregate.window = options.window;
+  aggregate.aggregate = true;
+  trace::ContactRateOptions per_host = aggregate;
+  per_host.aggregate = false;
+
+  plan.edge_aggregate_limit = trace::rate_limit_for_coverage(
+      trace, legit, Refinement::kAllDistinct, aggregate, coverage);
+  plan.edge_unknown_limit = trace::rate_limit_for_coverage(
+      trace, legit, Refinement::kNoPriorNoDns, aggregate, coverage);
+  plan.per_host_limit = trace::rate_limit_for_coverage(
+      trace, legit, Refinement::kAllDistinct, per_host, coverage);
+  plan.per_host_unknown_limit = trace::rate_limit_for_coverage(
+      trace, legit, Refinement::kNoPriorNoDns, per_host, coverage);
+
+  const auto legit_counts = trace::window_counts(
+      trace, legit, Refinement::kAllDistinct, aggregate);
+  plan.edge_legit_impact =
+      trace::evaluate_limit(legit_counts, plan.edge_aggregate_limit)
+          .fraction_windows_clipped;
+  if (!worms.empty()) {
+    const auto worm_counts = trace::window_counts(
+        trace, worms, Refinement::kAllDistinct, aggregate);
+    plan.edge_worm_impact =
+        trace::evaluate_limit(worm_counts, plan.edge_aggregate_limit)
+            .fraction_windows_clipped;
+  }
+
+  // Predicted slowdown: compare time-to-50% without limits
+  // (homogeneous, β per window) against the hub model where the edge
+  // allows edge_aggregate_limit contacts per window in aggregate.
+  const double n = static_cast<double>(categories.size());
+  epidemic::SiParams base;
+  base.population = n;
+  base.contact_rate = options.worm_contact_rate;
+  base.initial_infected = 1.0;
+  const double t_base = epidemic::HomogeneousSi(base).time_to_level(0.5);
+
+  epidemic::HubModelParams hub;
+  hub.population = n;
+  hub.link_rate = options.worm_contact_rate;
+  hub.hub_rate = std::max(1.0, plan.edge_aggregate_limit);
+  hub.initial_infected = 1.0;
+  const double t_limited = epidemic::HubModel(hub).time_to_level(0.5);
+  plan.predicted_slowdown = t_limited / t_base;
+
+  // Per-category limits (Section 7's suggestion), at the same coverage.
+  for (const HostCategory category :
+       {HostCategory::kNormalClient, HostCategory::kServer,
+        HostCategory::kP2P}) {
+    const std::vector<HostId> members = hosts_of(categories, {category});
+    if (members.empty()) continue;
+    CategoryLimit limit;
+    limit.category = category;
+    limit.hosts = members.size();
+    limit.per_host_limit = trace::rate_limit_for_coverage(
+        trace, members, Refinement::kAllDistinct, per_host, coverage);
+    limit.aggregate_limit = trace::rate_limit_for_coverage(
+        trace, members, Refinement::kAllDistinct, aggregate, coverage);
+    plan.category_limits.push_back(limit);
+  }
+  return plan;
+}
+
+std::string QuarantinePlan::summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "Quarantine plan (per Section 8: deploy at the edge AND on "
+        "hosts):\n"
+     << "  edge aggregate limit       : " << edge_aggregate_limit
+     << " distinct contacts / window\n"
+     << "  edge unknown-dest limit    : " << edge_unknown_limit
+     << " (no DNS, no prior contact)\n"
+     << "  per-host limit             : " << per_host_limit
+     << " distinct contacts / window\n"
+     << "  per-host unknown-dest limit: " << per_host_unknown_limit << '\n'
+     << std::setprecision(3)
+     << "  legit windows clipped      : " << 100.0 * edge_legit_impact
+     << "%\n"
+     << "  worm windows clipped       : " << 100.0 * edge_worm_impact
+     << "%\n"
+     << std::setprecision(1)
+     << "  predicted time-to-50% slowdown: " << predicted_slowdown
+     << "x\n";
+  if (!category_limits.empty()) {
+    os << "  per-category limits (distinct contacts / window):\n";
+    for (const CategoryLimit& limit : category_limits) {
+      os << "    " << std::setw(14) << trace::to_string(limit.category)
+         << " (" << limit.hosts << " hosts): per-host "
+         << limit.per_host_limit << ", aggregate "
+         << limit.aggregate_limit << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dq::core

@@ -1,0 +1,81 @@
+// QuarantinePlanner — the paper's operational conclusion as an API.
+//
+// Section 8: "in order to secure an enterprise network, one must
+// install rate limiting filters at the edge routers as well as some
+// portion of the internal hosts", with limits chosen from traffic
+// measurements so that legitimate traffic is almost never affected.
+// The planner derives those limits from a (real or synthetic) trace and
+// predicts the resulting worm slowdown with the Section 4-5 models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dq::core {
+
+using trace::Seconds;
+
+struct PlannerOptions {
+  /// Fraction of windows legitimate traffic may be clipped in.
+  double legit_tolerance = 0.001;  ///< "99.9% of the time"
+  Seconds window = 5.0;
+  /// Expected unthrottled worm contact rate (per 5s window) used for
+  /// slowdown predictions.
+  double worm_contact_rate = 0.8;
+  /// Derive host categories behaviourally (trace::classify_hosts)
+  /// instead of trusting the trace's attached ground truth — what an
+  /// administrator on a real capture has to do. Automatically enabled
+  /// when the trace carries no categories.
+  bool classify_hosts = false;
+};
+
+/// Per-category rate limits — Section 7's "an administrator could
+/// categorize systems as we have done, and give them distinct rate
+/// limits", tightly restricting most systems while allowing special
+/// ones to contact at higher rates.
+struct CategoryLimit {
+  trace::HostCategory category;
+  std::size_t hosts = 0;
+  /// Distinct-contact limit per window per host of this category.
+  double per_host_limit = 0.0;
+  /// Aggregate limit across the category at the edge.
+  double aggregate_limit = 0.0;
+};
+
+/// The plan: concrete limits plus model-predicted outcomes.
+struct QuarantinePlan {
+  /// Aggregate distinct-contact limit at the edge router per window.
+  double edge_aggregate_limit = 0.0;
+  /// Same, counting only no-prior-contact, non-DNS destinations.
+  double edge_unknown_limit = 0.0;
+  /// Per-host distinct-contact limit per window.
+  double per_host_limit = 0.0;
+  /// Per-host limit for unknown (non-DNS, no prior contact) dests.
+  double per_host_unknown_limit = 0.0;
+
+  /// Fraction of legitimate (non-worm) windows the edge limit clips.
+  double edge_legit_impact = 0.0;
+  /// Fraction of worm windows the edge limit clips.
+  double edge_worm_impact = 0.0;
+
+  /// Predicted multiplier on the worm's time-to-50%-infection inside
+  /// the enterprise when the plan is deployed (edge aggregate limiting
+  /// modeled with the hub equations).
+  double predicted_slowdown = 1.0;
+
+  /// Distinct limits for normal clients, servers and P2P hosts (worm
+  /// hosts get no allowance — they get cleaned).
+  std::vector<CategoryLimit> category_limits;
+
+  std::string summary() const;
+};
+
+/// Derives a plan from a trace. Worm-infected categories are excluded
+/// from the "legitimate" population used to set limits, then used to
+/// evaluate how hard the limits hit a worm.
+QuarantinePlan plan_from_trace(const trace::Trace& trace,
+                               const PlannerOptions& options = {});
+
+}  // namespace dq::core

@@ -1,0 +1,73 @@
+#include "epidemic/backbone_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "epidemic/logistic.hpp"
+#include "ode/solvers.hpp"
+
+namespace dq::epidemic {
+
+BackboneModel::BackboneModel(const BackboneParams& p) : params_(p) {
+  if (p.population <= 0.0)
+    throw std::invalid_argument("BackboneModel: population must be > 0");
+  if (p.contact_rate <= 0.0)
+    throw std::invalid_argument("BackboneModel: contact rate must be > 0");
+  if (p.path_coverage < 0.0 || p.path_coverage > 1.0)
+    throw std::invalid_argument("BackboneModel: coverage in [0,1]");
+  if (p.residual_rate < 0.0)
+    throw std::invalid_argument("BackboneModel: residual rate >= 0");
+  if (p.initial_infected <= 0.0 || p.initial_infected >= p.population)
+    throw std::invalid_argument(
+        "BackboneModel: initial infected in (0, population)");
+  c_ = logistic_constant(p.initial_infected / p.population);
+}
+
+double BackboneModel::growth_rate() const noexcept {
+  return params_.contact_rate * (1.0 - params_.path_coverage);
+}
+
+double BackboneModel::fraction_at(double t) const {
+  return logistic_fraction(growth_rate(), c_, t);
+}
+
+TimeSeries BackboneModel::closed_form(
+    const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, fraction_at(t));
+  return out;
+}
+
+TimeSeries BackboneModel::integrate(const std::vector<double>& times) const {
+  const double n = params_.population;
+  const double beta = params_.contact_rate;
+  const double alpha = params_.path_coverage;
+  // rN/2^32: the residual allowance scaled by the chance a random
+  // 32-bit probe hits one of the N susceptible addresses.
+  const double residual =
+      params_.residual_rate * n / 4294967296.0;
+  const ode::Derivative f = [n, beta, alpha, residual](
+                                double, const ode::State& y,
+                                ode::State& dydt) {
+    const double i = y[0];
+    const double delta = std::min(i * beta * alpha, residual);
+    dydt[0] = (i * beta * (1.0 - alpha) + delta) * (n - i) / n;
+  };
+  const std::vector<double> curve =
+      ode::sample(f, {params_.initial_infected}, times, 0);
+  TimeSeries out;
+  for (std::size_t i = 0; i < times.size(); ++i)
+    out.push(times[i], curve[i] / n);
+  return out;
+}
+
+double BackboneModel::time_to_level(double level) const {
+  if (growth_rate() <= 0.0)
+    throw std::logic_error(
+        "BackboneModel::time_to_level: full coverage with no residual "
+        "rate never reaches the level");
+  return logistic_time_to_level(growth_rate(), c_, level);
+}
+
+}  // namespace dq::epidemic

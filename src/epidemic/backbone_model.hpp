@@ -1,0 +1,56 @@
+// Backbone-router rate limiting — Section 5.3, Equation (6).
+//
+// Rate limiting deployed on core routers that cover a fraction α of all
+// IP-to-IP paths:
+//
+//   dI/dt = Iβ(1−α)(N−I)/N + δ(N−I)/N,   δ = min(Iβα, rN/2³²)
+//
+// The first term is the uncovered traffic; the second is the covered
+// traffic squeezed through the routers' residual allowance r. When r is
+// small the solution is logistic with λ = β(1−α): covering most paths
+// is as good as filtering at (almost) every host.
+#pragma once
+
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::epidemic {
+
+struct BackboneParams {
+  double population = 1000.0;
+  double contact_rate = 0.8;       ///< β per infected host
+  double path_coverage = 0.9;      ///< α in [0,1]
+  /// r: average overall allowable worm-rate through the limited routers,
+  /// in contacts per time unit (the paper divides by the 2³² IPv4 space
+  /// to get the per-address hit rate).
+  double residual_rate = 0.0;
+  double initial_infected = 1.0;
+};
+
+class BackboneModel {
+ public:
+  explicit BackboneModel(const BackboneParams& p);
+
+  /// λ = β(1−α): the approximate growth rate for small r.
+  double growth_rate() const noexcept;
+
+  /// Approximate closed-form fraction (valid for small residual rate).
+  double fraction_at(double t) const;
+
+  TimeSeries closed_form(const std::vector<double>& times) const;
+
+  /// Exact numerical integration of Equation (6) including δ.
+  TimeSeries integrate(const std::vector<double>& times) const;
+
+  /// Time to reach fraction `level` under the small-r approximation.
+  double time_to_level(double level) const;
+
+  const BackboneParams& params() const noexcept { return params_; }
+
+ private:
+  BackboneParams params_;
+  double c_;
+};
+
+}  // namespace dq::epidemic

@@ -1,0 +1,51 @@
+#include "epidemic/branching.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dq::epidemic {
+
+BranchingProcess::BranchingProcess(double contact_rate, double removal_rate)
+    : beta_(contact_rate), mu_(removal_rate) {
+  if (contact_rate <= 0.0)
+    throw std::invalid_argument("BranchingProcess: contact rate must be > 0");
+  if (removal_rate < 0.0 || removal_rate > 1.0)
+    throw std::invalid_argument("BranchingProcess: removal rate in [0,1]");
+}
+
+double BranchingProcess::r0() const {
+  if (mu_ == 0.0) return std::numeric_limits<double>::infinity();
+  return beta_ * (1.0 - mu_) / mu_;
+}
+
+double BranchingProcess::offspring_pgf(double s) const {
+  if (s < 0.0 || s > 1.0)
+    throw std::invalid_argument("BranchingProcess: pgf argument in [0,1]");
+  if (mu_ == 0.0) {
+    // Infinite lifetime: zero total offspring is impossible unless the
+    // per-tick Poisson is degenerate; the pgf collapses to 0 for s < 1.
+    return s == 1.0 ? 1.0 : 0.0;
+  }
+  const double g = std::exp(beta_ * (s - 1.0));
+  return mu_ / (1.0 - (1.0 - mu_) * g);
+}
+
+double BranchingProcess::extinction_probability() const {
+  if (mu_ == 0.0) return 0.0;
+  if (r0() <= 1.0) return 1.0;
+  // Monotone iteration from 0 converges to the minimal fixed point.
+  double q = 0.0;
+  for (int iter = 0; iter < 100000; ++iter) {
+    const double next = offspring_pgf(q);
+    if (std::abs(next - q) < 1e-14) return next;
+    q = next;
+  }
+  return q;
+}
+
+double BranchingProcess::extinction_probability(unsigned seeds) const {
+  return std::pow(extinction_probability(), static_cast<double>(seeds));
+}
+
+}  // namespace dq::epidemic

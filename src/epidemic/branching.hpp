@@ -1,0 +1,50 @@
+// Early-phase branching-process analysis.
+//
+// Deterministic models (Sections 3-6) describe the *mean* epidemic; a
+// worm released once is a stochastic object that can die out even when
+// supercritical. While the susceptible pool is still large, the
+// outbreak is a Galton-Watson process: an infected host survives each
+// tick with probability 1−μ and spawns Poisson(β) infections per
+// surviving tick (matching the simulator's removal-before-first-scan
+// semantics). This module computes the classical quantities:
+//
+//   * offspring pgf     G(s) = μ / (1 − (1−μ) e^{β(s−1)})
+//   * mean offspring    R0 = β(1−μ)/μ
+//   * extinction prob.  q  = minimal fixed point of G
+//
+// With μ = 0 (no removal) the process never dies (q = 0) and the pgf
+// degenerates; the class handles that limit explicitly.
+#pragma once
+
+namespace dq::epidemic {
+
+class BranchingProcess {
+ public:
+  /// contact_rate β > 0; removal_rate μ in [0, 1].
+  BranchingProcess(double contact_rate, double removal_rate);
+
+  /// Mean total offspring of one infected host: R0 = β(1−μ)/μ
+  /// (+infinity when μ = 0).
+  double r0() const;
+
+  /// Offspring probability generating function G(s), s in [0, 1].
+  double offspring_pgf(double s) const;
+
+  /// Extinction probability of a single-seed outbreak: the minimal
+  /// fixed point of G. 1 when subcritical, 0 when μ = 0.
+  double extinction_probability() const;
+
+  /// Extinction probability with k independent seeds: q^k.
+  double extinction_probability(unsigned seeds) const;
+
+  bool supercritical() const { return r0() > 1.0; }
+
+  double contact_rate() const noexcept { return beta_; }
+  double removal_rate() const noexcept { return mu_; }
+
+ private:
+  double beta_;
+  double mu_;
+};
+
+}  // namespace dq::epidemic

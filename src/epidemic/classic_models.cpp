@@ -1,0 +1,124 @@
+#include "epidemic/classic_models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ode/solvers.hpp"
+
+namespace dq::epidemic {
+
+SisModel::SisModel(const SisParams& p) : params_(p) {
+  if (p.population <= 0.0)
+    throw std::invalid_argument("SisModel: population must be > 0");
+  if (p.contact_rate <= 0.0 || p.cure_rate < 0.0)
+    throw std::invalid_argument("SisModel: bad rates");
+  if (p.initial_infected <= 0.0 || p.initial_infected >= p.population)
+    throw std::invalid_argument(
+        "SisModel: initial infected in (0, population)");
+}
+
+double SisModel::fraction_at(double t) const {
+  // dI/dt = λI − (β/N)I² with λ = β − δ (Bernoulli equation).
+  const double n = params_.population;
+  const double beta_over_n = params_.contact_rate / n;
+  const double lambda = params_.contact_rate - params_.cure_rate;
+  const double i0 = params_.initial_infected;
+  if (std::abs(lambda) < 1e-12) {
+    // Critical case: pure quadratic decay.
+    return (i0 / (1.0 + beta_over_n * i0 * t)) / n;
+  }
+  const double denom =
+      beta_over_n + (lambda / i0 - beta_over_n) * std::exp(-lambda * t);
+  return (lambda / denom) / n;
+}
+
+TimeSeries SisModel::closed_form(const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, fraction_at(t));
+  return out;
+}
+
+TimeSeries SisModel::integrate(const std::vector<double>& times) const {
+  const double n = params_.population;
+  const double beta = params_.contact_rate;
+  const double delta = params_.cure_rate;
+  const ode::Derivative f = [n, beta, delta](double, const ode::State& y,
+                                             ode::State& dydt) {
+    dydt[0] = beta * y[0] * (n - y[0]) / n - delta * y[0];
+  };
+  const std::vector<double> curve =
+      ode::sample(f, {params_.initial_infected}, times, 0);
+  TimeSeries out;
+  for (std::size_t i = 0; i < times.size(); ++i)
+    out.push(times[i], curve[i] / n);
+  return out;
+}
+
+double SisModel::endemic_fraction() const noexcept {
+  return std::max(0.0, 1.0 - params_.cure_rate / params_.contact_rate);
+}
+
+bool SisModel::above_threshold() const noexcept {
+  return params_.contact_rate > params_.cure_rate;
+}
+
+TwoFactorModel::TwoFactorModel(const TwoFactorParams& p) : params_(p) {
+  if (p.population <= 0.0)
+    throw std::invalid_argument("TwoFactorModel: population must be > 0");
+  if (p.contact_rate <= 0.0)
+    throw std::invalid_argument("TwoFactorModel: contact rate must be > 0");
+  if (p.congestion_exponent < 0.0)
+    throw std::invalid_argument("TwoFactorModel: exponent must be >= 0");
+  if (p.removal_rate < 0.0 || p.quarantine_rate < 0.0)
+    throw std::invalid_argument("TwoFactorModel: rates must be >= 0");
+  if (p.initial_infected <= 0.0 || p.initial_infected >= p.population)
+    throw std::invalid_argument(
+        "TwoFactorModel: initial infected in (0, population)");
+}
+
+TwoFactorCurves TwoFactorModel::integrate(
+    const std::vector<double>& times) const {
+  const double n = params_.population;
+  const double beta0 = params_.contact_rate;
+  const double eta = params_.congestion_exponent;
+  const double gamma = params_.removal_rate;
+  const double mu = params_.quarantine_rate;
+
+  // State: [I, S, R, Q, J] — infected, susceptible, removed-infected,
+  // quarantined-susceptible, cumulative ever infected.
+  const ode::Derivative f = [=](double, const ode::State& y,
+                                ode::State& dydt) {
+    const double i = std::max(0.0, y[0]);
+    const double s = std::max(0.0, y[1]);
+    const double j = y[4];
+    const double beta =
+        beta0 * std::pow(std::max(0.0, 1.0 - i / n), eta);
+    const double new_infections = beta * s * i / n;
+    const double quarantined = mu * s * j / n;
+    const double removed = gamma * i;
+    dydt[0] = new_infections - removed;
+    dydt[1] = -new_infections - quarantined;
+    dydt[2] = removed;
+    dydt[3] = quarantined;
+    dydt[4] = new_infections;
+  };
+
+  const double i0 = params_.initial_infected;
+  const std::vector<ode::State> states =
+      ode::sample_states(f, {i0, n - i0, 0.0, 0.0, i0}, times);
+  TwoFactorCurves out;
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    out.infected_fraction.push(times[k], states[k][0] / n);
+    out.removed_fraction.push(times[k],
+                              (states[k][2] + states[k][3]) / n);
+    out.ever_fraction.push(times[k], states[k][4] / n);
+  }
+  return out;
+}
+
+double TwoFactorModel::final_ever_infected(double horizon) const {
+  const TwoFactorCurves curves = integrate({0.0, horizon});
+  return curves.ever_fraction.back_value();
+}
+
+}  // namespace dq::epidemic

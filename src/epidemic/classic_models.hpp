@@ -1,0 +1,89 @@
+// Classical epidemic baselines from the paper's related work, for
+// comparison against its dynamic-immunization analysis:
+//
+//  * Kephart & White's SIS model ([6,7]: infected hosts are cured at a
+//    constant rate δ but stay susceptible — the "constant rate of
+//    immunization" tradition the paper contrasts with):
+//        dI/dt = βI(N−I)/N − δI
+//    Closed form: logistic toward the endemic level N(1 − δ/β) when
+//    β > δ, extinction otherwise.
+//
+//  * Zou, Gong & Towsley's two-factor worm model ([19], built for Code
+//    Red): removals of both susceptible and infected hosts plus a
+//    contact rate that decays as the worm's own traffic congests the
+//    network:
+//        dS/dt = −β(t)SI/N − dQ/dt          (quarantined susceptibles)
+//        dQ/dt = μ S J / N                  (J = cumulative infected)
+//        dR/dt = γ I                        (removed infected)
+//        dI/dt = β(t)SI/N − dR/dt,  β(t) = β₀ (1 − I/N)^η
+//    No closed form; integrated numerically.
+#pragma once
+
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::epidemic {
+
+struct SisParams {
+  double population = 1000.0;
+  double contact_rate = 0.8;   ///< β
+  double cure_rate = 0.2;      ///< δ, constant-rate disinfection
+  double initial_infected = 1.0;
+};
+
+/// Kephart-White SIS: constant-rate cure, no immunity.
+class SisModel {
+ public:
+  explicit SisModel(const SisParams& p);
+
+  /// Closed-form infected fraction at time t.
+  double fraction_at(double t) const;
+
+  TimeSeries closed_form(const std::vector<double>& times) const;
+  TimeSeries integrate(const std::vector<double>& times) const;
+
+  /// The endemic steady state fraction: max(0, 1 − δ/β).
+  double endemic_fraction() const noexcept;
+
+  /// Epidemic threshold: spreads iff β > δ.
+  bool above_threshold() const noexcept;
+
+  const SisParams& params() const noexcept { return params_; }
+
+ private:
+  SisParams params_;
+};
+
+struct TwoFactorParams {
+  double population = 1000.0;
+  double contact_rate = 0.8;       ///< β₀
+  double congestion_exponent = 2.0;  ///< η: β(t) = β₀(1−I/N)^η
+  double removal_rate = 0.05;      ///< γ: cure+patch rate of infected
+  double quarantine_rate = 0.06;   ///< μ: susceptible patching pressure
+  double initial_infected = 1.0;
+};
+
+/// Result curves of the two-factor model.
+struct TwoFactorCurves {
+  TimeSeries infected_fraction;   ///< I/N
+  TimeSeries removed_fraction;    ///< (R+Q)/N
+  TimeSeries ever_fraction;       ///< J/N = cumulative ever infected
+};
+
+class TwoFactorModel {
+ public:
+  explicit TwoFactorModel(const TwoFactorParams& p);
+
+  TwoFactorCurves integrate(const std::vector<double>& times) const;
+
+  /// Total ever infected at a long horizon.
+  double final_ever_infected(double horizon = 400.0) const;
+
+  const TwoFactorParams& params() const noexcept { return params_; }
+
+ private:
+  TwoFactorParams params_;
+};
+
+}  // namespace dq::epidemic

@@ -1,0 +1,91 @@
+#include "epidemic/edge_router_model.hpp"
+
+#include <stdexcept>
+
+#include "epidemic/logistic.hpp"
+
+namespace dq::epidemic {
+
+EdgeRouterModel::EdgeRouterModel(const EdgeRouterParams& p) : params_(p) {
+  if (p.num_subnets <= 0.0 || p.hosts_per_subnet <= 0.0)
+    throw std::invalid_argument("EdgeRouterModel: bad topology sizes");
+  if (p.intra_rate <= 0.0 || p.inter_rate <= 0.0 ||
+      p.limited_inter_rate <= 0.0)
+    throw std::invalid_argument("EdgeRouterModel: rates must be > 0");
+  if (p.local_preference_gain < 1.0)
+    throw std::invalid_argument(
+        "EdgeRouterModel: preference gain must be >= 1");
+  if (p.subnet_seed_gain < 1.0)
+    throw std::invalid_argument(
+        "EdgeRouterModel: subnet seed gain must be >= 1");
+  if (p.limited_inter_rate > p.inter_rate)
+    throw std::invalid_argument(
+        "EdgeRouterModel: filter must not raise the inter-subnet rate");
+  if (p.initial_infected_subnets <= 0.0 ||
+      p.initial_infected_subnets >= p.num_subnets)
+    throw std::invalid_argument(
+        "EdgeRouterModel: initial subnets in (0, num_subnets)");
+  if (p.initial_infected_hosts <= 0.0 ||
+      p.initial_infected_hosts >= p.hosts_per_subnet)
+    throw std::invalid_argument(
+        "EdgeRouterModel: initial hosts in (0, hosts_per_subnet)");
+  c_within_ =
+      logistic_constant(p.initial_infected_hosts / p.hosts_per_subnet);
+  c_across_ =
+      logistic_constant(p.initial_infected_subnets / p.num_subnets);
+}
+
+double EdgeRouterModel::intra_growth_rate() const noexcept {
+  const double gain = params_.worm == WormClass::kLocalPreferential
+                          ? params_.local_preference_gain
+                          : 1.0;
+  return params_.intra_rate * gain;
+}
+
+double EdgeRouterModel::inter_growth_rate() const noexcept {
+  const double base = params_.rate_limited ? params_.limited_inter_rate
+                                           : params_.inter_rate;
+  const double gain = params_.worm == WormClass::kLocalPreferential
+                          ? params_.subnet_seed_gain
+                          : 1.0;
+  return base * gain;
+}
+
+double EdgeRouterModel::within_subnet_fraction(double t) const {
+  return logistic_fraction(intra_growth_rate(), c_within_, t);
+}
+
+double EdgeRouterModel::across_subnet_fraction(double t) const {
+  return logistic_fraction(inter_growth_rate(), c_across_, t);
+}
+
+double EdgeRouterModel::overall_fraction(double t) const {
+  return within_subnet_fraction(t) * across_subnet_fraction(t);
+}
+
+TimeSeries EdgeRouterModel::within_subnet_curve(
+    const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, within_subnet_fraction(t));
+  return out;
+}
+
+TimeSeries EdgeRouterModel::across_subnet_curve(
+    const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, across_subnet_fraction(t));
+  return out;
+}
+
+TimeSeries EdgeRouterModel::overall_curve(
+    const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, overall_fraction(t));
+  return out;
+}
+
+double EdgeRouterModel::time_to_subnet_level(double level) const {
+  return logistic_time_to_level(inter_growth_rate(), c_across_, level);
+}
+
+}  // namespace dq::epidemic

@@ -1,0 +1,88 @@
+#include "epidemic/hub_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "epidemic/logistic.hpp"
+#include "ode/solvers.hpp"
+
+namespace dq::epidemic {
+
+HubModel::HubModel(const HubModelParams& p) : params_(p) {
+  if (p.population <= 0.0)
+    throw std::invalid_argument("HubModel: population must be > 0");
+  if (p.link_rate <= 0.0 || p.hub_rate <= 0.0)
+    throw std::invalid_argument("HubModel: rates must be > 0");
+  if (p.initial_infected <= 0.0 || p.initial_infected >= p.population)
+    throw std::invalid_argument(
+        "HubModel: initial infected must be in (0, population)");
+
+  c_ = logistic_constant(p.initial_infected / p.population);
+  i_star_ = p.hub_rate / p.link_rate;
+  if (i_star_ >= p.population || i_star_ <= p.initial_infected) {
+    // Either the hub never saturates, or it is saturated from t = 0.
+    t_star_ = i_star_ >= p.population
+                  ? std::numeric_limits<double>::infinity()
+                  : 0.0;
+    if (t_star_ == 0.0) i_star_ = p.initial_infected;
+  } else {
+    t_star_ =
+        logistic_time_to_level(p.link_rate, c_, i_star_ / p.population);
+  }
+}
+
+double HubModel::fraction_at(double t) const {
+  const double n = params_.population;
+  if (t <= t_star_)
+    return logistic_fraction(params_.link_rate, c_, t);
+  // Saturated regime from (t*, I*): N−I = (N−I*) e^{−β(t−t*)/N}.
+  const double remaining =
+      (n - i_star_) * std::exp(-params_.hub_rate * (t - t_star_) / n);
+  return 1.0 - remaining / n;
+}
+
+TimeSeries HubModel::closed_form(const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, fraction_at(t));
+  return out;
+}
+
+TimeSeries HubModel::integrate(const std::vector<double>& times) const {
+  const double n = params_.population;
+  const double gamma = params_.link_rate;
+  const double beta = params_.hub_rate;
+  const ode::Derivative f = [n, gamma, beta](double, const ode::State& y,
+                                             ode::State& dydt) {
+    const double i = y[0];
+    dydt[0] = std::min(gamma * i, beta) * (n - i) / n;
+  };
+  const std::vector<double> curve =
+      ode::sample(f, {params_.initial_infected}, times, 0);
+  TimeSeries out;
+  for (std::size_t i = 0; i < times.size(); ++i)
+    out.push(times[i], curve[i] / n);
+  return out;
+}
+
+double HubModel::time_to_level(double level) const {
+  if (level <= 0.0 || level >= 1.0)
+    throw std::invalid_argument("HubModel::time_to_level: level in (0,1)");
+  const double n = params_.population;
+  const double target = level * n;
+  if (target <= params_.initial_infected) return 0.0;
+  if (target <= i_star_ || !std::isfinite(t_star_))
+    return logistic_time_to_level(params_.link_rate, c_, level);
+  // Invert the saturated-regime solution.
+  return t_star_ +
+         n / params_.hub_rate * std::log((n - i_star_) / (n - target));
+}
+
+double HubModel::saturation_count() const noexcept {
+  return params_.hub_rate / params_.link_rate;
+}
+
+double HubModel::saturation_time() const { return t_star_; }
+
+}  // namespace dq::epidemic

@@ -1,0 +1,58 @@
+// Hub rate limiting on a star topology — Section 4, Equations (4), (5).
+//
+// All traffic crosses the hub. Two limits interact:
+//   * per-link rate γ  — each infected leaf can push at most γ;
+//   * hub node rate β  — the hub forwards at most β in total.
+//
+// While the combined leaf demand is below the hub capacity (γI ≤ β) the
+// link limit governs:   dI/dt = γI(N−I)/N           (logistic, rate γ)
+// Once demand saturates the hub (γI > β) the hub limit governs:
+//                       dI/dt = β(N−I)/N            (saturating exp.)
+// The paper derives t ≈ N·ln(α)/β to reach level α in the saturated
+// regime — comparable to 100% leaf deployment, the headline of Fig. 1.
+#pragma once
+
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::epidemic {
+
+struct HubModelParams {
+  double population = 200.0;     ///< N (leaves; hub excluded from count)
+  double link_rate = 0.05;       ///< γ, per infected leaf through its link
+  double hub_rate = 2.0;         ///< β, total forwarding rate of the hub
+  double initial_infected = 1.0;
+};
+
+class HubModel {
+ public:
+  explicit HubModel(const HubModelParams& p);
+
+  /// Piecewise closed-form infected fraction at time t >= 0.
+  double fraction_at(double t) const;
+
+  TimeSeries closed_form(const std::vector<double>& times) const;
+
+  /// Numerical integration of dI/dt = min(γI, β)(N−I)/N.
+  TimeSeries integrate(const std::vector<double>& times) const;
+
+  /// Time to reach fraction `level`, honoring the regime switch.
+  double time_to_level(double level) const;
+
+  /// Infected count at which the hub saturates: I* = β/γ.
+  double saturation_count() const noexcept;
+
+  /// Time at which the hub saturates; +inf if it never does (β ≥ γN).
+  double saturation_time() const;
+
+  const HubModelParams& params() const noexcept { return params_; }
+
+ private:
+  HubModelParams params_;
+  double c_;        // logistic constant of the pre-saturation regime
+  double t_star_;   // saturation time (+inf if none)
+  double i_star_;   // infected count at saturation
+};
+
+}  // namespace dq::epidemic

@@ -1,0 +1,216 @@
+#include "epidemic/immunization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "epidemic/logistic.hpp"
+#include "ode/piecewise.hpp"
+
+namespace dq::epidemic {
+
+namespace {
+
+// Shared validation for the two immunization models.
+void validate(double population, double contact_rate, double mu,
+              double delay, double initial_infected) {
+  if (population <= 0.0)
+    throw std::invalid_argument("immunization model: population > 0");
+  if (contact_rate <= 0.0)
+    throw std::invalid_argument("immunization model: contact rate > 0");
+  if (mu < 0.0)
+    throw std::invalid_argument("immunization model: mu >= 0");
+  if (delay < 0.0)
+    throw std::invalid_argument("immunization model: delay >= 0");
+  if (initial_infected <= 0.0 || initial_infected >= population)
+    throw std::invalid_argument(
+        "immunization model: initial infected in (0, population)");
+}
+
+// Builds the piecewise system for growth rate `growth` (β, or γ for the
+// backbone variant), residual `delta_cap` (rN/2³² scaled; 0 disables),
+// coverage alpha, immunization mu after time d.
+// State: y = [I, N, C].
+dq::ode::PiecewiseSystem make_system(double growth, double alpha,
+                                     double delta_cap, double mu, double d) {
+  using dq::ode::Regime;
+  using dq::ode::State;
+  auto infection_flux = [growth, alpha, delta_cap](const State& y) {
+    const double i = y[0], n = y[1];
+    if (n <= 0.0 || i <= 0.0) return 0.0;
+    const double covered = std::min(i * growth / (1.0 - alpha + 1e-300) *
+                                        alpha,  // Iβα with β = growth/(1−α)
+                                    delta_cap);
+    const double uncovered = i * growth;
+    const double susceptible = std::max(n - i, 0.0);
+    return (uncovered + covered) * susceptible / n;
+  };
+  Regime before{
+      [infection_flux](double, const State& y, State& dydt) {
+        const double flux = infection_flux(y);
+        dydt[0] = flux;
+        dydt[1] = 0.0;
+        dydt[2] = flux;
+      },
+      d};
+  Regime after{
+      [infection_flux, mu](double, const State& y, State& dydt) {
+        const double flux = infection_flux(y);
+        dydt[0] = flux - mu * y[0];
+        dydt[1] = -mu * y[1];
+        dydt[2] = flux;
+      },
+      0.0};
+  std::vector<Regime> regimes;
+  if (d > 0.0) regimes.push_back(std::move(before));
+  regimes.push_back(std::move(after));
+  return dq::ode::PiecewiseSystem(std::move(regimes));
+}
+
+ImmunizationCurves run_curves(const dq::ode::PiecewiseSystem& system,
+                              double population, double initial_infected,
+                              const std::vector<double>& times) {
+  const std::vector<dq::ode::State> states = system.sample_states(
+      {initial_infected, population, initial_infected}, times);
+  ImmunizationCurves out;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    out.active_fraction.push(times[i], states[i][0] / population);
+    out.ever_fraction.push(times[i], states[i][2] / population);
+  }
+  return out;
+}
+
+double run_final_ever(const dq::ode::PiecewiseSystem& system,
+                      double population, double initial_infected,
+                      double growth, double delay, double horizon_factor) {
+  // Horizon: comfortably past both the epidemic time scale and the
+  // immunization delay.
+  const double t_end =
+      horizon_factor * std::max(1.0 / growth, 1.0) + delay * 4.0 + 1.0;
+  const std::vector<double> grid = {0.0, t_end};
+  const std::vector<dq::ode::State> states = system.sample_states(
+      {initial_infected, population, initial_infected}, grid);
+  return states.back()[2] / population;
+}
+
+}  // namespace
+
+// ---- DelayedImmunizationModel ----
+
+DelayedImmunizationModel::DelayedImmunizationModel(
+    const DelayedImmunizationParams& p)
+    : params_(p) {
+  validate(p.population, p.contact_rate, p.immunization_rate, p.delay,
+           p.initial_infected);
+  c_ = logistic_constant(p.initial_infected / p.population);
+  const double fraction_at_d =
+      logistic_fraction(p.contact_rate, c_, p.delay);
+  c0_ = 1.0 / fraction_at_d - 1.0;
+}
+
+double DelayedImmunizationModel::fraction_at(double t) const {
+  const double beta = params_.contact_rate;
+  const double mu = params_.immunization_rate;
+  const double d = params_.delay;
+  if (t <= d) return logistic_fraction(beta, c_, t);
+  // I/N₀ = e^{(β−μ)(t−d)} / (c₀ + e^{β(t−d)}), stable rearrangement:
+  // = e^{−μ(t−d)} / (c₀ e^{−β(t−d)} + 1).
+  const double s = t - d;
+  return std::exp(-mu * s) / (c0_ * std::exp(-beta * s) + 1.0);
+}
+
+TimeSeries DelayedImmunizationModel::closed_form(
+    const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, fraction_at(t));
+  return out;
+}
+
+ImmunizationCurves DelayedImmunizationModel::integrate(
+    const std::vector<double>& times) const {
+  const auto system =
+      make_system(params_.contact_rate, 0.0, 0.0,
+                  params_.immunization_rate, params_.delay);
+  return run_curves(system, params_.population, params_.initial_infected,
+                    times);
+}
+
+double DelayedImmunizationModel::final_ever_infected(
+    double horizon_factor) const {
+  const auto system =
+      make_system(params_.contact_rate, 0.0, 0.0,
+                  params_.immunization_rate, params_.delay);
+  return run_final_ever(system, params_.population, params_.initial_infected,
+                        params_.contact_rate, params_.delay, horizon_factor);
+}
+
+double DelayedImmunizationModel::delay_for_infection_level(
+    double population, double contact_rate, double initial_infected,
+    double level) {
+  validate(population, contact_rate, 0.0, 0.0, initial_infected);
+  const double c = logistic_constant(initial_infected / population);
+  return logistic_time_to_level(contact_rate, c, level);
+}
+
+// ---- BackboneImmunizationModel ----
+
+BackboneImmunizationModel::BackboneImmunizationModel(
+    const BackboneImmunizationParams& p)
+    : params_(p) {
+  validate(p.population, p.contact_rate, p.immunization_rate, p.delay,
+           p.initial_infected);
+  if (p.path_coverage < 0.0 || p.path_coverage >= 1.0)
+    throw std::invalid_argument(
+        "BackboneImmunizationModel: coverage in [0,1)");
+  if (p.residual_rate < 0.0)
+    throw std::invalid_argument(
+        "BackboneImmunizationModel: residual rate >= 0");
+  c_ = logistic_constant(p.initial_infected / p.population);
+  const double fraction_at_d =
+      logistic_fraction(growth_rate(), c_, p.delay);
+  c0_ = 1.0 / fraction_at_d - 1.0;
+}
+
+double BackboneImmunizationModel::growth_rate() const noexcept {
+  return params_.contact_rate * (1.0 - params_.path_coverage);
+}
+
+double BackboneImmunizationModel::fraction_at(double t) const {
+  const double gamma = growth_rate();
+  const double mu = params_.immunization_rate;
+  const double d = params_.delay;
+  if (t <= d) return logistic_fraction(gamma, c_, t);
+  const double s = t - d;
+  return std::exp(-mu * s) / (c0_ * std::exp(-gamma * s) + 1.0);
+}
+
+TimeSeries BackboneImmunizationModel::closed_form(
+    const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, fraction_at(t));
+  return out;
+}
+
+ImmunizationCurves BackboneImmunizationModel::integrate(
+    const std::vector<double>& times) const {
+  const double delta_cap =
+      params_.residual_rate * params_.population / 4294967296.0;
+  const auto system =
+      make_system(growth_rate(), params_.path_coverage, delta_cap,
+                  params_.immunization_rate, params_.delay);
+  return run_curves(system, params_.population, params_.initial_infected,
+                    times);
+}
+
+double BackboneImmunizationModel::final_ever_infected(
+    double horizon_factor) const {
+  const double delta_cap =
+      params_.residual_rate * params_.population / 4294967296.0;
+  const auto system =
+      make_system(growth_rate(), params_.path_coverage, delta_cap,
+                  params_.immunization_rate, params_.delay);
+  return run_final_ever(system, params_.population, params_.initial_infected,
+                        growth_rate(), params_.delay, horizon_factor);
+}
+
+}  // namespace dq::epidemic

@@ -1,0 +1,114 @@
+// Delayed dynamic immunization — Sections 6.1 and 6.2.
+//
+// Immunization (patching) starts at time d; thereafter every host —
+// susceptible or infected — is patched with per-unit-time probability
+// μ and leaves the population:
+//
+//   t ≤ d:  dI/dt = βI(N−I)/N
+//   t > d:  dI/dt = βI(N−I)/N − μI,      dN/dt = −μN
+//
+// Closed forms (paper, Section 6.1), with N₀ the initial population:
+//   I/N₀ = e^{βt}/(c+e^{βt})                        (t ≤ d)
+//   I/N₀ = e^{(β−μ)(t−d)}/(c₀+e^{β(t−d)})           (t > d)
+//
+// Section 6.2 layers backbone rate limiting on top by replacing β with
+// the covered-path dynamics of Equation (6): the growth rate becomes
+// γ = β(1−α) plus the residual δ term.
+//
+// Besides the active-infected fraction the models track the cumulative
+// ever-infected fraction C/N₀ (dC/dt = new infections), which is what
+// the paper's Figure 8 plots ("total percentage of nodes ever
+// infected").
+#pragma once
+
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::epidemic {
+
+/// Active + cumulative infection curves on a common grid.
+struct ImmunizationCurves {
+  TimeSeries active_fraction;  ///< I(t)/N₀
+  TimeSeries ever_fraction;    ///< C(t)/N₀ (monotone non-decreasing)
+};
+
+struct DelayedImmunizationParams {
+  double population = 1000.0;       ///< N₀
+  double contact_rate = 0.8;        ///< β
+  double immunization_rate = 0.1;   ///< μ, applied after the delay
+  double delay = 10.0;              ///< d, start time of immunization
+  double initial_infected = 1.0;
+};
+
+class DelayedImmunizationModel {
+ public:
+  explicit DelayedImmunizationModel(const DelayedImmunizationParams& p);
+
+  /// The paper's closed-form active-infected fraction I(t)/N₀.
+  double fraction_at(double t) const;
+
+  TimeSeries closed_form(const std::vector<double>& times) const;
+
+  /// Numerical integration of the full piecewise system; also yields
+  /// the cumulative ever-infected fraction.
+  ImmunizationCurves integrate(const std::vector<double>& times) const;
+
+  /// Total fraction of hosts ever infected, C(∞)/N₀ (integrated far
+  /// past the active peak; horizon multiplies the natural time scale).
+  double final_ever_infected(double horizon_factor = 40.0) const;
+
+  /// Computes the delay d at which the no-immunization epidemic reaches
+  /// `level` — the paper's "immunization at 20% infection".
+  static double delay_for_infection_level(double population,
+                                          double contact_rate,
+                                          double initial_infected,
+                                          double level);
+
+  const DelayedImmunizationParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  DelayedImmunizationParams params_;
+  double c_;   // pre-delay logistic constant
+  double c0_;  // post-delay constant (continuity at t = d)
+};
+
+struct BackboneImmunizationParams {
+  double population = 1000.0;
+  double contact_rate = 0.8;       ///< β
+  double path_coverage = 0.5;      ///< α, backbone coverage
+  double residual_rate = 0.0;      ///< r of Equation (6)
+  double immunization_rate = 0.1;  ///< μ
+  double delay = 6.0;              ///< d
+  double initial_infected = 1.0;
+};
+
+/// Section 6.2: backbone rate limiting + delayed immunization.
+class BackboneImmunizationModel {
+ public:
+  explicit BackboneImmunizationModel(const BackboneImmunizationParams& p);
+
+  /// Closed-form approximation with γ = β(1−α) (small residual rate).
+  double fraction_at(double t) const;
+
+  TimeSeries closed_form(const std::vector<double>& times) const;
+
+  ImmunizationCurves integrate(const std::vector<double>& times) const;
+
+  double final_ever_infected(double horizon_factor = 40.0) const;
+
+  double growth_rate() const noexcept;  ///< γ = β(1−α)
+
+  const BackboneImmunizationParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  BackboneImmunizationParams params_;
+  double c_;
+  double c0_;
+};
+
+}  // namespace dq::epidemic

@@ -1,0 +1,38 @@
+#include "epidemic/logistic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dq::epidemic {
+
+double logistic_fraction(double lambda, double c, double t) {
+  // e^x/(c+e^x) = 1/(1 + c e^{-x}) avoids overflow for large x.
+  const double x = lambda * t;
+  return 1.0 / (1.0 + c * std::exp(-x));
+}
+
+double logistic_constant(double initial_fraction) {
+  if (initial_fraction <= 0.0 || initial_fraction >= 1.0)
+    throw std::invalid_argument(
+        "logistic_constant: initial fraction must be in (0,1)");
+  return 1.0 / initial_fraction - 1.0;
+}
+
+double logistic_time_to_level(double lambda, double c, double level) {
+  if (level <= 0.0 || level >= 1.0)
+    throw std::invalid_argument(
+        "logistic_time_to_level: level must be in (0,1)");
+  if (lambda <= 0.0)
+    throw std::invalid_argument("logistic_time_to_level: lambda must be > 0");
+  return std::log(c * level / (1.0 - level)) / lambda;
+}
+
+std::vector<double> logistic_curve(double lambda, double c,
+                                   const std::vector<double>& times) {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(logistic_fraction(lambda, c, t));
+  return out;
+}
+
+}  // namespace dq::epidemic

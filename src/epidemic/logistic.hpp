@@ -1,0 +1,31 @@
+// Logistic-growth helpers.
+//
+// Every closed-form solution in the paper has the shape
+//     I/N = e^{λt} / (c + e^{λt}),
+// a logistic curve with growth rate λ and a constant c fixed by the
+// initial infection level (c → N−1 when the initial level is low,
+// i.e. c = N/I0 − 1 exactly).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dq::epidemic {
+
+/// e^{λt} / (c + e^{λt}), computed in a form stable for large λt.
+double logistic_fraction(double lambda, double c, double t);
+
+/// The constant c for initial infected fraction f0 = I0/N:
+/// f(0) = 1/(c+1) = f0  ⇒  c = 1/f0 − 1.
+double logistic_constant(double initial_fraction);
+
+/// Time for the logistic curve to reach fraction `level` (0 < level < 1):
+/// solves e^{λt}/(c+e^{λt}) = level  ⇒  t = ln(c·level/(1−level)) / λ.
+/// This generalizes the paper's Eq. (2) approximation t ≈ ln(α)/β.
+double logistic_time_to_level(double lambda, double c, double level);
+
+/// Samples the curve on a time grid.
+std::vector<double> logistic_curve(double lambda, double c,
+                                   const std::vector<double>& times);
+
+}  // namespace dq::epidemic

@@ -1,0 +1,72 @@
+#include "epidemic/partial_deployment.hpp"
+
+#include <stdexcept>
+
+#include "epidemic/logistic.hpp"
+#include "ode/solvers.hpp"
+
+namespace dq::epidemic {
+
+PartialDeploymentModel::PartialDeploymentModel(
+    const PartialDeploymentParams& p)
+    : params_(p) {
+  if (p.population <= 0.0)
+    throw std::invalid_argument("PartialDeploymentModel: population > 0");
+  if (p.deployed_fraction < 0.0 || p.deployed_fraction > 1.0)
+    throw std::invalid_argument(
+        "PartialDeploymentModel: deployed fraction in [0,1]");
+  if (p.unfiltered_rate <= 0.0 || p.filtered_rate < 0.0)
+    throw std::invalid_argument("PartialDeploymentModel: bad rates");
+  if (p.filtered_rate > p.unfiltered_rate)
+    throw std::invalid_argument(
+        "PartialDeploymentModel: filter must not raise the rate");
+  if (p.initial_infected <= 0.0 || p.initial_infected >= p.population)
+    throw std::invalid_argument(
+        "PartialDeploymentModel: initial infected in (0, population)");
+  c_ = logistic_constant(p.initial_infected / p.population);
+}
+
+double PartialDeploymentModel::growth_rate() const noexcept {
+  return params_.deployed_fraction * params_.filtered_rate +
+         (1.0 - params_.deployed_fraction) * params_.unfiltered_rate;
+}
+
+double PartialDeploymentModel::fraction_at(double t) const {
+  return logistic_fraction(growth_rate(), c_, t);
+}
+
+TimeSeries PartialDeploymentModel::closed_form(
+    const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, fraction_at(t));
+  return out;
+}
+
+TimeSeries PartialDeploymentModel::integrate(
+    const std::vector<double>& times) const {
+  const double n = params_.population;
+  const double q = params_.deployed_fraction;
+  const double b1 = params_.unfiltered_rate;
+  const double b2 = params_.filtered_rate;
+  const ode::Derivative f = [n, q, b1, b2](double, const ode::State& y,
+                                           ode::State& dydt) {
+    const double i = y[0];
+    dydt[0] = (i * (1.0 - q) * b1 + i * q * b2) * (n - i) / n;
+  };
+  const std::vector<double> curve =
+      ode::sample(f, {params_.initial_infected}, times, 0);
+  TimeSeries out;
+  for (std::size_t i = 0; i < times.size(); ++i)
+    out.push(times[i], curve[i] / n);
+  return out;
+}
+
+double PartialDeploymentModel::time_to_level(double level) const {
+  return logistic_time_to_level(growth_rate(), c_, level);
+}
+
+double PartialDeploymentModel::slowdown_factor() const {
+  return params_.unfiltered_rate / growth_rate();
+}
+
+}  // namespace dq::epidemic

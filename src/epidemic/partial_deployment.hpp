@@ -1,0 +1,55 @@
+// Partial-deployment rate limiting — Sections 4 (leaf nodes) and 5.1
+// (individual hosts), Equation (3).
+//
+// A fraction q of nodes carry a rate-limiting filter. Unfiltered
+// infected hosts contact at β₁, filtered ones at β₂ (β₁ >> β₂):
+//
+//     dI/dt = x₁β₁(N−I)/N + x₂β₂(N−I)/N,   x₁ = I(1−q), x₂ = Iq
+//
+// Solution: I/N = e^{λt}/(c+e^{λt}) with λ = qβ₂ + (1−q)β₁ — the
+// linear-slowdown law that makes host-based deployment weak below
+// near-universal coverage.
+#pragma once
+
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::epidemic {
+
+struct PartialDeploymentParams {
+  double population = 1000.0;
+  double deployed_fraction = 0.0;   ///< q in [0,1]
+  double unfiltered_rate = 0.8;     ///< β₁
+  double filtered_rate = 0.01;      ///< β₂
+  double initial_infected = 1.0;
+};
+
+class PartialDeploymentModel {
+ public:
+  explicit PartialDeploymentModel(const PartialDeploymentParams& p);
+
+  /// Effective growth rate λ = qβ₂ + (1−q)β₁.
+  double growth_rate() const noexcept;
+
+  /// Closed-form infected fraction at time t.
+  double fraction_at(double t) const;
+
+  TimeSeries closed_form(const std::vector<double>& times) const;
+  TimeSeries integrate(const std::vector<double>& times) const;
+
+  /// Exact time to reach fraction `level`.
+  double time_to_level(double level) const;
+
+  /// The paper's derived slowdown factor relative to no deployment:
+  /// time-to-level(q) / time-to-level(0) ≈ β₁/λ ≈ 1/(1−q) when β₂≈0.
+  double slowdown_factor() const;
+
+  const PartialDeploymentParams& params() const noexcept { return params_; }
+
+ private:
+  PartialDeploymentParams params_;
+  double c_;
+};
+
+}  // namespace dq::epidemic

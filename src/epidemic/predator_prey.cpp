@@ -1,0 +1,112 @@
+#include "epidemic/predator_prey.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ode/piecewise.hpp"
+
+namespace dq::epidemic {
+
+PredatorPreyModel::PredatorPreyModel(const PredatorPreyParams& p)
+    : params_(p) {
+  if (p.population <= 0.0)
+    throw std::invalid_argument("PredatorPreyModel: population must be > 0");
+  if (p.worm_rate <= 0.0 || p.predator_rate <= 0.0)
+    throw std::invalid_argument("PredatorPreyModel: rates must be > 0");
+  if (p.patch_time <= 0.0)
+    throw std::invalid_argument("PredatorPreyModel: patch time must be > 0");
+  if (p.predator_delay < 0.0)
+    throw std::invalid_argument("PredatorPreyModel: delay must be >= 0");
+  if (p.initial_infected <= 0.0 || p.initial_predator <= 0.0 ||
+      p.initial_infected + p.initial_predator >= p.population)
+    throw std::invalid_argument("PredatorPreyModel: bad initial counts");
+}
+
+PredatorPreyCurves PredatorPreyModel::integrate(
+    const std::vector<double>& times) const {
+  const double n = params_.population;
+  const double beta = params_.worm_rate;
+  const double beta_p = params_.predator_rate;
+  const double tau = params_.patch_time;
+
+  // State: [S, I, P, R, J]. Before the predator's release P is held at
+  // zero; at the delay it is seeded by moving initial_predator hosts
+  // out of S — handled by integrating the pre-release phase with P
+  // pinned, then restarting with the seed applied.
+  const auto dynamics = [=](double, const ode::State& y, ode::State& dydt) {
+    const double s = std::max(0.0, y[0]);
+    const double i = std::max(0.0, y[1]);
+    const double p = std::max(0.0, y[2]);
+    const double new_infections = beta * s * i / n;
+    const double predated_s = beta_p * s * p / n;
+    const double predated_i = beta_p * i * p / n;
+    const double patched = p / tau;
+    dydt[0] = -new_infections - predated_s;
+    dydt[1] = new_infections - predated_i;
+    dydt[2] = predated_s + predated_i - patched;
+    dydt[3] = patched;
+    dydt[4] = new_infections;
+  };
+
+  const double i0 = params_.initial_infected;
+  const double p0 = params_.initial_predator;
+  const double d = params_.predator_delay;
+
+  // Phase 1: worm alone until d.
+  std::vector<double> phase1 = {0.0};
+  for (double t : times)
+    if (t > 0.0 && t <= d) phase1.push_back(t);
+  if (phase1.back() < d) phase1.push_back(d);
+
+  ode::State y = {n - i0, i0, 0.0, 0.0, i0};
+  std::vector<ode::State> states1 =
+      ode::sample_states(dynamics, y, phase1);
+
+  // Seed the predator at d (out of the susceptible pool).
+  y = states1.back();
+  const double seed = std::min(p0, y[0]);
+  y[0] -= seed;
+  y[2] += seed;
+
+  // Phase 2: coexistence from d to the horizon.
+  std::vector<double> phase2 = {d};
+  for (double t : times)
+    if (t > d) phase2.push_back(t);
+  std::vector<ode::State> states2 =
+      phase2.size() > 1 ? ode::sample_states(dynamics, y, phase2)
+                        : std::vector<ode::State>{y};
+
+  // Stitch the curves back onto the requested grid.
+  PredatorPreyCurves out;
+  const auto push = [&](double t, const ode::State& s) {
+    out.infected_fraction.push(t, s[1] / n);
+    out.predator_fraction.push(t, s[2] / n);
+    out.removed_fraction.push(t, s[3] / n);
+    out.ever_fraction.push(t, s[4] / n);
+  };
+  for (double t : times) {
+    if (t <= d) {
+      // Interpolate within phase 1 samples (grid-aligned by build).
+      for (std::size_t k = 0; k < phase1.size(); ++k)
+        if (phase1[k] == t) {
+          push(t, states1[k]);
+          break;
+        }
+    } else {
+      for (std::size_t k = 0; k < phase2.size(); ++k)
+        if (phase2[k] == t) {
+          push(t, states2[k]);
+          break;
+        }
+    }
+  }
+  return out;
+}
+
+double PredatorPreyModel::final_ever_infected(double horizon) const {
+  const PredatorPreyCurves curves =
+      integrate({0.0, params_.predator_delay + 1e-6, horizon});
+  return curves.ever_fraction.back_value();
+}
+
+}  // namespace dq::epidemic

@@ -1,0 +1,57 @@
+// Predator-prey worm dynamics — the mean-field counterpart of the
+// simulator's counter-worm (Blaster vs Welchia, the pair in the
+// paper's trace).
+//
+// States: susceptible S, infected-by-worm I, predator-carrying P,
+// patched/removed R, with N = S + I + P + R constant:
+//
+//   dS/dt = −β S I / N − β_p S P / N
+//   dI/dt =  β S I / N − β_p I P / N
+//   dP/dt =  β_p (S + I) P / N − P/τ
+//   dR/dt =  P/τ
+//
+// The malicious worm (rate β) converts susceptibles; the patching worm
+// (rate β_p) converts both susceptibles and infected hosts, and each
+// predator host patches itself closed after a mean residence time τ.
+// The cumulative ever-infected J (dJ/dt = βSI/N) is the damage metric.
+#pragma once
+
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::epidemic {
+
+struct PredatorPreyParams {
+  double population = 1000.0;
+  double worm_rate = 0.8;        ///< β
+  double predator_rate = 1.2;    ///< β_p
+  double patch_time = 10.0;      ///< τ, mean predator residence
+  double predator_delay = 5.0;   ///< release time of the counter-worm
+  double initial_infected = 1.0;
+  double initial_predator = 1.0;
+};
+
+struct PredatorPreyCurves {
+  TimeSeries infected_fraction;   ///< I/N
+  TimeSeries predator_fraction;   ///< P/N
+  TimeSeries removed_fraction;    ///< R/N
+  TimeSeries ever_fraction;       ///< J/N, cumulative main-worm damage
+};
+
+class PredatorPreyModel {
+ public:
+  explicit PredatorPreyModel(const PredatorPreyParams& p);
+
+  PredatorPreyCurves integrate(const std::vector<double>& times) const;
+
+  /// Total damage by the main worm at a long horizon.
+  double final_ever_infected(double horizon = 500.0) const;
+
+  const PredatorPreyParams& params() const noexcept { return params_; }
+
+ private:
+  PredatorPreyParams params_;
+};
+
+}  // namespace dq::epidemic

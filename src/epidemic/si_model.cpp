@@ -1,0 +1,58 @@
+#include "epidemic/si_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "epidemic/logistic.hpp"
+#include "ode/solvers.hpp"
+
+namespace dq::epidemic {
+
+HomogeneousSi::HomogeneousSi(const SiParams& p) : params_(p) {
+  if (p.population <= 0.0)
+    throw std::invalid_argument("HomogeneousSi: population must be > 0");
+  if (p.initial_infected <= 0.0 || p.initial_infected >= p.population)
+    throw std::invalid_argument(
+        "HomogeneousSi: initial infected must be in (0, population)");
+  if (p.contact_rate <= 0.0)
+    throw std::invalid_argument("HomogeneousSi: contact rate must be > 0");
+  c_ = logistic_constant(p.initial_infected / p.population);
+}
+
+double HomogeneousSi::fraction_at(double t) const {
+  return logistic_fraction(params_.contact_rate, c_, t);
+}
+
+TimeSeries HomogeneousSi::closed_form(const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, fraction_at(t));
+  return out;
+}
+
+TimeSeries HomogeneousSi::integrate(const std::vector<double>& times) const {
+  const double n = params_.population;
+  const double beta = params_.contact_rate;
+  const ode::Derivative f = [n, beta](double, const ode::State& y,
+                                      ode::State& dydt) {
+    dydt[0] = beta * y[0] * (n - y[0]) / n;
+  };
+  const std::vector<double> curve =
+      ode::sample(f, {params_.initial_infected}, times, 0);
+  TimeSeries out;
+  for (std::size_t i = 0; i < times.size(); ++i)
+    out.push(times[i], curve[i] / n);
+  return out;
+}
+
+double HomogeneousSi::time_to_level(double level) const {
+  return logistic_time_to_level(params_.contact_rate, c_, level);
+}
+
+double HomogeneousSi::approx_time_to_count(double alpha_hosts) const {
+  if (alpha_hosts <= 1.0)
+    throw std::invalid_argument(
+        "approx_time_to_count: alpha must exceed 1 host");
+  return std::log(alpha_hosts) / params_.contact_rate;
+}
+
+}  // namespace dq::epidemic

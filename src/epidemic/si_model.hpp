@@ -1,0 +1,55 @@
+// Homogeneous SI epidemic model — Section 3, Equations (1) and (2).
+//
+//     dI/dt = β I (N − I) / N
+//
+// with closed-form solution I/N = e^{βt}/(c + e^{βt}) and time to reach
+// infection level α approximately t ≈ ln(α·c/(1−α))/β (the paper quotes
+// the low-initial-infection shorthand t ≐ ln α / β).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace dq::epidemic {
+
+struct SiParams {
+  double population = 1000.0;       ///< N, total hosts
+  double contact_rate = 0.8;        ///< β, infections per infected per time
+  double initial_infected = 1.0;    ///< I(0)
+};
+
+/// The baseline homogeneous SI worm model.
+class HomogeneousSi {
+ public:
+  /// Validates parameters: population > 0, 0 < initial < population,
+  /// contact_rate > 0. Throws std::invalid_argument.
+  explicit HomogeneousSi(const SiParams& p);
+
+  /// Closed-form infected fraction at time t.
+  double fraction_at(double t) const;
+
+  /// Closed-form curve on a grid, as a TimeSeries of I/N.
+  TimeSeries closed_form(const std::vector<double>& times) const;
+
+  /// Numerically integrated curve (RK45) — used by tests to confirm the
+  /// closed form, and as the template for models with no closed form.
+  TimeSeries integrate(const std::vector<double>& times) const;
+
+  /// Exact time for the infection to reach fraction `level` in (0,1).
+  double time_to_level(double level) const;
+
+  /// The paper's Eq. (2) shorthand t ≐ ln(α)/β valid when c ≈ N−1 and
+  /// the target count α is expressed in hosts (α > 1).
+  double approx_time_to_count(double alpha_hosts) const;
+
+  double growth_rate() const noexcept { return params_.contact_rate; }
+  const SiParams& params() const noexcept { return params_; }
+
+ private:
+  SiParams params_;
+  double c_;  // logistic constant
+};
+
+}  // namespace dq::epidemic

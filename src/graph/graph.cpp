@@ -1,0 +1,65 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dq::graph {
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (a >= num_nodes() || b >= num_nodes())
+    throw std::invalid_argument("Graph::add_edge: node out of range");
+  if (has_edge(a, b))
+    throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  if (a >= num_nodes() || b >= num_nodes()) return false;
+  const auto& small =
+      adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a]
+                                                   : adjacency_[b];
+  const NodeId target = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  return std::find(small.begin(), small.end(), target) != small.end();
+}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<char> seen(num_nodes(), 0);
+  std::vector<NodeId> stack = {0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (NodeId m : adjacency_[n]) {
+      if (!seen[m]) {
+        seen[m] = 1;
+        ++visited;
+        stack.push_back(m);
+      }
+    }
+  }
+  return visited == num_nodes();
+}
+
+std::vector<NodeId> Graph::nodes_by_degree_desc() const {
+  std::vector<NodeId> order(num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<NodeId>(i);
+  std::sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    if (adjacency_[a].size() != adjacency_[b].size())
+      return adjacency_[a].size() > adjacency_[b].size();
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace dq::graph

@@ -1,0 +1,81 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dq::graph {
+
+Graph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::unordered_map<std::uint64_t, NodeId> ids;
+  Graph g;
+  const auto intern = [&](std::uint64_t raw) {
+    const auto [it, inserted] = ids.try_emplace(
+        raw, static_cast<NodeId>(g.num_nodes()));
+    if (inserted) g.add_node();
+    return it->second;
+  };
+
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line);
+    std::uint64_t raw_a = 0, raw_b = 0;
+    if (!(fields >> raw_a >> raw_b)) {
+      throw std::invalid_argument(
+          "parse_edge_list: malformed line " + std::to_string(line_number) +
+          ": " + line);
+    }
+    std::string extra;
+    if (fields >> extra && !extra.empty() && extra[0] != '#')
+      throw std::invalid_argument(
+          "parse_edge_list: trailing tokens on line " +
+          std::to_string(line_number));
+    const NodeId a = intern(raw_a);
+    const NodeId b = intern(raw_b);
+    if (a == b) continue;           // self-loops: skip
+    if (g.has_edge(a, b)) continue; // duplicates: skip
+    g.add_edge(a, b);
+  }
+  return g;
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << "# " << g.num_nodes() << " nodes, " << g.num_edges()
+     << " edges\n";
+  for (NodeId a = 0; a < g.num_nodes(); ++a) {
+    // Neighbor lists are unsorted; collect and sort for canonical output.
+    std::vector<NodeId> peers(g.neighbors(a).begin(),
+                              g.neighbors(a).end());
+    std::sort(peers.begin(), peers.end());
+    for (NodeId b : peers)
+      if (a < b) os << a << ' ' << b << '\n';
+  }
+  return os.str();
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::invalid_argument("load_edge_list: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_edge_list(buffer.str());
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file)
+    throw std::invalid_argument("save_edge_list: cannot write " + path);
+  file << to_edge_list(g);
+}
+
+}  // namespace dq::graph

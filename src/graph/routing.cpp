@@ -1,0 +1,151 @@
+#include "graph/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dq::graph {
+
+namespace {
+constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+}
+
+RoutingTable::RoutingTable(const Graph& g) : n_(g.num_nodes()) {
+  if (n_ == 0) throw std::invalid_argument("RoutingTable: empty graph");
+  dist_.assign(n_ * n_, kUnreachable);
+  next_.assign(n_ * n_, 0);
+
+  // BFS from every source. Neighbors are scanned in ascending id order
+  // so the chosen parent (and hence next hop) is deterministic.
+  std::vector<NodeId> sorted_neighbors;
+  for (NodeId src = 0; src < n_; ++src) {
+    dist_[index(src, src)] = 0;
+    next_[index(src, src)] = src;
+    std::deque<NodeId> queue = {src};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      sorted_neighbors.assign(g.neighbors(u).begin(), g.neighbors(u).end());
+      std::sort(sorted_neighbors.begin(), sorted_neighbors.end());
+      for (NodeId v : sorted_neighbors) {
+        if (dist_[index(src, v)] != kUnreachable) continue;
+        dist_[index(src, v)] = dist_[index(src, u)] + 1;
+        // First hop out of src toward v: either v itself (if u is src)
+        // or whatever the first hop toward u was.
+        next_[index(src, v)] = (u == src) ? v : next_[index(src, u)];
+        queue.push_back(v);
+      }
+    }
+    for (NodeId v = 0; v < n_; ++v)
+      if (dist_[index(src, v)] == kUnreachable)
+        throw std::invalid_argument("RoutingTable: graph is disconnected");
+  }
+
+  compute_link_loads(g);
+}
+
+std::optional<NodeId> RoutingTable::next_hop(NodeId from, NodeId to) const {
+  if (from >= n_ || to >= n_)
+    throw std::out_of_range("RoutingTable::next_hop");
+  if (from == to) return std::nullopt;
+  return next_[index(from, to)];
+}
+
+std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
+  std::vector<NodeId> p = {from};
+  NodeId cur = from;
+  while (cur != to) {
+    cur = next_[index(cur, to)];
+    p.push_back(cur);
+  }
+  return p;
+}
+
+void RoutingTable::compute_link_loads(const Graph& g) {
+  links_.clear();
+  for (NodeId a = 0; a < n_; ++a)
+    for (NodeId b : g.neighbors(a))
+      if (a < b) links_.push_back({a, b});
+  std::sort(links_.begin(), links_.end(), [](const LinkKey& x, const LinkKey& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  link_load_.assign(links_.size(), 0);
+
+  // Hashed link lookup: the per-hop cost dominates construction on
+  // large graphs (O(V^2 · path length) hops in total).
+  std::unordered_map<std::uint64_t, std::size_t> lookup;
+  lookup.reserve(links_.size() * 2);
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    lookup.emplace(
+        (static_cast<std::uint64_t>(links_[i].a) << 32) | links_[i].b,
+        i);
+
+  for (NodeId src = 0; src < n_; ++src)
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      if (src == dst) continue;
+      NodeId cur = src;
+      while (cur != dst) {
+        const NodeId nxt = next_[index(cur, dst)];
+        const LinkKey key = make_link_key(cur, nxt);
+        ++link_load_[lookup.find((static_cast<std::uint64_t>(key.a) << 32) |
+                                 key.b)
+                         ->second];
+        cur = nxt;
+      }
+    }
+  total_load_ = 0;
+  for (std::uint64_t l : link_load_) total_load_ += l;
+}
+
+std::uint64_t RoutingTable::link_load(const LinkKey& link) const {
+  const auto it = std::lower_bound(
+      links_.begin(), links_.end(), link,
+      [](const LinkKey& l, const LinkKey& r) {
+        return l.a != r.a ? l.a < r.a : l.b < r.b;
+      });
+  if (it == links_.end() || !(*it == link))
+    throw std::invalid_argument("RoutingTable::link_load: unknown link");
+  return link_load_[static_cast<std::size_t>(it - links_.begin())];
+}
+
+std::vector<std::uint64_t> RoutingTable::node_transit_loads() const {
+  std::vector<std::uint64_t> loads(n_, 0);
+  for (NodeId src = 0; src < n_; ++src)
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      if (src == dst) continue;
+      NodeId cur = next_[index(src, dst)];
+      while (cur != dst) {
+        ++loads[cur];
+        cur = next_[index(cur, dst)];
+      }
+    }
+  return loads;
+}
+
+double RoutingTable::path_coverage(const std::vector<NodeId>& hosts,
+                                   const std::vector<char>& via) const {
+  if (via.size() != n_)
+    throw std::invalid_argument("RoutingTable::path_coverage: via size");
+  std::uint64_t covered = 0, total = 0;
+  for (NodeId src : hosts)
+    for (NodeId dst : hosts) {
+      if (src == dst) continue;
+      ++total;
+      NodeId cur = src;
+      while (cur != dst) {
+        const NodeId nxt = next_[index(cur, dst)];
+        if (nxt != dst && via[nxt]) {
+          ++covered;
+          break;
+        }
+        cur = nxt;
+      }
+    }
+  return total == 0 ? 0.0
+                    : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+}  // namespace dq::graph

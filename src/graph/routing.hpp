@@ -1,0 +1,87 @@
+// Shortest-path routing over a topology.
+//
+// The paper's simulator routes infection packets over shortest paths
+// (Section 5.4) and weights each rate-limited link "proportional to the
+// number of routing table entries the link occupies". RoutingTable
+// precomputes BFS next-hops from every node and can report, per link,
+// how many source–destination shortest paths traverse it (the routing
+// entry count the paper multiplies into the link rate).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dq::graph {
+
+/// Canonical undirected link key (ordered endpoints).
+struct LinkKey {
+  NodeId a;
+  NodeId b;
+  friend bool operator==(const LinkKey&, const LinkKey&) = default;
+};
+
+inline LinkKey make_link_key(NodeId x, NodeId y) {
+  return x < y ? LinkKey{x, y} : LinkKey{y, x};
+}
+
+/// All-pairs BFS next-hop table with deterministic tie-breaking (the
+/// lowest-id neighbor on a shortest path wins).
+class RoutingTable {
+ public:
+  /// Builds the table; O(V * (V + E)). Throws if the graph is
+  /// disconnected (every experiment in the paper uses connected graphs).
+  explicit RoutingTable(const Graph& g);
+
+  std::size_t num_nodes() const noexcept { return n_; }
+
+  /// Hop distance between two nodes.
+  std::uint32_t distance(NodeId from, NodeId to) const {
+    return dist_.at(index(from, to));
+  }
+
+  /// The neighbor of `from` on the shortest path toward `to`;
+  /// nullopt when from == to.
+  std::optional<NodeId> next_hop(NodeId from, NodeId to) const;
+
+  /// Full path from `from` to `to`, inclusive of both endpoints.
+  std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  /// Number of ordered (src,dst) pairs whose routed path crosses the
+  /// given undirected link — the paper's "routing table entries the
+  /// link occupies".
+  std::uint64_t link_load(const LinkKey& link) const;
+
+  /// Sum of link_load over all links (for normalizing weights).
+  std::uint64_t total_link_load() const noexcept { return total_load_; }
+
+  /// Fraction of ordered (src,dst) pairs, src != dst, both in `hosts`,
+  /// whose routed path passes through at least one node in `via`
+  /// (excluding the endpoints themselves). This is the α of Section 5.3:
+  /// the portion of IP-to-IP paths covered by backbone rate limiting.
+  double path_coverage(const std::vector<NodeId>& hosts,
+                       const std::vector<char>& via) const;
+
+  /// For each node, the number of ordered (src,dst) pairs whose routed
+  /// path transits it (endpoints excluded) — unnormalized routing
+  /// betweenness. The natural answer to "which nodes should carry the
+  /// backbone filters?", as opposed to the paper's degree-rank rule.
+  std::vector<std::uint64_t> node_transit_loads() const;
+
+ private:
+  std::size_t index(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * n_ + to;
+  }
+  void compute_link_loads(const Graph& g);
+
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> dist_;      // n*n hop counts
+  std::vector<NodeId> next_;             // n*n next hops (self when from==to)
+  std::vector<LinkKey> links_;           // sorted unique links
+  std::vector<std::uint64_t> link_load_; // parallel to links_
+  std::uint64_t total_load_ = 0;
+};
+
+}  // namespace dq::graph

@@ -1,0 +1,163 @@
+#include "graph/weighted_routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace dq::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<LinkKey> canonical_links(const Graph& g) {
+  std::vector<LinkKey> links;
+  for (NodeId a = 0; a < g.num_nodes(); ++a)
+    for (NodeId b : g.neighbors(a))
+      if (a < b) links.push_back({a, b});
+  std::sort(links.begin(), links.end(),
+            [](const LinkKey& x, const LinkKey& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  return links;
+}
+}  // namespace
+
+LinkWeights LinkWeights::uniform(const Graph& g) {
+  return LinkWeights(g, std::vector<double>(g.num_edges(), 1.0));
+}
+
+LinkWeights::LinkWeights(const Graph& g, std::vector<double> weights)
+    : links_(canonical_links(g)), weights_(std::move(weights)) {
+  if (weights_.size() != links_.size())
+    throw std::invalid_argument(
+        "LinkWeights: need exactly one weight per link");
+  for (double w : weights_)
+    if (!(w > 0.0))
+      throw std::invalid_argument("LinkWeights: weights must be positive");
+}
+
+double LinkWeights::weight(NodeId a, NodeId b) const {
+  const LinkKey key = make_link_key(a, b);
+  const auto it = std::lower_bound(
+      links_.begin(), links_.end(), key,
+      [](const LinkKey& l, const LinkKey& r) {
+        return l.a != r.a ? l.a < r.a : l.b < r.b;
+      });
+  if (it == links_.end() || !(*it == key))
+    throw std::invalid_argument("LinkWeights::weight: unknown link");
+  return weights_[static_cast<std::size_t>(it - links_.begin())];
+}
+
+std::vector<NodeId> ShortestPaths::path_to(NodeId to) const {
+  if (to >= distance.size())
+    throw std::out_of_range("ShortestPaths::path_to");
+  if (distance[to] == kInf) return {};
+  std::vector<NodeId> out = {to};
+  NodeId cur = to;
+  while (cur != source) {
+    cur = parent[cur];
+    out.push_back(cur);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+ShortestPaths dijkstra(const Graph& g, const LinkWeights& weights,
+                       NodeId source) {
+  const std::size_t n = g.num_nodes();
+  if (source >= n) throw std::out_of_range("dijkstra: source out of range");
+  ShortestPaths result;
+  result.source = source;
+  result.distance.assign(n, kInf);
+  result.parent.resize(n);
+  for (NodeId v = 0; v < n; ++v) result.parent[v] = v;
+
+  using Entry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  result.distance[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.distance[u]) continue;  // stale entry
+    for (NodeId v : g.neighbors(u)) {
+      const double cand = d + weights.weight(u, v);
+      // Deterministic tie-break: keep the smaller-id parent.
+      if (cand < result.distance[v] ||
+          (cand == result.distance[v] && u < result.parent[v])) {
+        result.distance[v] = cand;
+        result.parent[v] = u;
+        heap.push({cand, v});
+      }
+    }
+  }
+  return result;
+}
+
+WeightedRoutingTable::WeightedRoutingTable(const Graph& g,
+                                           const LinkWeights& weights)
+    : n_(g.num_nodes()) {
+  if (n_ == 0)
+    throw std::invalid_argument("WeightedRoutingTable: empty graph");
+  dist_.assign(n_ * n_, kInf);
+  next_.assign(n_ * n_, 0);
+  for (NodeId src = 0; src < n_; ++src) {
+    const ShortestPaths sp = dijkstra(g, weights, src);
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      dist_[index(src, dst)] = sp.distance[dst];
+      if (sp.distance[dst] == kInf)
+        throw std::invalid_argument(
+            "WeightedRoutingTable: graph is disconnected");
+      // First hop from src toward dst: walk parents back from dst.
+      NodeId hop = dst;
+      while (hop != src && sp.parent[hop] != src) hop = sp.parent[hop];
+      next_[index(src, dst)] = (dst == src) ? src : hop;
+    }
+  }
+}
+
+std::optional<NodeId> WeightedRoutingTable::next_hop(NodeId from,
+                                                     NodeId to) const {
+  if (from >= n_ || to >= n_)
+    throw std::out_of_range("WeightedRoutingTable::next_hop");
+  if (from == to) return std::nullopt;
+  return next_[index(from, to)];
+}
+
+std::vector<NodeId> WeightedRoutingTable::path(NodeId from, NodeId to) const {
+  std::vector<NodeId> p = {from};
+  NodeId cur = from;
+  while (cur != to) {
+    cur = next_[index(cur, to)];
+    p.push_back(cur);
+  }
+  return p;
+}
+
+double WeightedRoutingTable::path_coverage(
+    const std::vector<NodeId>& hosts, const std::vector<char>& via) const {
+  if (via.size() != n_)
+    throw std::invalid_argument(
+        "WeightedRoutingTable::path_coverage: via size");
+  std::uint64_t covered = 0, total = 0;
+  for (NodeId src : hosts)
+    for (NodeId dst : hosts) {
+      if (src == dst) continue;
+      ++total;
+      NodeId cur = src;
+      while (cur != dst) {
+        const NodeId nxt = next_[index(cur, dst)];
+        if (nxt != dst && via[nxt]) {
+          ++covered;
+          break;
+        }
+        cur = nxt;
+      }
+    }
+  return total == 0 ? 0.0
+                    : static_cast<double>(covered) /
+                          static_cast<double>(total);
+}
+
+}  // namespace dq::graph

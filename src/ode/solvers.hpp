@@ -1,0 +1,118 @@
+// Explicit ODE steppers and integration drivers.
+//
+//  * EulerStepper        — first order; used mainly to cross-check.
+//  * Rk4Stepper          — classic fixed-step fourth order.
+//  * DormandPrince45     — adaptive embedded 5(4) pair with PI step
+//                          control; the default for the epidemic models.
+//
+// Two drivers sit on top:
+//  * integrate_fixed()    — fixed-step march with per-step observer.
+//  * integrate_adaptive() — adaptive march; the observer fires at every
+//                           accepted step.
+//  * sample()             — integrates and returns the solution sampled
+//                           exactly on a caller-provided time grid
+//                           (what the figure benches consume).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "ode/system.hpp"
+
+namespace dq::ode {
+
+/// Forward Euler. One derivative evaluation per step.
+class EulerStepper {
+ public:
+  /// Advances y in place from t by dt.
+  void step(const Derivative& f, double t, double dt, State& y);
+
+ private:
+  State dydt_;
+};
+
+/// Classic Runge–Kutta 4. Four derivative evaluations per step.
+class Rk4Stepper {
+ public:
+  void step(const Derivative& f, double t, double dt, State& y);
+
+ private:
+  State k1_, k2_, k3_, k4_, tmp_;
+};
+
+/// Tolerances for the adaptive driver.
+struct Tolerance {
+  double abs = 1e-9;
+  double rel = 1e-8;
+};
+
+/// Dormand–Prince 5(4) embedded pair with FSAL and a PI controller.
+class DormandPrince45 {
+ public:
+  /// Attempts one step of size dt from (t, y). On acceptance, y and
+  /// error estimate are updated and the function returns true; the
+  /// suggested next step size is written to dt_next either way.
+  bool try_step(const Derivative& f, double t, double dt, State& y,
+                const Tolerance& tol, double& dt_next);
+
+  /// Resets FSAL caching (call when f changes discontinuously, e.g. at
+  /// the immunization switch time).
+  void reset() noexcept { have_fsal_ = false; }
+
+ private:
+  State k_[7];
+  State tmp_, y_err_, y_new_;
+  bool have_fsal_ = false;
+};
+
+/// Integrates with a fixed step from t0 to t1 (the final step is
+/// shortened to land on t1 exactly). The observer fires at t0 and after
+/// every step. Throws std::invalid_argument on dt <= 0 or t1 < t0.
+template <typename Stepper>
+void integrate_fixed(Stepper& stepper, const Derivative& f, State& y,
+                     double t0, double t1, double dt,
+                     const Observer& observe);
+
+/// Adaptive integration from t0 to t1 with Dormand–Prince.
+/// Observer fires at t0 and at each accepted step. Throws
+/// std::runtime_error if the step size underflows.
+void integrate_adaptive(const Derivative& f, State& y, double t0, double t1,
+                        double dt_initial, const Tolerance& tol,
+                        const Observer& observe);
+
+/// Integrates adaptively and returns the state component `component`
+/// sampled at exactly the given (ascending) times. y0 is the state at
+/// times.front().
+std::vector<double> sample(const Derivative& f, const State& y0,
+                           const std::vector<double>& times,
+                           std::size_t component,
+                           const Tolerance& tol = Tolerance{});
+
+/// Full-state variant of sample(): returns one State per grid time.
+std::vector<State> sample_states(const Derivative& f, const State& y0,
+                                 const std::vector<double>& times,
+                                 const Tolerance& tol = Tolerance{});
+
+// --- template definition ---
+
+template <typename Stepper>
+void integrate_fixed(Stepper& stepper, const Derivative& f, State& y,
+                     double t0, double t1, double dt,
+                     const Observer& observe) {
+  if (dt <= 0.0)
+    throw std::invalid_argument("integrate_fixed: dt must be > 0");
+  if (t1 < t0)
+    throw std::invalid_argument("integrate_fixed: t1 must be >= t0");
+  double t = t0;
+  if (observe) observe(t, y);
+  while (t < t1) {
+    const double h = (t + dt > t1) ? (t1 - t) : dt;
+    if (h <= 0.0) break;
+    stepper.step(f, t, h, y);
+    t += h;
+    if (observe) observe(t, y);
+  }
+}
+
+}  // namespace dq::ode

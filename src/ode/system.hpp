@@ -1,0 +1,26 @@
+// ODE system representation shared by all solvers.
+//
+// The epidemic models of the paper are low-dimensional autonomous or
+// piecewise-autonomous systems (1–3 state variables: I, N, sometimes
+// per-subnet counts), so we use a simple dense-vector state and a
+// std::function right-hand side. Allocation is amortized by reusing
+// scratch buffers inside the steppers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace dq::ode {
+
+/// State vector of the system.
+using State = std::vector<double>;
+
+/// Right-hand side f(t, y, dydt): writes the derivative of y at time t
+/// into dydt (already sized to y.size()).
+using Derivative =
+    std::function<void(double t, const State& y, State& dydt)>;
+
+/// Observer invoked at every accepted sample point.
+using Observer = std::function<void(double t, const State& y)>;
+
+}  // namespace dq::ode

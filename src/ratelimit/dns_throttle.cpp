@@ -1,0 +1,52 @@
+#include "ratelimit/dns_throttle.hpp"
+
+#include <stdexcept>
+
+namespace dq::ratelimit {
+
+void DnsCache::record(IpAddress ip, Seconds expiry) {
+  auto [it, inserted] = entries_.try_emplace(ip, expiry);
+  if (!inserted && it->second < expiry) it->second = expiry;
+}
+
+bool DnsCache::valid(IpAddress ip, Seconds now) const {
+  const auto it = entries_.find(ip);
+  return it != entries_.end() && it->second > now;
+}
+
+void DnsCache::expire(Seconds now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second <= now)
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+}
+
+DnsThrottle::DnsThrottle(const DnsThrottleConfig& config)
+    : config_(config), unknown_budget_(config.window, config.limit) {
+  if (config.window <= 0.0)
+    throw std::invalid_argument("DnsThrottle: window must be > 0");
+  if (config.limit == 0)
+    throw std::invalid_argument("DnsThrottle: limit must be > 0");
+}
+
+void DnsThrottle::record_dns(Seconds now, IpAddress ip, Seconds ttl) {
+  if (ttl <= 0.0) throw std::invalid_argument("DnsThrottle: ttl must be > 0");
+  dns_.record(ip, now + ttl);
+}
+
+void DnsThrottle::record_inbound(IpAddress peer) {
+  inbound_peers_.insert(peer);
+}
+
+bool DnsThrottle::is_unknown(Seconds now, IpAddress dest) const {
+  return !dns_.valid(dest, now) && !inbound_peers_.contains(dest);
+}
+
+bool DnsThrottle::allow(Seconds now, IpAddress dest) {
+  if (!is_unknown(now, dest)) return true;
+  return unknown_budget_.allow(now, dest);
+}
+
+}  // namespace dq::ratelimit

@@ -1,0 +1,76 @@
+// Ganger, Economou & Bielski's DNS-based throttle (CMU-CS-02-144), the
+// second mechanism analyzed in the paper's Section 7.
+//
+// Observation: self-propagating worms pick pseudo-random 32-bit IP
+// addresses, so their victims have no DNS translation; legitimate
+// software almost always resolves a name first (or replies to a peer
+// that initiated contact). The throttle therefore rate-limits only
+// connections to destinations that are
+//   (a) not covered by a valid (unexpired) DNS cache entry, and
+//   (b) did not previously initiate contact with us.
+// The default budget in the paper is six such "unknown" contacts per
+// minute per host.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ratelimit/sliding_window.hpp"
+#include "ratelimit/types.hpp"
+
+namespace dq::ratelimit {
+
+/// Tracks DNS answers seen by (or on behalf of) a host, with TTL expiry.
+class DnsCache {
+ public:
+  /// Records a translation for `ip` valid until `expiry`.
+  void record(IpAddress ip, Seconds expiry);
+
+  /// True if a translation for `ip` is valid at time `now`.
+  bool valid(IpAddress ip, Seconds now) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Drops expired entries (optional housekeeping).
+  void expire(Seconds now);
+
+ private:
+  std::unordered_map<IpAddress, Seconds> entries_;  // ip -> expiry
+};
+
+struct DnsThrottleConfig {
+  Seconds window = 60.0;      ///< budget window
+  std::size_t limit = 6;      ///< unknown contacts allowed per window
+};
+
+class DnsThrottle {
+ public:
+  explicit DnsThrottle(const DnsThrottleConfig& config);
+
+  /// Notes a DNS response translating some name to `ip`, valid for
+  /// `ttl` seconds from `now`.
+  void record_dns(Seconds now, IpAddress ip, Seconds ttl);
+
+  /// Notes an inbound connection from `peer` (peers that initiated
+  /// contact may be re-contacted freely).
+  void record_inbound(IpAddress peer);
+
+  /// Attempts an outbound contact. Known destinations (valid DNS entry
+  /// or prior inbound peer) always pass; unknown ones pass while the
+  /// window budget lasts.
+  bool allow(Seconds now, IpAddress dest);
+
+  /// Whether `dest` would count against the unknown-contact budget.
+  bool is_unknown(Seconds now, IpAddress dest) const;
+
+  const DnsThrottleConfig& config() const noexcept { return config_; }
+
+ private:
+  DnsThrottleConfig config_;
+  DnsCache dns_;
+  std::unordered_set<IpAddress> inbound_peers_;
+  SlidingWindowLimiter unknown_budget_;
+};
+
+}  // namespace dq::ratelimit

@@ -1,0 +1,39 @@
+#include "ratelimit/link_limiter.hpp"
+
+namespace dq::ratelimit {
+
+bool LinkRateLimiter::offer(std::uint64_t packet_id) {
+  if (!limited()) {
+    ++total_passed_;
+    return true;
+  }
+  if (used_this_tick_ < capacity_) {
+    ++used_this_tick_;
+    ++total_passed_;
+    return true;
+  }
+  queue_.push_back(packet_id);
+  ++total_queued_;
+  return false;
+}
+
+std::vector<std::uint64_t> LinkRateLimiter::advance_tick() {
+  used_this_tick_ = 0;
+  std::vector<std::uint64_t> released;
+  if (!limited()) return released;
+  while (!queue_.empty() && used_this_tick_ < capacity_) {
+    released.push_back(queue_.front());
+    queue_.pop_front();
+    ++used_this_tick_;
+    ++total_passed_;
+  }
+  return released;
+}
+
+std::size_t LinkRateLimiter::clear_queue() {
+  const std::size_t n = queue_.size();
+  queue_.clear();
+  return n;
+}
+
+}  // namespace dq::ratelimit

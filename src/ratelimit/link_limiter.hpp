@@ -1,0 +1,56 @@
+// Standalone per-link packet rate limiter.
+//
+// Section 5.4: "Rate limiting is implemented by restricting the maximal
+// number of packets each link can route at each time tick and queuing
+// the remaining packets", with a base rate of 10 packets/s scaled by a
+// weight proportional to the link's routing-table load. The simulator
+// embeds an equivalent fractional-credit scheme inline (see
+// simulator/worm_sim.cpp); this class is the reusable integer-budget
+// variant for standalone deployments and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace dq::ratelimit {
+
+/// FIFO link with an optional per-tick packet budget. Payload is an
+/// opaque 64-bit id owned by the simulator.
+class LinkRateLimiter {
+ public:
+  /// capacity_per_tick == 0 means unlimited (no rate limiting).
+  explicit LinkRateLimiter(std::uint32_t capacity_per_tick = 0)
+      : capacity_(capacity_per_tick) {}
+
+  bool limited() const noexcept { return capacity_ != 0; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Offers a packet for transmission this tick. Unlimited links accept
+  /// immediately (returns true). Limited links accept immediately while
+  /// this tick's budget lasts, otherwise queue the packet and return
+  /// false.
+  bool offer(std::uint64_t packet_id);
+
+  /// Advances to the next tick: resets the budget and returns the
+  /// queued packets (oldest first) that fit in the new budget.
+  std::vector<std::uint64_t> advance_tick();
+
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+  std::uint64_t total_queued() const noexcept { return total_queued_; }
+  std::uint64_t total_passed() const noexcept { return total_passed_; }
+
+  /// Drops everything still queued (used when a worm dies down or for
+  /// bounded-memory runs); returns how many were dropped.
+  std::size_t clear_queue();
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t used_this_tick_ = 0;
+  std::deque<std::uint64_t> queue_;
+  std::uint64_t total_queued_ = 0;
+  std::uint64_t total_passed_ = 0;
+};
+
+}  // namespace dq::ratelimit

@@ -1,0 +1,58 @@
+#include "ratelimit/sliding_window.hpp"
+
+#include <stdexcept>
+
+namespace dq::ratelimit {
+
+SlidingWindowLimiter::SlidingWindowLimiter(Seconds window, std::size_t limit)
+    : window_(window), limit_(limit) {
+  if (window <= 0.0)
+    throw std::invalid_argument("SlidingWindowLimiter: window must be > 0");
+  if (limit == 0)
+    throw std::invalid_argument("SlidingWindowLimiter: limit must be > 0");
+}
+
+void SlidingWindowLimiter::expire(Seconds now) {
+  while (!order_.empty() && order_.front().first <= now - window_) {
+    const IpAddress dest = order_.front().second;
+    order_.pop_front();
+    const auto it = in_window_.find(dest);
+    if (it != in_window_.end() && --it->second == 0) in_window_.erase(it);
+  }
+}
+
+bool SlidingWindowLimiter::allow(Seconds now, IpAddress dest) {
+  expire(now);
+  if (in_window_.contains(dest)) return true;  // already counted
+  if (in_window_.size() >= limit_) return false;
+  in_window_[dest] = 1;
+  order_.emplace_back(now, dest);
+  return true;
+}
+
+std::size_t SlidingWindowLimiter::distinct_in_window(Seconds now) {
+  expire(now);
+  return in_window_.size();
+}
+
+HybridWindowLimiter::HybridWindowLimiter(Seconds short_window,
+                                         std::size_t short_limit,
+                                         Seconds long_window,
+                                         std::size_t long_limit)
+    : short_(short_window, short_limit), long_(long_window, long_limit) {
+  if (long_window <= short_window)
+    throw std::invalid_argument(
+        "HybridWindowLimiter: long window must exceed short window");
+}
+
+bool HybridWindowLimiter::allow(Seconds now, IpAddress dest) {
+  // A contact must pass both windows. If the long window admits but the
+  // short one refuses, the destination stays recorded in the long
+  // window; that is conservative (never admits more than either window
+  // alone would) and matches how a refused connection still consumed
+  // the long-horizon budget attempt.
+  if (!long_.allow(now, dest)) return false;
+  return short_.allow(now, dest);
+}
+
+}  // namespace dq::ratelimit

@@ -1,0 +1,65 @@
+// Sliding-window distinct-contact limiter.
+//
+// The paper's trace study (Section 7) measures "distinct IP addresses
+// contacted in a 5-second period" and derives limits like "16 per five
+// seconds". This limiter enforces exactly that: a contact to a
+// destination already seen inside the window is free; a contact to a
+// new destination is allowed only while the window's distinct count is
+// below the limit.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+
+#include "ratelimit/types.hpp"
+
+namespace dq::ratelimit {
+
+class SlidingWindowLimiter {
+ public:
+  /// window: seconds of history; limit: max distinct destinations per
+  /// window.
+  SlidingWindowLimiter(Seconds window, std::size_t limit);
+
+  /// Attempts a contact to `dest` at time `now` (non-decreasing).
+  /// Returns true if allowed. An allowed new destination is recorded.
+  bool allow(Seconds now, IpAddress dest);
+
+  /// Distinct destinations currently inside the window.
+  std::size_t distinct_in_window(Seconds now);
+
+  Seconds window() const noexcept { return window_; }
+  std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  void expire(Seconds now);
+
+  Seconds window_;
+  std::size_t limit_;
+  /// FIFO of (first-seen-in-window time, dest).
+  std::deque<std::pair<Seconds, IpAddress>> order_;
+  /// dest -> number of live entries in order_ (1 here; counts guard
+  /// against duplicates when a dest is re-recorded after expiry race).
+  std::unordered_map<IpAddress, std::size_t> in_window_;
+};
+
+/// Hybrid of a short and a long window (Section 7 suggests "one short
+/// window to prevent long delays and one longer window to provide
+/// better rate-limiting"). A contact must pass both.
+class HybridWindowLimiter {
+ public:
+  HybridWindowLimiter(Seconds short_window, std::size_t short_limit,
+                      Seconds long_window, std::size_t long_limit);
+
+  bool allow(Seconds now, IpAddress dest);
+
+  SlidingWindowLimiter& short_window() noexcept { return short_; }
+  SlidingWindowLimiter& long_window() noexcept { return long_; }
+
+ private:
+  SlidingWindowLimiter short_;
+  SlidingWindowLimiter long_;
+};
+
+}  // namespace dq::ratelimit

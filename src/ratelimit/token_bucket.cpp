@@ -1,0 +1,42 @@
+#include "ratelimit/token_bucket.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dq::ratelimit {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst) {
+  if (rate <= 0.0) throw std::invalid_argument("TokenBucket: rate must be > 0");
+  if (burst < 1.0)
+    throw std::invalid_argument("TokenBucket: burst must be >= 1");
+}
+
+void TokenBucket::refill(Seconds now) {
+  if (now < last_)
+    throw std::invalid_argument("TokenBucket: time went backwards");
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(Seconds now, double tokens) {
+  refill(now);
+  if (tokens_ + 1e-12 >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+double TokenBucket::available(Seconds now) {
+  refill(now);
+  return tokens_;
+}
+
+Seconds TokenBucket::next_available(Seconds now, double tokens) {
+  refill(now);
+  if (tokens_ >= tokens) return now;
+  return now + (tokens - tokens_) / rate_;
+}
+
+}  // namespace dq::ratelimit

@@ -1,0 +1,38 @@
+// Token bucket — the generic building block for "at most r contacts per
+// second with burst b" policies.
+#pragma once
+
+#include "ratelimit/types.hpp"
+
+namespace dq::ratelimit {
+
+class TokenBucket {
+ public:
+  /// rate: tokens added per second (> 0); burst: bucket capacity (>= 1).
+  /// The bucket starts full.
+  TokenBucket(double rate, double burst);
+
+  /// Consumes `tokens` at time `now` if available; returns success.
+  /// Time must be non-decreasing across calls.
+  bool try_consume(Seconds now, double tokens = 1.0);
+
+  /// Tokens currently available at time `now` (refills as a side
+  /// effect).
+  double available(Seconds now);
+
+  /// Earliest time at which `tokens` will be available (>= now).
+  Seconds next_available(Seconds now, double tokens = 1.0);
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void refill(Seconds now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Seconds last_ = 0.0;
+};
+
+}  // namespace dq::ratelimit

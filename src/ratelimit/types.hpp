@@ -1,0 +1,29 @@
+// Common types for the rate-limiting mechanisms.
+#pragma once
+
+#include <cstdint>
+
+namespace dq::ratelimit {
+
+/// IPv4 address (the paper's worms scan the 32-bit space).
+using IpAddress = std::uint32_t;
+
+/// Simulation / trace time in seconds.
+using Seconds = double;
+
+/// What a limiter decided to do with a contact attempt.
+enum class Action : std::uint8_t {
+  kAllow,  ///< forwarded immediately
+  kDelay,  ///< queued; will be released later
+  kDrop    ///< rejected outright
+};
+
+/// Outcome of submitting one contact attempt to a throttle.
+struct Outcome {
+  Action action = Action::kAllow;
+  /// Time the contact actually goes out (== submit time when allowed,
+  /// later when delayed, meaningless when dropped).
+  Seconds release_time = 0.0;
+};
+
+}  // namespace dq::ratelimit

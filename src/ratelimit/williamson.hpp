@@ -1,0 +1,61 @@
+// Williamson's virus throttle (HPL-2002-172), as discussed in the
+// paper's Sections 2 and 7.
+//
+// Mechanism: keep a small working set of recently contacted hosts.
+// A connection to a host in the working set passes immediately. A
+// connection to a *new* host is placed on a delay queue; once per
+// clock period (default 1 s) the queue releases one connection, whose
+// destination then enters the working set (evicting the least recently
+// used entry). Normal traffic, which revisits a few destinations,
+// almost never queues; a scanning worm saturates the queue and is
+// slowed to one new contact per period.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "ratelimit/types.hpp"
+
+namespace dq::ratelimit {
+
+struct WilliamsonConfig {
+  std::size_t working_set_size = 5;  ///< recent unique destinations kept
+  Seconds clock_period = 1.0;        ///< one queued release per period
+  /// Queue length at which the host is declared infected and further
+  /// new contacts are dropped (Williamson suggests detecting a virus by
+  /// queue growth). 0 disables the cap.
+  std::size_t queue_cap = 100;
+};
+
+class WilliamsonThrottle {
+ public:
+  explicit WilliamsonThrottle(const WilliamsonConfig& config);
+
+  /// Submits a connection attempt to `dest` at time `now`
+  /// (non-decreasing). Returns the action and the release time.
+  Outcome submit(Seconds now, IpAddress dest);
+
+  /// Current delay-queue length (after processing releases up to now).
+  std::size_t queue_length(Seconds now);
+
+  /// Total contacts dropped because the queue cap was hit.
+  std::size_t dropped() const noexcept { return dropped_; }
+
+  const WilliamsonConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Releases queued contacts whose release tick has passed.
+  void drain(Seconds now);
+  bool in_working_set(IpAddress dest) const;
+  /// Moves dest to MRU position, inserting (and evicting LRU) if new.
+  void touch(IpAddress dest);
+
+  WilliamsonConfig config_;
+  std::vector<IpAddress> working_set_;  // front = LRU, back = MRU
+  std::deque<std::pair<Seconds, IpAddress>> queue_;  // (enqueue time, dest)
+  Seconds next_release_ = 0.0;  // next clock tick that can release
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dq::ratelimit

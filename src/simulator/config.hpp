@@ -1,0 +1,162 @@
+// Configuration types for the packet-level worm simulator (the paper's
+// ns-2 substitute, Section 5.4), plus the baseline-response and
+// detection extensions drawn from the paper's related work (Moore et
+// al.'s containment study; Zou et al.'s early-warning monitoring).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "worm/target_selector.hpp"
+
+namespace dq::sim {
+
+/// How an infected node picks scan targets (see worm/target_selector.hpp
+/// for the catalog; the paper itself evaluates kRandom and
+/// kLocalPreferential).
+using TargetSelection = worm::ScanStrategy;
+
+/// Worm behaviour.
+struct WormConfig {
+  /// β: expected scan attempts per infected node per tick (unfiltered).
+  double contact_rate = 0.8;
+  /// β₂: scan attempts per tick for a node carrying a host filter.
+  double filtered_contact_rate = 0.01;
+  TargetSelection selection = TargetSelection::kRandom;
+  /// For local-preferential worms: probability a scan stays within the
+  /// scanner's own subnet (ignored for random worms or when the
+  /// topology has no subnets).
+  double local_bias = 0.8;
+  /// For hitlist worms: entries in the precomputed target list.
+  std::uint32_t hitlist_size = 100;
+  /// Number of nodes infected at tick 0 (chosen uniformly at random).
+  std::uint32_t initial_infected = 1;
+};
+
+/// Where rate-limiting filters are installed.
+struct DeploymentConfig {
+  /// Fraction of end hosts carrying a host-based filter (Section 5.1).
+  double host_filter_fraction = 0.0;
+  /// Rate-limit every link incident to an edge router (Section 5.2).
+  bool edge_router_limited = false;
+  /// Rate-limit every link incident to a backbone router (Section 5.3).
+  bool backbone_limited = false;
+  /// Base capacity (packets per tick) of a rate-limited link — the
+  /// paper's "base communication rate of 10 packets per second".
+  double base_link_capacity = 10.0;
+  /// Scale each limited link's capacity by the share of routing-table
+  /// entries it occupies (the paper's link-weight rule: "a link weight
+  /// that is proportional to the number of routing table entries the
+  /// link occupies", multiplied into the base rate), so the most
+  /// utilized links keep the highest throughput.
+  bool weight_by_routing_load = true;
+  /// Floor on a limited link's capacity (packets per tick, may be
+  /// fractional — fractional capacities accumulate as credit across
+  /// ticks). Guarantees lightly-routed links are not starved entirely.
+  double min_link_capacity = 0.1;
+  /// Optional per-node forwarding budget (packets per tick) applied to
+  /// the star topology's hub experiments (Section 4). Node id + budget.
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> node_forward_cap;
+};
+
+/// Baseline containment responses from Moore, Shannon, Voelker &
+/// Savage, "Internet Quarantine" (the paper's Section 2 comparison
+/// point) — implemented so rate limiting can be benchmarked against
+/// them.
+struct ResponseConfig {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// Address blacklisting: reaction_time ticks after a node is
+    /// infected it is identified, and filtering points drop *all* its
+    /// packets (including its legitimate traffic — the collateral cost
+    /// of per-source blacklists).
+    kBlacklist,
+    /// Content filtering: reaction_time ticks after the first
+    /// infection a signature exists, and filtering points drop worm
+    /// packets (only) on sight.
+    kContentFilter,
+  };
+  Kind kind = Kind::kNone;
+  /// Ticks from infection (blacklist) / first infection (content
+  /// filter) until the response takes effect.
+  double reaction_time = 5.0;
+  /// true: filters act on every link; false: only on backbone links
+  /// (the deployment question applies to these defenses too).
+  bool filters_everywhere = false;
+};
+
+/// Dark-space worm detection (Zou, Gao, Gong & Towsley, "Monitoring
+/// and early warning for internet worms"): a monitor sees each worm
+/// scan with some probability (its share of unused address space) and
+/// raises an alarm after enough sightings.
+struct DetectorConfig {
+  bool enabled = false;
+  /// Probability an individual scan lands in monitored dark space.
+  double observe_probability = 0.01;
+  /// Sightings required to raise the alarm.
+  std::uint32_t threshold = 10;
+};
+
+/// Delayed immunization (Section 6).
+struct ImmunizationConfig {
+  bool enabled = false;
+  /// Start patching when this fraction of nodes has been infected...
+  double start_at_infected_fraction = 0.2;
+  /// ...or at this tick, if set (takes precedence)...
+  std::optional<double> start_at_tick;
+  /// ...or when the dark-space detector raises its alarm (takes
+  /// precedence over both; requires detector.enabled).
+  bool start_on_detection = false;
+  /// μ: per-tick removal probability for each not-yet-removed node.
+  double rate = 0.1;
+  /// true (the paper's Section 6 model): susceptible hosts are patched
+  /// too (dN/dt = −μN). false: only infected hosts recover — classic
+  /// SIR dynamics, used for stochastic-extinction studies.
+  bool patch_susceptibles = true;
+};
+
+/// Legitimate background traffic, for measuring the collateral damage
+/// of each defense ("we assign each rate-controlled link a base
+/// communication rate ... to ensure that normal traffic gets routed").
+struct LegitTrafficConfig {
+  /// Packets per node per tick sent to uniform random destinations.
+  double rate_per_node = 0.0;
+};
+
+/// A counter-worm ("predator"): Welchia to the main worm's Blaster.
+/// The paper's trace contains exactly this pair — "Welchia was a
+/// 'patching' worm which ... attempted to infect the system, make
+/// further attempts to propagate, patch the vulnerability, and reboot
+/// the host." The predator scans randomly; a host it reaches
+/// (susceptible or infected by the main worm) joins the predator
+/// population, and patch_delay ticks later it patches itself closed —
+/// removed for good.
+struct PredatorConfig {
+  bool enabled = false;
+  /// Tick at which the counter-worm is released.
+  double start_tick = 5.0;
+  std::uint32_t initial = 1;
+  /// Scan attempts per predator host per tick.
+  double contact_rate = 0.8;
+  /// Ticks between a host joining the predator and patching closed.
+  double patch_delay = 10.0;
+};
+
+/// Full scenario.
+struct SimulationConfig {
+  WormConfig worm;
+  DeploymentConfig deployment;
+  ResponseConfig response;
+  DetectorConfig detector;
+  ImmunizationConfig immunization;
+  LegitTrafficConfig legit;
+  PredatorConfig predator;
+  /// Stop after this many ticks.
+  double max_ticks = 100.0;
+  /// Stop early once every node has been infected or removed.
+  bool stop_when_saturated = true;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace dq::sim

@@ -1,0 +1,103 @@
+#include "simulator/network.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace dq::sim {
+
+namespace {
+std::uint64_t pack(NodeId a, NodeId b) {
+  const auto key = graph::make_link_key(a, b);
+  return (static_cast<std::uint64_t>(key.a) << 32) | key.b;
+}
+}  // namespace
+
+Network::Network(graph::Graph g, double backbone_fraction,
+                 double edge_fraction)
+    : graph_(std::move(g)),
+      routing_(std::make_unique<graph::RoutingTable>(graph_)),
+      roles_(graph::assign_roles(graph_, backbone_fraction, edge_fraction)) {
+  index_links();
+}
+
+Network::Network(graph::Graph g, graph::RoleAssignment roles)
+    : graph_(std::move(g)),
+      routing_(std::make_unique<graph::RoutingTable>(graph_)),
+      roles_(std::move(roles)) {
+  if (roles_.role.size() != graph_.num_nodes())
+    throw std::invalid_argument("Network: role assignment size mismatch");
+  index_links();
+}
+
+Network::Network(graph::SubnetTopology topo)
+    : graph_(std::move(topo.graph)),
+      routing_(std::make_unique<graph::RoutingTable>(graph_)) {
+  // Gateways are the edge routers; everything else is a host. The
+  // backbone role is attached to the gateways' interconnect links via
+  // link_touches_role on kEdgeRouter, so no separate backbone nodes.
+  roles_.role.assign(graph_.num_nodes(), graph::NodeRole::kHost);
+  for (NodeId gw : topo.gateways) {
+    roles_.role[gw] = graph::NodeRole::kEdgeRouter;
+    roles_.edge.push_back(gw);
+  }
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v)
+    if (roles_.role[v] == graph::NodeRole::kHost) roles_.hosts.push_back(v);
+
+  subnet_of_ = std::move(topo.subnet_of);
+  subnet_members_ = std::move(topo.members);
+  index_links();
+}
+
+void Network::index_links() {
+  links_.clear();
+  link_lookup_.clear();
+  for (NodeId a = 0; a < graph_.num_nodes(); ++a)
+    for (NodeId b : graph_.neighbors(a))
+      if (a < b) {
+        link_lookup_[pack(a, b)] = links_.size();
+        links_.push_back({a, b});
+      }
+  link_loads_.resize(links_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    link_loads_[i] = routing_->link_load(links_[i]);
+    total += link_loads_[i];
+  }
+  mean_link_load_ =
+      links_.empty() ? 0.0
+                     : static_cast<double>(total) /
+                           static_cast<double>(links_.size());
+}
+
+std::size_t Network::link_index(NodeId a, NodeId b) const {
+  const auto it = link_lookup_.find(pack(a, b));
+  if (it == link_lookup_.end())
+    throw std::invalid_argument("Network::link_index: no such link");
+  return it->second;
+}
+
+std::optional<std::size_t> Network::subnet_of(NodeId n) const {
+  if (subnet_of_.empty()) return std::nullopt;
+  return subnet_of_.at(n);
+}
+
+const std::vector<NodeId>& Network::subnet_members(std::size_t subnet) const {
+  return subnet_members_.at(subnet);
+}
+
+bool Network::link_touches_role(std::size_t index,
+                                graph::NodeRole role) const {
+  const graph::LinkKey& l = links_.at(index);
+  return roles_.role.at(l.a) == role || roles_.role.at(l.b) == role;
+}
+
+bool Network::link_is_backbone(std::size_t index) const {
+  if (link_touches_role(index, graph::NodeRole::kBackboneRouter))
+    return true;
+  if (!has_subnets()) return false;
+  const graph::LinkKey& l = links_.at(index);
+  return roles_.role.at(l.a) == graph::NodeRole::kEdgeRouter &&
+         roles_.role.at(l.b) == graph::NodeRole::kEdgeRouter;
+}
+
+}  // namespace dq::sim

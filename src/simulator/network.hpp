@@ -1,0 +1,102 @@
+// Network: the static substrate a worm runs over — topology, routing,
+// node roles, optional subnet structure, and link indexing.
+//
+// Building the all-pairs routing table and per-link routing loads once
+// lets every simulation run (the paper averages 10 runs per
+// configuration) share them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/graph.hpp"
+#include "graph/roles.hpp"
+#include "graph/routing.hpp"
+
+namespace dq::sim {
+
+using graph::NodeId;
+
+/// Immutable network substrate shared across simulation runs.
+class Network {
+ public:
+  /// Wraps an arbitrary connected graph. Roles are assigned by degree
+  /// rank per the paper (top backbone_fraction backbone, next
+  /// edge_fraction edge routers).
+  explicit Network(graph::Graph g, double backbone_fraction = 0.05,
+                   double edge_fraction = 0.10);
+
+  /// Wraps a subnet topology: gateways become the edge routers, the
+  /// backbone interconnect links are the backbone, members keep their
+  /// subnet ids for local-preferential scanning.
+  explicit Network(graph::SubnetTopology topo);
+
+  /// Wraps a graph with an explicit role assignment (e.g. the
+  /// betweenness-based designation of assign_roles_by_transit).
+  Network(graph::Graph g, graph::RoleAssignment roles);
+
+  const graph::Graph& graph() const noexcept { return graph_; }
+  const graph::RoutingTable& routing() const noexcept { return *routing_; }
+  const graph::RoleAssignment& roles() const noexcept { return roles_; }
+
+  std::size_t num_nodes() const noexcept { return graph_.num_nodes(); }
+  std::size_t num_links() const noexcept { return links_.size(); }
+
+  /// Link endpoints by link index.
+  const graph::LinkKey& link(std::size_t index) const {
+    return links_.at(index);
+  }
+
+  /// Index of the undirected link {a,b}; throws if absent.
+  std::size_t link_index(NodeId a, NodeId b) const;
+
+  /// Routing-table load of a link (ordered path count crossing it).
+  std::uint64_t link_load(std::size_t index) const {
+    return link_loads_.at(index);
+  }
+
+  /// Mean link load across all links (>= 1 path on connected graphs).
+  double mean_link_load() const noexcept { return mean_link_load_; }
+
+  /// Subnet id of a node, if the topology has subnets.
+  std::optional<std::size_t> subnet_of(NodeId n) const;
+
+  /// Members of a subnet (empty when no subnets).
+  const std::vector<NodeId>& subnet_members(std::size_t subnet) const;
+
+  bool has_subnets() const noexcept { return !subnet_members_.empty(); }
+  std::size_t num_subnets() const noexcept { return subnet_members_.size(); }
+
+  /// True if the link is incident to a node of the given role.
+  bool link_touches_role(std::size_t index, graph::NodeRole role) const;
+
+  /// True if the link belongs to the backbone: it touches a backbone
+  /// router, or — on gateway-interconnected subnet topologies, which
+  /// have no separate backbone nodes — both endpoints are edge routers.
+  bool link_is_backbone(std::size_t index) const;
+
+  /// True if the link is subject to edge-router rate limiting (incident
+  /// to an edge router).
+  bool link_is_edge(std::size_t index) const {
+    return link_touches_role(index, graph::NodeRole::kEdgeRouter);
+  }
+
+ private:
+  void index_links();
+
+  graph::Graph graph_;
+  std::unique_ptr<graph::RoutingTable> routing_;
+  graph::RoleAssignment roles_;
+  std::vector<graph::LinkKey> links_;
+  std::vector<std::uint64_t> link_loads_;
+  double mean_link_load_ = 0.0;
+  std::unordered_map<std::uint64_t, std::size_t> link_lookup_;
+  std::vector<std::size_t> subnet_of_;  // empty when no subnets
+  std::vector<std::vector<NodeId>> subnet_members_;
+};
+
+}  // namespace dq::sim

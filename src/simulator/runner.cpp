@@ -1,0 +1,89 @@
+#include "simulator/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dq::sim {
+
+AveragedResult run_many(const Network& net, const SimulationConfig& base,
+                        std::size_t runs, std::size_t max_parallelism) {
+  if (runs == 0) throw std::invalid_argument("run_many: runs must be > 0");
+
+  std::vector<RunResult> results(runs);
+  if (max_parallelism == 0) {
+    max_parallelism = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+  }
+  const std::size_t workers = std::min(max_parallelism, runs);
+
+  if (workers <= 1) {
+    for (std::size_t r = 0; r < runs; ++r) {
+      SimulationConfig cfg = base;
+      cfg.seed = base.seed + r;
+      results[r] = WormSimulation(net, cfg).run();
+    }
+  } else {
+    // Each run is fully independent (own RNG stream, own state); the
+    // Network is only read. A shared counter hands out run indices.
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+      for (;;) {
+        const std::size_t r = next.fetch_add(1);
+        if (r >= runs) return;
+        SimulationConfig cfg = base;
+        cfg.seed = base.seed + r;
+        results[r] = WormSimulation(net, cfg).run();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<TimeSeries> active, ever, removed, seed_subnet, predator;
+  active.reserve(runs);
+  ever.reserve(runs);
+  removed.reserve(runs);
+  double start_sum = 0.0;
+  std::size_t start_count = 0;
+  for (RunResult& result : results) {
+    active.push_back(std::move(result.active_infected));
+    ever.push_back(std::move(result.ever_infected));
+    removed.push_back(std::move(result.removed));
+    if (!result.seed_subnet_infected.empty())
+      seed_subnet.push_back(std::move(result.seed_subnet_infected));
+    if (!result.predator_infected.empty())
+      predator.push_back(std::move(result.predator_infected));
+    if (result.immunization_start_tick >= 0.0) {
+      start_sum += result.immunization_start_tick;
+      ++start_count;
+    }
+  }
+
+  // Common integer tick grid across the full horizon, so early-stopping
+  // runs (saturation) still contribute their final value everywhere.
+  const std::size_t points = static_cast<std::size_t>(base.max_ticks) + 1;
+  std::vector<double> grid(points);
+  for (std::size_t i = 0; i < points; ++i) grid[i] = static_cast<double>(i);
+  for (auto* series : {&active, &ever, &removed, &seed_subnet, &predator})
+    for (TimeSeries& run : *series) run = run.resample(grid);
+
+  AveragedResult out;
+  out.active_infected = TimeSeries::average(active);
+  out.ever_infected = TimeSeries::average(ever);
+  out.removed = TimeSeries::average(removed);
+  if (!seed_subnet.empty())
+    out.seed_subnet_infected = TimeSeries::average(seed_subnet);
+  if (!predator.empty())
+    out.predator_infected = TimeSeries::average(predator);
+  out.mean_immunization_start =
+      start_count ? start_sum / static_cast<double>(start_count) : -1.0;
+  out.runs = runs;
+  return out;
+}
+
+}  // namespace dq::sim

@@ -1,0 +1,38 @@
+// Multi-run experiment harness. Every simulated figure in the paper is
+// "averaged over 10 individual runs"; this wraps that pattern.
+#pragma once
+
+#include <cstddef>
+
+#include "simulator/config.hpp"
+#include "simulator/network.hpp"
+#include "simulator/worm_sim.hpp"
+#include "stats/timeseries.hpp"
+
+namespace dq::sim {
+
+/// Pointwise averages of the per-run curves, on the integer tick grid
+/// [0, max_ticks].
+struct AveragedResult {
+  TimeSeries active_infected;
+  TimeSeries ever_infected;
+  TimeSeries removed;
+  /// Seed-subnet infection fraction (empty on subnet-less topologies).
+  TimeSeries seed_subnet_infected;
+  /// Counter-worm population (empty unless the predator is enabled).
+  TimeSeries predator_infected;
+  /// Mean tick at which immunization kicked in (-1 if it never did).
+  double mean_immunization_start = -1.0;
+  std::size_t runs = 0;
+};
+
+/// Runs `runs` independent simulations (seeds base.seed, base.seed+1,
+/// ...) and averages the curves. Runs execute concurrently (the shared
+/// Network is read-only) up to `max_parallelism` threads; 0 means use
+/// the hardware concurrency, 1 forces serial execution. Results are
+/// identical regardless of parallelism — every run's RNG stream is
+/// fixed by its seed. Throws std::invalid_argument on runs == 0.
+AveragedResult run_many(const Network& net, const SimulationConfig& base,
+                        std::size_t runs, std::size_t max_parallelism = 0);
+
+}  // namespace dq::sim

@@ -1,0 +1,511 @@
+#include "simulator/worm_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dq::sim {
+
+namespace {
+
+worm::TargetSelector make_selector(const Network& net,
+                                   const SimulationConfig& config) {
+  worm::TargetSelectorConfig sc;
+  sc.strategy = config.worm.selection;
+  sc.local_bias = config.worm.local_bias;
+  sc.hitlist_size = config.worm.hitlist_size;
+
+  std::vector<std::size_t> subnet_of;
+  std::vector<std::vector<NodeId>> members;
+  if (net.has_subnets()) {
+    subnet_of.resize(net.num_nodes());
+    for (NodeId v = 0; v < net.num_nodes(); ++v)
+      subnet_of[v] = *net.subnet_of(v);
+    members.reserve(net.num_subnets());
+    for (std::size_t s = 0; s < net.num_subnets(); ++s)
+      members.push_back(net.subnet_members(s));
+  }
+  return worm::TargetSelector(sc, net.num_nodes(), std::move(subnet_of),
+                              std::move(members),
+                              config.seed ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace
+
+WormSimulation::WormSimulation(const Network& net,
+                               const SimulationConfig& config)
+    : net_(net),
+      config_(config),
+      rng_(config.seed),
+      selector_(make_selector(net, config)) {
+  const auto& worm_cfg = config.worm;
+  if (worm_cfg.contact_rate <= 0.0)
+    throw std::invalid_argument("WormSimulation: contact rate must be > 0");
+  if (worm_cfg.filtered_contact_rate < 0.0 ||
+      worm_cfg.filtered_contact_rate > worm_cfg.contact_rate)
+    throw std::invalid_argument(
+        "WormSimulation: filtered rate must be in [0, contact rate]");
+  if (worm_cfg.local_bias < 0.0 || worm_cfg.local_bias > 1.0)
+    throw std::invalid_argument("WormSimulation: local bias in [0,1]");
+  if (worm_cfg.initial_infected == 0 ||
+      worm_cfg.initial_infected >= net.num_nodes())
+    throw std::invalid_argument(
+        "WormSimulation: initial infected in [1, num_nodes)");
+  const auto& dep = config.deployment;
+  if (dep.host_filter_fraction < 0.0 || dep.host_filter_fraction > 1.0)
+    throw std::invalid_argument(
+        "WormSimulation: host filter fraction in [0,1]");
+  if ((dep.edge_router_limited || dep.backbone_limited) &&
+      (dep.base_link_capacity <= 0.0 || dep.min_link_capacity <= 0.0))
+    throw std::invalid_argument(
+        "WormSimulation: limited links need positive base and floor "
+        "capacities");
+  if (config.response.kind != ResponseConfig::Kind::kNone &&
+      config.response.reaction_time < 0.0)
+    throw std::invalid_argument(
+        "WormSimulation: response reaction time must be >= 0");
+  if (config.detector.enabled) {
+    if (config.detector.observe_probability <= 0.0 ||
+        config.detector.observe_probability > 1.0)
+      throw std::invalid_argument(
+          "WormSimulation: detector observe probability in (0,1]");
+    if (config.detector.threshold == 0)
+      throw std::invalid_argument(
+          "WormSimulation: detector threshold must be >= 1");
+  }
+  const auto& imm = config.immunization;
+  if (imm.enabled) {
+    if (imm.rate <= 0.0 || imm.rate > 1.0)
+      throw std::invalid_argument("WormSimulation: immunization rate (0,1]");
+    if (imm.start_on_detection && !config.detector.enabled)
+      throw std::invalid_argument(
+          "WormSimulation: start_on_detection needs the detector");
+    if (!imm.start_on_detection && !imm.start_at_tick &&
+        (imm.start_at_infected_fraction <= 0.0 ||
+         imm.start_at_infected_fraction > 1.0))
+      throw std::invalid_argument(
+          "WormSimulation: immunization start fraction in (0,1]");
+  }
+  if (config.legit.rate_per_node < 0.0)
+    throw std::invalid_argument(
+        "WormSimulation: legit traffic rate must be >= 0");
+  if (config.predator.enabled) {
+    if (config.predator.contact_rate <= 0.0)
+      throw std::invalid_argument(
+          "WormSimulation: predator contact rate must be > 0");
+    if (config.predator.start_tick < 0.0 ||
+        config.predator.patch_delay < 0.0)
+      throw std::invalid_argument(
+          "WormSimulation: predator timings must be >= 0");
+    if (config.predator.initial == 0)
+      throw std::invalid_argument(
+          "WormSimulation: predator needs at least one seed");
+  }
+  if (config.max_ticks <= 0.0)
+    throw std::invalid_argument("WormSimulation: max_ticks must be > 0");
+
+  state_.assign(net.num_nodes(), NodeState::kSusceptible);
+  ever_.assign(net.num_nodes(), 0);
+  filtered_.assign(net.num_nodes(), 0);
+  infected_tick_.assign(net.num_nodes(), -1.0);
+  predator_tick_.assign(net.num_nodes(), -1.0);
+  link_credit_.assign(net.num_links(), 0.0);
+  link_queue_.resize(net.num_links());
+
+  if (dep.node_forward_cap) {
+    node_cap_node_ = dep.node_forward_cap->first;
+    node_cap_budget_ = dep.node_forward_cap->second;
+    if (node_cap_node_ >= net.num_nodes())
+      throw std::invalid_argument(
+          "WormSimulation: node forward cap out of range");
+    if (node_cap_budget_ == 0)
+      throw std::invalid_argument(
+          "WormSimulation: node forward budget must be >= 1");
+  }
+
+  assign_host_filters();
+  assign_link_capacities();
+  place_initial_infections();
+  record();
+}
+
+void WormSimulation::place_initial_infections() {
+  std::vector<NodeId> order(net_.num_nodes());
+  for (NodeId v = 0; v < net_.num_nodes(); ++v) order[v] = v;
+  rng_.shuffle(order);
+  for (std::uint32_t i = 0; i < config_.worm.initial_infected; ++i)
+    infect(order[i]);
+  if (net_.has_subnets()) seed_subnet_ = net_.subnet_of(order[0]);
+}
+
+void WormSimulation::assign_host_filters() {
+  const double q = config_.deployment.host_filter_fraction;
+  if (q <= 0.0) return;
+  // Filters go on end hosts only ("rate limiting at 5% of the end
+  // hosts"); routers get link-level limits instead.
+  std::vector<NodeId> hosts = net_.roles().hosts;
+  rng_.shuffle(hosts);
+  const std::size_t count = static_cast<std::size_t>(
+      std::llround(q * static_cast<double>(hosts.size())));
+  for (std::size_t i = 0; i < count && i < hosts.size(); ++i)
+    filtered_[hosts[i]] = 1;
+}
+
+void WormSimulation::assign_link_capacities() {
+  link_capacity_.assign(net_.num_links(), 0.0);
+  const auto& dep = config_.deployment;
+  if (!dep.edge_router_limited && !dep.backbone_limited) return;
+  for (std::size_t l = 0; l < net_.num_links(); ++l) {
+    const bool limit = (dep.edge_router_limited && net_.link_is_edge(l)) ||
+                       (dep.backbone_limited && net_.link_is_backbone(l));
+    if (!limit) continue;
+    double capacity = dep.base_link_capacity;
+    if (dep.weight_by_routing_load && net_.routing().total_link_load() > 0) {
+      // The paper's rule: "a link weight that is proportional to the
+      // number of routing table entries the link occupies", multiplied
+      // into the base rate — i.e. the link's share of all routing
+      // entries, so heavily used links keep the most throughput.
+      const double weight =
+          static_cast<double>(net_.link_load(l)) /
+          static_cast<double>(net_.routing().total_link_load());
+      capacity *= weight;
+    }
+    link_capacity_[l] = std::max(dep.min_link_capacity, capacity);
+    // Start with one tick's allowance as spendable credit.
+    link_credit_[l] = link_capacity_[l];
+  }
+}
+
+void WormSimulation::infect(NodeId n) {
+  if (state_[n] != NodeState::kSusceptible) return;
+  state_[n] = NodeState::kInfected;
+  infected_tick_[n] = tick_;
+  if (first_infection_tick_ < 0.0) first_infection_tick_ = tick_;
+  ++infected_count_;
+  if (!ever_[n]) {
+    ever_[n] = 1;
+    ++ever_count_;
+  }
+}
+
+void WormSimulation::predator_take(NodeId n) {
+  if (state_[n] != NodeState::kSusceptible &&
+      state_[n] != NodeState::kInfected)
+    return;
+  if (state_[n] == NodeState::kInfected) --infected_count_;
+  state_[n] = NodeState::kPredator;
+  predator_tick_[n] = tick_;
+  ++predator_count_;
+}
+
+void WormSimulation::release_predator() {
+  if (predator_released_ || !config_.predator.enabled ||
+      tick_ < config_.predator.start_tick)
+    return;
+  predator_released_ = true;
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < net_.num_nodes(); ++v)
+    if (state_[v] == NodeState::kSusceptible ||
+        state_[v] == NodeState::kInfected)
+      candidates.push_back(v);
+  rng_.shuffle(candidates);
+  const std::uint32_t seeds = std::min<std::uint32_t>(
+      config_.predator.initial,
+      static_cast<std::uint32_t>(candidates.size()));
+  for (std::uint32_t i = 0; i < seeds; ++i) predator_take(candidates[i]);
+}
+
+void WormSimulation::predator_patch_step() {
+  if (!config_.predator.enabled || predator_count_ == 0) return;
+  for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+    if (state_[v] != NodeState::kPredator) continue;
+    if (tick_ - predator_tick_[v] >= config_.predator.patch_delay) {
+      state_[v] = NodeState::kRemoved;
+      --predator_count_;
+      ++removed_count_;
+    }
+  }
+}
+
+void WormSimulation::emit_scans(std::vector<Packet>& fresh) {
+  const auto& detector = config_.detector;
+  for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+    if (state_[v] != NodeState::kInfected) continue;
+    const double rate = filtered_[v] ? config_.worm.filtered_contact_rate
+                                     : config_.worm.contact_rate;
+    const std::uint64_t attempts = rng_.poisson(rate);
+    for (std::uint64_t a = 0; a < attempts; ++a) {
+      fresh.push_back({v, selector_.pick(v, rng_), v,
+                       static_cast<std::uint32_t>(tick_),
+                       PacketKind::kWorm});
+      ++result_.total_scan_packets;
+      if (detector.enabled && detection_tick_ < 0.0 &&
+          rng_.bernoulli(detector.observe_probability)) {
+        if (++detector_sightings_ >= detector.threshold) {
+          detection_tick_ = tick_;
+          result_.detection_tick = tick_;
+        }
+      }
+    }
+  }
+}
+
+void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
+  // Predator scans share this emission phase (random targets — Welchia
+  // swept address ranges).
+  if (config_.predator.enabled && predator_count_ > 0) {
+    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+      if (state_[v] != NodeState::kPredator) continue;
+      const std::uint64_t attempts =
+          rng_.poisson(config_.predator.contact_rate);
+      for (std::uint64_t a = 0; a < attempts; ++a) {
+        NodeId dest;
+        do {
+          dest = static_cast<NodeId>(rng_.uniform_int(net_.num_nodes()));
+        } while (dest == v);
+        fresh.push_back({v, dest, v, static_cast<std::uint32_t>(tick_),
+                         PacketKind::kPredator});
+      }
+    }
+  }
+
+  const double rate = config_.legit.rate_per_node;
+  if (rate <= 0.0) return;
+  const std::size_t n = net_.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t count = rng_.poisson(rate);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      NodeId dest;
+      do {
+        dest = static_cast<NodeId>(rng_.uniform_int(n));
+      } while (dest == v);
+      fresh.push_back({v, dest, v, static_cast<std::uint32_t>(tick_),
+                       PacketKind::kLegit});
+      ++result_.legit_sent;
+    }
+  }
+}
+
+bool WormSimulation::source_blacklisted(NodeId src) const {
+  if (infected_tick_[src] < 0.0) return false;
+  return tick_ >= infected_tick_[src] + config_.response.reaction_time;
+}
+
+bool WormSimulation::response_drops(const Packet& p, std::size_t link) {
+  const auto& response = config_.response;
+  switch (response.kind) {
+    case ResponseConfig::Kind::kNone:
+      return false;
+    case ResponseConfig::Kind::kBlacklist: {
+      if (!response.filters_everywhere && !net_.link_is_backbone(link))
+        return false;
+      // Blacklists are per-source: everything the identified host
+      // sends is discarded, worm scans and legitimate packets alike.
+      return source_blacklisted(p.src);
+    }
+    case ResponseConfig::Kind::kContentFilter: {
+      // The signature matches only the main worm's payload: legitimate
+      // packets and the (different) counter-worm pass.
+      if (p.kind != PacketKind::kWorm) return false;
+      if (!response.filters_everywhere && !net_.link_is_backbone(link))
+        return false;
+      return first_infection_tick_ >= 0.0 &&
+             tick_ >= first_infection_tick_ + response.reaction_time;
+    }
+  }
+  return false;
+}
+
+void WormSimulation::deliver(const Packet& p) {
+  switch (p.kind) {
+    case PacketKind::kLegit: {
+      ++result_.legit_delivered;
+      const double delay = tick_ - static_cast<double>(p.emit_tick);
+      legit_delay_sum_ += delay;
+      result_.max_legit_delay = std::max(result_.max_legit_delay, delay);
+      return;
+    }
+    case PacketKind::kWorm:
+      infect(p.dest);
+      return;
+    case PacketKind::kPredator:
+      predator_take(p.dest);
+      return;
+  }
+}
+
+void WormSimulation::forward(Packet p) {
+  // Traverse the remaining path within this tick, consuming limiter
+  // budgets. The first exhausted limiter parks the packet in its FIFO;
+  // an active response filter may discard it outright.
+  for (;;) {
+    const auto next = net_.routing().next_hop(p.at, p.dest);
+    if (!next) return;  // already at destination (shouldn't happen)
+
+    // Node-level forwarding cap (the star hub experiment).
+    if (node_cap_budget_ != 0 && p.at == node_cap_node_) {
+      if (node_cap_used_ >= node_cap_budget_) {
+        node_queue_.push_back(p);
+        ++result_.total_queued_packet_events;
+        return;
+      }
+      ++node_cap_used_;
+    }
+
+    const std::size_t l = net_.link_index(p.at, *next);
+    if (response_drops(p, l)) {
+      if (p.kind == PacketKind::kLegit)
+        ++result_.legit_dropped;
+      else
+        ++result_.worm_packets_dropped;
+      return;
+    }
+    if (link_capacity_[l] != 0.0) {
+      if (link_credit_[l] < 1.0) {
+        link_queue_[l].push_back(p);
+        ++result_.total_queued_packet_events;
+        return;
+      }
+      link_credit_[l] -= 1.0;
+    }
+
+    if (*next == p.dest) {
+      p.at = *next;
+      deliver(p);
+      return;
+    }
+    p.at = *next;
+  }
+}
+
+void WormSimulation::release_queues() {
+  // New tick: limited links accrue one tick's capacity as credit
+  // (clamped so idle links cannot bank an unbounded burst), then queued
+  // packets drain in FIFO order into the fresh budgets and continue
+  // their routes (possibly queueing again at a later limiter).
+  for (std::size_t l = 0; l < link_capacity_.size(); ++l) {
+    if (link_capacity_[l] == 0.0) continue;
+    const double burst = std::max(1.0, link_capacity_[l]);
+    link_credit_[l] = std::min(link_credit_[l] + link_capacity_[l], burst);
+  }
+  node_cap_used_ = 0;
+
+  // Node-capped packets: forward() re-checks the cap at the head of the
+  // route, so draining until the queue stops shrinking is equivalent to
+  // draining exactly the budget.
+  {
+    std::deque<Packet> retry;
+    retry.swap(node_queue_);
+    while (!retry.empty()) {
+      if (node_cap_budget_ != 0 && node_cap_used_ >= node_cap_budget_) {
+        // Budget gone; re-park the remainder in order.
+        for (const Packet& p : retry) node_queue_.push_back(p);
+        break;
+      }
+      const Packet p = retry.front();
+      retry.pop_front();
+      forward(p);
+    }
+  }
+
+  for (std::size_t l = 0; l < link_queue_.size(); ++l) {
+    if (link_queue_[l].empty()) continue;
+    std::deque<Packet> retry;
+    retry.swap(link_queue_[l]);
+    while (!retry.empty()) {
+      if (link_credit_[l] < 1.0) {
+        for (const Packet& p : retry) link_queue_[l].push_back(p);
+        break;
+      }
+      const Packet p = retry.front();
+      retry.pop_front();
+      forward(p);
+    }
+  }
+}
+
+void WormSimulation::immunization_step() {
+  const auto& imm = config_.immunization;
+  if (!imm.enabled) return;
+  if (!immunizing_) {
+    bool due = false;
+    if (imm.start_on_detection)
+      due = detection_tick_ >= 0.0;
+    else if (imm.start_at_tick)
+      due = tick_ >= *imm.start_at_tick;
+    else
+      due = static_cast<double>(ever_count_) /
+                static_cast<double>(net_.num_nodes()) >=
+            imm.start_at_infected_fraction;
+    if (!due) return;
+    immunizing_ = true;
+    result_.immunization_start_tick = tick_;
+  }
+  for (NodeId v = 0; v < net_.num_nodes(); ++v) {
+    if (state_[v] == NodeState::kRemoved) continue;
+    if (state_[v] == NodeState::kSusceptible && !imm.patch_susceptibles)
+      continue;
+    if (rng_.bernoulli(imm.rate)) {
+      if (state_[v] == NodeState::kInfected) --infected_count_;
+      state_[v] = NodeState::kRemoved;
+      ++removed_count_;
+    }
+  }
+}
+
+void WormSimulation::record() {
+  const double n = static_cast<double>(net_.num_nodes());
+  result_.active_infected.push(tick_,
+                               static_cast<double>(infected_count_) / n);
+  result_.ever_infected.push(tick_, static_cast<double>(ever_count_) / n);
+  result_.removed.push(tick_, static_cast<double>(removed_count_) / n);
+  if (config_.predator.enabled)
+    result_.predator_infected.push(
+        tick_, static_cast<double>(predator_count_) / n);
+  if (seed_subnet_) {
+    const auto& members = net_.subnet_members(*seed_subnet_);
+    std::size_t ever = 0;
+    for (NodeId m : members) ever += ever_[m];
+    result_.seed_subnet_infected.push(
+        tick_, static_cast<double>(ever) /
+                   static_cast<double>(members.size()));
+  }
+}
+
+bool WormSimulation::saturated() const {
+  if (!config_.stop_when_saturated) return false;
+  // Nothing can change once no susceptible host remains and, with
+  // immunization off, the active set is static. With legit traffic we
+  // keep running so collateral metrics cover the full horizon.
+  if (config_.immunization.enabled) return false;
+  if (config_.legit.rate_per_node > 0.0) return false;
+  if (config_.predator.enabled) return false;
+  return ever_count_ + removed_count_ >= net_.num_nodes();
+}
+
+void WormSimulation::step() {
+  tick_ += 1.0;
+
+  release_queues();
+  immunization_step();
+  release_predator();
+  predator_patch_step();
+
+  std::vector<Packet> fresh;
+  emit_scans(fresh);
+  emit_legit(fresh);
+  for (const Packet& p : fresh) forward(p);
+
+  record();
+}
+
+RunResult WormSimulation::run() {
+  while (tick_ < config_.max_ticks && !saturated()) step();
+  result_.final_ever_infected_count = ever_count_;
+  if (result_.legit_delivered > 0)
+    result_.mean_legit_delay =
+        legit_delay_sum_ / static_cast<double>(result_.legit_delivered);
+  return result_;
+}
+
+}  // namespace dq::sim

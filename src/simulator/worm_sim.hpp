@@ -1,0 +1,175 @@
+// Packet-level worm propagation simulator — Section 5.4's experiment
+// engine, rebuilt from scratch (the paper used ns-2 as its substrate).
+//
+// Mechanics per simulation tick:
+//   1. Rate-limited links and capped forwarding nodes release queued
+//      packets into this tick's fresh budget; released packets resume
+//      their route (and may queue again at a later limiter).
+//   2. If immunization is active, every not-yet-removed node is patched
+//      with probability μ (Section 6).
+//   3. Every infected node emits Poisson(β) scan packets — β is the
+//      per-tick contact rate, reduced to β₂ on hosts carrying a host
+//      filter — aimed by the configured scan strategy (random,
+//      local-preferential, sequential, permutation, hitlist). Nodes
+//      also emit legitimate background packets when configured.
+//   4. Packets traverse their whole shortest path within the tick
+//      (transmission is fast relative to a tick, as in ns-2) unless a
+//      rate-limited link's per-tick capacity is exhausted, in which
+//      case they join that link's FIFO ("queuing the remaining
+//      packets", Section 5.4). Active responses (source blacklists,
+//      content filters) drop packets at their filtering points.
+//   5. A packet reaching a susceptible destination infects it; newly
+//      infected nodes begin scanning on the next tick.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "simulator/config.hpp"
+#include "simulator/network.hpp"
+#include "stats/rng.hpp"
+#include "stats/timeseries.hpp"
+#include "worm/target_selector.hpp"
+
+namespace dq::sim {
+
+enum class NodeState : std::uint8_t {
+  kSusceptible,
+  kInfected,   ///< carrying the main worm
+  kPredator,   ///< carrying the counter-worm (pre-patch)
+  kRemoved,
+};
+
+/// Result of a single simulation run.
+struct RunResult {
+  TimeSeries active_infected;  ///< fraction infected (and not removed)
+  TimeSeries ever_infected;    ///< fraction ever infected (Fig. 8's metric)
+  TimeSeries removed;          ///< fraction patched/removed
+  /// On subnet topologies: fraction of the seed subnet's members ever
+  /// infected — the "spread within a subnet" metric of Figures 3(b)/5.
+  /// Empty when the topology has no subnets.
+  TimeSeries seed_subnet_infected;
+  /// Fraction of nodes currently carrying the counter-worm (empty
+  /// unless the predator is enabled).
+  TimeSeries predator_infected;
+  double immunization_start_tick = -1.0;  ///< -1 when never started
+  /// Tick at which the dark-space detector raised its alarm (-1 never).
+  double detection_tick = -1.0;
+  std::uint64_t total_scan_packets = 0;
+  std::uint64_t total_queued_packet_events = 0;
+  /// Worm packets dropped by blacklists / content filters.
+  std::uint64_t worm_packets_dropped = 0;
+  std::uint64_t final_ever_infected_count = 0;
+
+  // Legitimate-traffic collateral metrics (when legit.rate_per_node>0).
+  std::uint64_t legit_sent = 0;
+  std::uint64_t legit_delivered = 0;
+  /// Legitimate packets destroyed by a per-source blacklist.
+  std::uint64_t legit_dropped = 0;
+  /// Mean ticks a delivered legitimate packet spent queued (0 = clean).
+  double mean_legit_delay = 0.0;
+  double max_legit_delay = 0.0;
+};
+
+/// One worm outbreak over a shared Network.
+class WormSimulation {
+ public:
+  /// The network must outlive the simulation.
+  WormSimulation(const Network& net, const SimulationConfig& config);
+
+  /// Runs to completion and returns the recorded curves.
+  RunResult run();
+
+  /// Single-step interface for tests: state after construction is
+  /// tick 0 with initial infections placed.
+  void step();
+  double tick() const noexcept { return tick_; }
+  NodeState state(NodeId n) const { return state_.at(n); }
+  std::uint64_t ever_infected_count() const noexcept { return ever_count_; }
+  std::uint64_t active_infected_count() const noexcept {
+    return infected_count_;
+  }
+  bool host_filtered(NodeId n) const { return filtered_.at(n) != 0; }
+  bool immunization_active() const noexcept { return immunizing_; }
+  bool detector_fired() const noexcept { return detection_tick_ >= 0.0; }
+
+  /// Per-tick capacity assigned to a link (0 = unlimited; may be
+  /// fractional); exposed so tests can verify the weighting rule.
+  double link_capacity(std::size_t link) const {
+    return link_capacity_.at(link);
+  }
+
+ private:
+  enum class PacketKind : std::uint8_t { kWorm, kPredator, kLegit };
+
+  struct Packet {
+    NodeId at;          ///< node currently holding the packet
+    NodeId dest;
+    NodeId src;         ///< originator (for blacklisting)
+    std::uint32_t emit_tick;  ///< for legit-delay accounting
+    PacketKind kind;
+  };
+
+  void place_initial_infections();
+  void assign_host_filters();
+  void assign_link_capacities();
+  void infect(NodeId n);
+  void predator_take(NodeId n);
+  void release_predator();
+  void predator_patch_step();
+  void emit_scans(std::vector<Packet>& fresh);
+  void emit_legit(std::vector<Packet>& fresh);
+  /// Routes a packet from p.at toward p.dest within this tick,
+  /// consuming limiter budgets hop by hop; parks it in the first
+  /// exhausted limiter's queue, drops it at an active response filter,
+  /// or delivers it (infecting a susceptible destination).
+  void forward(Packet p);
+  void deliver(const Packet& p);
+  /// True if the active response discards this packet at link l.
+  bool response_drops(const Packet& p, std::size_t link);
+  void release_queues();
+  void immunization_step();
+  void record();
+  bool saturated() const;
+  bool source_blacklisted(NodeId src) const;
+
+  const Network& net_;
+  SimulationConfig config_;
+  Rng rng_;
+  worm::TargetSelector selector_;
+
+  std::vector<NodeState> state_;
+  std::vector<char> ever_;
+  std::vector<char> filtered_;
+  /// Tick each node got infected (for blacklist detection); -1 never.
+  std::vector<double> infected_tick_;
+  /// Tick each node joined the predator; -1 never.
+  std::vector<double> predator_tick_;
+  double first_infection_tick_ = -1.0;
+  std::uint64_t infected_count_ = 0;
+  std::uint64_t ever_count_ = 0;
+  std::uint64_t removed_count_ = 0;
+  std::uint64_t predator_count_ = 0;
+  bool predator_released_ = false;
+
+  std::vector<double> link_capacity_;          // 0 = unlimited
+  std::vector<double> link_credit_;            // accumulated allowance
+  std::vector<std::deque<Packet>> link_queue_;
+  std::uint32_t node_cap_node_ = 0;
+  std::uint32_t node_cap_budget_ = 0;  // 0 = disabled
+  std::uint32_t node_cap_used_ = 0;
+  std::deque<Packet> node_queue_;
+
+  double tick_ = 0.0;
+  bool immunizing_ = false;
+  std::uint64_t detector_sightings_ = 0;
+  double detection_tick_ = -1.0;
+  double legit_delay_sum_ = 0.0;
+  /// Subnet of the first seeded infection (subnet topologies only).
+  std::optional<std::size_t> seed_subnet_;
+  RunResult result_;
+};
+
+}  // namespace dq::sim

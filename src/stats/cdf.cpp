@@ -1,0 +1,57 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dq {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty())
+    throw std::invalid_argument("EmpiricalCdf: empty sample set");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at_or_below(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("EmpiricalCdf::quantile: q outside [0,1]");
+  if (q <= 0.0) return sorted_.front();
+  const std::size_t n = sorted_.size();
+  // Smallest index i with (i+1)/n >= q.
+  const std::size_t i = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)) - 1.0);
+  return sorted_[std::min(i, n - 1)];
+}
+
+double EmpiricalCdf::limit_for_coverage(double coverage) const {
+  return std::ceil(quantile(coverage));
+}
+
+double EmpiricalCdf::min() const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  return sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  return sorted_.back();
+}
+
+std::vector<double> EmpiricalCdf::evaluate(
+    const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(at_or_below(x));
+  return out;
+}
+
+}  // namespace dq

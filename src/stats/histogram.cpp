@@ -1,0 +1,70 @@
+#include "stats/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dq {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (hi <= lo) throw std::invalid_argument("Histogram: hi must be > lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const double idx = (x - lo_) / width_;
+  if (idx >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + width_;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double frac =
+        total_ ? static_cast<double>(counts_[i]) / static_cast<double>(total_)
+               : 0.0;
+    os << bin_lo(i) << ' ' << bin_hi(i) << ' ' << counts_[i] << ' ' << frac
+       << '\n';
+  }
+  return os.str();
+}
+
+void Log2Histogram::add(std::uint64_t x) noexcept {
+  const std::size_t bucket =
+      x < 2 ? 0 : static_cast<std::size_t>(std::bit_width(x) - 1);
+  if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+  ++counts_[bucket];
+  ++total_;
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t lo = i == 0 ? 0 : (1ULL << i);
+    const std::uint64_t hi = (1ULL << (i + 1)) - 1;
+    os << '[' << lo << ',' << hi << "] " << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dq

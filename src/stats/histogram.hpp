@@ -1,0 +1,59 @@
+// Fixed-width and logarithmic histograms for trace analysis output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dq {
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Renders "lo hi count fraction" rows.
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Log2 histogram for heavy-tailed counts (contact rates span four
+/// decades in Figure 9; log buckets keep the report small).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t x) noexcept;
+
+  /// Number of populated bucket slots (bucket i covers [2^i, 2^(i+1))
+  /// except bucket 0 which covers {0, 1}).
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dq

@@ -1,0 +1,48 @@
+// Streaming summary statistics (Welford) and quantile helpers.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dq {
+
+/// Single-pass summary of a stream of doubles: count, mean, variance
+/// (Welford's online algorithm), min and max. Mergeable, so per-run or
+/// per-shard summaries can be combined.
+class StreamingSummary {
+ public:
+  void add(double x) noexcept;
+
+  /// Combines another summary into this one (parallel Welford merge).
+  void merge(const StreamingSummary& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double sample_variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantile of a sample set (copies and sorts; fine at our sizes).
+/// q in [0,1]; linear interpolation between order statistics.
+/// Throws std::invalid_argument on an empty sample or q outside [0,1].
+double quantile(std::vector<double> samples, double q);
+
+}  // namespace dq

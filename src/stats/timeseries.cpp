@@ -1,0 +1,87 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dq {
+
+void TimeSeries::push(double t, double value) {
+  if (!times_.empty() && t <= times_.back())
+    throw std::invalid_argument("TimeSeries::push: times must increase");
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double TimeSeries::interpolate(double t) const {
+  if (times_.empty())
+    throw std::logic_error("TimeSeries::interpolate: empty series");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double frac = span > 0.0 ? (t - times_[lo]) / span : 0.0;
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double TimeSeries::time_to_reach(double level) const noexcept {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] >= level) {
+      if (i == 0) return times_[0];
+      const double dv = values_[i] - values_[i - 1];
+      if (dv <= 0.0) return times_[i];
+      const double frac = (level - values_[i - 1]) / dv;
+      return times_[i - 1] + frac * (times_[i] - times_[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double TimeSeries::max_value() const noexcept {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, v);
+  return m;
+}
+
+TimeSeries TimeSeries::resample(const std::vector<double>& times) const {
+  TimeSeries out;
+  for (double t : times) out.push(t, interpolate(t));
+  return out;
+}
+
+TimeSeries TimeSeries::average(const std::vector<TimeSeries>& runs) {
+  if (runs.empty())
+    throw std::invalid_argument("TimeSeries::average: no runs");
+  const std::vector<double>& grid = runs.front().times();
+  TimeSeries out;
+  for (double t : grid) {
+    double sum = 0.0;
+    for (const TimeSeries& run : runs) sum += run.interpolate(t);
+    out.push(t, sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+std::string TimeSeries::to_csv(const std::string& value_name) const {
+  std::ostringstream os;
+  os << "time," << value_name << '\n';
+  for (std::size_t i = 0; i < times_.size(); ++i)
+    os << times_[i] << ',' << values_[i] << '\n';
+  return os.str();
+}
+
+std::vector<double> uniform_grid(double t0, double t1, std::size_t points) {
+  if (points < 2)
+    throw std::invalid_argument("uniform_grid: need at least 2 points");
+  if (t1 <= t0) throw std::invalid_argument("uniform_grid: t1 must be > t0");
+  std::vector<double> grid(points);
+  const double step = (t1 - t0) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i)
+    grid[i] = t0 + step * static_cast<double>(i);
+  grid.back() = t1;  // avoid accumulated rounding on the endpoint
+  return grid;
+}
+
+}  // namespace dq

@@ -1,0 +1,62 @@
+// Time series of (t, value) points — the output format of every model
+// and simulation in this library (infection fraction over time).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dq {
+
+/// A sampled curve: strictly increasing times with one value each.
+/// Supports interpolation, threshold crossing ("time to reach 50%
+/// infection"), pointwise averaging across runs, and CSV export.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Appends a point. Time must be strictly greater than the last time;
+  /// throws std::invalid_argument otherwise.
+  void push(double t, double value);
+
+  std::size_t size() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+
+  double time_at(std::size_t i) const { return times_.at(i); }
+  double value_at(std::size_t i) const { return values_.at(i); }
+  const std::vector<double>& times() const noexcept { return times_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  double front_time() const { return times_.at(0); }
+  double back_time() const { return times_.at(times_.size() - 1); }
+  double back_value() const { return values_.at(values_.size() - 1); }
+
+  /// Linear interpolation at time t. Clamps outside the sampled range.
+  double interpolate(double t) const;
+
+  /// First time the series reaches `level` (>=), linearly interpolated
+  /// between the bracketing samples. Returns negative if never reached.
+  double time_to_reach(double level) const noexcept;
+
+  /// Maximum value over the series (0 for an empty series).
+  double max_value() const noexcept;
+
+  /// Resamples this series at the given times via interpolation.
+  TimeSeries resample(const std::vector<double>& times) const;
+
+  /// Pointwise mean of several series. They are resampled onto the time
+  /// grid of the first series. Throws on an empty input list.
+  static TimeSeries average(const std::vector<TimeSeries>& runs);
+
+  /// Renders "t,value" lines, with a header naming the value column.
+  std::string to_csv(const std::string& value_name = "value") const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// Builds a uniform time grid [t0, t1] with `points` samples (>= 2).
+std::vector<double> uniform_grid(double t0, double t1, std::size_t points);
+
+}  // namespace dq

@@ -1,0 +1,46 @@
+#include "trace/address_space.hpp"
+
+#include <stdexcept>
+
+namespace dq::trace {
+
+namespace {
+std::vector<IpAddress> random_pool(Rng& rng, std::size_t size) {
+  std::vector<IpAddress> pool;
+  pool.reserve(size);
+  for (std::size_t i = 0; i < size; ++i)
+    pool.push_back(static_cast<IpAddress>(rng.next_u64() >> 32));
+  return pool;
+}
+}  // namespace
+
+AddressSpace::AddressSpace(const Config& config, std::uint64_t seed)
+    : config_(config),
+      server_rank_(config.popular_servers, config.server_zipf_exponent),
+      peer_rank_(config.p2p_peers, config.p2p_zipf_exponent) {
+  if (config.popular_servers == 0 || config.p2p_peers == 0 ||
+      config.client_sources == 0)
+    throw std::invalid_argument("AddressSpace: pools must be non-empty");
+  Rng rng(seed);
+  servers_ = random_pool(rng, config.popular_servers);
+  peers_ = random_pool(rng, config.p2p_peers);
+  clients_ = random_pool(rng, config.client_sources);
+}
+
+IpAddress AddressSpace::popular_server(Rng& rng) const {
+  return servers_[server_rank_.sample(rng) - 1];
+}
+
+IpAddress AddressSpace::p2p_peer(Rng& rng) const {
+  return peers_[peer_rank_.sample(rng) - 1];
+}
+
+IpAddress AddressSpace::external_client(Rng& rng) const {
+  return clients_[rng.uniform_int(clients_.size())];
+}
+
+IpAddress AddressSpace::random_address(Rng& rng) const {
+  return static_cast<IpAddress>(rng.next_u64() >> 32);
+}
+
+}  // namespace dq::trace

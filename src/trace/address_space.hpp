@@ -1,0 +1,53 @@
+// Foreign-address pools shared by the synthetic host models.
+//
+// Legitimate traffic concentrates on a modest set of popular servers
+// (Zipf-distributed popularity) and peer-to-peer traffic on a larger
+// peer pool; worms draw pseudo-random 32-bit addresses — the exact
+// distinction the DNS-based throttle exploits.
+#pragma once
+
+#include <vector>
+
+#include "ratelimit/types.hpp"
+#include "stats/rng.hpp"
+
+namespace dq::trace {
+
+using ratelimit::IpAddress;
+
+class AddressSpace {
+ public:
+  struct Config {
+    std::size_t popular_servers = 2000;  ///< web/mail/AFS destinations
+    double server_zipf_exponent = 1.0;
+    std::size_t p2p_peers = 5000;        ///< peer pool of the P2P overlay
+    double p2p_zipf_exponent = 0.8;
+    std::size_t client_sources = 20000;  ///< external clients (inbound)
+  };
+
+  AddressSpace(const Config& config, std::uint64_t seed);
+
+  /// A popular server, Zipf-weighted (rank 1 = most popular).
+  IpAddress popular_server(Rng& rng) const;
+
+  /// A peer from the P2P overlay, Zipf-weighted.
+  IpAddress p2p_peer(Rng& rng) const;
+
+  /// An external client address (uniform over the client pool).
+  IpAddress external_client(Rng& rng) const;
+
+  /// A pseudo-random 32-bit address — what a scanning worm produces.
+  IpAddress random_address(Rng& rng) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::vector<IpAddress> servers_;
+  std::vector<IpAddress> peers_;
+  std::vector<IpAddress> clients_;
+  ZipfSampler server_rank_;
+  ZipfSampler peer_rank_;
+};
+
+}  // namespace dq::trace

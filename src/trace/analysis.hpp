@@ -1,0 +1,103 @@
+// Contact-rate analysis — the measurements behind Figure 9 and every
+// rate limit the paper derives in Section 7.
+//
+// For a set of hosts and a window length, we count per window the
+// number of distinct foreign IPs contacted, under three successive
+// refinements (the three lines of Figure 9):
+//   kAllDistinct     — every distinct destination counts;
+//   kNoPriorContact  — destinations that initiated contact with us
+//                      earlier are free;
+//   kNoPriorNoDns    — additionally, destinations covered by a valid
+//                      DNS translation are free.
+// Windows are tumbling ([0,w), [w,2w), ...) and idle windows count as
+// zero — the CDF's x-axis is "attempted contacts", its y-axis
+// "fraction of time".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ratelimit/dns_throttle.hpp"
+#include "ratelimit/williamson.hpp"
+#include "stats/cdf.hpp"
+#include "trace/trace.hpp"
+
+namespace dq::trace {
+
+enum class Refinement : std::uint8_t {
+  kAllDistinct,
+  kNoPriorContact,
+  kNoPriorNoDns,
+};
+
+struct ContactRateOptions {
+  Seconds window = 5.0;
+  /// true: one count per window summed over all given hosts, with a
+  /// network-wide DNS cache and prior-contact set (the edge-router
+  /// view). false: one count per (host, window) pair with per-host
+  /// state (the per-host filter view).
+  bool aggregate = true;
+  /// Analysis horizon; 0 means the trace's duration.
+  Seconds horizon = 0.0;
+};
+
+/// Per-window distinct-contact counts for `hosts` under `refinement`.
+std::vector<double> window_counts(const Trace& trace,
+                                  const std::vector<HostId>& hosts,
+                                  Refinement refinement,
+                                  const ContactRateOptions& options);
+
+/// Convenience: CDF of window_counts.
+EmpiricalCdf contact_rate_cdf(const Trace& trace,
+                              const std::vector<HostId>& hosts,
+                              Refinement refinement,
+                              const ContactRateOptions& options);
+
+/// The limit L (contacts per window) such that `coverage` of windows
+/// stay at or under L — e.g. coverage 0.999 reproduces the paper's
+/// "limit to 16 per five seconds to avoid impact 99.9% of the time".
+double rate_limit_for_coverage(const Trace& trace,
+                               const std::vector<HostId>& hosts,
+                               Refinement refinement,
+                               const ContactRateOptions& options,
+                               double coverage);
+
+/// Impact of enforcing a hard limit of `limit` distinct contacts per
+/// window on the given traffic.
+struct ImpactReport {
+  double fraction_windows_clipped = 0.0;  ///< windows exceeding the limit
+  double fraction_contacts_blocked = 0.0; ///< contacts over the budget
+  double mean_count = 0.0;
+  double max_count = 0.0;
+};
+
+ImpactReport evaluate_limit(const std::vector<double>& counts, double limit);
+
+/// Replay of a per-host throttle over the trace.
+struct ThrottleReplayReport {
+  std::uint64_t contacts = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t dropped = 0;
+  double mean_delay = 0.0;  ///< over delayed contacts (0 if none)
+  double max_delay = 0.0;
+  /// Contacts per second that actually went out (allowed + delayed
+  /// eventually released), versus attempted.
+  double attempted_rate = 0.0;
+  double effective_rate = 0.0;
+};
+
+/// Drives one WilliamsonThrottle per host with that host's outbound
+/// contacts.
+ThrottleReplayReport replay_williamson(
+    const Trace& trace, const std::vector<HostId>& hosts,
+    const ratelimit::WilliamsonConfig& config);
+
+/// Drives one DnsThrottle per host with the host's DNS answers, inbound
+/// peers and outbound contacts. Denied contacts are reported as
+/// dropped.
+ThrottleReplayReport replay_dns_throttle(
+    const Trace& trace, const std::vector<HostId>& hosts,
+    const ratelimit::DnsThrottleConfig& config);
+
+}  // namespace dq::trace

@@ -1,0 +1,211 @@
+#include "trace/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ratelimit/dns_throttle.hpp"
+
+namespace dq::trace {
+
+double HostFeatures::outbound_rate() const {
+  return duration > 0.0
+             ? static_cast<double>(outbound_contacts) / duration
+             : 0.0;
+}
+
+double HostFeatures::inbound_outbound_ratio() const {
+  return static_cast<double>(inbound_contacts) /
+         std::max<double>(1.0, static_cast<double>(outbound_contacts));
+}
+
+double HostFeatures::dns_fraction() const {
+  return outbound_contacts == 0
+             ? 0.0
+             : static_cast<double>(dns_covered_contacts) /
+                   static_cast<double>(outbound_contacts);
+}
+
+double HostFeatures::freshness() const {
+  return outbound_contacts == 0
+             ? 0.0
+             : static_cast<double>(fresh_destination_contacts) /
+                   static_cast<double>(outbound_contacts);
+}
+
+namespace {
+
+/// Per-host streaming state while walking the trace.
+struct HostState {
+  ratelimit::DnsCache dns;
+  std::unordered_set<IpAddress> known;  ///< any prior sighting
+  std::unordered_set<IpAddress> distinct_dests;
+  /// Sliding 60 s window of (time, dest-first-seen-in-window).
+  std::deque<std::pair<Seconds, IpAddress>> minute_window;
+  std::unordered_map<IpAddress, std::uint32_t> in_minute;
+
+  void expire(Seconds now) {
+    while (!minute_window.empty() &&
+           minute_window.front().first <= now - 60.0) {
+      const IpAddress ip = minute_window.front().second;
+      minute_window.pop_front();
+      const auto it = in_minute.find(ip);
+      if (it != in_minute.end() && --it->second == 0) in_minute.erase(it);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<HostFeatures> extract_features(const Trace& trace,
+                                           std::size_t num_hosts) {
+  if (!trace.finalized())
+    throw std::invalid_argument("extract_features: trace not finalized");
+  if (num_hosts == 0) {
+    num_hosts = trace.num_hosts();
+    if (num_hosts == 0) {
+      for (const TraceEvent& e : trace.events())
+        num_hosts = std::max<std::size_t>(num_hosts, e.host + 1);
+    }
+  }
+
+  std::vector<HostFeatures> features(num_hosts);
+  std::vector<HostState> state(num_hosts);
+  const Seconds duration = std::max(1.0, trace.duration());
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    features[h].host = static_cast<HostId>(h);
+    features[h].duration = duration;
+  }
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.host >= num_hosts) continue;
+    HostFeatures& f = features[e.host];
+    HostState& s = state[e.host];
+    switch (e.type) {
+      case EventType::kDnsAnswer:
+        ++f.dns_answers;
+        s.dns.record(e.remote, e.time + e.dns_ttl);
+        s.known.insert(e.remote);
+        break;
+      case EventType::kInboundContact:
+        ++f.inbound_contacts;
+        s.known.insert(e.remote);
+        break;
+      case EventType::kOutboundContact: {
+        ++f.outbound_contacts;
+        if (s.dns.valid(e.remote, e.time)) ++f.dns_covered_contacts;
+        if (!s.known.contains(e.remote)) ++f.fresh_destination_contacts;
+        s.known.insert(e.remote);
+        s.distinct_dests.insert(e.remote);
+        s.expire(e.time);
+        if (++s.in_minute[e.remote] == 1)
+          s.minute_window.emplace_back(e.time, e.remote);
+        f.peak_distinct_per_minute = std::max<std::uint64_t>(
+            f.peak_distinct_per_minute, s.in_minute.size());
+        break;
+      }
+    }
+  }
+  for (std::size_t h = 0; h < num_hosts; ++h)
+    features[h].distinct_destinations = state[h].distinct_dests.size();
+  return features;
+}
+
+HostCategory classify_host(const HostFeatures& f,
+                           const ClassifierConfig& config) {
+  // Worms first: nothing legitimate scans hundreds of distinct fresh
+  // addresses a minute.
+  const bool scans_hard =
+      f.peak_distinct_per_minute >= config.worm_peak_per_minute;
+  const bool all_fresh = f.freshness() >= config.worm_freshness &&
+                         f.outbound_rate() >= config.worm_min_rate;
+  if (scans_hard || all_fresh) {
+    return f.peak_distinct_per_minute >= config.welchia_peak_per_minute
+               ? HostCategory::kWormWelchia
+               : HostCategory::kWormBlaster;
+  }
+  // Servers: inbound-dominated.
+  if (f.inbound_outbound_ratio() >= config.server_inbound_ratio &&
+      static_cast<double>(f.inbound_contacts) / f.duration >=
+          config.server_min_inbound_rate)
+    return HostCategory::kServer;
+  // P2P: sustained fan-out, mostly without DNS.
+  if (f.outbound_rate() >= config.p2p_min_rate &&
+      f.dns_fraction() <= config.p2p_max_dns_fraction &&
+      f.distinct_destinations >= config.p2p_min_distinct)
+    return HostCategory::kP2P;
+  return HostCategory::kNormalClient;
+}
+
+std::vector<HostCategory> classify_hosts(const Trace& trace,
+                                         const ClassifierConfig& config) {
+  const std::vector<HostFeatures> features = extract_features(trace);
+  std::vector<HostCategory> out;
+  out.reserve(features.size());
+  for (const HostFeatures& f : features)
+    out.push_back(classify_host(f, config));
+  return out;
+}
+
+ClassifierReport evaluate_classifier(
+    const Trace& trace, const std::vector<HostCategory>& predicted) {
+  const auto& truth = trace.host_categories();
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument(
+        "evaluate_classifier: prediction/truth size mismatch");
+  ClassifierReport report;
+  std::uint64_t correct = 0;
+  std::uint64_t worm_truth = 0, worm_predicted = 0, worm_hit = 0;
+  const auto is_worm = [](HostCategory c) {
+    return c == HostCategory::kWormBlaster ||
+           c == HostCategory::kWormWelchia;
+  };
+  for (std::size_t h = 0; h < truth.size(); ++h) {
+    ++report.confusion[static_cast<int>(truth[h])]
+                      [static_cast<int>(predicted[h])];
+    correct += truth[h] == predicted[h];
+    worm_truth += is_worm(truth[h]);
+    worm_predicted += is_worm(predicted[h]);
+    worm_hit += is_worm(truth[h]) && is_worm(predicted[h]);
+  }
+  report.overall_accuracy =
+      truth.empty() ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(truth.size());
+  report.worm_recall =
+      worm_truth ? static_cast<double>(worm_hit) /
+                       static_cast<double>(worm_truth)
+                 : 0.0;
+  report.worm_precision =
+      worm_predicted ? static_cast<double>(worm_hit) /
+                           static_cast<double>(worm_predicted)
+                     : 0.0;
+  return report;
+}
+
+std::string ClassifierReport::to_string() const {
+  static const char* kNames[] = {"normal", "server", "p2p", "blaster",
+                                 "welchia"};
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "confusion (rows = truth, cols = predicted):\n";
+  os << std::setw(10) << "";
+  for (const char* name : kNames) os << std::setw(9) << name;
+  os << '\n';
+  for (int t = 0; t < 5; ++t) {
+    os << std::setw(10) << kNames[t];
+    for (int p = 0; p < 5; ++p) os << std::setw(9) << confusion[t][p];
+    os << '\n';
+  }
+  os << "overall accuracy: " << overall_accuracy
+     << ", worm recall: " << worm_recall
+     << ", worm precision: " << worm_precision << '\n';
+  return os.str();
+}
+
+}  // namespace dq::trace

@@ -1,0 +1,51 @@
+#include "trace/department.hpp"
+
+#include <stdexcept>
+
+namespace dq::trace {
+
+std::size_t total_hosts(const DepartmentConfig& config) {
+  return config.normal_clients + config.servers + config.p2p_clients +
+         config.blaster_hosts + config.welchia_hosts;
+}
+
+Trace generate_department_trace(const DepartmentConfig& config,
+                                std::uint64_t seed) {
+  if (total_hosts(config) == 0)
+    throw std::invalid_argument("generate_department_trace: no hosts");
+  if (config.duration <= 0.0)
+    throw std::invalid_argument(
+        "generate_department_trace: duration must be > 0");
+
+  const AddressSpace space(config.address_space, seed ^ 0xa5a5a5a5ULL);
+  const NormalClientModel normal(space, config.normal);
+  const ServerModel server(space, config.server);
+  const P2PModel p2p(space, config.p2p);
+  const BlasterModel blaster(space, config.blaster);
+  const WelchiaModel welchia(space, config.welchia);
+
+  Trace trace;
+  std::vector<HostCategory> categories;
+  categories.reserve(total_hosts(config));
+  Rng master(seed);
+
+  const auto run = [&](const HostModel& model, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const HostId self = static_cast<HostId>(categories.size());
+      categories.push_back(model.category());
+      Rng host_rng = master.split();
+      model.generate(host_rng, self, config.duration, trace);
+    }
+  };
+  run(normal, config.normal_clients);
+  run(server, config.servers);
+  run(p2p, config.p2p_clients);
+  run(blaster, config.blaster_hosts);
+  run(welchia, config.welchia_hosts);
+
+  trace.set_host_categories(std::move(categories));
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace dq::trace

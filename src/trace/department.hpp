@@ -1,0 +1,40 @@
+// Composer for a full department network trace — the synthetic stand-in
+// for the paper's CMU ECE edge-router trace (1128 hosts: 999 normal
+// clients, 17 servers, 33 P2P clients, 79 worm-infected).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/host_models.hpp"
+#include "trace/trace.hpp"
+
+namespace dq::trace {
+
+struct DepartmentConfig {
+  std::size_t normal_clients = 999;
+  std::size_t servers = 17;
+  std::size_t p2p_clients = 33;
+  /// The paper found 79 hosts infected by Blaster and/or Welchia; we
+  /// split them between the two behaviours.
+  std::size_t blaster_hosts = 40;
+  std::size_t welchia_hosts = 39;
+  Seconds duration = 3600.0;
+
+  NormalClientConfig normal{};
+  ServerConfig server{};
+  P2PConfig p2p{};
+  BlasterConfig blaster{};
+  WelchiaConfig welchia{};
+  AddressSpace::Config address_space{};
+};
+
+/// Total hosts in the configured department.
+std::size_t total_hosts(const DepartmentConfig& config);
+
+/// Generates a finalized trace. Host ids are assigned contiguously in
+/// the order: normal clients, servers, P2P, Blaster, Welchia; each host
+/// gets an independent RNG stream derived from `seed`.
+Trace generate_department_trace(const DepartmentConfig& config,
+                                std::uint64_t seed);
+
+}  // namespace dq::trace

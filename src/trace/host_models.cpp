@@ -1,0 +1,177 @@
+#include "trace/host_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dq::trace {
+
+namespace {
+
+/// Emits one legitimate "session" contact group at time t: the
+/// destination, an optional preceding DNS answer, an optional preceding
+/// inbound contact (when the session answers a peer), and a few repeat
+/// packets to the same destination (which do not add distinct IPs).
+void emit_session_contact(Rng& rng, const NormalClientConfig& cfg,
+                          HostId self, Seconds t, IpAddress dest,
+                          Trace& out) {
+  const bool reply = rng.bernoulli(cfg.reply_fraction);
+  if (reply) {
+    // The peer contacted us a little earlier.
+    out.add({std::max(0.0, t - rng.uniform(1.0, 30.0)),
+             EventType::kInboundContact, self, dest, 0.0});
+  } else if (rng.bernoulli(cfg.dns_fraction)) {
+    const Seconds ttl = rng.uniform(cfg.dns_ttl_min, cfg.dns_ttl_max);
+    out.add({std::max(0.0, t - rng.uniform(0.01, 0.5)),
+             EventType::kDnsAnswer, self, dest, ttl});
+  }
+  out.add({t, EventType::kOutboundContact, self, dest, 0.0});
+  const std::uint64_t repeats = rng.poisson(cfg.repeat_contacts_mean);
+  for (std::uint64_t i = 0; i < repeats; ++i)
+    out.add({t + rng.uniform(0.05, 4.0), EventType::kOutboundContact, self,
+             dest, 0.0});
+}
+
+/// Shared generator for desktop-style traffic (used by NormalClient and
+/// as the background of the infected models).
+void generate_client_traffic(Rng& rng, const AddressSpace& space,
+                             const NormalClientConfig& cfg, HostId self,
+                             Seconds duration, Trace& out) {
+  // Diurnal gating: sessions outside the host's active window are
+  // suppressed (equivalent to thinning the Poisson process).
+  const Seconds phase =
+      cfg.diurnal_period > 0.0 ? rng.uniform(0.0, cfg.diurnal_period) : 0.0;
+  const auto active = [&](Seconds t) {
+    if (cfg.diurnal_period <= 0.0) return true;
+    const Seconds position = std::fmod(t + phase, cfg.diurnal_period);
+    return position < cfg.diurnal_active_fraction * cfg.diurnal_period;
+  };
+
+  // Session arrivals.
+  for (Seconds t = rng.exponential(cfg.session_rate); t < duration;
+       t += rng.exponential(cfg.session_rate)) {
+    if (!active(t)) continue;
+    std::uint32_t dests = 1;
+    if (rng.bernoulli(cfg.fanout_prob))
+      dests = static_cast<std::uint32_t>(
+          rng.uniform_int(cfg.fanout_min, cfg.fanout_max));
+    for (std::uint32_t d = 0; d < dests; ++d) {
+      const Seconds when = t + rng.uniform(0.0, 2.0);
+      if (when >= duration) continue;
+      emit_session_contact(rng, cfg, self, when, space.popular_server(rng),
+                           out);
+    }
+  }
+  // Unsolicited inbound background.
+  if (cfg.inbound_rate > 0.0) {
+    for (Seconds t = rng.exponential(cfg.inbound_rate); t < duration;
+         t += rng.exponential(cfg.inbound_rate)) {
+      out.add({t, EventType::kInboundContact, self,
+               space.external_client(rng), 0.0});
+    }
+  }
+}
+
+}  // namespace
+
+void NormalClientModel::generate(Rng& rng, HostId self, Seconds duration,
+                                 Trace& out) const {
+  generate_client_traffic(rng, space_, config_, self, duration, out);
+}
+
+void ServerModel::generate(Rng& rng, HostId self, Seconds duration,
+                           Trace& out) const {
+  // Inbound service load.
+  for (Seconds t = rng.exponential(config_.inbound_rate); t < duration;
+       t += rng.exponential(config_.inbound_rate)) {
+    out.add({t, EventType::kInboundContact, self,
+             space_.external_client(rng), 0.0});
+  }
+  // Outbound initiations (mail relay fan-out etc.).
+  for (Seconds t = rng.exponential(config_.outbound_rate); t < duration;
+       t += rng.exponential(config_.outbound_rate)) {
+    const std::uint32_t burst = static_cast<std::uint32_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(config_.burst_max)));
+    for (std::uint32_t b = 0; b < burst; ++b) {
+      const Seconds when = t + rng.uniform(0.0, 1.0);
+      if (when >= duration) continue;
+      const IpAddress dest = space_.popular_server(rng);
+      if (rng.bernoulli(config_.dns_fraction)) {
+        out.add({std::max(0.0, when - rng.uniform(0.01, 0.5)),
+                 EventType::kDnsAnswer, self, dest,
+                 rng.uniform(config_.dns_ttl_min, config_.dns_ttl_max)});
+      }
+      out.add({when, EventType::kOutboundContact, self, dest, 0.0});
+    }
+  }
+}
+
+void P2PModel::generate(Rng& rng, HostId self, Seconds duration,
+                        Trace& out) const {
+  for (Seconds t = rng.exponential(config_.contact_rate); t < duration;
+       t += rng.exponential(config_.contact_rate)) {
+    const IpAddress peer = space_.p2p_peer(rng);
+    if (rng.bernoulli(config_.dns_fraction)) {
+      out.add({std::max(0.0, t - rng.uniform(0.01, 0.5)),
+               EventType::kDnsAnswer, self, peer,
+               rng.uniform(config_.dns_ttl_min, config_.dns_ttl_max)});
+    }
+    out.add({t, EventType::kOutboundContact, self, peer, 0.0});
+  }
+  for (Seconds t = rng.exponential(config_.inbound_rate); t < duration;
+       t += rng.exponential(config_.inbound_rate)) {
+    out.add({t, EventType::kInboundContact, self, space_.p2p_peer(rng),
+             0.0});
+  }
+}
+
+void BlasterModel::generate(Rng& rng, HostId self, Seconds duration,
+                            Trace& out) const {
+  generate_client_traffic(rng, space_, config_.background, self, duration,
+                          out);
+  Seconds t = rng.uniform(0.0, config_.pause_epoch_mean);
+  while (t < duration) {
+    // One scanning epoch at a sustained rate.
+    const Seconds epoch = rng.exponential(1.0 / config_.scan_epoch_mean);
+    const double rate =
+        rng.uniform(config_.scan_rate_min, config_.scan_rate_max);
+    const Seconds epoch_end = std::min(duration, t + epoch);
+    for (Seconds s = t + rng.exponential(rate); s < epoch_end;
+         s += rng.exponential(rate)) {
+      out.add({s, EventType::kOutboundContact, self,
+               space_.random_address(rng), 0.0});
+    }
+    t = epoch_end + rng.exponential(1.0 / config_.pause_epoch_mean);
+  }
+}
+
+void WelchiaModel::generate(Rng& rng, HostId self, Seconds duration,
+                            Trace& out) const {
+  generate_client_traffic(rng, space_, config_.background, self, duration,
+                          out);
+  Seconds t = rng.exponential(1.0 / config_.sweep_interval_mean);
+  while (t < duration) {
+    const Seconds sweep_end = std::min(
+        duration, t + rng.exponential(1.0 / config_.sweep_duration_mean));
+    const double rate =
+        rng.uniform(config_.sweep_rate_min, config_.sweep_rate_max);
+    for (Seconds s = t + rng.exponential(rate); s < sweep_end;
+         s += rng.exponential(rate)) {
+      out.add({s, EventType::kOutboundContact, self,
+               space_.random_address(rng), 0.0});
+    }
+    // Follow-up infection attempts until the next sweep.
+    const Seconds next_sweep =
+        sweep_end + rng.exponential(1.0 / config_.sweep_interval_mean);
+    if (config_.followup_rate > 0.0) {
+      for (Seconds s = sweep_end + rng.exponential(config_.followup_rate);
+           s < std::min(duration, next_sweep);
+           s += rng.exponential(config_.followup_rate)) {
+        out.add({s, EventType::kOutboundContact, self,
+                 space_.random_address(rng), 0.0});
+      }
+    }
+    t = next_sweep;
+  }
+}
+
+}  // namespace dq::trace

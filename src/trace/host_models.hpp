@@ -1,0 +1,171 @@
+// Behavioural host models — the synthetic stand-ins for the four host
+// populations of the paper's Section 7 trace (normal desktop clients,
+// servers, P2P clients, and Blaster/Welchia-infected machines).
+//
+// Each model emits TraceEvents for one host over a duration. Parameter
+// defaults are calibrated so the contact-rate CDFs (Figure 9) and the
+// derived rate limits land in the ranges the paper reports; the
+// calibration is asserted by tests/trace/calibration_test.cpp and
+// recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <memory>
+
+#include "trace/address_space.hpp"
+#include "trace/trace.hpp"
+
+namespace dq::trace {
+
+/// Interface for per-host traffic generators.
+class HostModel {
+ public:
+  virtual ~HostModel() = default;
+  virtual HostCategory category() const = 0;
+  /// Appends this host's events over [0, duration) to `out`.
+  virtual void generate(Rng& rng, HostId self, Seconds duration,
+                        Trace& out) const = 0;
+};
+
+/// Desktop client: Poisson session arrivals; each session resolves a
+/// destination via DNS (usually) and contacts it a few times; some
+/// sessions fan out to several destinations (a web page pulling
+/// embedded objects); a small share of contacts answer peers that
+/// contacted us first.
+struct NormalClientConfig {
+  double session_rate = 1.0 / 2400.0;  ///< sessions per second
+  double dns_fraction = 0.55;         ///< contacts preceded by DNS answer
+  double reply_fraction = 0.12;       ///< contacts answering inbound peers
+  double fanout_prob = 0.25;          ///< session touches many hosts
+  std::uint32_t fanout_min = 2;
+  std::uint32_t fanout_max = 8;
+  double repeat_contacts_mean = 1.5;  ///< extra packets to the same dest
+  double dns_ttl_min = 600.0;
+  double dns_ttl_max = 3600.0;
+  double inbound_rate = 1.0 / 1800.0; ///< unsolicited inbound to clients
+  /// Optional diurnal duty cycle: when diurnal_period > 0 the host only
+  /// initiates sessions during the first diurnal_active_fraction of
+  /// each period (a 23-day trace like the paper's spans many nights and
+  /// weekends); each host gets a random phase so the fleet staggers.
+  double diurnal_period = 0.0;
+  double diurnal_active_fraction = 0.4;
+};
+
+class NormalClientModel : public HostModel {
+ public:
+  NormalClientModel(const AddressSpace& space, NormalClientConfig config)
+      : space_(space), config_(config) {}
+  HostCategory category() const override {
+    return HostCategory::kNormalClient;
+  }
+  void generate(Rng& rng, HostId self, Seconds duration,
+                Trace& out) const override;
+
+ private:
+  const AddressSpace& space_;
+  NormalClientConfig config_;
+};
+
+/// Server: dominated by inbound connections; initiates few outbound
+/// contacts (mail relaying, zone transfers), mostly DNS-translated.
+struct ServerConfig {
+  double inbound_rate = 0.2;          ///< inbound connections per second
+  double outbound_rate = 1.0 / 120.0; ///< outbound initiations per second
+  double dns_fraction = 0.8;
+  std::uint32_t burst_max = 3;        ///< outbound burst (MX fan-out)
+  double dns_ttl_min = 300.0;
+  double dns_ttl_max = 3600.0;
+};
+
+class ServerModel : public HostModel {
+ public:
+  ServerModel(const AddressSpace& space, ServerConfig config)
+      : space_(space), config_(config) {}
+  HostCategory category() const override { return HostCategory::kServer; }
+  void generate(Rng& rng, HostId self, Seconds duration,
+                Trace& out) const override;
+
+ private:
+  const AddressSpace& space_;
+  ServerConfig config_;
+};
+
+/// P2P client: sustained gossip with a large peer pool, mostly without
+/// DNS; peers also call in, so many contacts have prior inbound.
+struct P2PConfig {
+  double contact_rate = 0.40;   ///< outbound peer contacts per second
+  double inbound_rate = 0.15;   ///< peers contacting us per second
+  double dns_fraction = 0.35;   ///< tracker lookups etc.
+  double dns_ttl_min = 300.0;
+  double dns_ttl_max = 1800.0;
+};
+
+class P2PModel : public HostModel {
+ public:
+  P2PModel(const AddressSpace& space, P2PConfig config)
+      : space_(space), config_(config) {}
+  HostCategory category() const override { return HostCategory::kP2P; }
+  void generate(Rng& rng, HostId self, Seconds duration,
+                Trace& out) const override;
+
+ private:
+  const AddressSpace& space_;
+  P2PConfig config_;
+};
+
+/// Blaster-infected host: persistent TCP/135 scanning of pseudo-random
+/// addresses in on/off epochs; peak rate ~671 contacts/minute
+/// (Section 7, footnote 1). Runs light desktop traffic underneath.
+struct BlasterConfig {
+  // Infected machines scan in bursts and sit idle in between — averaged
+  // over a multi-day trace the duty cycle is low, which is what spreads
+  // the Figure 9(b) CDF across its x-range.
+  double scan_epoch_mean = 75.0;    ///< seconds scanning per epoch
+  double pause_epoch_mean = 2400.0; ///< seconds idle between epochs
+  double scan_rate_min = 4.0;       ///< scans per second while active
+  double scan_rate_max = 11.0;      ///< ~671 per minute at peak
+  NormalClientConfig background{};
+};
+
+class BlasterModel : public HostModel {
+ public:
+  BlasterModel(const AddressSpace& space, BlasterConfig config)
+      : space_(space), config_(config) {}
+  HostCategory category() const override {
+    return HostCategory::kWormBlaster;
+  }
+  void generate(Rng& rng, HostId self, Seconds duration,
+                Trace& out) const override;
+
+ private:
+  const AddressSpace& space_;
+  BlasterConfig config_;
+};
+
+/// Welchia-infected host: intense ICMP ping sweeps in shorter bursts —
+/// peak ~7068 contacts/minute, an order of magnitude above Blaster —
+/// with follow-up infection attempts between sweeps.
+struct WelchiaConfig {
+  double sweep_interval_mean = 6000.0; ///< seconds between sweep starts
+  double sweep_duration_mean = 45.0;   ///< seconds per sweep
+  double sweep_rate_min = 60.0;        ///< pings per second while sweeping
+  double sweep_rate_max = 118.0;       ///< ~7068 per minute at peak
+  double followup_rate = 0.05;         ///< infection attempts between sweeps
+  NormalClientConfig background{};
+};
+
+class WelchiaModel : public HostModel {
+ public:
+  WelchiaModel(const AddressSpace& space, WelchiaConfig config)
+      : space_(space), config_(config) {}
+  HostCategory category() const override {
+    return HostCategory::kWormWelchia;
+  }
+  void generate(Rng& rng, HostId self, Seconds duration,
+                Trace& out) const override;
+
+ private:
+  const AddressSpace& space_;
+  WelchiaConfig config_;
+};
+
+}  // namespace dq::trace

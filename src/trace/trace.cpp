@@ -1,0 +1,123 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace dq::trace {
+
+std::string to_string(HostCategory category) {
+  switch (category) {
+    case HostCategory::kNormalClient: return "normal-client";
+    case HostCategory::kServer: return "server";
+    case HostCategory::kP2P: return "p2p";
+    case HostCategory::kWormBlaster: return "worm-blaster";
+    case HostCategory::kWormWelchia: return "worm-welchia";
+  }
+  return "unknown";
+}
+
+void Trace::finalize() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  finalized_ = true;
+}
+
+std::vector<HostId> Trace::hosts_in(HostCategory category) const {
+  std::vector<HostId> out;
+  for (std::size_t h = 0; h < categories_.size(); ++h)
+    if (categories_[h] == category) out.push_back(static_cast<HostId>(h));
+  return out;
+}
+
+Seconds Trace::duration() const noexcept {
+  return events_.empty() ? 0.0 : events_.back().time;
+}
+
+namespace {
+
+/// Splits one CSV row into exactly `n` comma-separated fields.
+std::vector<std::string_view> split_fields(std::string_view line,
+                                           std::size_t n) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (fields.size() + 1 < n) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos)
+      throw std::invalid_argument("parse_trace_csv: too few fields: " +
+                                  std::string(line));
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  const std::string_view rest = line.substr(start);
+  if (rest.find(',') != std::string_view::npos)
+    throw std::invalid_argument("parse_trace_csv: too many fields: " +
+                                std::string(line));
+  fields.push_back(rest);
+  return fields;
+}
+
+double parse_double(std::string_view field) {
+  // std::from_chars(double) is not universally available; strtod via a
+  // bounded copy keeps this dependency-free.
+  const std::string copy(field);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size())
+    throw std::invalid_argument("parse_trace_csv: bad number: " + copy);
+  return value;
+}
+
+std::uint64_t parse_unsigned(std::string_view field) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size())
+    throw std::invalid_argument("parse_trace_csv: bad integer: " +
+                                std::string(field));
+  return value;
+}
+
+}  // namespace
+
+Trace parse_trace_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("time,type,host,remote", 0) != 0)
+    throw std::invalid_argument("parse_trace_csv: missing header");
+  Trace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_fields(line, 5);
+    TraceEvent event;
+    event.time = parse_double(fields[0]);
+    const std::uint64_t type = parse_unsigned(fields[1]);
+    if (type > static_cast<std::uint64_t>(EventType::kDnsAnswer))
+      throw std::invalid_argument("parse_trace_csv: bad event type");
+    event.type = static_cast<EventType>(type);
+    event.host = static_cast<HostId>(parse_unsigned(fields[2]));
+    event.remote = static_cast<IpAddress>(parse_unsigned(fields[3]));
+    event.dns_ttl = parse_double(fields[4]);
+    if (event.time < 0.0)
+      throw std::invalid_argument("parse_trace_csv: negative time");
+    trace.add(event);
+  }
+  trace.finalize();
+  return trace;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "time,type,host,remote,ttl\n";
+  for (const TraceEvent& e : events_) {
+    os << e.time << ',' << static_cast<int>(e.type) << ',' << e.host << ','
+       << e.remote << ',' << e.dns_ttl << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dq::trace

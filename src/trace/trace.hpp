@@ -1,0 +1,106 @@
+// Trace representation for the Section 7 study.
+//
+// The paper analyzed a 23-day anonymized packet trace from the edge
+// router of CMU ECE (1128 hosts). We cannot ship that proprietary
+// trace; instead src/trace generates synthetic traces whose contact
+// processes are calibrated to the statistics the paper publishes, and
+// the analysis code in analysis.hpp computes the same CDFs and limits
+// from either kind of trace.
+//
+// Events are what an edge router sees:
+//   * kOutboundContact — an inside host initiates a connection to a
+//     foreign IP (TCP SYN, UDP first packet, or ICMP echo).
+//   * kInboundContact  — a foreign IP initiates a connection to an
+//     inside host (makes later replies "prior contact").
+//   * kDnsAnswer       — a DNS response translating a name to a foreign
+//     IP for an inside host, valid for ttl seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ratelimit/types.hpp"
+
+namespace dq::trace {
+
+using ratelimit::IpAddress;
+using ratelimit::Seconds;
+
+/// Index of a host inside the monitored network.
+using HostId = std::uint32_t;
+
+enum class EventType : std::uint8_t {
+  kOutboundContact,
+  kInboundContact,
+  kDnsAnswer,
+};
+
+/// The behavioural category of a host — the paper's partition of the
+/// ECE subnet (Section 7).
+enum class HostCategory : std::uint8_t {
+  kNormalClient,  ///< desktop client-server traffic (999 hosts)
+  kServer,        ///< SMTP/DNS/IMAP-style services (17 hosts)
+  kP2P,           ///< peer-to-peer clients (33 hosts)
+  kWormBlaster,   ///< Blaster-infected (TCP/135 scanner)
+  kWormWelchia,   ///< Welchia-infected (ICMP-sweep scanner)
+};
+
+/// Human-readable category name.
+std::string to_string(HostCategory category);
+
+struct TraceEvent {
+  Seconds time = 0.0;
+  EventType type = EventType::kOutboundContact;
+  HostId host = 0;        ///< the inside host involved
+  IpAddress remote = 0;   ///< the foreign address
+  Seconds dns_ttl = 0.0;  ///< only for kDnsAnswer
+};
+
+/// A generated (or loaded) trace: events sorted by time, plus the host
+/// census.
+class Trace {
+ public:
+  Trace() = default;
+
+  void add(const TraceEvent& event) { events_.push_back(event); }
+
+  /// Sorts events by time (stable, so equal-time ordering follows
+  /// generation order). Call once after generation.
+  void finalize();
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  bool finalized() const noexcept { return finalized_; }
+
+  void set_host_categories(std::vector<HostCategory> categories) {
+    categories_ = std::move(categories);
+  }
+  const std::vector<HostCategory>& host_categories() const noexcept {
+    return categories_;
+  }
+  std::size_t num_hosts() const noexcept { return categories_.size(); }
+
+  /// Hosts belonging to a category.
+  std::vector<HostId> hosts_in(HostCategory category) const;
+
+  /// Total duration (time of last event; 0 for an empty trace).
+  Seconds duration() const noexcept;
+
+  /// CSV export: "time,type,host,remote,ttl" rows.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<HostCategory> categories_;
+  bool finalized_ = false;
+};
+
+/// Parses a trace from the CSV format produced by Trace::to_csv (one
+/// header line, then "time,type,host,remote,ttl" rows) — the import
+/// path for feeding real edge-router captures into the Section 7
+/// analysis. Host categories are not part of the format; call
+/// set_host_categories afterwards. The returned trace is finalized.
+/// Throws std::invalid_argument on malformed input.
+Trace parse_trace_csv(const std::string& csv);
+
+}  // namespace dq::trace

@@ -1,0 +1,96 @@
+// Worm target-selection strategies.
+//
+// The paper analyzes random propagation (Code Red I) and
+// local-preferential selection (Blaster-style subnet scanning). The
+// related work it builds on — Staniford, Paxson & Weaver, "How to 0wn
+// the Internet in Your Spare Time" — catalogs further strategies that
+// this module implements so rate limiting can be evaluated against
+// them too:
+//
+//   kRandom           — uniform pseudo-random targets.
+//   kLocalPreferential — biased toward the scanner's own subnet.
+//   kSequential       — scan ids in order from a random start (what
+//                       Blaster actually did across subnets).
+//   kPermutation      — all instances walk a shared pseudo-random
+//                       permutation of the address space from
+//                       different offsets, avoiding duplicate work.
+//   kHitlist          — a precomputed list of known targets is scanned
+//                       first (Warhol-worm startup), then random.
+//
+// The simulator's node-id space stands in for the worm's 32-bit
+// address space: "addresses" that would miss (unused space) are
+// abstracted away, so strategies differ only in how efficiently they
+// cover live nodes — which is exactly what matters for contact-rate
+// limiting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "stats/rng.hpp"
+
+namespace dq::worm {
+
+using graph::NodeId;
+
+enum class ScanStrategy : std::uint8_t {
+  kRandom,
+  kLocalPreferential,
+  kSequential,
+  kPermutation,
+  kHitlist,
+};
+
+struct TargetSelectorConfig {
+  ScanStrategy strategy = ScanStrategy::kRandom;
+  /// Probability a local-preferential scan stays in-subnet.
+  double local_bias = 0.8;
+  /// Hitlist size for kHitlist (clamped to the population).
+  std::uint32_t hitlist_size = 100;
+};
+
+/// Per-outbreak target selection state (sequential cursors, the shared
+/// permutation, the hitlist). One instance per simulation run.
+class TargetSelector {
+ public:
+  /// subnet_of/members may be empty when the topology has no subnets
+  /// (local-preferential then degrades to random, as in the paper's
+  /// simulator). `seed` fixes the permutation/hitlist/cursors.
+  TargetSelector(const TargetSelectorConfig& config, std::size_t num_nodes,
+                 std::vector<std::size_t> subnet_of,
+                 std::vector<std::vector<NodeId>> subnet_members,
+                 std::uint64_t seed);
+
+  /// Picks the next target for `scanner` (never the scanner itself).
+  NodeId pick(NodeId scanner, Rng& rng);
+
+  ScanStrategy strategy() const noexcept { return config_.strategy; }
+
+  /// The hitlist (empty unless kHitlist); exposed for tests.
+  const std::vector<NodeId>& hitlist() const noexcept { return hitlist_; }
+
+ private:
+  NodeId pick_random(NodeId scanner, Rng& rng) const;
+  NodeId pick_local(NodeId scanner, Rng& rng) const;
+  NodeId advance_cursor(NodeId scanner);
+
+  TargetSelectorConfig config_;
+  std::size_t num_nodes_;
+  std::vector<std::size_t> subnet_of_;
+  std::vector<std::vector<NodeId>> subnet_members_;
+
+  /// kSequential / kPermutation: per-scanner position in the scan
+  /// order.
+  std::vector<std::uint32_t> cursor_;
+  /// kHitlist: the list is divided among instances (Warhol-style), so
+  /// a single shared cursor hands each pick the next unclaimed entry.
+  std::uint32_t hitlist_cursor_ = 0;
+  /// kPermutation: target = (a * position + b) mod N with gcd(a,N)=1.
+  std::uint64_t perm_a_ = 1;
+  std::uint64_t perm_b_ = 0;
+  std::vector<NodeId> hitlist_;
+};
+
+}  // namespace dq::worm

@@ -1,0 +1,59 @@
+#include "core/figure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::core {
+namespace {
+
+FigureData sample_figure() {
+  TimeSeries a, b;
+  a.push(0.0, 0.0);
+  a.push(1.0, 0.5);
+  a.push(2.0, 1.0);
+  b.push(0.0, 0.1);
+  b.push(2.0, 0.9);
+  return FigureData{"figX", "A sample", "time", "fraction",
+                    {{"alpha", a}, {"beta", b}}};
+}
+
+TEST(Figure, FindByLabel) {
+  const FigureData fig = sample_figure();
+  EXPECT_DOUBLE_EQ(fig.find("alpha").back_value(), 1.0);
+  EXPECT_DOUBLE_EQ(fig.find("beta").back_value(), 0.9);
+  EXPECT_THROW(fig.find("gamma"), std::invalid_argument);
+}
+
+TEST(Figure, RenderTableHasHeaderAndRows) {
+  const std::string table = render_table(sample_figure());
+  EXPECT_NE(table.find("figX"), std::string::npos);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("1.0000"), std::string::npos);
+}
+
+TEST(Figure, RenderTableDownsamples) {
+  TimeSeries long_series;
+  for (int i = 0; i <= 1000; ++i)
+    long_series.push(static_cast<double>(i), 0.0);
+  const FigureData fig{"figY", "long", "t", "v", {{"s", long_series}}};
+  const std::string table = render_table(fig, 10);
+  EXPECT_LT(std::count(table.begin(), table.end(), '\n'), 20);
+  // The final row is always present.
+  EXPECT_NE(table.find("1000.0000"), std::string::npos);
+}
+
+TEST(Figure, RenderCsv) {
+  const std::string csv = render_csv(sample_figure());
+  EXPECT_NE(csv.find("x,alpha,beta"), std::string::npos);
+  // Second series resampled onto the first grid: value at t=1 is 0.5.
+  EXPECT_NE(csv.find("1,0.5,0.5"), std::string::npos);
+}
+
+TEST(Figure, RenderEmptyThrows) {
+  const FigureData empty{"fig", "t", "x", "y", {}};
+  EXPECT_THROW(render_table(empty), std::invalid_argument);
+  EXPECT_THROW(render_csv(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dq::core

@@ -1,0 +1,123 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/department.hpp"
+
+namespace dq::core {
+namespace {
+
+const trace::Trace& department() {
+  static const trace::Trace trace = [] {
+    trace::DepartmentConfig config;
+    config.normal_clients = 100;
+    config.servers = 3;
+    config.p2p_clients = 5;
+    config.blaster_hosts = 4;
+    config.welchia_hosts = 4;
+    config.duration = 1800.0;
+    return trace::generate_department_trace(config, 77);
+  }();
+  return trace;
+}
+
+TEST(Planner, RejectsUnfinalizedTrace) {
+  trace::Trace empty;
+  empty.set_host_categories({trace::HostCategory::kNormalClient});
+  EXPECT_THROW(plan_from_trace(empty), std::invalid_argument);
+}
+
+TEST(Planner, LimitsAreOrderedByRefinement) {
+  const QuarantinePlan plan = plan_from_trace(department());
+  EXPECT_GE(plan.edge_aggregate_limit, plan.edge_unknown_limit);
+  EXPECT_GE(plan.per_host_limit, plan.per_host_unknown_limit);
+  EXPECT_GE(plan.edge_aggregate_limit, plan.per_host_limit);
+  EXPECT_GE(plan.per_host_limit, 1.0);
+}
+
+TEST(Planner, LegitImpactWithinTolerance) {
+  PlannerOptions options;
+  options.legit_tolerance = 0.001;
+  const QuarantinePlan plan = plan_from_trace(department(), options);
+  EXPECT_LE(plan.edge_legit_impact, 0.0015);
+}
+
+TEST(Planner, WormsHitMuchHarderThanLegit) {
+  const QuarantinePlan plan = plan_from_trace(department());
+  EXPECT_GT(plan.edge_worm_impact, plan.edge_legit_impact * 10.0);
+}
+
+TEST(Planner, PredictsMaterialSlowdown) {
+  // This test department is small (116 hosts), so the edge aggregate
+  // limit saturates late and the slowdown is modest; it must still be a
+  // slowdown. The paper-sized department is exercised by the benches.
+  const QuarantinePlan plan = plan_from_trace(department());
+  EXPECT_GT(plan.predicted_slowdown, 1.05);
+}
+
+TEST(Planner, SummaryIsReadable) {
+  const QuarantinePlan plan = plan_from_trace(department());
+  const std::string text = plan.summary();
+  EXPECT_NE(text.find("edge aggregate limit"), std::string::npos);
+  EXPECT_NE(text.find("per-host limit"), std::string::npos);
+  EXPECT_NE(text.find("slowdown"), std::string::npos);
+}
+
+TEST(Planner, PerCategoryLimitsReflectBehaviour) {
+  const QuarantinePlan plan = plan_from_trace(department());
+  ASSERT_EQ(plan.category_limits.size(), 3u);
+  double p2p_limit = 0.0, normal_limit = 0.0;
+  for (const CategoryLimit& limit : plan.category_limits) {
+    EXPECT_GT(limit.hosts, 0u);
+    EXPECT_GE(limit.aggregate_limit, limit.per_host_limit);
+    if (limit.category == trace::HostCategory::kP2P)
+      p2p_limit = limit.aggregate_limit;
+    if (limit.category == trace::HostCategory::kNormalClient)
+      normal_limit = limit.aggregate_limit;
+  }
+  // The paper: P2P needs far higher allowances than normal desktops.
+  EXPECT_GT(p2p_limit, normal_limit);
+}
+
+TEST(Planner, ClassifierDrivenPlanMatchesGroundTruthPlan) {
+  // On a raw capture there is no ground truth; the classifier-driven
+  // plan must land close to the oracle plan.
+  PlannerOptions classify;
+  classify.classify_hosts = true;
+  const QuarantinePlan oracle = plan_from_trace(department());
+  const QuarantinePlan derived = plan_from_trace(department(), classify);
+  EXPECT_NEAR(derived.edge_aggregate_limit, oracle.edge_aggregate_limit,
+              oracle.edge_aggregate_limit * 0.5 + 2.0);
+  EXPECT_NEAR(derived.per_host_limit, oracle.per_host_limit, 3.0);
+}
+
+TEST(Planner, ClassifiesWhenNoCategoriesAttached) {
+  // Strip the categories via a CSV round trip; planning must still work.
+  const trace::Trace stripped =
+      trace::parse_trace_csv(department().to_csv());
+  EXPECT_TRUE(stripped.host_categories().empty());
+  const QuarantinePlan plan = plan_from_trace(stripped);
+  EXPECT_GE(plan.edge_aggregate_limit, 1.0);
+  EXPECT_FALSE(plan.category_limits.empty());
+}
+
+TEST(Planner, SummaryListsCategories) {
+  const std::string text = plan_from_trace(department()).summary();
+  EXPECT_NE(text.find("per-category limits"), std::string::npos);
+  EXPECT_NE(text.find("p2p"), std::string::npos);
+}
+
+TEST(Planner, TighterToleranceRaisesLimits) {
+  PlannerOptions strict;
+  strict.legit_tolerance = 0.001;
+  PlannerOptions loose;
+  loose.legit_tolerance = 0.05;
+  const QuarantinePlan strict_plan = plan_from_trace(department(), strict);
+  const QuarantinePlan loose_plan = plan_from_trace(department(), loose);
+  // Tolerating more clipping permits a lower (stricter) limit.
+  EXPECT_LE(loose_plan.edge_aggregate_limit,
+            strict_plan.edge_aggregate_limit);
+}
+
+}  // namespace
+}  // namespace dq::core

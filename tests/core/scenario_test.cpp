@@ -1,0 +1,148 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::core {
+namespace {
+
+Scenario base_scenario() {
+  Scenario s;
+  s.topology.kind = ScenarioTopology::Kind::kPowerLaw;
+  s.topology.nodes = 300;
+  s.worm.contact_rate = 0.8;
+  s.worm.initial_infected = 3;
+  s.horizon = 60.0;
+  s.grid_points = 61;
+  s.seed = 5;
+  return s;
+}
+
+TEST(Scenario, DeploymentNames) {
+  EXPECT_EQ(to_string(Deployment::kNone), "none");
+  EXPECT_EQ(to_string(Deployment::kHostBased), "host-based");
+  EXPECT_EQ(to_string(Deployment::kEdgeRouter), "edge-router");
+  EXPECT_EQ(to_string(Deployment::kBackbone), "backbone");
+}
+
+TEST(Scenario, AnalyticalNoDefenseIsLogistic) {
+  const PropagationResult result = run_analytical(base_scenario());
+  EXPECT_EQ(result.ever_infected.size(), 61u);
+  EXPECT_NEAR(result.ever_infected.value_at(0), 3.0 / 300.0, 1e-9);
+  EXPECT_NEAR(result.final_ever_infected(), 1.0, 1e-6);
+  EXPECT_GT(result.time_to_half(), 0.0);
+}
+
+TEST(Scenario, AnalyticalHostDeploymentSlows) {
+  Scenario s = base_scenario();
+  const double t0 = run_analytical(s).time_to_half();
+  s.defense.deployment = Deployment::kHostBased;
+  s.defense.host_fraction = 0.8;
+  const double t1 = run_analytical(s).time_to_half();
+  EXPECT_GT(t1, t0 * 3.0);
+}
+
+TEST(Scenario, AnalyticalBackboneCoverage) {
+  Scenario s = base_scenario();
+  s.defense.deployment = Deployment::kBackbone;
+  s.defense.backbone_coverage = 0.5;
+  const double t_half = run_analytical(s).time_to_half();
+  const double t_base = run_analytical(base_scenario()).time_to_half();
+  EXPECT_NEAR(t_half / t_base, 2.0, 0.05);  // λ halves ⇒ time doubles
+}
+
+TEST(Scenario, AnalyticalImmunizationCapsEverInfected) {
+  Scenario s = base_scenario();
+  s.defense.immunization_start_fraction = 0.2;
+  s.defense.immunization_rate = 0.1;
+  s.horizon = 100.0;
+  const PropagationResult result = run_analytical(s);
+  EXPECT_LT(result.final_ever_infected(), 0.95);
+  EXPECT_GT(result.final_ever_infected(), 0.4);
+  // Active infection eventually declines below its peak.
+  EXPECT_LT(result.active_infected.back_value(),
+            result.active_infected.max_value());
+}
+
+TEST(Scenario, AnalyticalEdgeRouterUsesLimitedRate) {
+  Scenario s = base_scenario();
+  s.defense.deployment = Deployment::kEdgeRouter;
+  s.defense.filtered_rate = 0.05;
+  s.horizon = 400.0;
+  s.grid_points = 201;
+  const double t = run_analytical(s).time_to_half();
+  // Growth at rate ~0.05 instead of 0.8.
+  EXPECT_GT(t, 8.0 * run_analytical(base_scenario()).time_to_half());
+}
+
+TEST(Scenario, SimulationRunsOnAllTopologies) {
+  for (auto kind : {ScenarioTopology::Kind::kStar,
+                    ScenarioTopology::Kind::kPowerLaw,
+                    ScenarioTopology::Kind::kSubnets}) {
+    Scenario s = base_scenario();
+    s.topology.kind = kind;
+    s.topology.nodes = 100;
+    s.topology.num_subnets = 5;
+    s.topology.hosts_per_subnet = 10;
+    s.horizon = 30.0;
+    const PropagationResult result = run_simulation(s, 2);
+    EXPECT_GT(result.final_ever_infected(), 0.5) << static_cast<int>(kind);
+  }
+}
+
+TEST(Scenario, SimulationBackboneSlowerThanNone) {
+  Scenario s = base_scenario();
+  s.horizon = 100.0;
+  const double base_frac =
+      run_simulation(s, 3).ever_infected.interpolate(20.0);
+  s.defense.deployment = Deployment::kBackbone;
+  const double limited_frac =
+      run_simulation(s, 3).ever_infected.interpolate(20.0);
+  EXPECT_LT(limited_frac, base_frac);
+}
+
+TEST(Scenario, SimulationHubCapOnStar) {
+  Scenario s = base_scenario();
+  s.topology.kind = ScenarioTopology::Kind::kStar;
+  s.topology.nodes = 100;
+  s.horizon = 40.0;
+  const double base_final = run_simulation(s, 3).final_ever_infected();
+  s.defense.deployment = Deployment::kBackbone;
+  s.defense.hub_forward_cap = 2;
+  const double capped_final = run_simulation(s, 3).final_ever_infected();
+  EXPECT_LT(capped_final, base_final);
+}
+
+TEST(Scenario, SimulationScanStrategyOverride) {
+  Scenario s = base_scenario();
+  s.topology.nodes = 150;
+  s.horizon = 60.0;
+  s.worm.scan_strategy = worm::ScanStrategy::kPermutation;
+  const PropagationResult result = run_simulation(s, 2);
+  EXPECT_GT(result.final_ever_infected(), 0.9);
+  // Hitlist variant also runs.
+  s.worm.scan_strategy = worm::ScanStrategy::kHitlist;
+  s.worm.hitlist_size = 50;
+  EXPECT_GT(run_simulation(s, 2).final_ever_infected(), 0.9);
+}
+
+TEST(Scenario, SimulationDeterministicForSeed) {
+  const Scenario s = base_scenario();
+  const PropagationResult a = run_simulation(s, 3);
+  const PropagationResult b = run_simulation(s, 3);
+  for (std::size_t i = 0; i < a.ever_infected.size(); i += 7)
+    EXPECT_DOUBLE_EQ(a.ever_infected.value_at(i),
+                     b.ever_infected.value_at(i));
+}
+
+TEST(Scenario, SimulationImmunization) {
+  Scenario s = base_scenario();
+  s.defense.immunization_start_fraction = 0.2;
+  s.defense.immunization_rate = 0.15;
+  s.horizon = 80.0;
+  const PropagationResult result = run_simulation(s, 3);
+  EXPECT_LT(result.final_ever_infected(), 1.0);
+  EXPECT_LT(result.active_infected.back_value(), 0.2);
+}
+
+}  // namespace
+}  // namespace dq::core

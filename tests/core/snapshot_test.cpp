@@ -1,0 +1,71 @@
+// Numeric regression snapshots: pin the analytical figures' values at
+// selected points so refactors that silently change the reproduced
+// curves fail loudly. All values are derived from the closed forms
+// (checked against the paper's parameters), not from simulation, so
+// they are exact up to floating point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiments.hpp"
+
+namespace dq::core {
+namespace {
+
+TEST(Snapshots, Fig1aValuesAtT10) {
+  const FigureData fig = fig1a_star_analytical();
+  // Logistic with c = 199: f(10) = 1/(1 + 199 e^{-λ·10}).
+  EXPECT_NEAR(fig.find("no-RL").interpolate(10.0), 0.9372, 1e-3);
+  EXPECT_NEAR(fig.find("10%-leaf-RL").interpolate(10.0), 0.8727, 1e-3);
+  EXPECT_NEAR(fig.find("30%-leaf-RL").interpolate(10.0), 0.58339, 1e-4);
+  EXPECT_NEAR(fig.find("hub-RL").interpolate(10.0), 0.23004, 1e-4);
+}
+
+TEST(Snapshots, Fig2ValuesAtT50) {
+  const FigureData fig = fig2_host_analytical();
+  EXPECT_NEAR(fig.find("no-RL").interpolate(50.0), 1.0, 1e-6);
+  EXPECT_NEAR(fig.find("50%-hosts").interpolate(50.0), 0.9997, 1e-3);
+  EXPECT_NEAR(fig.find("80%-hosts").interpolate(50.0), 0.81656, 1e-4);
+  EXPECT_NEAR(fig.find("100%-hosts").interpolate(50.0), 0.001646, 1e-5);
+}
+
+TEST(Snapshots, Fig3GrowthRates) {
+  const FigureData across = fig3a_edge_across_subnets();
+  // Across-subnet logistic constants: c = 49 (50 subnets, 1 seeded);
+  // local-preferential rates carry the 1.5x subnet-seed gain.
+  EXPECT_NEAR(across.find("no-RL-localpref").interpolate(10.0),
+              1.0 / (1.0 + 49.0 * std::exp(-0.8 * 1.5 * 10.0)), 1e-6);
+  EXPECT_NEAR(across.find("localpref-RL").interpolate(100.0),
+              1.0 / (1.0 + 49.0 * std::exp(-1.5)), 1e-6);
+  EXPECT_NEAR(across.find("random-RL").interpolate(100.0),
+              1.0 / (1.0 + 49.0 * std::exp(-1.0)), 1e-6);
+}
+
+TEST(Snapshots, Fig7aPeaksAndTails) {
+  const FigureData fig = fig7a_immunization_analytical();
+  EXPECT_NEAR(fig.find("immunize-at-20%").max_value(), 0.5766, 2e-3);
+  EXPECT_NEAR(fig.find("immunize-at-50%").max_value(), 0.6863, 2e-3);
+  EXPECT_NEAR(fig.find("immunize-at-80%").max_value(), 0.8155, 2e-3);
+  // Tails decay once patching outpaces infection.
+  EXPECT_LT(fig.find("immunize-at-20%").interpolate(80.0), 0.03);
+}
+
+TEST(Snapshots, Fig7bPeaks) {
+  const FigureData fig = fig7b_immunization_ratelimited_analytical();
+  EXPECT_NEAR(fig.find("immunize-at-tick-6").max_value(), 0.1848, 2e-3);
+  EXPECT_NEAR(fig.find("immunize-at-tick-8").max_value(), 0.2262, 2e-3);
+  EXPECT_NEAR(fig.find("immunize-at-tick-10").max_value(), 0.2760, 2e-3);
+}
+
+TEST(Snapshots, Fig10TimeToHalf) {
+  const FigureData fig = fig10_trace_rates_analytical();
+  EXPECT_NEAR(fig.find("no-RL").time_to_reach(0.5), 8.78, 0.05);
+  EXPECT_NEAR(fig.find("host-RL").time_to_reach(0.5), 140.5, 2.0);
+  EXPECT_NEAR(fig.find("edge-RL-1:6-ip").time_to_reach(0.5), 1311.2,
+              5.0);
+  EXPECT_NEAR(fig.find("edge-RL-1:2-dns").time_to_reach(0.5), 3900.0,
+              60.0);
+}
+
+}  // namespace
+}  // namespace dq::core

@@ -1,0 +1,91 @@
+#include "epidemic/backbone_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "epidemic/si_model.hpp"
+
+namespace dq::epidemic {
+namespace {
+
+BackboneParams params(double alpha, double r = 0.0) {
+  BackboneParams p;
+  p.population = 1000.0;
+  p.contact_rate = 0.8;
+  p.path_coverage = alpha;
+  p.residual_rate = r;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(BackboneModel, Validation) {
+  EXPECT_THROW(BackboneModel{params(-0.1)}, std::invalid_argument);
+  EXPECT_THROW(BackboneModel{params(1.1)}, std::invalid_argument);
+  EXPECT_THROW(BackboneModel{params(0.5, -1.0)}, std::invalid_argument);
+}
+
+TEST(BackboneModel, GrowthRateIsBetaTimesUncovered) {
+  const BackboneModel model(params(0.9));
+  EXPECT_DOUBLE_EQ(model.growth_rate(), 0.8 * 0.1);
+}
+
+TEST(BackboneModel, ZeroCoverageReducesToHomogeneous) {
+  const BackboneModel model(params(0.0));
+  SiParams sp;
+  sp.population = 1000.0;
+  sp.contact_rate = 0.8;
+  sp.initial_infected = 1.0;
+  const HomogeneousSi si(sp);
+  for (double t : {0.0, 5.0, 12.0})
+    EXPECT_NEAR(model.fraction_at(t), si.fraction_at(t), 1e-12);
+}
+
+TEST(BackboneModel, ClosedFormMatchesIntegrationWhenResidualZero) {
+  const BackboneModel model(params(0.5));
+  const std::vector<double> grid = uniform_grid(0.0, 40.0, 41);
+  const TimeSeries closed = model.closed_form(grid);
+  const TimeSeries numeric = model.integrate(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(closed.value_at(i), numeric.value_at(i), 1e-6);
+}
+
+TEST(BackboneModel, ResidualRateAddsLeakage) {
+  // With full coverage and r = 0, the epidemic cannot grow; a positive
+  // residual lets it leak through (δ = min(Iβα, rN/2³²)).
+  const std::vector<double> grid = uniform_grid(0.0, 2000.0, 21);
+  BackboneParams sealed = params(1.0, 0.0);
+  const TimeSeries none = BackboneModel(sealed).integrate(grid);
+  EXPECT_NEAR(none.back_value(), 1.0 / 1000.0, 1e-9);
+
+  // Huge residual so the δ cap never binds and growth ≈ homogeneous.
+  BackboneParams leaky = params(1.0, 1e10);
+  const TimeSeries leak = BackboneModel(leaky).integrate(grid);
+  EXPECT_GT(leak.back_value(), 0.5);
+}
+
+TEST(BackboneModel, TimeToLevelThrowsWhenSealed) {
+  const BackboneModel model(params(1.0));
+  EXPECT_THROW(model.time_to_level(0.5), std::logic_error);
+}
+
+/// Property sweep over α: more coverage ⇒ slower spread, matching the
+/// λ = β(1−α) law exactly.
+class CoverageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageSweep, MoreCoverageNeverFaster) {
+  const double alpha = GetParam();
+  const BackboneModel lo(params(alpha));
+  const BackboneModel hi(params(std::min(0.99, alpha + 0.2)));
+  for (double t : {2.0, 10.0, 40.0})
+    EXPECT_GE(lo.fraction_at(t) + 1e-12, hi.fraction_at(t));
+  const double expected_ratio =
+      lo.growth_rate() / hi.growth_rate();
+  const double measured_ratio =
+      hi.time_to_level(0.5) / lo.time_to_level(0.5);
+  EXPECT_NEAR(measured_ratio, expected_ratio, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Coverages, CoverageSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.7));
+
+}  // namespace
+}  // namespace dq::epidemic

@@ -1,0 +1,97 @@
+#include "epidemic/branching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dq::epidemic {
+namespace {
+
+TEST(Branching, Validation) {
+  EXPECT_THROW(BranchingProcess(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(BranchingProcess(0.8, -0.1), std::invalid_argument);
+  EXPECT_THROW(BranchingProcess(0.8, 1.1), std::invalid_argument);
+}
+
+TEST(Branching, R0Formula) {
+  const BranchingProcess bp(0.8, 0.2);
+  EXPECT_DOUBLE_EQ(bp.r0(), 0.8 * 0.8 / 0.2);
+  EXPECT_TRUE(bp.supercritical());
+  EXPECT_TRUE(std::isinf(BranchingProcess(0.8, 0.0).r0()));
+}
+
+TEST(Branching, PgfBoundaries) {
+  const BranchingProcess bp(0.8, 0.3);
+  // G(1) = 1 always; G(0) = P(no offspring) in (0, 1).
+  EXPECT_NEAR(bp.offspring_pgf(1.0), 1.0, 1e-12);
+  const double p0 = bp.offspring_pgf(0.0);
+  EXPECT_GT(p0, 0.0);
+  EXPECT_LT(p0, 1.0);
+  // Explicitly: removed before any scan (prob mu) or survives ticks
+  // with zero Poisson draws.
+  EXPECT_NEAR(p0, 0.3 / (1.0 - 0.7 * std::exp(-0.8)), 1e-12);
+  EXPECT_THROW(bp.offspring_pgf(-0.1), std::invalid_argument);
+  EXPECT_THROW(bp.offspring_pgf(1.1), std::invalid_argument);
+}
+
+TEST(Branching, PgfIsMonotone) {
+  const BranchingProcess bp(1.2, 0.25);
+  double prev = 0.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double g = bp.offspring_pgf(s);
+    EXPECT_GE(g + 1e-12, prev);
+    prev = g;
+  }
+}
+
+TEST(Branching, SubcriticalExtinctionCertain) {
+  const BranchingProcess bp(0.4, 0.5);  // R0 = 0.4
+  EXPECT_FALSE(bp.supercritical());
+  EXPECT_DOUBLE_EQ(bp.extinction_probability(), 1.0);
+}
+
+TEST(Branching, NoRemovalNeverDies) {
+  const BranchingProcess bp(0.8, 0.0);
+  EXPECT_DOUBLE_EQ(bp.extinction_probability(), 0.0);
+}
+
+TEST(Branching, ExtinctionIsFixedPoint) {
+  const BranchingProcess bp(0.8, 0.2);
+  const double q = bp.extinction_probability();
+  EXPECT_GT(q, 0.0);
+  EXPECT_LT(q, 1.0);
+  EXPECT_NEAR(bp.offspring_pgf(q), q, 1e-10);
+  // Matches the value the extinction bench measures (~0.39).
+  EXPECT_NEAR(q, 0.394, 0.01);
+}
+
+TEST(Branching, MoreSeedsDieLessOften) {
+  const BranchingProcess bp(0.8, 0.2);
+  const double q1 = bp.extinction_probability(1);
+  const double q5 = bp.extinction_probability(5);
+  EXPECT_NEAR(q5, std::pow(q1, 5.0), 1e-12);
+  EXPECT_LT(q5, q1);
+}
+
+/// Property: extinction probability falls with β and rises with μ.
+class BranchingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BranchingSweep, MonotoneInParameters) {
+  const double mu = GetParam();
+  double prev = 1.0;
+  for (double beta : {0.2, 0.4, 0.8, 1.6, 3.2}) {
+    const double q = BranchingProcess(beta, mu).extinction_probability();
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+  const double q_lo = BranchingProcess(1.0, mu).extinction_probability();
+  const double q_hi =
+      BranchingProcess(1.0, std::min(1.0, mu + 0.2)).extinction_probability();
+  EXPECT_GE(q_hi + 1e-12, q_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(RemovalRates, BranchingSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+}  // namespace
+}  // namespace dq::epidemic

@@ -1,0 +1,164 @@
+#include "epidemic/classic_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "epidemic/si_model.hpp"
+
+namespace dq::epidemic {
+namespace {
+
+SisParams sis_params(double beta = 0.8, double delta = 0.2) {
+  SisParams p;
+  p.population = 1000.0;
+  p.contact_rate = beta;
+  p.cure_rate = delta;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(SisModel, Validation) {
+  SisParams p = sis_params();
+  p.cure_rate = -0.1;
+  EXPECT_THROW(SisModel{p}, std::invalid_argument);
+  p = sis_params();
+  p.initial_infected = 0.0;
+  EXPECT_THROW(SisModel{p}, std::invalid_argument);
+}
+
+TEST(SisModel, ZeroCureReducesToSi) {
+  const SisModel sis(sis_params(0.8, 0.0));
+  SiParams sp;
+  sp.population = 1000.0;
+  sp.contact_rate = 0.8;
+  sp.initial_infected = 1.0;
+  const HomogeneousSi si(sp);
+  for (double t : {0.0, 5.0, 12.0, 30.0})
+    EXPECT_NEAR(sis.fraction_at(t), si.fraction_at(t), 1e-9);
+}
+
+TEST(SisModel, ConvergesToEndemicLevel) {
+  const SisModel model(sis_params(0.8, 0.2));
+  EXPECT_DOUBLE_EQ(model.endemic_fraction(), 0.75);
+  EXPECT_TRUE(model.above_threshold());
+  EXPECT_NEAR(model.fraction_at(200.0), 0.75, 1e-6);
+}
+
+TEST(SisModel, BelowThresholdDiesOut) {
+  const SisModel model(sis_params(0.2, 0.5));
+  EXPECT_FALSE(model.above_threshold());
+  EXPECT_DOUBLE_EQ(model.endemic_fraction(), 0.0);
+  EXPECT_NEAR(model.fraction_at(100.0), 0.0, 1e-9);
+}
+
+TEST(SisModel, CriticalCaseDecaysSlowly) {
+  const SisModel model(sis_params(0.5, 0.5));
+  // Quadratic (not exponential) decay: still positive at large t.
+  EXPECT_GT(model.fraction_at(100.0), 0.0);
+  EXPECT_LT(model.fraction_at(100.0), model.fraction_at(1.0));
+}
+
+TEST(SisModel, ClosedFormMatchesIntegration) {
+  const SisModel model(sis_params(0.8, 0.3));
+  const std::vector<double> grid = uniform_grid(0.0, 60.0, 61);
+  const TimeSeries closed = model.closed_form(grid);
+  const TimeSeries numeric = model.integrate(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(closed.value_at(i), numeric.value_at(i), 1e-6);
+}
+
+/// Property: the endemic level rises with β and falls with δ.
+class SisSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SisSweep, EndemicLevelMonotone) {
+  const double delta = GetParam();
+  const SisModel lo(sis_params(0.6, delta));
+  const SisModel hi(sis_params(0.9, delta));
+  EXPECT_LE(lo.endemic_fraction(), hi.endemic_fraction());
+  const SisModel more_cure(sis_params(0.9, delta + 0.1));
+  EXPECT_GE(hi.endemic_fraction(), more_cure.endemic_fraction());
+}
+
+INSTANTIATE_TEST_SUITE_P(CureRates, SisSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5));
+
+TwoFactorParams tf_params() {
+  TwoFactorParams p;
+  p.population = 1000.0;
+  p.contact_rate = 0.8;
+  p.congestion_exponent = 2.0;
+  p.removal_rate = 0.05;
+  p.quarantine_rate = 0.06;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(TwoFactorModel, Validation) {
+  TwoFactorParams p = tf_params();
+  p.congestion_exponent = -1.0;
+  EXPECT_THROW(TwoFactorModel{p}, std::invalid_argument);
+  p = tf_params();
+  p.removal_rate = -0.1;
+  EXPECT_THROW(TwoFactorModel{p}, std::invalid_argument);
+}
+
+TEST(TwoFactorModel, ConservesPopulation) {
+  const TwoFactorModel model(tf_params());
+  const TwoFactorCurves curves =
+      model.integrate(uniform_grid(0.0, 200.0, 101));
+  // I + S + R + Q = N at all times; check I + removed <= 1 and that
+  // the ever-infected curve is monotone.
+  double prev_ever = 0.0;
+  for (std::size_t i = 0; i < curves.infected_fraction.size(); ++i) {
+    const double active = curves.infected_fraction.value_at(i);
+    const double removed = curves.removed_fraction.value_at(i);
+    EXPECT_LE(active + removed, 1.0 + 1e-6);
+    EXPECT_GE(active, -1e-9);
+    const double ever = curves.ever_fraction.value_at(i);
+    EXPECT_GE(ever + 1e-9, prev_ever);
+    prev_ever = ever;
+  }
+}
+
+TEST(TwoFactorModel, InfectionRisesThenFalls) {
+  const TwoFactorModel model(tf_params());
+  const TwoFactorCurves curves =
+      model.integrate(uniform_grid(0.0, 300.0, 151));
+  const double peak = curves.infected_fraction.max_value();
+  EXPECT_GT(peak, 0.2);
+  EXPECT_LT(curves.infected_fraction.back_value(), peak * 0.5);
+}
+
+TEST(TwoFactorModel, CongestionSlowsGrowthVersusSi) {
+  // With η > 0 the worm throttles itself as it saturates; reaching any
+  // level takes longer than the plain SI model predicts.
+  const TwoFactorModel model(tf_params());
+  const TwoFactorCurves curves =
+      model.integrate(uniform_grid(0.0, 100.0, 201));
+  SiParams sp;
+  sp.population = 1000.0;
+  sp.contact_rate = 0.8;
+  sp.initial_infected = 1.0;
+  const HomogeneousSi si(sp);
+  EXPECT_GT(curves.ever_fraction.time_to_reach(0.5),
+            si.time_to_level(0.5));
+}
+
+TEST(TwoFactorModel, StrongerCountermeasuresLowerTheToll) {
+  TwoFactorParams weak = tf_params();
+  TwoFactorParams strong = tf_params();
+  strong.removal_rate = 0.15;
+  strong.quarantine_rate = 0.2;
+  EXPECT_LT(TwoFactorModel(strong).final_ever_infected(),
+            TwoFactorModel(weak).final_ever_infected());
+}
+
+TEST(TwoFactorModel, NoCountermeasuresSaturates) {
+  TwoFactorParams p = tf_params();
+  p.removal_rate = 0.0;
+  p.quarantine_rate = 0.0;
+  p.congestion_exponent = 0.0;
+  EXPECT_NEAR(TwoFactorModel(p).final_ever_infected(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace dq::epidemic

@@ -1,0 +1,99 @@
+#include "epidemic/edge_router_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::epidemic {
+namespace {
+
+EdgeRouterParams params(WormClass worm, bool limited) {
+  EdgeRouterParams p;
+  p.num_subnets = 50.0;
+  p.hosts_per_subnet = 20.0;
+  p.worm = worm;
+  p.intra_rate = 0.8;
+  p.local_preference_gain = 4.0;
+  p.inter_rate = 0.8;
+  p.limited_inter_rate = 0.01;
+  p.rate_limited = limited;
+  return p;
+}
+
+TEST(EdgeRouterModel, Validation) {
+  EdgeRouterParams p = params(WormClass::kRandom, false);
+  p.local_preference_gain = 0.5;
+  EXPECT_THROW(EdgeRouterModel{p}, std::invalid_argument);
+  p = params(WormClass::kRandom, false);
+  p.limited_inter_rate = 2.0;  // above the unlimited rate
+  EXPECT_THROW(EdgeRouterModel{p}, std::invalid_argument);
+  p = params(WormClass::kRandom, false);
+  p.initial_infected_subnets = 50.0;
+  EXPECT_THROW(EdgeRouterModel{p}, std::invalid_argument);
+  p = params(WormClass::kRandom, false);
+  p.subnet_seed_gain = 0.9;
+  EXPECT_THROW(EdgeRouterModel{p}, std::invalid_argument);
+}
+
+TEST(EdgeRouterModel, LocalPreferentialBoostsIntraRate) {
+  const EdgeRouterModel random(params(WormClass::kRandom, false));
+  const EdgeRouterModel local(
+      params(WormClass::kLocalPreferential, false));
+  EXPECT_DOUBLE_EQ(random.intra_growth_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(local.intra_growth_rate(), 3.2);
+}
+
+TEST(EdgeRouterModel, RateLimitingOnlyTouchesInterRate) {
+  const EdgeRouterModel unlimited(
+      params(WormClass::kLocalPreferential, false));
+  const EdgeRouterModel limited(
+      params(WormClass::kLocalPreferential, true));
+  EXPECT_DOUBLE_EQ(unlimited.intra_growth_rate(),
+                   limited.intra_growth_rate());
+  EXPECT_GT(unlimited.inter_growth_rate(), limited.inter_growth_rate());
+  // Within-subnet curves are identical — the Figure 3(b)/5 takeaway.
+  for (double t : {1.0, 3.0, 10.0})
+    EXPECT_DOUBLE_EQ(unlimited.within_subnet_fraction(t),
+                     limited.within_subnet_fraction(t));
+}
+
+TEST(EdgeRouterModel, LimitedLocalPrefCrossesFasterThanRandom) {
+  // Figure 3(a): under identical edge limits the local-preferential
+  // worm still crosses subnets faster (the subnet-seed gain).
+  const EdgeRouterModel local(params(WormClass::kLocalPreferential, true));
+  const EdgeRouterModel random(params(WormClass::kRandom, true));
+  EXPECT_GT(local.inter_growth_rate(), random.inter_growth_rate());
+  EXPECT_LT(local.time_to_subnet_level(0.5),
+            random.time_to_subnet_level(0.5));
+}
+
+TEST(EdgeRouterModel, OverallIsProductOfLevels) {
+  const EdgeRouterModel model(params(WormClass::kRandom, false));
+  for (double t : {0.0, 2.0, 8.0})
+    EXPECT_DOUBLE_EQ(model.overall_fraction(t),
+                     model.within_subnet_fraction(t) *
+                         model.across_subnet_fraction(t));
+}
+
+TEST(EdgeRouterModel, CurvesMatchPointQueries) {
+  const EdgeRouterModel model(params(WormClass::kRandom, true));
+  const std::vector<double> grid = uniform_grid(0.0, 100.0, 11);
+  const TimeSeries across = model.across_subnet_curve(grid);
+  const TimeSeries within = model.within_subnet_curve(grid);
+  const TimeSeries overall = model.overall_curve(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(across.value_at(i),
+                     model.across_subnet_fraction(grid[i]));
+    EXPECT_DOUBLE_EQ(within.value_at(i),
+                     model.within_subnet_fraction(grid[i]));
+    EXPECT_DOUBLE_EQ(overall.value_at(i),
+                     model.overall_fraction(grid[i]));
+  }
+}
+
+TEST(EdgeRouterModel, TimeToSubnetLevelInverse) {
+  const EdgeRouterModel model(params(WormClass::kRandom, false));
+  const double t = model.time_to_subnet_level(0.5);
+  EXPECT_NEAR(model.across_subnet_fraction(t), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace dq::epidemic

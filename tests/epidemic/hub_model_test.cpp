@@ -1,0 +1,117 @@
+#include "epidemic/hub_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dq::epidemic {
+namespace {
+
+HubModelParams params() {
+  HubModelParams p;
+  p.population = 200.0;
+  p.link_rate = 0.8;
+  p.hub_rate = 6.0;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(HubModel, Validation) {
+  HubModelParams p = params();
+  p.link_rate = 0.0;
+  EXPECT_THROW(HubModel{p}, std::invalid_argument);
+  p = params();
+  p.hub_rate = -1.0;
+  EXPECT_THROW(HubModel{p}, std::invalid_argument);
+  p = params();
+  p.initial_infected = 200.0;
+  EXPECT_THROW(HubModel{p}, std::invalid_argument);
+}
+
+TEST(HubModel, SaturationPoint) {
+  const HubModel model(params());
+  EXPECT_DOUBLE_EQ(model.saturation_count(), 6.0 / 0.8);
+  EXPECT_GT(model.saturation_time(), 0.0);
+  // At the saturation time the infected count equals β/γ.
+  const double f = model.fraction_at(model.saturation_time());
+  EXPECT_NEAR(f * 200.0, 7.5, 1e-6);
+}
+
+TEST(HubModel, NeverSaturatesWhenHubIsFast) {
+  HubModelParams p = params();
+  p.hub_rate = 1000.0;  // β ≥ γN: link-limited logistic throughout
+  const HubModel model(p);
+  EXPECT_TRUE(std::isinf(model.saturation_time()));
+  // Pure logistic at rate γ.
+  const double t = model.time_to_level(0.5);
+  EXPECT_NEAR(model.fraction_at(t), 0.5, 1e-9);
+  EXPECT_NEAR(t, std::log(199.0) / 0.8, 0.01);
+}
+
+TEST(HubModel, SaturatedFromStart) {
+  HubModelParams p = params();
+  p.hub_rate = 0.4;  // I* = 0.5 < initial infected
+  const HubModel model(p);
+  EXPECT_DOUBLE_EQ(model.saturation_time(), 0.0);
+  // Pure dI/dt = β(N−I)/N from t = 0.
+  EXPECT_NEAR(model.fraction_at(0.0), 1.0 / 200.0, 1e-12);
+}
+
+TEST(HubModel, ClosedFormMatchesIntegration) {
+  const HubModel model(params());
+  const std::vector<double> grid = uniform_grid(0.0, 60.0, 61);
+  const TimeSeries closed = model.closed_form(grid);
+  const TimeSeries numeric = model.integrate(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(closed.value_at(i), numeric.value_at(i), 2e-3);
+}
+
+TEST(HubModel, TimeToLevelConsistent) {
+  const HubModel model(params());
+  for (double level : {0.02, 0.3, 0.6, 0.9}) {
+    const double t = model.time_to_level(level);
+    EXPECT_NEAR(model.fraction_at(t), level, 1e-9);
+  }
+  EXPECT_THROW(model.time_to_level(0.0), std::invalid_argument);
+  EXPECT_THROW(model.time_to_level(1.0), std::invalid_argument);
+}
+
+TEST(HubModel, PaperTimeScaleNLnAlphaOverBeta) {
+  // Deep in the saturated regime, time to level α scales like
+  // N·ln(1/(1−α))/β — the paper's "t ≈ N ln(α)/β" comparability claim.
+  const HubModel model(params());
+  const double t90 = model.time_to_level(0.9);
+  const double t99 = model.time_to_level(0.99);
+  // Going from 90% to 99% costs N/β · ln(0.1/0.01) = 200/6 · ln(10).
+  EXPECT_NEAR(t99 - t90, 200.0 / 6.0 * std::log(10.0), 0.5);
+}
+
+TEST(HubModel, MonotoneCurve) {
+  const HubModel model(params());
+  double prev = 0.0;
+  for (double t = 0.0; t <= 80.0; t += 1.0) {
+    const double f = model.fraction_at(t);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+/// Property: a faster hub never slows the epidemic.
+class HubRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HubRateSweep, FasterHubIsNeverSlower) {
+  HubModelParams lo_p = params();
+  lo_p.hub_rate = GetParam();
+  HubModelParams hi_p = params();
+  hi_p.hub_rate = GetParam() * 2.0;
+  const HubModel lo(lo_p), hi(hi_p);
+  for (double t : {5.0, 15.0, 40.0, 80.0})
+    EXPECT_LE(lo.fraction_at(t), hi.fraction_at(t) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, HubRateSweep,
+                         ::testing::Values(0.5, 2.0, 6.0, 20.0));
+
+}  // namespace
+}  // namespace dq::epidemic

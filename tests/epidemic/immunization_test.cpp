@@ -1,0 +1,199 @@
+#include "epidemic/immunization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "epidemic/si_model.hpp"
+
+namespace dq::epidemic {
+namespace {
+
+DelayedImmunizationParams params(double delay = 10.0, double mu = 0.1) {
+  DelayedImmunizationParams p;
+  p.population = 1000.0;
+  p.contact_rate = 0.8;
+  p.immunization_rate = mu;
+  p.delay = delay;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(DelayedImmunization, Validation) {
+  DelayedImmunizationParams p = params();
+  p.immunization_rate = -0.1;
+  EXPECT_THROW(DelayedImmunizationModel{p}, std::invalid_argument);
+  p = params();
+  p.delay = -1.0;
+  EXPECT_THROW(DelayedImmunizationModel{p}, std::invalid_argument);
+}
+
+TEST(DelayedImmunization, MatchesSiBeforeDelay) {
+  const DelayedImmunizationModel model(params(8.0));
+  SiParams sp;
+  sp.population = 1000.0;
+  sp.contact_rate = 0.8;
+  sp.initial_infected = 1.0;
+  const HomogeneousSi si(sp);
+  for (double t : {0.0, 3.0, 7.9})
+    EXPECT_NEAR(model.fraction_at(t), si.fraction_at(t), 1e-12);
+}
+
+TEST(DelayedImmunization, ContinuousAtDelay) {
+  const DelayedImmunizationModel model(params(8.0));
+  EXPECT_NEAR(model.fraction_at(8.0 - 1e-9), model.fraction_at(8.0 + 1e-9),
+              1e-6);
+}
+
+TEST(DelayedImmunization, ActiveInfectionEventuallyDeclines) {
+  const DelayedImmunizationModel model(params(8.0));
+  const double peak_region = model.fraction_at(15.0);
+  EXPECT_GT(peak_region, model.fraction_at(100.0));
+  EXPECT_NEAR(model.fraction_at(300.0), 0.0, 1e-6);
+}
+
+TEST(DelayedImmunization, ZeroMuReducesToSi) {
+  const DelayedImmunizationModel model(params(8.0, 0.0));
+  SiParams sp;
+  sp.population = 1000.0;
+  sp.contact_rate = 0.8;
+  sp.initial_infected = 1.0;
+  const HomogeneousSi si(sp);
+  for (double t : {5.0, 10.0, 20.0})
+    EXPECT_NEAR(model.fraction_at(t), si.fraction_at(t), 1e-9);
+}
+
+TEST(DelayedImmunization, ClosedFormTracksOdeActiveCurve) {
+  const DelayedImmunizationModel model(params(8.0));
+  const std::vector<double> grid = uniform_grid(0.0, 50.0, 51);
+  const TimeSeries closed = model.closed_form(grid);
+  const ImmunizationCurves curves = model.integrate(grid);
+  // The paper's closed form approximates the full system; they must
+  // agree well in the growth phase and qualitatively at the tail.
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(closed.value_at(i), curves.active_fraction.value_at(i),
+                0.08);
+}
+
+TEST(DelayedImmunization, EverInfectedMonotoneAndBounded) {
+  const DelayedImmunizationModel model(params(7.0));
+  const ImmunizationCurves curves =
+      model.integrate(uniform_grid(0.0, 60.0, 61));
+  double prev = 0.0;
+  for (std::size_t i = 0; i < curves.ever_fraction.size(); ++i) {
+    const double v = curves.ever_fraction.value_at(i);
+    EXPECT_GE(v + 1e-12, prev);
+    EXPECT_LE(v, 1.0 + 1e-9);
+    EXPECT_GE(v + 1e-12, curves.active_fraction.value_at(i));
+    prev = v;
+  }
+}
+
+TEST(DelayedImmunization, DelayForInfectionLevel) {
+  const double d20 = DelayedImmunizationModel::delay_for_infection_level(
+      1000.0, 0.8, 1.0, 0.2);
+  // The paper: "immunization starting at 20% ... should happen around
+  // the 6th timetick".
+  EXPECT_NEAR(d20, 6.9, 0.1);
+  const double d50 = DelayedImmunizationModel::delay_for_infection_level(
+      1000.0, 0.8, 1.0, 0.5);
+  EXPECT_NEAR(d50, 8.63, 0.05);
+}
+
+TEST(DelayedImmunization, PaperFinalEverNumbers) {
+  // Figure 8(a)'s analytical counterparts: immunizing at 20/50/80%
+  // yields ~80/90/98% ever infected.
+  const double d20 = DelayedImmunizationModel::delay_for_infection_level(
+      1000.0, 0.8, 1.0, 0.2);
+  const double d50 = DelayedImmunizationModel::delay_for_infection_level(
+      1000.0, 0.8, 1.0, 0.5);
+  const double d80 = DelayedImmunizationModel::delay_for_infection_level(
+      1000.0, 0.8, 1.0, 0.8);
+  EXPECT_NEAR(DelayedImmunizationModel(params(d20)).final_ever_infected(),
+              0.80, 0.05);
+  EXPECT_NEAR(DelayedImmunizationModel(params(d50)).final_ever_infected(),
+              0.90, 0.05);
+  EXPECT_NEAR(DelayedImmunizationModel(params(d80)).final_ever_infected(),
+              0.97, 0.03);
+}
+
+/// Property: immunizing earlier and patching faster both reduce the
+/// total ever infected.
+class DelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelaySweep, EarlierImmunizationHelps) {
+  const double d = GetParam();
+  const DelayedImmunizationModel early(params(d));
+  const DelayedImmunizationModel late(params(d + 2.0));
+  EXPECT_LE(early.final_ever_infected(),
+            late.final_ever_infected() + 1e-6);
+}
+
+TEST_P(DelaySweep, FasterPatchingHelps) {
+  const double d = GetParam();
+  const DelayedImmunizationModel slow(params(d, 0.05));
+  const DelayedImmunizationModel fast(params(d, 0.2));
+  EXPECT_LE(fast.final_ever_infected(), slow.final_ever_infected() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, DelaySweep,
+                         ::testing::Values(4.0, 6.0, 8.0, 10.0, 14.0));
+
+// ---- Backbone + immunization (Section 6.2) ----
+
+BackboneImmunizationParams bb_params(double alpha = 0.5,
+                                     double delay = 6.0) {
+  BackboneImmunizationParams p;
+  p.population = 1000.0;
+  p.contact_rate = 0.8;
+  p.path_coverage = alpha;
+  p.immunization_rate = 0.1;
+  p.delay = delay;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(BackboneImmunization, Validation) {
+  BackboneImmunizationParams p = bb_params();
+  p.path_coverage = 1.0;
+  EXPECT_THROW(BackboneImmunizationModel{p}, std::invalid_argument);
+  p = bb_params();
+  p.residual_rate = -1.0;
+  EXPECT_THROW(BackboneImmunizationModel{p}, std::invalid_argument);
+}
+
+TEST(BackboneImmunization, GrowthRate) {
+  const BackboneImmunizationModel model(bb_params(0.5));
+  EXPECT_DOUBLE_EQ(model.growth_rate(), 0.4);
+}
+
+TEST(BackboneImmunization, ZeroCoverageMatchesPlainImmunization) {
+  const BackboneImmunizationModel bb(bb_params(0.0, 8.0));
+  const DelayedImmunizationModel plain(params(8.0));
+  for (double t : {2.0, 8.0, 15.0, 30.0})
+    EXPECT_NEAR(bb.fraction_at(t), plain.fraction_at(t), 1e-12);
+}
+
+TEST(BackboneImmunization, RateLimitingLowersFinalEver) {
+  // The paper's Section 6.2 claim: adding backbone rate limiting to
+  // immunization lowers the total infected population.
+  const DelayedImmunizationModel no_rl(params(6.0));
+  const BackboneImmunizationModel with_rl(bb_params(0.3, 6.0));
+  EXPECT_LT(with_rl.final_ever_infected(), no_rl.final_ever_infected());
+}
+
+TEST(BackboneImmunization, ContinuousAtDelay) {
+  const BackboneImmunizationModel model(bb_params());
+  EXPECT_NEAR(model.fraction_at(6.0 - 1e-9), model.fraction_at(6.0 + 1e-9),
+              1e-6);
+}
+
+TEST(BackboneImmunization, CurvesConsistent) {
+  const BackboneImmunizationModel model(bb_params());
+  const ImmunizationCurves curves =
+      model.integrate(uniform_grid(0.0, 50.0, 51));
+  for (std::size_t i = 0; i < curves.ever_fraction.size(); ++i)
+    EXPECT_GE(curves.ever_fraction.value_at(i) + 1e-12,
+              curves.active_fraction.value_at(i));
+}
+
+}  // namespace
+}  // namespace dq::epidemic

@@ -1,0 +1,75 @@
+#include "epidemic/logistic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dq::epidemic {
+namespace {
+
+TEST(Logistic, FractionAtZero) {
+  // f(0) = 1/(c+1).
+  EXPECT_DOUBLE_EQ(logistic_fraction(0.5, 3.0, 0.0), 0.25);
+}
+
+TEST(Logistic, ApproachesOne) {
+  EXPECT_NEAR(logistic_fraction(1.0, 99.0, 50.0), 1.0, 1e-9);
+}
+
+TEST(Logistic, StableForHugeExponents) {
+  EXPECT_DOUBLE_EQ(logistic_fraction(10.0, 999.0, 1000.0), 1.0);
+  EXPECT_NEAR(logistic_fraction(10.0, 999.0, -1000.0), 0.0, 1e-12);
+}
+
+TEST(Logistic, ConstantFromInitialFraction) {
+  EXPECT_DOUBLE_EQ(logistic_constant(0.001), 999.0);
+  EXPECT_DOUBLE_EQ(logistic_constant(0.5), 1.0);
+  EXPECT_THROW(logistic_constant(0.0), std::invalid_argument);
+  EXPECT_THROW(logistic_constant(1.0), std::invalid_argument);
+}
+
+TEST(Logistic, TimeToLevelInvertsFraction) {
+  const double lambda = 0.8, c = 999.0;
+  for (double level : {0.1, 0.5, 0.9}) {
+    const double t = logistic_time_to_level(lambda, c, level);
+    EXPECT_NEAR(logistic_fraction(lambda, c, t), level, 1e-12);
+  }
+}
+
+TEST(Logistic, TimeToLevelMatchesPaperShorthand) {
+  // Paper Eq. (2): t ≈ ln(α)/β for low initial infection. With c = N-1
+  // and α·N target hosts, the exact form reduces to it when α is small.
+  const double beta = 0.8;
+  const double n = 1e6;
+  const double c = n - 1.0;
+  const double alpha_hosts = 1000.0;
+  const double exact =
+      logistic_time_to_level(beta, c, alpha_hosts / n);
+  EXPECT_NEAR(exact, std::log(alpha_hosts) / beta, 0.01);
+}
+
+TEST(Logistic, TimeToLevelValidation) {
+  EXPECT_THROW(logistic_time_to_level(0.0, 9.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(logistic_time_to_level(1.0, 9.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(logistic_time_to_level(1.0, 9.0, 1.0), std::invalid_argument);
+}
+
+TEST(Logistic, CurveSamples) {
+  const auto ys = logistic_curve(1.0, 1.0, {0.0, 100.0});
+  ASSERT_EQ(ys.size(), 2u);
+  EXPECT_DOUBLE_EQ(ys[0], 0.5);
+  EXPECT_NEAR(ys[1], 1.0, 1e-12);
+}
+
+TEST(Logistic, MonotoneIncreasingInTime) {
+  double prev = 0.0;
+  for (double t = -10.0; t <= 10.0; t += 0.5) {
+    const double f = logistic_fraction(0.7, 42.0, t);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace dq::epidemic

@@ -1,0 +1,94 @@
+#include "epidemic/partial_deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "epidemic/si_model.hpp"
+
+namespace dq::epidemic {
+namespace {
+
+PartialDeploymentParams params(double q) {
+  PartialDeploymentParams p;
+  p.population = 1000.0;
+  p.deployed_fraction = q;
+  p.unfiltered_rate = 0.8;
+  p.filtered_rate = 0.01;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(PartialDeployment, Validation) {
+  EXPECT_THROW(PartialDeploymentModel{params(-0.1)}, std::invalid_argument);
+  EXPECT_THROW(PartialDeploymentModel{params(1.1)}, std::invalid_argument);
+  PartialDeploymentParams bad = params(0.5);
+  bad.filtered_rate = 1.0;  // filter must not raise the rate
+  EXPECT_THROW(PartialDeploymentModel{bad}, std::invalid_argument);
+}
+
+TEST(PartialDeployment, GrowthRateLaw) {
+  // λ = qβ₂ + (1−q)β₁ — Equation (3)'s solution.
+  const PartialDeploymentModel model(params(0.3));
+  EXPECT_DOUBLE_EQ(model.growth_rate(), 0.3 * 0.01 + 0.7 * 0.8);
+}
+
+TEST(PartialDeployment, ZeroDeploymentReducesToHomogeneousSi) {
+  const PartialDeploymentModel model(params(0.0));
+  SiParams sp;
+  sp.population = 1000.0;
+  sp.contact_rate = 0.8;
+  sp.initial_infected = 1.0;
+  const HomogeneousSi si(sp);
+  for (double t : {0.0, 5.0, 10.0, 20.0})
+    EXPECT_NEAR(model.fraction_at(t), si.fraction_at(t), 1e-12);
+}
+
+TEST(PartialDeployment, FullDeploymentUsesFilteredRate) {
+  const PartialDeploymentModel model(params(1.0));
+  EXPECT_DOUBLE_EQ(model.growth_rate(), 0.01);
+}
+
+TEST(PartialDeployment, ClosedFormMatchesIntegration) {
+  const PartialDeploymentModel model(params(0.5));
+  const std::vector<double> grid = uniform_grid(0.0, 40.0, 41);
+  const TimeSeries closed = model.closed_form(grid);
+  const TimeSeries numeric = model.integrate(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(closed.value_at(i), numeric.value_at(i), 1e-6);
+}
+
+TEST(PartialDeployment, SlowdownFactorNearlyLinear) {
+  // With β₂ << β₁, slowdown ≈ 1/(1−q) — the paper's headline for
+  // host-based deployment (β₂ = 0.01 shifts it slightly below 4).
+  const PartialDeploymentModel model(params(0.75));
+  EXPECT_NEAR(model.slowdown_factor(), 1.0 / 0.25, 0.2);
+}
+
+TEST(PartialDeployment, Fig2EightyVsHundredPercentGulf) {
+  // The paper highlights the gulf between 80% and 100% deployment.
+  const PartialDeploymentModel p80(params(0.8));
+  const PartialDeploymentModel p100(params(1.0));
+  const double t80 = p80.time_to_level(0.5);
+  const double t100 = p100.time_to_level(0.5);
+  EXPECT_GT(t100 / t80, 10.0);
+}
+
+/// Property: more deployment never speeds the worm up, and the
+/// time-to-50% grows monotonically with q.
+class DeploymentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeploymentSweep, MonotoneInDeployment) {
+  const double q = GetParam();
+  const PartialDeploymentModel lo(params(q));
+  const PartialDeploymentModel hi(params(std::min(1.0, q + 0.1)));
+  EXPECT_GE(lo.growth_rate(), hi.growth_rate());
+  EXPECT_LE(lo.time_to_level(0.5), hi.time_to_level(0.5));
+  // At any time, more deployment means no more infection.
+  for (double t : {1.0, 5.0, 20.0, 100.0})
+    EXPECT_GE(lo.fraction_at(t) + 1e-12, hi.fraction_at(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, DeploymentSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace dq::epidemic

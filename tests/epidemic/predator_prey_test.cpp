@@ -1,0 +1,125 @@
+#include "epidemic/predator_prey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "epidemic/si_model.hpp"
+
+namespace dq::epidemic {
+namespace {
+
+PredatorPreyParams params() {
+  PredatorPreyParams p;
+  p.population = 1000.0;
+  p.worm_rate = 0.8;
+  p.predator_rate = 1.2;
+  p.patch_time = 10.0;
+  p.predator_delay = 5.0;
+  p.initial_infected = 1.0;
+  p.initial_predator = 1.0;
+  return p;
+}
+
+TEST(PredatorPrey, Validation) {
+  PredatorPreyParams p = params();
+  p.patch_time = 0.0;
+  EXPECT_THROW(PredatorPreyModel{p}, std::invalid_argument);
+  p = params();
+  p.initial_infected = 0.0;
+  EXPECT_THROW(PredatorPreyModel{p}, std::invalid_argument);
+  p = params();
+  p.initial_infected = 600.0;
+  p.initial_predator = 600.0;
+  EXPECT_THROW(PredatorPreyModel{p}, std::invalid_argument);
+}
+
+TEST(PredatorPrey, MatchesSiBeforeRelease) {
+  const PredatorPreyModel model(params());
+  const std::vector<double> grid = uniform_grid(0.0, 5.0, 11);
+  const PredatorPreyCurves curves = model.integrate(grid);
+  SiParams sp;
+  sp.population = 1000.0;
+  sp.contact_rate = 0.8;
+  sp.initial_infected = 1.0;
+  const HomogeneousSi si(sp);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(curves.infected_fraction.value_at(i),
+                si.fraction_at(grid[i]), 1e-4);
+}
+
+TEST(PredatorPrey, ConservationAndMonotonicity) {
+  const PredatorPreyModel model(params());
+  const std::vector<double> grid = uniform_grid(0.0, 200.0, 201);
+  const PredatorPreyCurves curves = model.integrate(grid);
+  double prev_ever = 0.0, prev_removed = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double total = curves.infected_fraction.value_at(i) +
+                         curves.predator_fraction.value_at(i) +
+                         curves.removed_fraction.value_at(i);
+    EXPECT_LE(total, 1.0 + 1e-6);
+    EXPECT_GE(curves.ever_fraction.value_at(i) + 1e-9, prev_ever);
+    EXPECT_GE(curves.removed_fraction.value_at(i) + 1e-9, prev_removed);
+    prev_ever = curves.ever_fraction.value_at(i);
+    prev_removed = curves.removed_fraction.value_at(i);
+  }
+}
+
+TEST(PredatorPrey, PredatorCleansTheNetwork) {
+  const PredatorPreyModel model(params());
+  const PredatorPreyCurves curves =
+      model.integrate(uniform_grid(0.0, 400.0, 201));
+  // The main worm is eventually wiped out; almost everyone ends patched.
+  EXPECT_LT(curves.infected_fraction.back_value(), 0.01);
+  EXPECT_LT(curves.predator_fraction.back_value(), 0.05);
+  EXPECT_GT(curves.removed_fraction.back_value(), 0.9);
+}
+
+TEST(PredatorPrey, EarlierReleaseLimitsDamage) {
+  PredatorPreyParams early = params();
+  early.predator_delay = 2.0;
+  PredatorPreyParams late = params();
+  late.predator_delay = 12.0;
+  EXPECT_LT(PredatorPreyModel(early).final_ever_infected(),
+            PredatorPreyModel(late).final_ever_infected());
+}
+
+TEST(PredatorPrey, FasterPredatorLimitsDamage) {
+  PredatorPreyParams slow = params();
+  slow.predator_rate = 0.6;
+  PredatorPreyParams fast = params();
+  fast.predator_rate = 2.4;
+  EXPECT_LT(PredatorPreyModel(fast).final_ever_infected(),
+            PredatorPreyModel(slow).final_ever_infected());
+}
+
+TEST(PredatorPrey, ThrottlingBothWithFixedClocksShrinksTheHeadStart) {
+  // A contact-rate limiter throttles both worms. The predator's
+  // release time and patch clock are wall-clock (human-driven), so
+  // throttling shrinks the outbreak the predator must chase at release:
+  // the main worm's total damage drops.
+  PredatorPreyParams open = params();
+  PredatorPreyParams throttled = params();
+  throttled.worm_rate *= 0.25;
+  throttled.predator_rate *= 0.25;
+  EXPECT_LT(PredatorPreyModel(throttled).final_ever_infected(),
+            PredatorPreyModel(open).final_ever_infected());
+}
+
+TEST(PredatorPrey, TimeRescalingInvariance) {
+  // Scaling both contact rates by k while scaling the delay and patch
+  // time by 1/k is a pure change of time units: the final damage is
+  // identical. (This isolates what throttling really changes — the
+  // wall-clock race against human/predator response clocks.)
+  PredatorPreyParams base = params();
+  PredatorPreyParams rescaled = params();
+  const double k = 0.5;
+  rescaled.worm_rate *= k;
+  rescaled.predator_rate *= k;
+  rescaled.predator_delay /= k;
+  rescaled.patch_time /= k;
+  EXPECT_NEAR(PredatorPreyModel(base).final_ever_infected(),
+              PredatorPreyModel(rescaled).final_ever_infected(1000.0),
+              1e-3);
+}
+
+}  // namespace
+}  // namespace dq::epidemic

@@ -1,0 +1,97 @@
+#include "epidemic/si_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dq::epidemic {
+namespace {
+
+SiParams default_params() {
+  SiParams p;
+  p.population = 1000.0;
+  p.contact_rate = 0.8;
+  p.initial_infected = 1.0;
+  return p;
+}
+
+TEST(HomogeneousSi, Validation) {
+  SiParams p = default_params();
+  p.population = 0.0;
+  EXPECT_THROW(HomogeneousSi{p}, std::invalid_argument);
+  p = default_params();
+  p.initial_infected = 0.0;
+  EXPECT_THROW(HomogeneousSi{p}, std::invalid_argument);
+  p = default_params();
+  p.initial_infected = 1000.0;
+  EXPECT_THROW(HomogeneousSi{p}, std::invalid_argument);
+  p = default_params();
+  p.contact_rate = 0.0;
+  EXPECT_THROW(HomogeneousSi{p}, std::invalid_argument);
+}
+
+TEST(HomogeneousSi, InitialFraction) {
+  const HomogeneousSi model(default_params());
+  EXPECT_NEAR(model.fraction_at(0.0), 0.001, 1e-12);
+}
+
+TEST(HomogeneousSi, Saturates) {
+  const HomogeneousSi model(default_params());
+  EXPECT_NEAR(model.fraction_at(100.0), 1.0, 1e-9);
+}
+
+TEST(HomogeneousSi, ClosedFormMatchesOdeIntegration) {
+  const HomogeneousSi model(default_params());
+  const std::vector<double> grid = uniform_grid(0.0, 30.0, 31);
+  const TimeSeries closed = model.closed_form(grid);
+  const TimeSeries numeric = model.integrate(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(closed.value_at(i), numeric.value_at(i), 1e-6);
+}
+
+TEST(HomogeneousSi, TimeToLevelIsInverse) {
+  const HomogeneousSi model(default_params());
+  const double t = model.time_to_level(0.5);
+  EXPECT_NEAR(model.fraction_at(t), 0.5, 1e-12);
+  // ln(999)/0.8 ≈ 8.63 — the epidemic time scale of the paper's Figs 7-8.
+  EXPECT_NEAR(t, 8.634, 0.01);
+}
+
+TEST(HomogeneousSi, ApproxTimeToCount) {
+  const HomogeneousSi model(default_params());
+  EXPECT_NEAR(model.approx_time_to_count(200.0), std::log(200.0) / 0.8,
+              1e-12);
+  EXPECT_THROW(model.approx_time_to_count(0.5), std::invalid_argument);
+}
+
+TEST(HomogeneousSi, HigherBetaSpreadsFaster) {
+  SiParams fast = default_params();
+  fast.contact_rate = 1.6;
+  const HomogeneousSi slow(default_params());
+  const HomogeneousSi quick(fast);
+  EXPECT_LT(quick.time_to_level(0.5), slow.time_to_level(0.5));
+}
+
+/// Property sweep: time_to_level is monotone in the level, and the
+/// closed form passes through it exactly, for a range of rates.
+class SiSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SiSweep, TimeToLevelMonotoneAndConsistent) {
+  SiParams p = default_params();
+  p.contact_rate = GetParam();
+  const HomogeneousSi model(p);
+  double prev = -1.0;
+  for (double level : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double t = model.time_to_level(level);
+    EXPECT_GT(t, prev);
+    EXPECT_NEAR(model.fraction_at(t), level, 1e-9);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SiSweep,
+                         ::testing::Values(0.05, 0.2, 0.8, 1.5, 3.0));
+
+}  // namespace
+}  // namespace dq::epidemic

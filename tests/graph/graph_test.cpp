@@ -1,0 +1,78 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dq::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RejectsSelfLoopDuplicateAndRange) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 2), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsSpan) {
+  Graph g(4);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.neighbors(1).size(), 3u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(Graph, AddNode) {
+  Graph g(1);
+  const NodeId n = g.add_node();
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  g.add_edge(0, n);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, NodesByDegreeDescWithDeterministicTies) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  const auto order = g.nodes_by_degree_desc();
+  EXPECT_EQ(order[0], 0u);              // degree 3
+  EXPECT_EQ(order[1], 1u);              // degree 2, lowest id first
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+}  // namespace
+}  // namespace dq::graph

@@ -1,0 +1,70 @@
+#include "graph/roles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace dq::graph {
+namespace {
+
+TEST(Roles, PaperDesignationOnPowerLaw) {
+  Rng rng(1);
+  const Graph g = make_barabasi_albert(1000, 2, rng);
+  const RoleAssignment roles = assign_roles(g, 0.05, 0.10);
+  EXPECT_EQ(roles.backbone.size(), 50u);
+  EXPECT_EQ(roles.edge.size(), 100u);
+  EXPECT_EQ(roles.hosts.size(), 850u);
+  EXPECT_EQ(roles.count(NodeRole::kBackboneRouter), 50u);
+  EXPECT_EQ(roles.count(NodeRole::kEdgeRouter), 100u);
+  EXPECT_EQ(roles.count(NodeRole::kHost), 850u);
+
+  // Backbone nodes have degree >= every edge router, which in turn
+  // have degree >= every host.
+  std::size_t min_backbone = g.num_nodes(), max_edge = 0, max_host = 0;
+  for (NodeId b : roles.backbone)
+    min_backbone = std::min(min_backbone, g.degree(b));
+  for (NodeId e : roles.edge) max_edge = std::max(max_edge, g.degree(e));
+  for (NodeId h : roles.hosts) max_host = std::max(max_host, g.degree(h));
+  EXPECT_GE(min_backbone, max_edge);
+  std::size_t min_edge = g.num_nodes();
+  for (NodeId e : roles.edge) min_edge = std::min(min_edge, g.degree(e));
+  EXPECT_GE(min_edge, max_host);
+}
+
+TEST(Roles, StarHubIsTheSingleBackboneNode) {
+  const Graph g = make_star(200);
+  const RoleAssignment roles = assign_roles(g, 1.0 / 200.0, 0.0);
+  ASSERT_EQ(roles.backbone.size(), 1u);
+  EXPECT_EQ(roles.backbone[0], 0u);
+  EXPECT_EQ(roles.hosts.size(), 199u);
+}
+
+TEST(Roles, AlwaysKeepsAHost) {
+  const Graph g = make_complete(4);
+  const RoleAssignment roles = assign_roles(g, 0.5, 0.5);
+  EXPECT_GE(roles.count(NodeRole::kHost), 1u);
+}
+
+TEST(Roles, Indicator) {
+  const Graph g = make_star(5);
+  const RoleAssignment roles = assign_roles(g, 0.2, 0.0);
+  const std::vector<char> ind = roles.indicator(NodeRole::kBackboneRouter);
+  EXPECT_EQ(ind.size(), 5u);
+  EXPECT_EQ(ind[0], 1);
+  EXPECT_EQ(ind[1], 0);
+}
+
+TEST(Roles, ValidatesFractions) {
+  const Graph g = make_star(5);
+  EXPECT_THROW(assign_roles(g, -0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(assign_roles(g, 0.6, 0.6), std::invalid_argument);
+}
+
+TEST(Roles, ZeroFractionsAllHosts) {
+  const Graph g = make_star(5);
+  const RoleAssignment roles = assign_roles(g, 0.0, 0.0);
+  EXPECT_EQ(roles.count(NodeRole::kHost), 5u);
+}
+
+}  // namespace
+}  // namespace dq::graph

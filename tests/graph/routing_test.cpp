@@ -1,0 +1,173 @@
+#include "graph/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/roles.hpp"
+
+namespace dq::graph {
+namespace {
+
+TEST(RoutingTable, RejectsDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(RoutingTable{g}, std::invalid_argument);
+}
+
+TEST(RoutingTable, StarDistances) {
+  const Graph g = make_star(5);
+  const RoutingTable rt(g);
+  EXPECT_EQ(rt.distance(0, 0), 0u);
+  EXPECT_EQ(rt.distance(0, 3), 1u);
+  EXPECT_EQ(rt.distance(1, 4), 2u);
+}
+
+TEST(RoutingTable, StarNextHopsGoThroughHub) {
+  const Graph g = make_star(5);
+  const RoutingTable rt(g);
+  EXPECT_EQ(rt.next_hop(1, 4).value(), 0u);
+  EXPECT_EQ(rt.next_hop(0, 4).value(), 4u);
+  EXPECT_FALSE(rt.next_hop(2, 2).has_value());
+}
+
+TEST(RoutingTable, PathEndpointsAndContinuity) {
+  Rng rng(1);
+  const Graph g = make_barabasi_albert(60, 2, rng);
+  const RoutingTable rt(g);
+  for (NodeId src : {0u, 17u, 42u}) {
+    for (NodeId dst : {5u, 33u, 59u}) {
+      const auto path = rt.path(src, dst);
+      ASSERT_GE(path.size(), 1u);
+      EXPECT_EQ(path.front(), src);
+      EXPECT_EQ(path.back(), dst);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+      EXPECT_EQ(path.size(), rt.distance(src, dst) + 1u);
+    }
+  }
+}
+
+TEST(RoutingTable, RingDistancesAreMinimal) {
+  const Graph g = make_ring(8);
+  const RoutingTable rt(g);
+  EXPECT_EQ(rt.distance(0, 4), 4u);
+  EXPECT_EQ(rt.distance(0, 7), 1u);
+  EXPECT_EQ(rt.distance(2, 6), 4u);
+}
+
+TEST(RoutingTable, StarLinkLoads) {
+  const Graph g = make_star(4);  // hub 0, leaves 1..3
+  const RoutingTable rt(g);
+  // Ordered pairs: leaf<->leaf paths (3*2 = 6) cross two hub links each;
+  // hub<->leaf (6 ordered) cross one. Each hub-leaf link carries:
+  // 2 (to/from hub) + 2*2 (as transit for the other two leaves, both
+  // directions) = 6.
+  for (NodeId leaf = 1; leaf < 4; ++leaf)
+    EXPECT_EQ(rt.link_load(make_link_key(0, leaf)), 6u);
+  EXPECT_EQ(rt.total_link_load(), 18u);
+}
+
+TEST(RoutingTable, LinkLoadUnknownLinkThrows) {
+  const Graph g = make_star(4);
+  const RoutingTable rt(g);
+  EXPECT_THROW(rt.link_load(make_link_key(1, 2)), std::invalid_argument);
+}
+
+TEST(RoutingTable, PathCoverageHubCoversAllLeafPairs) {
+  const Graph g = make_star(6);
+  const RoutingTable rt(g);
+  std::vector<char> via(6, 0);
+  via[0] = 1;  // the hub
+  const std::vector<NodeId> leaves = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(rt.path_coverage(leaves, via), 1.0);
+}
+
+TEST(RoutingTable, PathCoverageExcludesEndpoints) {
+  const Graph g = make_star(6);
+  const RoutingTable rt(g);
+  std::vector<char> via(6, 0);
+  via[1] = 1;  // a leaf can never be an intermediate node
+  const std::vector<NodeId> leaves = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(rt.path_coverage(leaves, via), 0.0);
+}
+
+TEST(RoutingTable, PathCoveragePartial) {
+  // Line: 0-1-2-3. Node 1 covers pairs (0,2),(0,3),(2,0),(3,0) among
+  // endpoints {0,2,3}: pairs (0,2),(0,3) and reverses = 4 of 6.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const RoutingTable rt(g);
+  std::vector<char> via(4, 0);
+  via[1] = 1;
+  EXPECT_DOUBLE_EQ(rt.path_coverage({0, 2, 3}, via), 4.0 / 6.0);
+}
+
+TEST(RoutingTable, PathCoverageValidatesViaSize) {
+  const Graph g = make_star(4);
+  const RoutingTable rt(g);
+  EXPECT_THROW(rt.path_coverage({1, 2}, std::vector<char>(3, 0)),
+               std::invalid_argument);
+}
+
+TEST(RoutingTable, NodeTransitLoadsOnStar) {
+  const Graph g = make_star(5);  // hub 0, leaves 1..4
+  const RoutingTable rt(g);
+  const auto loads = rt.node_transit_loads();
+  // The hub transits every leaf-to-leaf ordered pair: 4*3 = 12.
+  EXPECT_EQ(loads[0], 12u);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_EQ(loads[leaf], 0u);
+}
+
+TEST(RoutingTable, NodeTransitLoadsOnLine) {
+  Graph g(4);  // 0-1-2-3
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const RoutingTable rt(g);
+  const auto loads = rt.node_transit_loads();
+  // Node 1 transits (0,2),(0,3),(2,0),(3,0) = 4; node 2 symmetric.
+  EXPECT_EQ(loads[0], 0u);
+  EXPECT_EQ(loads[1], 4u);
+  EXPECT_EQ(loads[2], 4u);
+  EXPECT_EQ(loads[3], 0u);
+}
+
+TEST(Roles, TransitAssignmentPicksTheHub) {
+  const Graph g = make_star(20);
+  const RoutingTable rt(g);
+  const RoleAssignment roles =
+      assign_roles_by_transit(g, rt, 1.0 / 20.0, 0.0);
+  ASSERT_EQ(roles.backbone.size(), 1u);
+  EXPECT_EQ(roles.backbone[0], 0u);
+}
+
+TEST(Roles, TransitAndDegreeAgreeAtTheTopOfPowerLaw) {
+  Rng rng(6);
+  const Graph g = make_barabasi_albert(300, 2, rng);
+  const RoutingTable rt(g);
+  const RoleAssignment by_degree = assign_roles(g, 0.05, 0.0);
+  const RoleAssignment by_transit =
+      assign_roles_by_transit(g, rt, 0.05, 0.0);
+  // The two top-15 sets overlap heavily on BA graphs.
+  std::size_t common = 0;
+  for (NodeId b : by_degree.backbone)
+    if (by_transit.role[b] == NodeRole::kBackboneRouter) ++common;
+  EXPECT_GE(common, by_degree.backbone.size() / 2);
+}
+
+TEST(RoutingTable, DeterministicTieBreaking) {
+  // Square: 0-1, 1-3, 0-2, 2-3. Two equal paths 0->3; the lowest-id
+  // first hop (1) must win deterministically.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const RoutingTable rt(g);
+  EXPECT_EQ(rt.next_hop(0, 3).value(), 1u);
+}
+
+}  // namespace
+}  // namespace dq::graph

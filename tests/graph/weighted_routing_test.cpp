@@ -1,0 +1,143 @@
+#include "graph/weighted_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builders.hpp"
+
+namespace dq::graph {
+namespace {
+
+TEST(LinkWeights, UniformCoversEveryLink) {
+  const Graph g = make_star(5);
+  const LinkWeights w = LinkWeights::uniform(g);
+  EXPECT_EQ(w.num_links(), 4u);
+  EXPECT_DOUBLE_EQ(w.weight(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(w.weight(3, 0), 1.0);
+  EXPECT_THROW(w.weight(1, 2), std::invalid_argument);
+}
+
+TEST(LinkWeights, Validation) {
+  const Graph g = make_star(4);
+  EXPECT_THROW(LinkWeights(g, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(LinkWeights(g, {1.0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(LinkWeights(g, {1.0, 1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Dijkstra, PicksTheCheaperLongerPath) {
+  // Triangle with an expensive direct edge: 0-1 cost 10, 0-2-1 cost 3.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  // Canonical order: (0,1), (0,2), (1,2).
+  const LinkWeights w(g, {10.0, 1.0, 2.0});
+  const ShortestPaths sp = dijkstra(g, w, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[1], 3.0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 1.0);
+  const std::vector<NodeId> expected = {0, 2, 1};
+  EXPECT_EQ(sp.path_to(1), expected);
+}
+
+TEST(Dijkstra, UnreachableNodesStayInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const LinkWeights w(g, {1.0});
+  const ShortestPaths sp = dijkstra(g, w, 0);
+  EXPECT_TRUE(std::isinf(sp.distance[2]));
+  EXPECT_TRUE(sp.path_to(2).empty());
+}
+
+TEST(Dijkstra, UniformWeightsMatchBfs) {
+  Rng rng(3);
+  const Graph g = make_barabasi_albert(120, 2, rng);
+  const LinkWeights w = LinkWeights::uniform(g);
+  const RoutingTable bfs(g);
+  const ShortestPaths sp = dijkstra(g, w, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_DOUBLE_EQ(sp.distance[v],
+                     static_cast<double>(bfs.distance(0, v)));
+}
+
+TEST(Dijkstra, SourceOutOfRange) {
+  const Graph g = make_star(3);
+  const LinkWeights w = LinkWeights::uniform(g);
+  EXPECT_THROW(dijkstra(g, w, 5), std::out_of_range);
+}
+
+TEST(WeightedRoutingTable, RejectsDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(WeightedRoutingTable(g, LinkWeights::uniform(g)),
+               std::invalid_argument);
+}
+
+TEST(WeightedRoutingTable, NextHopFollowsCheapPath) {
+  Graph g(4);  // square: 0-1-3 and 0-2-3
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  // Canonical: (0,1) (0,2) (1,3) (2,3). Make the 0-2-3 route cheap.
+  const LinkWeights w(g, {5.0, 1.0, 5.0, 1.0});
+  const WeightedRoutingTable rt(g, w);
+  EXPECT_EQ(rt.next_hop(0, 3).value(), 2u);
+  EXPECT_DOUBLE_EQ(rt.distance(0, 3), 2.0);
+  const std::vector<NodeId> expected = {0, 2, 3};
+  EXPECT_EQ(rt.path(0, 3), expected);
+  EXPECT_FALSE(rt.next_hop(2, 2).has_value());
+}
+
+TEST(WeightedRoutingTable, PathsAreConsistentWithDistances) {
+  Rng rng(4);
+  const Graph g = make_barabasi_albert(60, 2, rng);
+  // Random positive weights.
+  std::vector<double> weights(g.num_edges());
+  for (double& x : weights) x = rng.uniform(0.5, 3.0);
+  const LinkWeights w(g, weights);
+  const WeightedRoutingTable rt(g, w);
+  for (NodeId src : {0u, 11u, 59u})
+    for (NodeId dst : {7u, 23u, 42u}) {
+      const auto path = rt.path(src, dst);
+      double cost = 0.0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        cost += w.weight(path[i], path[i + 1]);
+      EXPECT_NEAR(cost, rt.distance(src, dst), 1e-9);
+    }
+}
+
+TEST(WeightedRoutingTable, CoverageMatchesBfsOnUniformStar) {
+  const Graph g = make_star(6);
+  const WeightedRoutingTable rt(g, LinkWeights::uniform(g));
+  std::vector<char> via(6, 0);
+  via[0] = 1;
+  EXPECT_DOUBLE_EQ(rt.path_coverage({1, 2, 3, 4, 5}, via), 1.0);
+  EXPECT_THROW(rt.path_coverage({1}, std::vector<char>(2, 0)),
+               std::invalid_argument);
+}
+
+TEST(WeightedRoutingTable, WeightsCanRerouteAroundCoverage) {
+  // Square again: with cheap 0-1-3, node 2 covers nothing; flip the
+  // weights and it covers everything.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  std::vector<char> via(4, 0);
+  via[2] = 1;
+  {
+    const LinkWeights w(g, {1.0, 5.0, 1.0, 5.0});
+    const WeightedRoutingTable rt(g, w);
+    EXPECT_DOUBLE_EQ(rt.path_coverage({0, 3}, via), 0.0);
+  }
+  {
+    const LinkWeights w(g, {5.0, 1.0, 5.0, 1.0});
+    const WeightedRoutingTable rt(g, w);
+    EXPECT_DOUBLE_EQ(rt.path_coverage({0, 3}, via), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dq::graph

@@ -1,0 +1,112 @@
+#include "ratelimit/dns_throttle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::ratelimit {
+namespace {
+
+DnsThrottleConfig config() {
+  DnsThrottleConfig c;
+  c.window = 60.0;
+  c.limit = 6;  // the paper's default: six per minute
+  return c;
+}
+
+TEST(DnsCache, RecordAndExpiry) {
+  DnsCache cache;
+  cache.record(42, 100.0);
+  EXPECT_TRUE(cache.valid(42, 50.0));
+  EXPECT_FALSE(cache.valid(42, 100.0));
+  EXPECT_FALSE(cache.valid(7, 50.0));
+}
+
+TEST(DnsCache, LongerExpiryWins) {
+  DnsCache cache;
+  cache.record(42, 100.0);
+  cache.record(42, 200.0);
+  EXPECT_TRUE(cache.valid(42, 150.0));
+  cache.record(42, 50.0);  // shorter TTL must not shorten validity
+  EXPECT_TRUE(cache.valid(42, 150.0));
+}
+
+TEST(DnsCache, ExpireHousekeeping) {
+  DnsCache cache;
+  cache.record(1, 10.0);
+  cache.record(2, 100.0);
+  cache.expire(50.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.valid(2, 60.0));
+}
+
+TEST(DnsThrottle, Validation) {
+  DnsThrottleConfig c = config();
+  c.window = 0.0;
+  EXPECT_THROW(DnsThrottle{c}, std::invalid_argument);
+  c = config();
+  c.limit = 0;
+  EXPECT_THROW(DnsThrottle{c}, std::invalid_argument);
+}
+
+TEST(DnsThrottle, DnsTranslatedDestinationsAreFree) {
+  DnsThrottle throttle(config());
+  throttle.record_dns(0.0, 42, 300.0);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(throttle.allow(1.0 + i * 0.01, 42));
+}
+
+TEST(DnsThrottle, DnsEntryExpires) {
+  DnsThrottle throttle(config());
+  throttle.record_dns(0.0, 42, 10.0);
+  EXPECT_FALSE(throttle.is_unknown(5.0, 42));
+  EXPECT_TRUE(throttle.is_unknown(11.0, 42));
+}
+
+TEST(DnsThrottle, InboundPeersAreFree) {
+  DnsThrottle throttle(config());
+  throttle.record_inbound(77);
+  EXPECT_FALSE(throttle.is_unknown(0.0, 77));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(throttle.allow(i * 1.0, 77));
+}
+
+TEST(DnsThrottle, UnknownBudgetSixPerMinute) {
+  DnsThrottle throttle(config());
+  int allowed = 0;
+  for (IpAddress ip = 1; ip <= 20; ++ip)
+    if (throttle.allow(1.0, ip)) ++allowed;
+  EXPECT_EQ(allowed, 6);
+}
+
+TEST(DnsThrottle, BudgetRecoversAfterWindow) {
+  DnsThrottle throttle(config());
+  for (IpAddress ip = 1; ip <= 6; ++ip) EXPECT_TRUE(throttle.allow(0.0, ip));
+  EXPECT_FALSE(throttle.allow(30.0, 100));
+  EXPECT_TRUE(throttle.allow(61.0, 100));
+}
+
+TEST(DnsThrottle, WormBlockedLegitFlows) {
+  // A worm scanning random IPs (no DNS) is capped at 6/minute while a
+  // client that resolves names first is untouched — the mechanism's
+  // selling point in the paper.
+  DnsThrottle throttle(config());
+  int worm_allowed = 0;
+  for (IpAddress ip = 10000; ip < 10600; ++ip)
+    if (throttle.allow(ip * 0.1 - 1000.0, ip)) ++worm_allowed;
+  EXPECT_LE(worm_allowed, 7);
+
+  DnsThrottle client(config());
+  int legit_allowed = 0;
+  for (IpAddress ip = 1; ip <= 100; ++ip) {
+    const double t = ip * 0.5;
+    client.record_dns(t - 0.01, ip, 300.0);
+    if (client.allow(t, ip)) ++legit_allowed;
+  }
+  EXPECT_EQ(legit_allowed, 100);
+}
+
+TEST(DnsThrottle, RejectsNonPositiveTtl) {
+  DnsThrottle throttle(config());
+  EXPECT_THROW(throttle.record_dns(0.0, 42, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dq::ratelimit

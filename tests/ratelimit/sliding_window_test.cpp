@@ -1,0 +1,100 @@
+#include "ratelimit/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace dq::ratelimit {
+namespace {
+
+TEST(SlidingWindow, Validation) {
+  EXPECT_THROW(SlidingWindowLimiter(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowLimiter(5.0, 0), std::invalid_argument);
+}
+
+TEST(SlidingWindow, AllowsUpToLimitDistinct) {
+  SlidingWindowLimiter limiter(5.0, 3);
+  EXPECT_TRUE(limiter.allow(0.0, 1));
+  EXPECT_TRUE(limiter.allow(0.1, 2));
+  EXPECT_TRUE(limiter.allow(0.2, 3));
+  EXPECT_FALSE(limiter.allow(0.3, 4));
+  EXPECT_EQ(limiter.distinct_in_window(0.3), 3u);
+}
+
+TEST(SlidingWindow, RepeatContactsAreFree) {
+  SlidingWindowLimiter limiter(5.0, 2);
+  EXPECT_TRUE(limiter.allow(0.0, 7));
+  EXPECT_TRUE(limiter.allow(0.5, 7));
+  EXPECT_TRUE(limiter.allow(1.0, 7));
+  EXPECT_EQ(limiter.distinct_in_window(1.0), 1u);
+}
+
+TEST(SlidingWindow, ExpiryFreesBudget) {
+  SlidingWindowLimiter limiter(5.0, 1);
+  EXPECT_TRUE(limiter.allow(0.0, 1));
+  EXPECT_FALSE(limiter.allow(4.9, 2));
+  EXPECT_TRUE(limiter.allow(5.1, 2));
+  EXPECT_EQ(limiter.distinct_in_window(5.1), 1u);
+}
+
+TEST(SlidingWindow, WilliamsonDefaultFivePerSecond) {
+  // The Williamson default: five distinct per second.
+  SlidingWindowLimiter limiter(1.0, 5);
+  int allowed = 0;
+  for (IpAddress ip = 0; ip < 20; ++ip)
+    if (limiter.allow(0.5, ip)) ++allowed;
+  EXPECT_EQ(allowed, 5);
+}
+
+TEST(SlidingWindow, PropertyNeverMoreThanLimitInFlight) {
+  Rng rng(1);
+  SlidingWindowLimiter limiter(5.0, 16);
+  // Fire a worm-like scan: many distinct addresses, random times. The
+  // trailing-window distinct count must never exceed the limit.
+  double t = 0.0;
+  std::uint64_t allowed_total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.exponential(20.0);
+    const IpAddress dest = static_cast<IpAddress>(rng.next_u64());
+    if (limiter.allow(t, dest)) ++allowed_total;
+    EXPECT_LE(limiter.distinct_in_window(t), 16u);
+  }
+  // Long-run throughput is bounded by limit per window length.
+  EXPECT_LE(static_cast<double>(allowed_total), 16.0 * (t / 5.0 + 1.0));
+}
+
+TEST(HybridWindow, Validation) {
+  EXPECT_THROW(HybridWindowLimiter(5.0, 4, 5.0, 10), std::invalid_argument);
+  EXPECT_THROW(HybridWindowLimiter(5.0, 4, 1.0, 10), std::invalid_argument);
+}
+
+TEST(HybridWindow, ShortWindowPreventsBursts) {
+  // 4 per second short, 50 per minute long.
+  HybridWindowLimiter limiter(1.0, 4, 60.0, 50);
+  int allowed = 0;
+  for (IpAddress ip = 0; ip < 10; ++ip)
+    if (limiter.allow(0.2, ip)) ++allowed;
+  EXPECT_EQ(allowed, 4);
+}
+
+TEST(HybridWindow, LongWindowLimitsSustainedRate) {
+  HybridWindowLimiter limiter(1.0, 4, 60.0, 10);
+  int allowed = 0;
+  IpAddress next = 0;
+  // 3 new destinations per second for a minute: short window never
+  // binds, long window caps the total at 10.
+  for (double t = 0.0; t < 59.0; t += 1.0)
+    for (int k = 0; k < 3; ++k)
+      if (limiter.allow(t, next++)) ++allowed;
+  EXPECT_EQ(allowed, 10);
+}
+
+TEST(HybridWindow, RepeatsFreeInBoth) {
+  HybridWindowLimiter limiter(1.0, 2, 60.0, 4);
+  EXPECT_TRUE(limiter.allow(0.0, 1));
+  for (double t = 0.1; t < 10.0; t += 0.5)
+    EXPECT_TRUE(limiter.allow(t, 1));
+}
+
+}  // namespace
+}  // namespace dq::ratelimit

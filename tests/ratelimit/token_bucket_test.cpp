@@ -1,0 +1,78 @@
+#include "ratelimit/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::ratelimit {
+namespace {
+
+TEST(TokenBucket, Validation) {
+  EXPECT_THROW(TokenBucket(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(1.0, 0.5), std::invalid_argument);
+}
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket b(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.available(0.0), 5.0);
+}
+
+TEST(TokenBucket, ConsumesAndRefills) {
+  TokenBucket b(2.0, 4.0);
+  EXPECT_TRUE(b.try_consume(0.0, 4.0));
+  EXPECT_FALSE(b.try_consume(0.0, 1.0));
+  // After 0.5 s, one token has refilled.
+  EXPECT_TRUE(b.try_consume(0.5, 1.0));
+  EXPECT_FALSE(b.try_consume(0.5, 0.5));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket b(10.0, 3.0);
+  EXPECT_TRUE(b.try_consume(0.0, 3.0));
+  // A long idle period cannot bank more than the burst.
+  EXPECT_DOUBLE_EQ(b.available(100.0), 3.0);
+}
+
+TEST(TokenBucket, NextAvailable) {
+  TokenBucket b(2.0, 2.0);
+  EXPECT_TRUE(b.try_consume(0.0, 2.0));
+  EXPECT_DOUBLE_EQ(b.next_available(0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(b.next_available(0.0, 2.0), 1.0);
+  // Already available: returns now.
+  TokenBucket c(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.next_available(3.0, 1.0), 3.0);
+}
+
+TEST(TokenBucket, RejectsTimeTravel) {
+  TokenBucket b(1.0, 1.0);
+  EXPECT_TRUE(b.try_consume(5.0));
+  EXPECT_THROW(b.try_consume(4.0), std::invalid_argument);
+}
+
+TEST(TokenBucket, LongRunRateConservation) {
+  // Over a long horizon, admitted tokens ≈ rate * time + burst.
+  TokenBucket b(3.0, 5.0);
+  int admitted = 0;
+  for (int ms = 0; ms < 100000; ms += 10) {  // 100 requests/s offered
+    if (b.try_consume(ms / 1000.0)) ++admitted;
+  }
+  EXPECT_NEAR(admitted, 3.0 * 100.0 + 5.0, 2.0);
+}
+
+/// Property: the bucket never admits more than rate*T + burst in any
+/// window, for several rates.
+class BucketSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BucketSweep, NeverExceedsEnvelope) {
+  const double rate = GetParam();
+  TokenBucket b(rate, 2.0);
+  int admitted = 0;
+  const double horizon = 50.0;
+  for (double t = 0.0; t < horizon; t += 0.01)
+    if (b.try_consume(t)) ++admitted;
+  EXPECT_LE(admitted, rate * horizon + 2.0 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BucketSweep,
+                         ::testing::Values(0.5, 1.0, 4.0, 20.0));
+
+}  // namespace
+}  // namespace dq::ratelimit

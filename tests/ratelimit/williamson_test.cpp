@@ -1,0 +1,119 @@
+#include "ratelimit/williamson.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::ratelimit {
+namespace {
+
+WilliamsonConfig config() {
+  WilliamsonConfig c;
+  c.working_set_size = 3;
+  c.clock_period = 1.0;
+  c.queue_cap = 10;
+  return c;
+}
+
+TEST(Williamson, Validation) {
+  WilliamsonConfig c = config();
+  c.working_set_size = 0;
+  EXPECT_THROW(WilliamsonThrottle{c}, std::invalid_argument);
+  c = config();
+  c.clock_period = 0.0;
+  EXPECT_THROW(WilliamsonThrottle{c}, std::invalid_argument);
+}
+
+TEST(Williamson, WorkingSetContactsPassImmediately) {
+  WilliamsonThrottle throttle(config());
+  // First contact to a new host consumes the idle release slot.
+  EXPECT_EQ(throttle.submit(0.0, 1).action, Action::kAllow);
+  // Repeat contact passes without touching the queue.
+  const Outcome repeat = throttle.submit(0.1, 1);
+  EXPECT_EQ(repeat.action, Action::kAllow);
+  EXPECT_DOUBLE_EQ(repeat.release_time, 0.1);
+  EXPECT_EQ(throttle.queue_length(0.1), 0u);
+}
+
+TEST(Williamson, NewDestinationsQueueAtOnePerPeriod) {
+  WilliamsonThrottle throttle(config());
+  EXPECT_EQ(throttle.submit(0.0, 1).action, Action::kAllow);
+  // Burst of new destinations: they serialize one per clock period.
+  const Outcome o2 = throttle.submit(0.0, 2);
+  const Outcome o3 = throttle.submit(0.0, 3);
+  EXPECT_EQ(o2.action, Action::kDelay);
+  EXPECT_EQ(o3.action, Action::kDelay);
+  EXPECT_GT(o3.release_time, o2.release_time);
+  EXPECT_NEAR(o3.release_time - o2.release_time, 1.0, 1e-9);
+}
+
+TEST(Williamson, QueueDrainsOverTime) {
+  WilliamsonThrottle throttle(config());
+  throttle.submit(0.0, 1);
+  throttle.submit(0.0, 2);
+  throttle.submit(0.0, 3);
+  EXPECT_GT(throttle.queue_length(0.5), 0u);
+  EXPECT_EQ(throttle.queue_length(10.0), 0u);
+  // After draining, 2 and 3 are in the working set: repeats pass.
+  EXPECT_EQ(throttle.submit(10.0, 3).action, Action::kAllow);
+}
+
+TEST(Williamson, DropsAboveQueueCap) {
+  WilliamsonConfig c = config();
+  c.queue_cap = 2;
+  WilliamsonThrottle throttle(c);
+  throttle.submit(0.0, 1);  // allow (idle slot)
+  throttle.submit(0.0, 2);  // queued
+  throttle.submit(0.0, 3);  // queued
+  const Outcome dropped = throttle.submit(0.0, 4);
+  EXPECT_EQ(dropped.action, Action::kDrop);
+  EXPECT_EQ(throttle.dropped(), 1u);
+}
+
+TEST(Williamson, ZeroQueueCapMeansUnbounded) {
+  WilliamsonConfig c = config();
+  c.queue_cap = 0;
+  WilliamsonThrottle throttle(c);
+  throttle.submit(0.0, 1);
+  for (IpAddress ip = 2; ip < 100; ++ip)
+    EXPECT_NE(throttle.submit(0.0, ip).action, Action::kDrop);
+  EXPECT_EQ(throttle.dropped(), 0u);
+}
+
+TEST(Williamson, LruEviction) {
+  WilliamsonThrottle throttle(config());  // working set of 3
+  // Fill the working set over time so each release slot is free.
+  throttle.submit(0.0, 1);
+  throttle.submit(2.0, 2);
+  throttle.submit(4.0, 3);
+  // Touch 1 so 2 becomes LRU, then add 4 (evicts 2).
+  throttle.submit(6.0, 1);
+  throttle.submit(8.0, 4);
+  // 2 is no longer in the working set: a contact to it queues or
+  // consumes a slot rather than passing as a repeat... distinguish by
+  // queue length after a back-to-back burst.
+  throttle.submit(8.1, 5);            // queued (slot consumed by 4 at 8.0)
+  const Outcome two = throttle.submit(8.1, 2);
+  EXPECT_EQ(two.action, Action::kDelay);
+  const Outcome one = throttle.submit(8.1, 1);  // still in working set
+  EXPECT_EQ(one.action, Action::kAllow);
+}
+
+TEST(Williamson, WormScanThroughputBounded) {
+  // A scanning worm offering 100 new destinations/second is limited to
+  // ~1 new contact per period — the mechanism's whole point.
+  WilliamsonConfig c;
+  c.working_set_size = 5;
+  c.clock_period = 1.0;
+  c.queue_cap = 0;  // unbounded queue; measure delay growth
+  WilliamsonThrottle throttle(c);
+  IpAddress next = 1000;
+  double max_release = 0.0;
+  for (double t = 0.0; t < 10.0; t += 0.01) {
+    const Outcome o = throttle.submit(t, next++);
+    max_release = std::max(max_release, o.release_time);
+  }
+  // 1000 submissions over 10 s must stretch out to ~1000 periods.
+  EXPECT_GT(max_release, 900.0);
+}
+
+}  // namespace
+}  // namespace dq::ratelimit

@@ -1,0 +1,340 @@
+// Tests for the simulator extensions beyond the paper's core
+// experiments: scan strategies, baseline responses (blacklist /
+// content filter), dark-space detection, and legitimate background
+// traffic with collateral-damage accounting.
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "simulator/runner.hpp"
+#include "simulator/worm_sim.hpp"
+
+namespace dq::sim {
+namespace {
+
+SimulationConfig base_config() {
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.8;
+  cfg.worm.initial_infected = 2;
+  cfg.max_ticks = 80.0;
+  cfg.seed = 13;
+  return cfg;
+}
+
+const Network& powerlaw() {
+  static const Network net = [] {
+    Rng rng(17);
+    return Network(graph::make_barabasi_albert(300, 2, rng));
+  }();
+  return net;
+}
+
+// ---- scan strategies ----
+
+class StrategySweep : public ::testing::TestWithParam<TargetSelection> {};
+
+TEST_P(StrategySweep, EveryStrategySaturatesUnthrottled) {
+  SimulationConfig cfg = base_config();
+  cfg.worm.selection = GetParam();
+  WormSimulation sim(powerlaw(), cfg);
+  const RunResult result = sim.run();
+  EXPECT_DOUBLE_EQ(result.ever_infected.back_value(), 1.0);
+}
+
+TEST_P(StrategySweep, BackboneRlSlowsEveryStrategy) {
+  SimulationConfig cfg = base_config();
+  cfg.worm.selection = GetParam();
+  const double t_base =
+      WormSimulation(powerlaw(), cfg).run().ever_infected.time_to_reach(0.5);
+  cfg.deployment.backbone_limited = true;
+  cfg.max_ticks = 400.0;
+  const double t_rl =
+      WormSimulation(powerlaw(), cfg).run().ever_infected.time_to_reach(0.5);
+  ASSERT_GT(t_base, 0.0);
+  // Either much slower or never reaches 50% at all.
+  if (t_rl > 0.0) {
+    EXPECT_GT(t_rl, 1.5 * t_base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, StrategySweep,
+    ::testing::Values(TargetSelection::kRandom, TargetSelection::kSequential,
+                      TargetSelection::kPermutation,
+                      TargetSelection::kHitlist));
+
+TEST(ScanStrategies, PermutationBeatsRandomToFullCoverage) {
+  // Permutation scanning avoids duplicate probing, so reaching ~100%
+  // takes no longer (usually less) than random scanning.
+  SimulationConfig cfg = base_config();
+  cfg.worm.selection = TargetSelection::kRandom;
+  const double t_random = sim::run_many(powerlaw(), cfg, 5)
+                              .ever_infected.time_to_reach(0.99);
+  cfg.worm.selection = TargetSelection::kPermutation;
+  const double t_perm = sim::run_many(powerlaw(), cfg, 5)
+                            .ever_infected.time_to_reach(0.99);
+  ASSERT_GT(t_random, 0.0);
+  ASSERT_GT(t_perm, 0.0);
+  EXPECT_LE(t_perm, t_random * 1.1);
+}
+
+TEST(ScanStrategies, HitlistTakeoffNoSlowerThanRandom) {
+  // In this simulator every address maps to a live node, so random
+  // scanning wastes almost nothing early and the hitlist's advantage
+  // (skipping dead address space) is structurally absent; the list
+  // must still never hurt. (Against a sparse address space the
+  // acceleration would appear — see DESIGN.md's substitution notes.)
+  SimulationConfig cfg = base_config();
+  cfg.worm.initial_infected = 1;
+  cfg.worm.selection = TargetSelection::kRandom;
+  const double r10 =
+      run_many(powerlaw(), cfg, 6).ever_infected.time_to_reach(0.1);
+  cfg.worm.selection = TargetSelection::kHitlist;
+  cfg.worm.hitlist_size = 150;
+  const double h10 =
+      run_many(powerlaw(), cfg, 6).ever_infected.time_to_reach(0.1);
+  ASSERT_GT(r10, 0.0);
+  ASSERT_GT(h10, 0.0);
+  EXPECT_LE(h10, r10 * 1.15);
+}
+
+// ---- responses ----
+
+TEST(Responses, Validation) {
+  SimulationConfig cfg = base_config();
+  cfg.response.kind = ResponseConfig::Kind::kBlacklist;
+  cfg.response.reaction_time = -1.0;
+  EXPECT_THROW(WormSimulation(powerlaw(), cfg), std::invalid_argument);
+}
+
+TEST(Responses, ContentFilterEverywhereStopsTheWorm) {
+  SimulationConfig cfg = base_config();
+  cfg.response.kind = ResponseConfig::Kind::kContentFilter;
+  cfg.response.reaction_time = 3.0;
+  cfg.response.filters_everywhere = true;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  // After tick 3 no worm packet survives any hop: the outbreak freezes
+  // at whatever it reached in the first ticks.
+  EXPECT_LT(result.ever_infected.back_value(), 0.2);
+  EXPECT_GT(result.worm_packets_dropped, 0u);
+}
+
+TEST(Responses, ContentFilterFasterReactionContainsMore) {
+  auto final_with_reaction = [&](double reaction) {
+    SimulationConfig cfg = base_config();
+    cfg.response.kind = ResponseConfig::Kind::kContentFilter;
+    cfg.response.reaction_time = reaction;
+    cfg.response.filters_everywhere = true;
+    return run_many(powerlaw(), cfg, 4).ever_infected.back_value();
+  };
+  EXPECT_LE(final_with_reaction(2.0), final_with_reaction(8.0));
+  EXPECT_LE(final_with_reaction(8.0), final_with_reaction(14.0) + 1e-9);
+}
+
+TEST(Responses, BlacklistSlowsButLeaksThroughFreshInfections) {
+  SimulationConfig cfg = base_config();
+  cfg.max_ticks = 60.0;
+  const double base_final =
+      WormSimulation(powerlaw(), cfg).run().ever_infected.back_value();
+  cfg.response.kind = ResponseConfig::Kind::kBlacklist;
+  cfg.response.reaction_time = 3.0;
+  cfg.response.filters_everywhere = true;
+  const RunResult blacklisted = WormSimulation(powerlaw(), cfg).run();
+  // Each infected host gets a 3-tick scanning window before its
+  // sources are cut off; the worm is slowed but new hosts keep the
+  // chain alive — blacklisting is weaker than content filtering.
+  EXPECT_LT(blacklisted.ever_infected.interpolate(20.0), base_final);
+  EXPECT_GT(blacklisted.worm_packets_dropped, 0u);
+}
+
+TEST(Responses, ContentFilterBeatsBlacklistAtEqualReaction) {
+  auto final_of = [&](ResponseConfig::Kind kind) {
+    SimulationConfig cfg = base_config();
+    cfg.response.kind = kind;
+    cfg.response.reaction_time = 4.0;
+    cfg.response.filters_everywhere = true;
+    return run_many(powerlaw(), cfg, 4).ever_infected.back_value();
+  };
+  // Moore et al.'s finding, reproduced: content filtering contains
+  // far more than address blacklisting at the same reaction time.
+  EXPECT_LT(final_of(ResponseConfig::Kind::kContentFilter),
+            final_of(ResponseConfig::Kind::kBlacklist));
+}
+
+TEST(Responses, BackboneOnlyFiltersAreWeakerThanEverywhere) {
+  auto final_of = [&](bool everywhere) {
+    SimulationConfig cfg = base_config();
+    cfg.response.kind = ResponseConfig::Kind::kContentFilter;
+    cfg.response.reaction_time = 3.0;
+    cfg.response.filters_everywhere = everywhere;
+    return run_many(powerlaw(), cfg, 4).ever_infected.back_value();
+  };
+  EXPECT_LE(final_of(true), final_of(false));
+}
+
+// ---- detection ----
+
+TEST(Detector, Validation) {
+  SimulationConfig cfg = base_config();
+  cfg.detector.enabled = true;
+  cfg.detector.observe_probability = 0.0;
+  EXPECT_THROW(WormSimulation(powerlaw(), cfg), std::invalid_argument);
+  cfg.detector.observe_probability = 0.1;
+  cfg.detector.threshold = 0;
+  EXPECT_THROW(WormSimulation(powerlaw(), cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.immunization.enabled = true;
+  cfg.immunization.start_on_detection = true;  // detector off
+  EXPECT_THROW(WormSimulation(powerlaw(), cfg), std::invalid_argument);
+}
+
+TEST(Detector, FiresOnceEnoughScansAreSeen) {
+  SimulationConfig cfg = base_config();
+  cfg.detector.enabled = true;
+  cfg.detector.observe_probability = 0.05;
+  cfg.detector.threshold = 20;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  EXPECT_GE(result.detection_tick, 0.0);
+  // 20 sightings at 5% of scans needs ~400 scans — well before
+  // saturation but not instantly.
+  EXPECT_GT(result.detection_tick, 1.0);
+}
+
+TEST(Detector, BiggerDarkSpaceDetectsSooner) {
+  auto detection_tick = [&](double observe) {
+    SimulationConfig cfg = base_config();
+    cfg.detector.enabled = true;
+    cfg.detector.observe_probability = observe;
+    cfg.detector.threshold = 20;
+    return WormSimulation(powerlaw(), cfg).run().detection_tick;
+  };
+  const double small = detection_tick(0.01);
+  const double large = detection_tick(0.2);
+  ASSERT_GE(small, 0.0);
+  ASSERT_GE(large, 0.0);
+  EXPECT_LE(large, small);
+}
+
+TEST(Detector, DrivesImmunization) {
+  SimulationConfig cfg = base_config();
+  cfg.detector.enabled = true;
+  cfg.detector.observe_probability = 0.1;
+  cfg.detector.threshold = 10;
+  cfg.immunization.enabled = true;
+  cfg.immunization.start_on_detection = true;
+  cfg.immunization.rate = 0.15;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  ASSERT_GE(result.detection_tick, 0.0);
+  ASSERT_GE(result.immunization_start_tick, 0.0);
+  EXPECT_GE(result.immunization_start_tick, result.detection_tick);
+  // Early detection-driven patching contains the outbreak well below
+  // full saturation.
+  EXPECT_LT(result.ever_infected.back_value(), 0.9);
+}
+
+// ---- stochastic extinction (SIR recovery mode) ----
+
+TEST(Extinction, SirModeLeavesSusceptiblesUnpatched) {
+  SimulationConfig cfg = base_config();
+  cfg.immunization.enabled = true;
+  cfg.immunization.rate = 0.3;
+  cfg.immunization.start_at_tick = 0.0;
+  cfg.immunization.patch_susceptibles = false;
+  cfg.max_ticks = 200.0;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  // Only ever-infected hosts can be removed.
+  EXPECT_LE(result.removed.back_value(),
+            result.ever_infected.back_value() + 1e-9);
+}
+
+TEST(Extinction, FrequencyTracksBranchingTheory) {
+  // β = 0.8, μ = 0.2: offspring pgf μ/(1−(1−μ)e^{β(q−1)}) has fixed
+  // point q ≈ 0.394 (see bench/ablation_extinction.cpp).
+  std::size_t extinct = 0;
+  const std::size_t trials = 120;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    SimulationConfig cfg = base_config();
+    cfg.worm.initial_infected = 1;
+    cfg.immunization.enabled = true;
+    cfg.immunization.rate = 0.2;
+    cfg.immunization.start_at_tick = 0.0;
+    cfg.immunization.patch_susceptibles = false;
+    cfg.max_ticks = 120.0;
+    cfg.seed = 1000 + trial;
+    const RunResult result = WormSimulation(powerlaw(), cfg).run();
+    if (result.ever_infected.back_value() < 0.10) ++extinct;
+  }
+  const double q =
+      static_cast<double>(extinct) / static_cast<double>(trials);
+  EXPECT_NEAR(q, 0.394, 0.12);
+}
+
+TEST(Extinction, SubcriticalAlwaysDies) {
+  // R0 = β(1−μ)/μ = 0.8·0.5/0.5 < 1: every outbreak fizzles.
+  std::size_t extinct = 0;
+  for (std::size_t trial = 0; trial < 30; ++trial) {
+    SimulationConfig cfg = base_config();
+    cfg.worm.initial_infected = 1;
+    cfg.immunization.enabled = true;
+    cfg.immunization.rate = 0.5;
+    cfg.immunization.start_at_tick = 0.0;
+    cfg.immunization.patch_susceptibles = false;
+    cfg.max_ticks = 200.0;
+    cfg.seed = 2000 + trial;
+    const RunResult result = WormSimulation(powerlaw(), cfg).run();
+    if (result.ever_infected.back_value() < 0.10) ++extinct;
+  }
+  EXPECT_EQ(extinct, 30u);
+}
+
+// ---- legitimate traffic ----
+
+TEST(LegitTraffic, DeliveredCleanlyWithoutLimiting) {
+  SimulationConfig cfg = base_config();
+  cfg.legit.rate_per_node = 0.5;
+  cfg.max_ticks = 20.0;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  EXPECT_GT(result.legit_sent, 1000u);
+  EXPECT_EQ(result.legit_sent, result.legit_delivered);
+  EXPECT_DOUBLE_EQ(result.mean_legit_delay, 0.0);
+  EXPECT_EQ(result.legit_dropped, 0u);
+}
+
+TEST(LegitTraffic, QueuedBehindWormUnderTightLimits) {
+  SimulationConfig cfg = base_config();
+  cfg.legit.rate_per_node = 0.2;
+  cfg.deployment.backbone_limited = true;
+  cfg.deployment.weight_by_routing_load = false;
+  cfg.deployment.base_link_capacity = 0.5;
+  cfg.deployment.min_link_capacity = 0.5;
+  cfg.max_ticks = 40.0;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  // Some legitimate packets must have waited in rate-limit queues.
+  EXPECT_GT(result.mean_legit_delay, 0.0);
+  EXPECT_GT(result.max_legit_delay, 0.0);
+}
+
+TEST(LegitTraffic, BlacklistCollateralHitsInfectedHostsTraffic) {
+  SimulationConfig cfg = base_config();
+  cfg.legit.rate_per_node = 0.3;
+  cfg.response.kind = ResponseConfig::Kind::kBlacklist;
+  cfg.response.reaction_time = 2.0;
+  cfg.response.filters_everywhere = true;
+  cfg.max_ticks = 40.0;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  // Blacklisted (infected) hosts lose their legitimate traffic too.
+  EXPECT_GT(result.legit_dropped, 0u);
+}
+
+TEST(LegitTraffic, RateLimitingDropsNothingLegit) {
+  // The paper's argument for rate control over blacklisting: limits
+  // delay traffic but never destroy it.
+  SimulationConfig cfg = base_config();
+  cfg.legit.rate_per_node = 0.2;
+  cfg.deployment.backbone_limited = true;
+  cfg.max_ticks = 40.0;
+  const RunResult result = WormSimulation(powerlaw(), cfg).run();
+  EXPECT_EQ(result.legit_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace dq::sim

@@ -1,0 +1,94 @@
+#include "simulator/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::sim {
+namespace {
+
+TEST(Network, WrapsGraphWithRoles) {
+  Rng rng(1);
+  const Network net(graph::make_barabasi_albert(100, 2, rng));
+  EXPECT_EQ(net.num_nodes(), 100u);
+  EXPECT_EQ(net.roles().backbone.size(), 5u);
+  EXPECT_EQ(net.roles().edge.size(), 10u);
+  EXPECT_FALSE(net.has_subnets());
+}
+
+TEST(Network, LinkIndexRoundTrip) {
+  const Network net(graph::make_star(5), 0.2, 0.0);
+  EXPECT_EQ(net.num_links(), 4u);
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    const graph::LinkKey key = net.link(l);
+    EXPECT_EQ(net.link_index(key.a, key.b), l);
+    EXPECT_EQ(net.link_index(key.b, key.a), l);
+  }
+  EXPECT_THROW(net.link_index(1, 2), std::invalid_argument);
+}
+
+TEST(Network, LinkLoadsAndMean) {
+  const Network net(graph::make_star(4), 0.25, 0.0);
+  // All three hub links carry load 6 (see routing tests).
+  for (std::size_t l = 0; l < net.num_links(); ++l)
+    EXPECT_EQ(net.link_load(l), 6u);
+  EXPECT_DOUBLE_EQ(net.mean_link_load(), 6.0);
+}
+
+TEST(Network, SubnetTopologyRoles) {
+  Rng rng(2);
+  const Network net(graph::make_subnet_topology(3, 4, rng));
+  EXPECT_TRUE(net.has_subnets());
+  EXPECT_EQ(net.num_subnets(), 3u);
+  EXPECT_EQ(net.roles().edge.size(), 3u);
+  EXPECT_EQ(net.roles().backbone.size(), 0u);
+  EXPECT_EQ(net.roles().hosts.size(), 12u);
+  for (graph::NodeId gw : net.roles().edge)
+    EXPECT_EQ(net.roles().role[gw], graph::NodeRole::kEdgeRouter);
+}
+
+TEST(Network, SubnetMembership) {
+  Rng rng(3);
+  const Network net(graph::make_subnet_topology(2, 3, rng));
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v) {
+    const auto subnet = net.subnet_of(v);
+    ASSERT_TRUE(subnet.has_value());
+    const auto& members = net.subnet_members(*subnet);
+    EXPECT_NE(std::find(members.begin(), members.end(), v), members.end());
+  }
+}
+
+TEST(Network, BackboneLinksOnSubnetTopologyAreGatewayInterconnect) {
+  Rng rng(4);
+  const Network net(graph::make_subnet_topology(3, 4, rng));
+  std::size_t backbone_links = 0;
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    if (net.link_is_backbone(l)) {
+      ++backbone_links;
+      const graph::LinkKey key = net.link(l);
+      EXPECT_EQ(net.roles().role[key.a], graph::NodeRole::kEdgeRouter);
+      EXPECT_EQ(net.roles().role[key.b], graph::NodeRole::kEdgeRouter);
+    }
+  }
+  EXPECT_GE(backbone_links, 2u);  // 3 gateways interconnected
+}
+
+TEST(Network, EdgeLinksTouchEdgeRouters) {
+  Rng rng(5);
+  const Network net(graph::make_barabasi_albert(100, 2, rng));
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    if (net.link_is_edge(l)) {
+      const graph::LinkKey key = net.link(l);
+      EXPECT_TRUE(
+          net.roles().role[key.a] == graph::NodeRole::kEdgeRouter ||
+          net.roles().role[key.b] == graph::NodeRole::kEdgeRouter);
+    }
+  }
+}
+
+TEST(Network, SubnetlessHasNoSubnetInfo) {
+  const Network net(graph::make_star(4), 0.25, 0.0);
+  EXPECT_FALSE(net.subnet_of(1).has_value());
+  EXPECT_EQ(net.num_subnets(), 0u);
+}
+
+}  // namespace
+}  // namespace dq::sim

@@ -1,0 +1,123 @@
+// Integration tests: the packet simulator must track the analytical
+// epidemic models — the paper's core validation ("the simulation
+// results confirm our analytical models").
+#include <gtest/gtest.h>
+
+#include "epidemic/partial_deployment.hpp"
+#include "epidemic/si_model.hpp"
+#include "graph/builders.hpp"
+#include "simulator/runner.hpp"
+
+namespace dq::sim {
+namespace {
+
+SimulationConfig config(double beta, std::uint32_t initial) {
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = beta;
+  cfg.worm.filtered_contact_rate = 0.01;
+  cfg.worm.initial_infected = initial;
+  cfg.max_ticks = 60.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(SimVsModel, UnlimitedWormTracksHomogeneousModel) {
+  // On a well-connected graph with no rate limiting, the simulated
+  // epidemic should reach milestones on the same time scale as the
+  // homogeneous SI model (discrete ticks and stochastic startup allow
+  // some slack; we seed 10 infections to tame the early variance).
+  Rng rng(1);
+  const Network net(graph::make_barabasi_albert(1000, 2, rng));
+  const AveragedResult avg = run_many(net, config(0.8, 10), 10);
+
+  epidemic::SiParams p;
+  p.population = 1000.0;
+  p.contact_rate = 0.8;
+  p.initial_infected = 10.0;
+  const epidemic::HomogeneousSi model(p);
+
+  const double t50_sim = avg.ever_infected.time_to_reach(0.5);
+  const double t50_model = model.time_to_level(0.5);
+  ASSERT_GT(t50_sim, 0.0);
+  // Discrete-tick compounding (1+β)^t vs e^{βt} makes the simulation
+  // lag by a bounded factor; it must stay on the same time scale.
+  EXPECT_GT(t50_sim, 0.6 * t50_model);
+  EXPECT_LT(t50_sim, 2.2 * t50_model);
+}
+
+TEST(SimVsModel, HostDeploymentLinearSlowdownLaw) {
+  // The λ = qβ₂ + (1−q)β₁ law: measure the sim's slowdown at q = 0.5
+  // and compare to the model's prediction.
+  Rng rng(2);
+  const Network net(graph::make_barabasi_albert(500, 2, rng));
+
+  SimulationConfig cfg = config(0.8, 5);
+  const AveragedResult base = run_many(net, cfg, 8);
+  cfg.deployment.host_filter_fraction = 0.5;
+  const AveragedResult half = run_many(net, cfg, 8);
+
+  const double t_base = base.ever_infected.time_to_reach(0.5);
+  const double t_half = half.ever_infected.time_to_reach(0.5);
+  ASSERT_GT(t_base, 0.0);
+  ASSERT_GT(t_half, 0.0);
+  const double measured = t_half / t_base;
+
+  // Hosts are 85% of nodes, so the effective filtered share is
+  // q_eff = 0.5 * 0.85 = 0.425 and the predicted slowdown is
+  // β / (q_eff β₂ + (1−q_eff) β).
+  const double q_eff = 0.5 * 0.85;
+  const double lambda = q_eff * 0.01 + (1.0 - q_eff) * 0.8;
+  const double predicted = 0.8 / lambda;
+  EXPECT_NEAR(measured, predicted, predicted * 0.45);
+}
+
+TEST(SimVsModel, DeploymentOrderingMatchesPaper) {
+  // Figure 4's ordering: no RL ≈ 5% hosts < edge < backbone.
+  Rng rng(3);
+  const Network net(graph::make_barabasi_albert(500, 2, rng));
+
+  auto t50 = [&](bool edge, bool backbone, double host_fraction) {
+    SimulationConfig cfg = config(0.8, 5);
+    cfg.max_ticks = 150.0;
+    cfg.deployment.host_filter_fraction = host_fraction;
+    cfg.deployment.edge_router_limited = edge;
+    cfg.deployment.backbone_limited = backbone;
+    const AveragedResult avg = run_many(net, cfg, 5);
+    const double t = avg.ever_infected.time_to_reach(0.5);
+    return t < 0.0 ? 1e9 : t;  // "never" sorts last
+  };
+
+  const double none = t50(false, false, 0.0);
+  const double host5 = t50(false, false, 0.05);
+  const double edge = t50(true, false, 0.0);
+  const double backbone = t50(false, true, 0.0);
+
+  EXPECT_NEAR(host5, none, none * 0.35);  // 5% hosts ≈ nothing
+  EXPECT_GT(edge, none * 0.9);            // edge helps a little
+  EXPECT_GT(backbone, edge);              // backbone wins
+  EXPECT_GT(backbone, none * 2.0);        // and decisively so
+}
+
+TEST(SimVsModel, ImmunizationEarlierIsBetterInSim) {
+  Rng rng(4);
+  const Network net(graph::make_barabasi_albert(500, 2, rng));
+  auto final_ever = [&](double level) {
+    SimulationConfig cfg = config(0.8, 5);
+    cfg.immunization.enabled = true;
+    cfg.immunization.rate = 0.1;
+    cfg.immunization.start_at_infected_fraction = level;
+    return run_many(net, cfg, 5).ever_infected.back_value();
+  };
+  const double at20 = final_ever(0.2);
+  const double at50 = final_ever(0.5);
+  const double at80 = final_ever(0.8);
+  EXPECT_LT(at20, at50);
+  EXPECT_LT(at50, at80);
+  // Paper's Figure 8(a) ballparks.
+  EXPECT_NEAR(at20, 0.80, 0.12);
+  EXPECT_NEAR(at50, 0.90, 0.08);
+  EXPECT_NEAR(at80, 0.98, 0.05);
+}
+
+}  // namespace
+}  // namespace dq::sim

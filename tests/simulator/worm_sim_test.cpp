@@ -1,0 +1,252 @@
+#include "simulator/worm_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace dq::sim {
+namespace {
+
+SimulationConfig base_config() {
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.8;
+  cfg.worm.filtered_contact_rate = 0.01;
+  cfg.worm.initial_infected = 1;
+  cfg.max_ticks = 100.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+Network star_net(std::size_t n = 50) {
+  return Network(graph::make_star(n), 1.0 / static_cast<double>(n), 0.0);
+}
+
+TEST(WormSimulation, Validation) {
+  const Network net = star_net();
+  SimulationConfig cfg = base_config();
+  cfg.worm.contact_rate = 0.0;
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.worm.filtered_contact_rate = 1.0;  // above β
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.worm.initial_infected = 0;
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.worm.initial_infected = 50;
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.deployment.host_filter_fraction = 1.5;
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.immunization.enabled = true;
+  cfg.immunization.rate = 0.0;
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.deployment.node_forward_cap = {99u, 1u};
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.max_ticks = 0.0;
+  EXPECT_THROW(WormSimulation(net, cfg), std::invalid_argument);
+}
+
+TEST(WormSimulation, InitialStateAfterConstruction) {
+  const Network net = star_net();
+  SimulationConfig cfg = base_config();
+  cfg.worm.initial_infected = 3;
+  WormSimulation sim(net, cfg);
+  EXPECT_DOUBLE_EQ(sim.tick(), 0.0);
+  EXPECT_EQ(sim.ever_infected_count(), 3u);
+  EXPECT_EQ(sim.active_infected_count(), 3u);
+}
+
+TEST(WormSimulation, DeterministicForSeed) {
+  const Network net = star_net();
+  WormSimulation a(net, base_config());
+  WormSimulation b(net, base_config());
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  ASSERT_EQ(ra.ever_infected.size(), rb.ever_infected.size());
+  for (std::size_t i = 0; i < ra.ever_infected.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra.ever_infected.value_at(i),
+                     rb.ever_infected.value_at(i));
+  EXPECT_EQ(ra.total_scan_packets, rb.total_scan_packets);
+}
+
+TEST(WormSimulation, DifferentSeedsDiffer) {
+  const Network net = star_net();
+  SimulationConfig cfg = base_config();
+  WormSimulation a(net, cfg);
+  cfg.seed = 8;
+  WormSimulation b(net, cfg);
+  EXPECT_NE(a.run().total_scan_packets, b.run().total_scan_packets);
+}
+
+TEST(WormSimulation, UnlimitedWormSaturates) {
+  const Network net = star_net();
+  WormSimulation sim(net, base_config());
+  const RunResult result = sim.run();
+  EXPECT_EQ(result.final_ever_infected_count, net.num_nodes());
+  EXPECT_DOUBLE_EQ(result.ever_infected.back_value(), 1.0);
+  // Saturation should stop the run well before max_ticks.
+  EXPECT_LT(result.ever_infected.back_time(), 100.0);
+}
+
+TEST(WormSimulation, EverInfectedMonotone) {
+  const Network net = star_net();
+  WormSimulation sim(net, base_config());
+  const RunResult result = sim.run();
+  double prev = 0.0;
+  for (std::size_t i = 0; i < result.ever_infected.size(); ++i) {
+    EXPECT_GE(result.ever_infected.value_at(i), prev);
+    prev = result.ever_infected.value_at(i);
+  }
+}
+
+TEST(WormSimulation, HostFiltersAssignedToRequestedFraction) {
+  Rng rng(1);
+  const Network net(graph::make_barabasi_albert(200, 2, rng));
+  SimulationConfig cfg = base_config();
+  cfg.deployment.host_filter_fraction = 0.3;
+  WormSimulation sim(net, cfg);
+  std::size_t filtered = 0;
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v)
+    filtered += sim.host_filtered(v);
+  const std::size_t hosts = net.roles().hosts.size();
+  EXPECT_NEAR(static_cast<double>(filtered), 0.3 * hosts, 1.0);
+  // Filters only on hosts, never on routers.
+  for (graph::NodeId b : net.roles().backbone)
+    EXPECT_FALSE(sim.host_filtered(b));
+  for (graph::NodeId e : net.roles().edge)
+    EXPECT_FALSE(sim.host_filtered(e));
+}
+
+TEST(WormSimulation, FullHostFilteringSlowsSpread) {
+  const Network net = star_net(100);
+  SimulationConfig cfg = base_config();
+  cfg.max_ticks = 30.0;
+  const RunResult fast = WormSimulation(net, cfg).run();
+  cfg.deployment.host_filter_fraction = 1.0;
+  const RunResult slow = WormSimulation(net, cfg).run();
+  EXPECT_GT(fast.ever_infected.back_value(),
+            slow.ever_infected.back_value() + 0.3);
+}
+
+TEST(WormSimulation, LinkCapacityWeighting) {
+  Rng rng(2);
+  const Network net(graph::make_barabasi_albert(100, 2, rng));
+  SimulationConfig cfg = base_config();
+  cfg.deployment.backbone_limited = true;
+  cfg.deployment.base_link_capacity = 10.0;
+  cfg.deployment.min_link_capacity = 0.1;
+  WormSimulation sim(net, cfg);
+  double max_cap = 0.0;
+  std::size_t limited = 0;
+  for (std::size_t l = 0; l < net.num_links(); ++l) {
+    const double cap = sim.link_capacity(l);
+    if (net.link_is_backbone(l)) {
+      ++limited;
+      EXPECT_GE(cap, 0.1);
+      max_cap = std::max(max_cap, cap);
+    } else {
+      EXPECT_DOUBLE_EQ(cap, 0.0);
+    }
+  }
+  EXPECT_GT(limited, 0u);
+  // The weighted share rule gives heavily-routed links more capacity
+  // than the floor.
+  EXPECT_GT(max_cap, 0.1);
+}
+
+TEST(WormSimulation, UnweightedCapacityIsFlat) {
+  Rng rng(3);
+  const Network net(graph::make_barabasi_albert(100, 2, rng));
+  SimulationConfig cfg = base_config();
+  cfg.deployment.edge_router_limited = true;
+  cfg.deployment.weight_by_routing_load = false;
+  cfg.deployment.base_link_capacity = 3.0;
+  WormSimulation sim(net, cfg);
+  for (std::size_t l = 0; l < net.num_links(); ++l)
+    if (net.link_is_edge(l)) {
+      EXPECT_DOUBLE_EQ(sim.link_capacity(l), 3.0);
+    }
+}
+
+TEST(WormSimulation, HubCapSlowsStar) {
+  const Network net = star_net(100);
+  SimulationConfig cfg = base_config();
+  cfg.max_ticks = 40.0;
+  const RunResult fast = WormSimulation(net, cfg).run();
+  cfg.deployment.node_forward_cap = {0u, 2u};
+  const RunResult slow = WormSimulation(net, cfg).run();
+  EXPECT_GT(fast.ever_infected.back_value(),
+            slow.ever_infected.back_value() + 0.2);
+  EXPECT_GT(slow.total_queued_packet_events, 0u);
+}
+
+TEST(WormSimulation, ImmunizationRemovesAndStops) {
+  const Network net = star_net(100);
+  SimulationConfig cfg = base_config();
+  cfg.immunization.enabled = true;
+  cfg.immunization.rate = 0.2;
+  cfg.immunization.start_at_tick = 3.0;
+  cfg.max_ticks = 120.0;
+  WormSimulation sim(net, cfg);
+  const RunResult result = sim.run();
+  EXPECT_GE(result.immunization_start_tick, 3.0);
+  EXPECT_GT(result.removed.back_value(), 0.9);
+  // Active infection dies out once everyone is patched.
+  EXPECT_LT(result.active_infected.back_value(), 0.05);
+  // Ever-infected is capped below 1 by early patching.
+  EXPECT_LT(result.ever_infected.back_value(), 1.0);
+}
+
+TEST(WormSimulation, ImmunizationTriggeredByFraction) {
+  const Network net = star_net(100);
+  SimulationConfig cfg = base_config();
+  cfg.immunization.enabled = true;
+  cfg.immunization.rate = 0.1;
+  cfg.immunization.start_at_infected_fraction = 0.5;
+  cfg.max_ticks = 60.0;
+  WormSimulation sim(net, cfg);
+  const RunResult result = sim.run();
+  ASSERT_GE(result.immunization_start_tick, 0.0);
+  // At the trigger tick the epidemic had reached ~50%.
+  const double at_start =
+      result.ever_infected.interpolate(result.immunization_start_tick);
+  EXPECT_GE(at_start, 0.45);
+}
+
+TEST(WormSimulation, LocalPreferentialStaysLocalFirst) {
+  Rng rng(4);
+  const Network net(graph::make_subnet_topology(10, 10, rng));
+  SimulationConfig cfg = base_config();
+  cfg.worm.selection = TargetSelection::kLocalPreferential;
+  cfg.worm.local_bias = 0.95;
+  cfg.max_ticks = 6.0;
+  cfg.stop_when_saturated = false;
+  WormSimulation sim(net, cfg);
+  const RunResult result = sim.run();
+  // The seed subnet is far ahead of the global average early on.
+  ASSERT_FALSE(result.seed_subnet_infected.empty());
+  EXPECT_GT(result.seed_subnet_infected.back_value(),
+            result.ever_infected.back_value() * 2.0);
+}
+
+TEST(WormSimulation, SeedSubnetSeriesOnlyOnSubnetTopologies) {
+  const Network net = star_net();
+  WormSimulation sim(net, base_config());
+  EXPECT_TRUE(sim.run().seed_subnet_infected.empty());
+}
+
+TEST(WormSimulation, StepAdvancesTick) {
+  const Network net = star_net();
+  WormSimulation sim(net, base_config());
+  sim.step();
+  EXPECT_DOUBLE_EQ(sim.tick(), 1.0);
+  sim.step();
+  EXPECT_DOUBLE_EQ(sim.tick(), 2.0);
+}
+
+}  // namespace
+}  // namespace dq::sim

@@ -1,0 +1,84 @@
+#include "stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dq {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmpty) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, AtOrBelow) {
+  const EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, HandlesDuplicates) {
+  const EmpiricalCdf cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(1.9), 0.0);
+}
+
+TEST(EmpiricalCdf, Quantile) {
+  const EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdf, QuantileErrors) {
+  const EmpiricalCdf cdf({1.0});
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, LimitForCoverage) {
+  // 999 zeros and one 100: a limit of 0 covers 99.9%.
+  std::vector<double> samples(999, 0.0);
+  samples.push_back(100.0);
+  const EmpiricalCdf cdf(std::move(samples));
+  EXPECT_DOUBLE_EQ(cdf.limit_for_coverage(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.limit_for_coverage(1.0), 100.0);
+}
+
+TEST(EmpiricalCdf, LimitRoundsUpFractionalValues) {
+  const EmpiricalCdf cdf({0.4, 0.4, 2.3});
+  EXPECT_DOUBLE_EQ(cdf.limit_for_coverage(0.5), 1.0);  // ceil(0.4)
+}
+
+TEST(EmpiricalCdf, MinMaxAndSize) {
+  const EmpiricalCdf cdf({5.0, -1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), -1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+TEST(EmpiricalCdf, EvaluateGrid) {
+  const EmpiricalCdf cdf({1.0, 2.0});
+  const std::vector<double> ys = cdf.evaluate({0.0, 1.0, 2.0});
+  ASSERT_EQ(ys.size(), 3u);
+  EXPECT_DOUBLE_EQ(ys[0], 0.0);
+  EXPECT_DOUBLE_EQ(ys[1], 0.5);
+  EXPECT_DOUBLE_EQ(ys[2], 1.0);
+}
+
+TEST(EmpiricalCdf, MonotoneNonDecreasing) {
+  const EmpiricalCdf cdf({3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0});
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.25) {
+    const double f = cdf.at_or_below(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace dq

@@ -1,0 +1,75 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dq {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(11.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinBounds) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+  EXPECT_THROW(h.bin_lo(5), std::out_of_range);
+}
+
+TEST(Histogram, ToStringHasOneRowPerBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string s = h.to_string();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1024);
+  EXPECT_EQ(h.count(0), 2u);  // {0,1}
+  EXPECT_EQ(h.count(1), 2u);  // [2,3]
+  EXPECT_EQ(h.count(2), 1u);  // [4,7]
+  EXPECT_EQ(h.count(10), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Log2Histogram, GrowsOnDemand) {
+  Log2Histogram h;
+  EXPECT_EQ(h.buckets(), 0u);
+  h.add(1ULL << 40);
+  EXPECT_EQ(h.buckets(), 41u);
+}
+
+}  // namespace
+}  // namespace dq

@@ -1,0 +1,232 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace dq {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, ZeroSeedStillWellMixed) {
+  Xoshiro256StarStar g(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(g());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedRoughly) {
+  Rng rng(8);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5.0, n * 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(0.8));
+  EXPECT_NEAR(sum / n, 0.8, 0.02);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(14);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ParetoSupport) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(16);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(rng.geometric(0.25));
+  // Mean failures before success: (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(18);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.01);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.015);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.015);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(20);
+  Rng child = parent.split();
+  // Child stream differs from parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ZipfSampler, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, RanksInRange) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t r = zipf.sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 50u);
+  }
+}
+
+TEST(ZipfSampler, LowerRanksMoreFrequent) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(22);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler zipf(4, 0.0);
+  Rng rng(23);
+  std::vector<int> counts(5, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (int r = 1; r <= 4; ++r) EXPECT_NEAR(counts[r], n / 4.0, n * 0.01);
+}
+
+}  // namespace
+}  // namespace dq

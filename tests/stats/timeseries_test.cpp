@@ -1,0 +1,131 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dq {
+namespace {
+
+TimeSeries make_line() {
+  TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(1.0, 10.0);
+  ts.push(2.0, 20.0);
+  return ts;
+}
+
+TEST(TimeSeries, PushRequiresIncreasingTimes) {
+  TimeSeries ts;
+  ts.push(1.0, 5.0);
+  EXPECT_THROW(ts.push(1.0, 6.0), std::invalid_argument);
+  EXPECT_THROW(ts.push(0.5, 6.0), std::invalid_argument);
+  ts.push(2.0, 6.0);
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TimeSeries, Accessors) {
+  const TimeSeries ts = make_line();
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.time_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 10.0);
+  EXPECT_DOUBLE_EQ(ts.front_time(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.back_time(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.back_value(), 20.0);
+}
+
+TEST(TimeSeries, InterpolateLinear) {
+  const TimeSeries ts = make_line();
+  EXPECT_DOUBLE_EQ(ts.interpolate(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ts.interpolate(1.25), 12.5);
+}
+
+TEST(TimeSeries, InterpolateClampsOutsideRange) {
+  const TimeSeries ts = make_line();
+  EXPECT_DOUBLE_EQ(ts.interpolate(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.interpolate(99.0), 20.0);
+}
+
+TEST(TimeSeries, InterpolateEmptyThrows) {
+  const TimeSeries ts;
+  EXPECT_THROW(ts.interpolate(0.0), std::logic_error);
+}
+
+TEST(TimeSeries, TimeToReachInterpolates) {
+  const TimeSeries ts = make_line();
+  EXPECT_DOUBLE_EQ(ts.time_to_reach(15.0), 1.5);
+  EXPECT_DOUBLE_EQ(ts.time_to_reach(0.0), 0.0);
+}
+
+TEST(TimeSeries, TimeToReachNeverReached) {
+  const TimeSeries ts = make_line();
+  EXPECT_LT(ts.time_to_reach(21.0), 0.0);
+}
+
+TEST(TimeSeries, MaxValue) {
+  TimeSeries ts;
+  ts.push(0.0, 1.0);
+  ts.push(1.0, 5.0);
+  ts.push(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 5.0);
+  EXPECT_DOUBLE_EQ(TimeSeries{}.max_value(), 0.0);
+}
+
+TEST(TimeSeries, Resample) {
+  const TimeSeries ts = make_line();
+  const TimeSeries r = ts.resample({0.5, 1.5});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.value_at(0), 5.0);
+  EXPECT_DOUBLE_EQ(r.value_at(1), 15.0);
+}
+
+TEST(TimeSeries, AverageOfRuns) {
+  TimeSeries a, b;
+  a.push(0.0, 0.0);
+  a.push(2.0, 4.0);
+  b.push(0.0, 2.0);
+  b.push(2.0, 2.0);
+  const TimeSeries avg = TimeSeries::average({a, b});
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg.value_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(avg.value_at(1), 3.0);
+}
+
+TEST(TimeSeries, AverageResamplesOntoFirstGrid) {
+  TimeSeries a, b;
+  a.push(0.0, 0.0);
+  a.push(1.0, 1.0);
+  b.push(0.0, 0.0);
+  b.push(2.0, 4.0);  // value 2 at t=1 by interpolation
+  const TimeSeries avg = TimeSeries::average({a, b});
+  EXPECT_DOUBLE_EQ(avg.time_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(avg.value_at(1), 1.5);
+}
+
+TEST(TimeSeries, AverageEmptyThrows) {
+  EXPECT_THROW(TimeSeries::average({}), std::invalid_argument);
+}
+
+TEST(TimeSeries, CsvFormat) {
+  TimeSeries ts;
+  ts.push(0.0, 0.5);
+  const std::string csv = ts.to_csv("infected");
+  EXPECT_NE(csv.find("time,infected"), std::string::npos);
+  EXPECT_NE(csv.find("0,0.5"), std::string::npos);
+}
+
+TEST(UniformGrid, EndpointsExact) {
+  const std::vector<double> g = uniform_grid(1.0, 3.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 3.0);
+  EXPECT_DOUBLE_EQ(g[2], 2.0);
+}
+
+TEST(UniformGrid, Errors) {
+  EXPECT_THROW(uniform_grid(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(uniform_grid(2.0, 1.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dq

@@ -1,0 +1,66 @@
+#include "trace/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+namespace dq::trace {
+namespace {
+
+TEST(AddressSpace, Validation) {
+  AddressSpace::Config config;
+  config.popular_servers = 0;
+  EXPECT_THROW(AddressSpace(config, 1), std::invalid_argument);
+}
+
+TEST(AddressSpace, DeterministicForSeed) {
+  const AddressSpace a({}, 7);
+  const AddressSpace b({}, 7);
+  Rng ra(1), rb(1);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.popular_server(ra), b.popular_server(rb));
+}
+
+TEST(AddressSpace, ServerPopularityIsZipf) {
+  AddressSpace::Config config;
+  config.popular_servers = 100;
+  const AddressSpace space(config, 3);
+  Rng rng(5);
+  std::unordered_map<IpAddress, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[space.popular_server(rng)];
+  // The most popular destination dominates: it should appear far more
+  // often than the average (500).
+  int max_count = 0;
+  for (const auto& [ip, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 3000);
+}
+
+TEST(AddressSpace, PoolsAreBounded) {
+  AddressSpace::Config config;
+  config.popular_servers = 10;
+  config.p2p_peers = 20;
+  config.client_sources = 30;
+  const AddressSpace space(config, 9);
+  Rng rng(2);
+  std::set<IpAddress> servers, peers, clients;
+  for (int i = 0; i < 2000; ++i) {
+    servers.insert(space.popular_server(rng));
+    peers.insert(space.p2p_peer(rng));
+    clients.insert(space.external_client(rng));
+  }
+  EXPECT_LE(servers.size(), 10u);
+  EXPECT_LE(peers.size(), 20u);
+  EXPECT_LE(clients.size(), 30u);
+}
+
+TEST(AddressSpace, RandomAddressesRarelyRepeat) {
+  const AddressSpace space({}, 11);
+  Rng rng(4);
+  std::set<IpAddress> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(space.random_address(rng));
+  EXPECT_GT(seen.size(), 9950u);
+}
+
+}  // namespace
+}  // namespace dq::trace

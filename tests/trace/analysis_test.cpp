@@ -1,0 +1,217 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::trace {
+namespace {
+
+/// Hand-built trace: host 0 contacts 3 distinct IPs in window 0,
+/// repeats one of them, then 1 IP in window 2. Window 1 is idle.
+Trace tiny_trace() {
+  Trace trace;
+  trace.add({0.5, EventType::kOutboundContact, 0, 10, 0.0});
+  trace.add({1.0, EventType::kOutboundContact, 0, 11, 0.0});
+  trace.add({2.0, EventType::kOutboundContact, 0, 10, 0.0});  // repeat
+  trace.add({4.0, EventType::kOutboundContact, 0, 12, 0.0});
+  trace.add({11.0, EventType::kOutboundContact, 0, 13, 0.0});
+  trace.set_host_categories({HostCategory::kNormalClient});
+  trace.finalize();
+  return trace;
+}
+
+ContactRateOptions options(Seconds window = 5.0, bool aggregate = true,
+                           Seconds horizon = 15.0) {
+  ContactRateOptions o;
+  o.window = window;
+  o.aggregate = aggregate;
+  o.horizon = horizon;
+  return o;
+}
+
+TEST(WindowCounts, DistinctPerTumblingWindow) {
+  const Trace trace = tiny_trace();
+  const auto counts = window_counts(trace, {0}, Refinement::kAllDistinct,
+                                    options());
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(counts[0], 3.0);  // 10, 11, 12 (repeat free)
+  EXPECT_DOUBLE_EQ(counts[1], 0.0);  // idle window counted as zero
+  EXPECT_DOUBLE_EQ(counts[2], 1.0);
+}
+
+TEST(WindowCounts, Validation) {
+  const Trace trace = tiny_trace();
+  EXPECT_THROW(
+      window_counts(trace, {}, Refinement::kAllDistinct, options()),
+      std::invalid_argument);
+  ContactRateOptions bad = options();
+  bad.window = 0.0;
+  EXPECT_THROW(window_counts(trace, {0}, Refinement::kAllDistinct, bad),
+               std::invalid_argument);
+  Trace unfinalized;
+  unfinalized.set_host_categories({HostCategory::kNormalClient});
+  EXPECT_THROW(window_counts(unfinalized, {0}, Refinement::kAllDistinct,
+                             options()),
+               std::invalid_argument);
+}
+
+TEST(WindowCounts, PriorContactRefinement) {
+  Trace trace;
+  // Remote 20 calls in first; our replies to it are then free.
+  trace.add({0.1, EventType::kInboundContact, 0, 20, 0.0});
+  trace.add({0.5, EventType::kOutboundContact, 0, 20, 0.0});
+  trace.add({1.0, EventType::kOutboundContact, 0, 21, 0.0});
+  trace.set_host_categories({HostCategory::kNormalClient});
+  trace.finalize();
+
+  const auto all = window_counts(trace, {0}, Refinement::kAllDistinct,
+                                 options(5.0, true, 5.0));
+  const auto refined = window_counts(
+      trace, {0}, Refinement::kNoPriorContact, options(5.0, true, 5.0));
+  EXPECT_DOUBLE_EQ(all[0], 2.0);
+  EXPECT_DOUBLE_EQ(refined[0], 1.0);
+}
+
+TEST(WindowCounts, DnsRefinementHonorsTtl) {
+  Trace trace;
+  trace.add({0.1, EventType::kDnsAnswer, 0, 30, 10.0});  // valid to 10.1
+  trace.add({0.5, EventType::kOutboundContact, 0, 30, 0.0});  // covered
+  trace.add({12.0, EventType::kOutboundContact, 0, 30, 0.0});  // expired
+  trace.set_host_categories({HostCategory::kNormalClient});
+  trace.finalize();
+
+  const auto counts = window_counts(
+      trace, {0}, Refinement::kNoPriorNoDns, options(5.0, true, 15.0));
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(counts[0], 0.0);
+  EXPECT_DOUBLE_EQ(counts[2], 1.0);
+}
+
+TEST(WindowCounts, PerHostModeSeparatesHosts) {
+  Trace trace;
+  trace.add({0.5, EventType::kOutboundContact, 0, 10, 0.0});
+  trace.add({0.6, EventType::kOutboundContact, 1, 11, 0.0});
+  trace.add({0.7, EventType::kOutboundContact, 1, 12, 0.0});
+  trace.set_host_categories(
+      {HostCategory::kNormalClient, HostCategory::kNormalClient});
+  trace.finalize();
+
+  const auto counts = window_counts(trace, {0, 1},
+                                    Refinement::kAllDistinct,
+                                    options(5.0, false, 5.0));
+  ASSERT_EQ(counts.size(), 2u);  // one window per host
+  EXPECT_DOUBLE_EQ(counts[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts[1], 2.0);
+}
+
+TEST(WindowCounts, AggregateSharesDnsCacheAcrossHosts) {
+  Trace trace;
+  trace.add({0.1, EventType::kDnsAnswer, 0, 40, 100.0});
+  trace.add({0.5, EventType::kOutboundContact, 1, 40, 0.0});
+  trace.set_host_categories(
+      {HostCategory::kNormalClient, HostCategory::kNormalClient});
+  trace.finalize();
+
+  // Aggregate (edge-router view): host 1 benefits from host 0's lookup.
+  const auto agg = window_counts(trace, {0, 1}, Refinement::kNoPriorNoDns,
+                                 options(5.0, true, 5.0));
+  EXPECT_DOUBLE_EQ(agg[0], 0.0);
+  // Per-host view: host 1 never resolved it.
+  const auto per = window_counts(trace, {0, 1}, Refinement::kNoPriorNoDns,
+                                 options(5.0, false, 5.0));
+  EXPECT_DOUBLE_EQ(per[1], 1.0);
+}
+
+TEST(WindowCounts, UntrackedHostsIgnored) {
+  Trace trace;
+  trace.add({0.5, EventType::kOutboundContact, 0, 10, 0.0});
+  trace.add({0.6, EventType::kOutboundContact, 1, 11, 0.0});
+  trace.set_host_categories(
+      {HostCategory::kNormalClient, HostCategory::kWormBlaster});
+  trace.finalize();
+  const auto counts = window_counts(trace, {0}, Refinement::kAllDistinct,
+                                    options(5.0, true, 5.0));
+  EXPECT_DOUBLE_EQ(counts[0], 1.0);
+}
+
+TEST(ContactRateCdf, EndToEnd) {
+  const Trace trace = tiny_trace();
+  const EmpiricalCdf cdf = contact_rate_cdf(
+      trace, {0}, Refinement::kAllDistinct, options());
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(0.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf.at_or_below(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      rate_limit_for_coverage(trace, {0}, Refinement::kAllDistinct,
+                              options(), 1.0),
+      3.0);
+}
+
+TEST(EvaluateLimit, ClippingMath) {
+  const std::vector<double> counts = {0.0, 2.0, 5.0, 10.0};
+  const ImpactReport report = evaluate_limit(counts, 4.0);
+  EXPECT_DOUBLE_EQ(report.fraction_windows_clipped, 0.5);
+  EXPECT_DOUBLE_EQ(report.fraction_contacts_blocked, (1.0 + 6.0) / 17.0);
+  EXPECT_DOUBLE_EQ(report.mean_count, 17.0 / 4.0);
+  EXPECT_DOUBLE_EQ(report.max_count, 10.0);
+  EXPECT_THROW(evaluate_limit({}, 4.0), std::invalid_argument);
+  EXPECT_THROW(evaluate_limit(counts, -1.0), std::invalid_argument);
+}
+
+TEST(ReplayWilliamson, DelaysScansNotRepeats) {
+  Trace trace;
+  // Burst of 10 new destinations at t=0 from one host.
+  for (IpAddress ip = 1; ip <= 10; ++ip)
+    trace.add({0.0, EventType::kOutboundContact, 0, ip, 0.0});
+  trace.set_host_categories({HostCategory::kWormBlaster});
+  trace.finalize();
+
+  ratelimit::WilliamsonConfig config;
+  config.working_set_size = 5;
+  config.clock_period = 1.0;
+  config.queue_cap = 0;
+  const ThrottleReplayReport report =
+      replay_williamson(trace, {0}, config);
+  EXPECT_EQ(report.contacts, 10u);
+  EXPECT_EQ(report.allowed, 1u);  // idle slot
+  EXPECT_EQ(report.delayed, 9u);
+  EXPECT_GT(report.mean_delay, 1.0);
+  EXPECT_GT(report.max_delay, 8.0);
+}
+
+TEST(ReplayDnsThrottle, BlocksUnknownBeyondBudget) {
+  Trace trace;
+  trace.add({0.0, EventType::kDnsAnswer, 0, 100, 600.0});
+  trace.add({0.1, EventType::kOutboundContact, 0, 100, 0.0});  // free
+  for (IpAddress ip = 1; ip <= 10; ++ip)
+    trace.add({1.0 + ip * 0.01, EventType::kOutboundContact, 0, ip, 0.0});
+  trace.set_host_categories({HostCategory::kWormBlaster});
+  trace.finalize();
+
+  ratelimit::DnsThrottleConfig config;
+  config.window = 60.0;
+  config.limit = 6;
+  const ThrottleReplayReport report =
+      replay_dns_throttle(trace, {0}, config);
+  EXPECT_EQ(report.contacts, 11u);
+  EXPECT_EQ(report.allowed, 7u);  // 1 DNS-covered + 6 budget
+  EXPECT_EQ(report.dropped, 4u);
+}
+
+TEST(ReplayDnsThrottle, PerHostIsolation) {
+  // Two hosts each get their own 6-per-minute budget.
+  Trace trace;
+  for (IpAddress ip = 1; ip <= 8; ++ip) {
+    trace.add({ip * 0.01, EventType::kOutboundContact, 0, ip, 0.0});
+    trace.add({ip * 0.01, EventType::kOutboundContact, 1, 100 + ip, 0.0});
+  }
+  trace.set_host_categories(
+      {HostCategory::kWormBlaster, HostCategory::kWormBlaster});
+  trace.finalize();
+  const ThrottleReplayReport report =
+      replay_dns_throttle(trace, {0, 1}, ratelimit::DnsThrottleConfig{});
+  EXPECT_EQ(report.allowed, 12u);
+  EXPECT_EQ(report.dropped, 4u);
+}
+
+}  // namespace
+}  // namespace dq::trace

@@ -1,0 +1,160 @@
+#include "trace/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/department.hpp"
+
+namespace dq::trace {
+namespace {
+
+// ---- feature extraction on crafted traces ----
+
+TEST(Features, CountsAndRates) {
+  Trace trace;
+  trace.add({0.5, EventType::kDnsAnswer, 0, 10, 100.0});
+  trace.add({1.0, EventType::kOutboundContact, 0, 10, 0.0});  // DNS-covered
+  trace.add({2.0, EventType::kOutboundContact, 0, 11, 0.0});  // fresh
+  trace.add({3.0, EventType::kOutboundContact, 0, 11, 0.0});  // repeat
+  trace.add({4.0, EventType::kInboundContact, 0, 12, 0.0});
+  trace.add({5.0, EventType::kOutboundContact, 0, 12, 0.0});  // known peer
+  trace.add({10.0, EventType::kOutboundContact, 1, 50, 0.0});
+  trace.set_host_categories(
+      {HostCategory::kNormalClient, HostCategory::kNormalClient});
+  trace.finalize();
+
+  const auto features = extract_features(trace);
+  ASSERT_EQ(features.size(), 2u);
+  const HostFeatures& f = features[0];
+  EXPECT_EQ(f.outbound_contacts, 4u);
+  EXPECT_EQ(f.inbound_contacts, 1u);
+  EXPECT_EQ(f.dns_answers, 1u);
+  EXPECT_EQ(f.dns_covered_contacts, 1u);
+  EXPECT_EQ(f.fresh_destination_contacts, 1u);  // only dest 11
+  EXPECT_EQ(f.distinct_destinations, 3u);
+  EXPECT_DOUBLE_EQ(f.dns_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(f.freshness(), 0.25);
+  EXPECT_EQ(features[1].outbound_contacts, 1u);
+}
+
+TEST(Features, PeakPerMinuteUsesSlidingWindow) {
+  Trace trace;
+  // 5 distinct within one minute, then a gap, then 2 more.
+  for (IpAddress ip = 1; ip <= 5; ++ip)
+    trace.add({ip * 5.0, EventType::kOutboundContact, 0, ip, 0.0});
+  trace.add({200.0, EventType::kOutboundContact, 0, 10, 0.0});
+  trace.add({201.0, EventType::kOutboundContact, 0, 11, 0.0});
+  trace.set_host_categories({HostCategory::kNormalClient});
+  trace.finalize();
+  const auto features = extract_features(trace);
+  EXPECT_EQ(features[0].peak_distinct_per_minute, 5u);
+}
+
+TEST(Features, RequiresFinalizedTrace) {
+  Trace trace;
+  trace.set_host_categories({HostCategory::kNormalClient});
+  EXPECT_THROW(extract_features(trace), std::invalid_argument);
+}
+
+// ---- rule behavior on synthetic feature vectors ----
+
+HostFeatures base_features() {
+  HostFeatures f;
+  f.duration = 3600.0;
+  f.outbound_contacts = 40;
+  f.distinct_destinations = 20;
+  return f;
+}
+
+TEST(ClassifyHost, QuietHostIsNormal) {
+  EXPECT_EQ(classify_host(base_features()),
+            HostCategory::kNormalClient);
+}
+
+TEST(ClassifyHost, ScanPeakMakesWorm) {
+  HostFeatures f = base_features();
+  f.peak_distinct_per_minute = 500;
+  EXPECT_EQ(classify_host(f), HostCategory::kWormBlaster);
+  f.peak_distinct_per_minute = 5000;
+  EXPECT_EQ(classify_host(f), HostCategory::kWormWelchia);
+}
+
+TEST(ClassifyHost, SustainedFreshScanningMakesWorm) {
+  HostFeatures f = base_features();
+  f.outbound_contacts = 7200;  // 2/s
+  f.fresh_destination_contacts = 7000;
+  EXPECT_EQ(classify_host(f), HostCategory::kWormBlaster);
+}
+
+TEST(ClassifyHost, InboundDominanceMakesServer) {
+  HostFeatures f = base_features();
+  f.inbound_contacts = 800;
+  EXPECT_EQ(classify_host(f), HostCategory::kServer);
+}
+
+TEST(ClassifyHost, FanoutWithoutDnsMakesP2p) {
+  HostFeatures f = base_features();
+  f.outbound_contacts = 1200;  // 0.33/s
+  f.distinct_destinations = 300;
+  f.dns_covered_contacts = 100;  // ~8%
+  EXPECT_EQ(classify_host(f), HostCategory::kP2P);
+}
+
+TEST(ClassifyHost, DnsHeavyFanoutStaysNormal) {
+  HostFeatures f = base_features();
+  f.outbound_contacts = 1200;
+  f.distinct_destinations = 300;
+  f.dns_covered_contacts = 1100;
+  EXPECT_EQ(classify_host(f), HostCategory::kNormalClient);
+}
+
+// ---- end-to-end on the synthetic department ----
+
+TEST(Classifier, RecoversTheDepartmentPartition) {
+  DepartmentConfig config;
+  config.normal_clients = 120;
+  config.servers = 6;
+  config.p2p_clients = 8;
+  config.blaster_hosts = 6;
+  config.welchia_hosts = 6;
+  config.duration = 3.0 * 3600.0;  // long enough for worm epochs
+  const Trace department = generate_department_trace(config, 314159);
+
+  const std::vector<HostCategory> predicted = classify_hosts(department);
+  const ClassifierReport report =
+      evaluate_classifier(department, predicted);
+
+  EXPECT_GE(report.overall_accuracy, 0.85) << report.to_string();
+  EXPECT_GE(report.worm_recall, 0.9) << report.to_string();
+  EXPECT_GE(report.worm_precision, 0.9) << report.to_string();
+}
+
+TEST(Classifier, ReportRendersConfusionMatrix) {
+  DepartmentConfig config;
+  config.normal_clients = 10;
+  config.servers = 1;
+  config.p2p_clients = 1;
+  config.blaster_hosts = 1;
+  config.welchia_hosts = 1;
+  config.duration = 1800.0;
+  const Trace department = generate_department_trace(config, 7);
+  const ClassifierReport report =
+      evaluate_classifier(department, classify_hosts(department));
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("confusion"), std::string::npos);
+  EXPECT_NE(text.find("worm recall"), std::string::npos);
+}
+
+TEST(Classifier, SizeMismatchThrows) {
+  DepartmentConfig config;
+  config.normal_clients = 3;
+  config.servers = 0;
+  config.p2p_clients = 0;
+  config.blaster_hosts = 0;
+  config.welchia_hosts = 0;
+  config.duration = 60.0;
+  const Trace department = generate_department_trace(config, 7);
+  EXPECT_THROW(evaluate_classifier(department, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dq::trace

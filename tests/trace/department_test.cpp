@@ -1,0 +1,76 @@
+#include "trace/department.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::trace {
+namespace {
+
+DepartmentConfig small_config() {
+  DepartmentConfig config;
+  config.normal_clients = 20;
+  config.servers = 2;
+  config.p2p_clients = 3;
+  config.blaster_hosts = 2;
+  config.welchia_hosts = 2;
+  config.duration = 600.0;
+  return config;
+}
+
+TEST(Department, Validation) {
+  DepartmentConfig config = small_config();
+  config.duration = 0.0;
+  EXPECT_THROW(generate_department_trace(config, 1), std::invalid_argument);
+  config = small_config();
+  config.normal_clients = config.servers = config.p2p_clients =
+      config.blaster_hosts = config.welchia_hosts = 0;
+  EXPECT_THROW(generate_department_trace(config, 1), std::invalid_argument);
+}
+
+TEST(Department, CensusMatchesConfig) {
+  const Trace trace = generate_department_trace(small_config(), 1);
+  EXPECT_EQ(trace.num_hosts(), 29u);
+  EXPECT_EQ(trace.hosts_in(HostCategory::kNormalClient).size(), 20u);
+  EXPECT_EQ(trace.hosts_in(HostCategory::kServer).size(), 2u);
+  EXPECT_EQ(trace.hosts_in(HostCategory::kP2P).size(), 3u);
+  EXPECT_EQ(trace.hosts_in(HostCategory::kWormBlaster).size(), 2u);
+  EXPECT_EQ(trace.hosts_in(HostCategory::kWormWelchia).size(), 2u);
+}
+
+TEST(Department, PaperCensusByDefault) {
+  const DepartmentConfig config;
+  EXPECT_EQ(total_hosts(config), 1128u);  // the ECE subnet's size
+  EXPECT_EQ(config.normal_clients, 999u);
+  EXPECT_EQ(config.servers, 17u);
+  EXPECT_EQ(config.p2p_clients, 33u);
+  EXPECT_EQ(config.blaster_hosts + config.welchia_hosts, 79u);
+}
+
+TEST(Department, FinalizedAndSorted) {
+  const Trace trace = generate_department_trace(small_config(), 2);
+  EXPECT_TRUE(trace.finalized());
+  for (std::size_t i = 1; i < trace.events().size(); ++i)
+    EXPECT_LE(trace.events()[i - 1].time, trace.events()[i].time);
+}
+
+TEST(Department, EventsReferenceValidHosts) {
+  const Trace trace = generate_department_trace(small_config(), 3);
+  for (const TraceEvent& e : trace.events())
+    EXPECT_LT(e.host, trace.num_hosts());
+}
+
+TEST(Department, DeterministicForSeed) {
+  const Trace a = generate_department_trace(small_config(), 7);
+  const Trace b = generate_department_trace(small_config(), 7);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); i += 97)
+    EXPECT_EQ(a.events()[i].remote, b.events()[i].remote);
+}
+
+TEST(Department, SeedsChangeTheTraffic) {
+  const Trace a = generate_department_trace(small_config(), 7);
+  const Trace b = generate_department_trace(small_config(), 8);
+  EXPECT_NE(a.events().size(), b.events().size());
+}
+
+}  // namespace
+}  // namespace dq::trace

@@ -1,0 +1,165 @@
+#include "trace/host_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dq::trace {
+namespace {
+
+const AddressSpace& shared_space() {
+  static const AddressSpace space({}, 99);
+  return space;
+}
+
+Trace generate(const HostModel& model, Seconds duration,
+               std::uint64_t seed = 1) {
+  Trace trace;
+  Rng rng(seed);
+  model.generate(rng, 0, duration, trace);
+  trace.set_host_categories({model.category()});
+  trace.finalize();
+  return trace;
+}
+
+std::size_t outbound_count(const Trace& trace) {
+  std::size_t n = 0;
+  for (const TraceEvent& e : trace.events())
+    n += e.type == EventType::kOutboundContact;
+  return n;
+}
+
+TEST(HostModels, EventsWithinDuration) {
+  const NormalClientModel model(shared_space(), {});
+  const Trace trace = generate(model, 3600.0);
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LT(e.time, 3600.0 + 5.0);  // repeat packets may trail slightly
+  }
+}
+
+TEST(HostModels, NormalClientHasDnsBeforeSomeContacts) {
+  const NormalClientModel model(shared_space(), {});
+  const Trace trace = generate(model, 24.0 * 3600.0);
+  std::size_t dns = 0, outbound = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.type == EventType::kDnsAnswer) {
+      ++dns;
+      EXPECT_GT(e.dns_ttl, 0.0);
+    }
+    outbound += e.type == EventType::kOutboundContact;
+  }
+  EXPECT_GT(outbound, 0u);
+  EXPECT_GT(dns, 0u);
+  // Roughly the configured dns_fraction of sessions resolve first.
+  EXPECT_GT(static_cast<double>(dns) / static_cast<double>(outbound), 0.1);
+}
+
+TEST(HostModels, ServerIsInboundDominated) {
+  const ServerModel model(shared_space(), {});
+  const Trace trace = generate(model, 3600.0);
+  std::size_t inbound = 0, outbound = 0;
+  for (const TraceEvent& e : trace.events()) {
+    inbound += e.type == EventType::kInboundContact;
+    outbound += e.type == EventType::kOutboundContact;
+  }
+  EXPECT_GT(inbound, outbound * 5);
+}
+
+TEST(HostModels, P2PContactsMostlyWithoutDns) {
+  const P2PModel model(shared_space(), {});
+  const Trace trace = generate(model, 3600.0);
+  std::size_t dns = 0, outbound = 0;
+  for (const TraceEvent& e : trace.events()) {
+    dns += e.type == EventType::kDnsAnswer;
+    outbound += e.type == EventType::kOutboundContact;
+  }
+  EXPECT_GT(outbound, 500u);  // sustained gossip
+  EXPECT_LT(dns, outbound / 2);
+}
+
+TEST(HostModels, WormsScanFarMoreThanClients) {
+  const NormalClientModel normal(shared_space(), {});
+  const BlasterModel blaster(shared_space(), {});
+  const WelchiaModel welchia(shared_space(), {});
+  const Seconds day = 24.0 * 3600.0;
+  const std::size_t normal_contacts = outbound_count(generate(normal, day));
+  const std::size_t blaster_contacts =
+      outbound_count(generate(blaster, day));
+  const std::size_t welchia_contacts =
+      outbound_count(generate(welchia, day));
+  EXPECT_GT(blaster_contacts, normal_contacts * 20);
+  EXPECT_GT(welchia_contacts, normal_contacts * 20);
+}
+
+TEST(HostModels, WelchiaPeaksAboveBlaster) {
+  // Footnote 1: Welchia's peak scanning rate is an order of magnitude
+  // above Blaster's. Compare the busiest 60-second windows.
+  const BlasterModel blaster(shared_space(), {});
+  const WelchiaModel welchia(shared_space(), {});
+  const Seconds day = 24.0 * 3600.0;
+  auto peak_per_minute = [](const Trace& trace) {
+    std::size_t best = 0;
+    std::vector<std::size_t> counts(
+        static_cast<std::size_t>(trace.duration() / 60.0) + 1, 0);
+    for (const TraceEvent& e : trace.events())
+      if (e.type == EventType::kOutboundContact)
+        ++counts[static_cast<std::size_t>(e.time / 60.0)];
+    for (std::size_t c : counts) best = std::max(best, c);
+    return best;
+  };
+  const std::size_t blaster_peak = peak_per_minute(generate(blaster, day));
+  const std::size_t welchia_peak = peak_per_minute(generate(welchia, day));
+  EXPECT_GT(welchia_peak, blaster_peak * 4);
+  // Calibration bands around the paper's numbers (671 and 7068).
+  EXPECT_GT(blaster_peak, 300u);
+  EXPECT_LT(blaster_peak, 1200u);
+  EXPECT_GT(welchia_peak, 3000u);
+  EXPECT_LT(welchia_peak, 9000u);
+}
+
+TEST(HostModels, DiurnalCycleGatesSessions) {
+  NormalClientConfig cfg;
+  cfg.session_rate = 1.0 / 20.0;  // busy host so the test is cheap
+  cfg.diurnal_period = 1000.0;
+  cfg.diurnal_active_fraction = 0.3;
+  cfg.inbound_rate = 0.0;  // inbound is not gated; exclude it
+  const NormalClientModel model(shared_space(), cfg);
+  const Trace trace = generate(model, 10000.0, 3);
+
+  // All outbound activity falls inside ~30% of each period (plus the
+  // few seconds a session straddles a boundary). Recover the window by
+  // histogramming into 10 bins per period: busy bins must cover no
+  // more than ~half the cycle.
+  std::size_t total = 0;
+  std::vector<std::size_t> bins(10, 0);
+  for (const TraceEvent& e : trace.events()) {
+    if (e.type != EventType::kOutboundContact) continue;
+    ++total;
+    ++bins[static_cast<std::size_t>(std::fmod(e.time, 1000.0) / 100.0)];
+  }
+  ASSERT_GT(total, 100u);
+  std::size_t busy_bins = 0;
+  for (std::size_t b : bins)
+    if (b > total / 50) ++busy_bins;
+  EXPECT_LE(busy_bins, 5u);
+}
+
+TEST(HostModels, DiurnalOffByDefault) {
+  const NormalClientConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.diurnal_period, 0.0);
+}
+
+TEST(HostModels, DeterministicForSeed) {
+  const BlasterModel model(shared_space(), {});
+  const Trace a = generate(model, 3600.0, 5);
+  const Trace b = generate(model, 3600.0, 5);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].remote, b.events()[i].remote);
+  }
+}
+
+}  // namespace
+}  // namespace dq::trace

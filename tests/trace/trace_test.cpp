@@ -1,0 +1,139 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::trace {
+namespace {
+
+TEST(Trace, FinalizeSortsByTime) {
+  Trace trace;
+  trace.add({5.0, EventType::kOutboundContact, 0, 1, 0.0});
+  trace.add({1.0, EventType::kOutboundContact, 0, 2, 0.0});
+  trace.add({3.0, EventType::kDnsAnswer, 0, 3, 60.0});
+  EXPECT_FALSE(trace.finalized());
+  trace.finalize();
+  EXPECT_TRUE(trace.finalized());
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.events()[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(trace.events()[1].time, 3.0);
+  EXPECT_DOUBLE_EQ(trace.events()[2].time, 5.0);
+}
+
+TEST(Trace, StableSortPreservesEqualTimeOrder) {
+  Trace trace;
+  trace.add({1.0, EventType::kDnsAnswer, 0, 10, 60.0});
+  trace.add({1.0, EventType::kOutboundContact, 0, 10, 0.0});
+  trace.finalize();
+  EXPECT_EQ(trace.events()[0].type, EventType::kDnsAnswer);
+  EXPECT_EQ(trace.events()[1].type, EventType::kOutboundContact);
+}
+
+TEST(Trace, HostCategories) {
+  Trace trace;
+  trace.set_host_categories({HostCategory::kNormalClient,
+                             HostCategory::kServer,
+                             HostCategory::kNormalClient,
+                             HostCategory::kWormBlaster});
+  EXPECT_EQ(trace.num_hosts(), 4u);
+  const auto normals = trace.hosts_in(HostCategory::kNormalClient);
+  ASSERT_EQ(normals.size(), 2u);
+  EXPECT_EQ(normals[0], 0u);
+  EXPECT_EQ(normals[1], 2u);
+  EXPECT_TRUE(trace.hosts_in(HostCategory::kP2P).empty());
+}
+
+TEST(Trace, Duration) {
+  Trace trace;
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+  trace.add({2.5, EventType::kInboundContact, 0, 1, 0.0});
+  trace.finalize();
+  EXPECT_DOUBLE_EQ(trace.duration(), 2.5);
+}
+
+TEST(Trace, CsvExport) {
+  Trace trace;
+  trace.add({1.5, EventType::kOutboundContact, 3, 99, 0.0});
+  trace.finalize();
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("time,type,host,remote,ttl"), std::string::npos);
+  EXPECT_NE(csv.find("1.5,0,3,99,0"), std::string::npos);
+}
+
+TEST(TraceCsv, RoundTrip) {
+  Trace original;
+  original.add({1.5, EventType::kOutboundContact, 3, 99, 0.0});
+  original.add({0.25, EventType::kDnsAnswer, 1, 42, 600.0});
+  original.add({2.0, EventType::kInboundContact, 0, 7, 0.0});
+  original.finalize();
+
+  const Trace parsed = parse_trace_csv(original.to_csv());
+  ASSERT_EQ(parsed.events().size(), 3u);
+  EXPECT_TRUE(parsed.finalized());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.events()[i].time, original.events()[i].time);
+    EXPECT_EQ(parsed.events()[i].type, original.events()[i].type);
+    EXPECT_EQ(parsed.events()[i].host, original.events()[i].host);
+    EXPECT_EQ(parsed.events()[i].remote, original.events()[i].remote);
+    EXPECT_DOUBLE_EQ(parsed.events()[i].dns_ttl,
+                     original.events()[i].dns_ttl);
+  }
+}
+
+TEST(TraceCsv, ParsesUnsortedInputAndSorts) {
+  const Trace parsed = parse_trace_csv(
+      "time,type,host,remote,ttl\n"
+      "5,0,1,10,0\n"
+      "1,0,1,11,0\n");
+  ASSERT_EQ(parsed.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.events()[0].time, 1.0);
+}
+
+TEST(TraceCsv, SkipsBlankLines) {
+  const Trace parsed = parse_trace_csv(
+      "time,type,host,remote,ttl\n\n1,0,0,5,0\n\n");
+  EXPECT_EQ(parsed.events().size(), 1u);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  EXPECT_THROW(parse_trace_csv(""), std::invalid_argument);
+  EXPECT_THROW(parse_trace_csv("wrong,header\n"), std::invalid_argument);
+  EXPECT_THROW(
+      parse_trace_csv("time,type,host,remote,ttl\n1,0,0\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_trace_csv("time,type,host,remote,ttl\n1,0,0,5,0,9\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_trace_csv("time,type,host,remote,ttl\n1,7,0,5,0\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_trace_csv("time,type,host,remote,ttl\nabc,0,0,5,0\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_trace_csv("time,type,host,remote,ttl\n-1,0,0,5,0\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceCsv, DepartmentRoundTripPreservesAnalysis) {
+  // A generated trace survives export+import with identical analysis
+  // inputs (event multiset).
+  Trace original;
+  original.add({0.5, EventType::kOutboundContact, 0, 10, 0.0});
+  original.add({0.5, EventType::kOutboundContact, 0, 11, 0.0});
+  original.add({6.0, EventType::kOutboundContact, 0, 12, 0.0});
+  original.finalize();
+  const Trace parsed = parse_trace_csv(original.to_csv());
+  EXPECT_EQ(parsed.events().size(), original.events().size());
+  EXPECT_DOUBLE_EQ(parsed.duration(), original.duration());
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_EQ(to_string(HostCategory::kNormalClient), "normal-client");
+  EXPECT_EQ(to_string(HostCategory::kServer), "server");
+  EXPECT_EQ(to_string(HostCategory::kP2P), "p2p");
+  EXPECT_EQ(to_string(HostCategory::kWormBlaster), "worm-blaster");
+  EXPECT_EQ(to_string(HostCategory::kWormWelchia), "worm-welchia");
+}
+
+}  // namespace
+}  // namespace dq::trace

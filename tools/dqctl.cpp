@@ -1,0 +1,329 @@
+// dqctl — command-line driver for the dynamic-quarantine library.
+//
+//   dqctl scenario [options]     evaluate a worm/defense scenario
+//   dqctl trace [options]        synthesize a department trace (CSV)
+//   dqctl analyze FILE [options] contact-rate analysis of a trace CSV
+//   dqctl plan FILE [options]    derive a quarantine plan from a trace
+//   dqctl figure ID [--csv]      print one paper figure (fig1a..fig10)
+//
+// Run any subcommand with --help for its options.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/planner.hpp"
+#include "core/scenario.hpp"
+#include "trace/analysis.hpp"
+#include "trace/classifier.hpp"
+#include "trace/department.hpp"
+
+namespace {
+
+using namespace dq;
+
+/// Minimal "--key value / --flag" parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+          values_[key] = argv[++i];
+        else
+          values_[key] = "";
+      } else {
+        positional_.push_back(std::move(token));
+      }
+    }
+  }
+
+  bool flag(const std::string& key) const { return values_.contains(key); }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  dqctl scenario [--topology star|powerlaw|subnets] "
+         "[--topology-file EDGELIST]\n"
+         "                 [--nodes N]\n"
+         "                 [--beta B] [--worm random|localpref|sequential|"
+         "permutation|hitlist]\n"
+         "                 [--deployment none|host|edge|backbone]\n"
+         "                 [--host-fraction Q] [--immunize-at F] [--mu M]\n"
+         "                 [--horizon T] [--runs R] [--seed S] "
+         "[--analytical]\n"
+         "  dqctl trace [--duration SECONDS] [--seed S] [--out FILE]\n"
+         "              [--normal N --servers N --p2p N --blaster N "
+         "--welchia N]\n"
+         "  dqctl analyze FILE [--window W] [--per-host] "
+         "[--coverage C]\n"
+         "  dqctl classify FILE        behavioural host classification\n"
+         "  dqctl plan FILE [--normal N --servers N --p2p N --blaster N "
+         "--welchia N]\n"
+         "  dqctl figure ID [--csv] [--quick]   (fig1a fig1b fig2 fig3a "
+         "fig3b fig4 fig5 fig6 fig7a fig7b fig8a fig8b fig9a fig9b fig10)\n";
+  return 2;
+}
+
+core::Scenario scenario_from(const Args& args) {
+  core::Scenario s;
+  const std::string topology = args.str("topology", "powerlaw");
+  if (topology == "star")
+    s.topology.kind = core::ScenarioTopology::Kind::kStar;
+  else if (topology == "subnets")
+    s.topology.kind = core::ScenarioTopology::Kind::kSubnets;
+  else if (topology == "powerlaw")
+    s.topology.kind = core::ScenarioTopology::Kind::kPowerLaw;
+  else
+    throw std::invalid_argument("unknown topology: " + topology);
+  if (args.flag("topology-file")) {
+    s.topology.kind = core::ScenarioTopology::Kind::kEdgeList;
+    s.topology.edge_list_path = args.str("topology-file", "");
+  }
+  s.topology.nodes = static_cast<std::size_t>(args.num("nodes", 1000));
+  s.worm.contact_rate = args.num("beta", 0.8);
+
+  const std::string worm = args.str("worm", "random");
+  if (worm == "localpref")
+    s.worm.worm_class = epidemic::WormClass::kLocalPreferential;
+  else if (worm == "sequential")
+    s.worm.scan_strategy = worm::ScanStrategy::kSequential;
+  else if (worm == "permutation")
+    s.worm.scan_strategy = worm::ScanStrategy::kPermutation;
+  else if (worm == "hitlist")
+    s.worm.scan_strategy = worm::ScanStrategy::kHitlist;
+  else if (worm != "random")
+    throw std::invalid_argument("unknown worm: " + worm);
+
+  const std::string deployment = args.str("deployment", "none");
+  if (deployment == "host")
+    s.defense.deployment = core::Deployment::kHostBased;
+  else if (deployment == "edge")
+    s.defense.deployment = core::Deployment::kEdgeRouter;
+  else if (deployment == "backbone")
+    s.defense.deployment = core::Deployment::kBackbone;
+  else if (deployment != "none")
+    throw std::invalid_argument("unknown deployment: " + deployment);
+  s.defense.host_fraction = args.num("host-fraction", 0.0);
+  if (args.flag("immunize-at")) {
+    s.defense.immunization_start_fraction = args.num("immunize-at", 0.2);
+    s.defense.immunization_rate = args.num("mu", 0.1);
+  }
+  s.horizon = args.num("horizon", 100.0);
+  s.seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+  return s;
+}
+
+int cmd_scenario(const Args& args) {
+  const core::Scenario s = scenario_from(args);
+  const core::PropagationResult result =
+      args.flag("analytical")
+          ? core::run_analytical(s)
+          : core::run_simulation(
+                s, static_cast<std::size_t>(args.num("runs", 10.0)));
+  std::cout << "time,ever_infected,active_infected\n";
+  for (std::size_t i = 0; i < result.ever_infected.size(); ++i)
+    std::cout << result.ever_infected.time_at(i) << ','
+              << result.ever_infected.value_at(i) << ','
+              << result.active_infected.value_at(i) << '\n';
+  std::cerr << "t50 = " << result.time_to_half()
+            << " ticks, final ever infected = "
+            << result.final_ever_infected() << '\n';
+  return 0;
+}
+
+trace::DepartmentConfig department_from(const Args& args) {
+  trace::DepartmentConfig config;
+  config.normal_clients = static_cast<std::size_t>(args.num("normal", 999));
+  config.servers = static_cast<std::size_t>(args.num("servers", 17));
+  config.p2p_clients = static_cast<std::size_t>(args.num("p2p", 33));
+  config.blaster_hosts = static_cast<std::size_t>(args.num("blaster", 40));
+  config.welchia_hosts = static_cast<std::size_t>(args.num("welchia", 39));
+  config.duration = args.num("duration", 3600.0);
+  return config;
+}
+
+int cmd_trace(const Args& args) {
+  const trace::DepartmentConfig config = department_from(args);
+  const trace::Trace department = trace::generate_department_trace(
+      config, static_cast<std::uint64_t>(args.num("seed", 42.0)));
+  const std::string out = args.str("out", "");
+  if (out.empty()) {
+    std::cout << department.to_csv();
+  } else {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "cannot write " << out << '\n';
+      return 1;
+    }
+    file << department.to_csv();
+    std::cerr << department.events().size() << " events -> " << out << '\n';
+  }
+  return 0;
+}
+
+trace::Trace load_trace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::invalid_argument("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return trace::parse_trace_csv(buffer.str());
+}
+
+std::vector<trace::HostId> all_hosts(const trace::Trace& t) {
+  trace::HostId max_host = 0;
+  for (const trace::TraceEvent& e : t.events())
+    max_host = std::max(max_host, e.host);
+  std::vector<trace::HostId> hosts(max_host + 1);
+  for (trace::HostId h = 0; h <= max_host; ++h) hosts[h] = h;
+  return hosts;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const trace::Trace t = load_trace(args.positional()[0]);
+  const std::vector<trace::HostId> hosts = all_hosts(t);
+  trace::ContactRateOptions options;
+  options.window = args.num("window", 5.0);
+  options.aggregate = !args.flag("per-host");
+  const double coverage = args.num("coverage", 0.999);
+
+  std::cout << "events: " << t.events().size() << ", hosts: " << hosts.size()
+            << ", duration: " << t.duration() << " s\n";
+  const char* names[] = {"distinct IPs", "no prior contact",
+                         "no prior, no DNS"};
+  const trace::Refinement refinements[] = {
+      trace::Refinement::kAllDistinct, trace::Refinement::kNoPriorContact,
+      trace::Refinement::kNoPriorNoDns};
+  for (int i = 0; i < 3; ++i) {
+    const auto counts =
+        trace::window_counts(t, hosts, refinements[i], options);
+    const trace::ImpactReport stats = trace::evaluate_limit(counts, 1e18);
+    const double limit = EmpiricalCdf(counts).limit_for_coverage(coverage);
+    std::cout << names[i] << ": mean " << stats.mean_count << ", max "
+              << stats.max_count << ", " << 100.0 * coverage
+              << "% limit = " << limit << " per " << options.window
+              << " s window\n";
+  }
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const trace::Trace t = load_trace(args.positional()[0]);
+  const auto features = trace::extract_features(t);
+  std::size_t counts[5] = {};
+  std::cout << "host,category,outbound_rate,inbound_ratio,dns_fraction,"
+               "freshness,peak_per_minute\n";
+  for (const trace::HostFeatures& f : features) {
+    const trace::HostCategory category = trace::classify_host(f);
+    ++counts[static_cast<int>(category)];
+    std::cout << f.host << ',' << trace::to_string(category) << ','
+              << f.outbound_rate() << ',' << f.inbound_outbound_ratio()
+              << ',' << f.dns_fraction() << ',' << f.freshness() << ','
+              << f.peak_distinct_per_minute << '\n';
+  }
+  std::cerr << "census: normal " << counts[0] << ", server " << counts[1]
+            << ", p2p " << counts[2] << ", blaster " << counts[3]
+            << ", welchia " << counts[4] << '\n';
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  if (args.positional().empty()) return usage();
+  trace::Trace t = load_trace(args.positional()[0]);
+  // Assign categories in id order from the census options (the CSV
+  // format does not carry categories).
+  const trace::DepartmentConfig census = department_from(args);
+  std::vector<trace::HostCategory> categories;
+  auto fill = [&](std::size_t n, trace::HostCategory c) {
+    categories.insert(categories.end(), n, c);
+  };
+  fill(census.normal_clients, trace::HostCategory::kNormalClient);
+  fill(census.servers, trace::HostCategory::kServer);
+  fill(census.p2p_clients, trace::HostCategory::kP2P);
+  fill(census.blaster_hosts, trace::HostCategory::kWormBlaster);
+  fill(census.welchia_hosts, trace::HostCategory::kWormWelchia);
+  t.set_host_categories(std::move(categories));
+  std::cout << core::plan_from_trace(t).summary();
+  return 0;
+}
+
+int cmd_figure(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const std::string id = args.positional()[0];
+  const core::ExperimentOptions options =
+      args.flag("quick") ? core::ExperimentOptions::quick()
+                         : core::ExperimentOptions{};
+
+  std::optional<core::FigureData> fig;
+  if (id == "fig1a") fig = core::fig1a_star_analytical();
+  else if (id == "fig1b") fig = core::fig1b_star_simulated(options);
+  else if (id == "fig2") fig = core::fig2_host_analytical();
+  else if (id == "fig3a") fig = core::fig3a_edge_across_subnets();
+  else if (id == "fig3b") fig = core::fig3b_edge_within_subnet();
+  else if (id == "fig4") fig = core::fig4_powerlaw_simulated(options);
+  else if (id == "fig5") fig = core::fig5_edge_localpref_simulated(options);
+  else if (id == "fig6")
+    fig = core::fig6_localpref_backbone_simulated(options);
+  else if (id == "fig7a") fig = core::fig7a_immunization_analytical();
+  else if (id == "fig7b")
+    fig = core::fig7b_immunization_ratelimited_analytical();
+  else if (id == "fig8a") fig = core::fig8a_immunization_simulated(options);
+  else if (id == "fig8b")
+    fig = core::fig8b_immunization_ratelimited_simulated(options);
+  else if (id == "fig9a" || id == "fig9b") {
+    const trace::Trace department = core::make_department_trace(options);
+    fig = id == "fig9a" ? core::fig9a_normal_client_cdf(department)
+                        : core::fig9b_worm_host_cdf(department);
+  } else if (id == "fig10") {
+    fig = core::fig10_trace_rates_analytical();
+  } else {
+    std::cerr << "unknown figure id: " << id << '\n';
+    return usage();
+  }
+
+  std::cout << (args.flag("csv") ? core::render_csv(*fig)
+                                 : core::render_table(*fig));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "scenario") return cmd_scenario(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "classify") return cmd_classify(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "figure") return cmd_figure(args);
+  } catch (const std::exception& e) {
+    std::cerr << "dqctl: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

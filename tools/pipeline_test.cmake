@@ -1,0 +1,23 @@
+# End-to-end CLI pipeline: synthesize -> analyze -> classify -> plan.
+set(trace ${CMAKE_CURRENT_BINARY_DIR}/dqctl_pipeline_trace.csv)
+execute_process(COMMAND ${DQCTL} trace --normal 40 --servers 2 --p2p 3
+                        --blaster 2 --welchia 2 --duration 900
+                        --out ${trace}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dqctl trace failed: ${rc}")
+endif()
+foreach(sub analyze classify)
+  execute_process(COMMAND ${DQCTL} ${sub} ${trace}
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "dqctl ${sub} failed: ${rc}")
+  endif()
+endforeach()
+execute_process(COMMAND ${DQCTL} plan ${trace} --normal 40 --servers 2
+                        --p2p 3 --blaster 2 --welchia 2
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dqctl plan failed: ${rc}")
+endif()
+file(REMOVE ${trace})
