@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_backbone_selection"
+  "../bench/ablation_backbone_selection.pdb"
+  "CMakeFiles/ablation_backbone_selection.dir/ablation_backbone_selection.cpp.o"
+  "CMakeFiles/ablation_backbone_selection.dir/ablation_backbone_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backbone_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_detection.cpp" "bench-build/CMakeFiles/ablation_detection.dir/ablation_detection.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_detection.dir/ablation_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/epidemic/CMakeFiles/dq_epidemic.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/dq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/worm/CMakeFiles/dq_worm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratelimit/CMakeFiles/dq_ratelimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/dq_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_detection"
+  "../bench/ablation_detection.pdb"
+  "CMakeFiles/ablation_detection.dir/ablation_detection.cpp.o"
+  "CMakeFiles/ablation_detection.dir/ablation_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_extinction"
+  "../bench/ablation_extinction.pdb"
+  "CMakeFiles/ablation_extinction.dir/ablation_extinction.cpp.o"
+  "CMakeFiles/ablation_extinction.dir/ablation_extinction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extinction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model_zoo"
+  "../bench/ablation_model_zoo.pdb"
+  "CMakeFiles/ablation_model_zoo.dir/ablation_model_zoo.cpp.o"
+  "CMakeFiles/ablation_model_zoo.dir/ablation_model_zoo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

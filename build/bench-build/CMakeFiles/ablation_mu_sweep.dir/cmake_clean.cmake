@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mu_sweep"
+  "../bench/ablation_mu_sweep.pdb"
+  "CMakeFiles/ablation_mu_sweep.dir/ablation_mu_sweep.cpp.o"
+  "CMakeFiles/ablation_mu_sweep.dir/ablation_mu_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scan_strategies"
+  "../bench/ablation_scan_strategies.pdb"
+  "CMakeFiles/ablation_scan_strategies.dir/ablation_scan_strategies.cpp.o"
+  "CMakeFiles/ablation_scan_strategies.dir/ablation_scan_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scan_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_topology_families"
+  "../bench/ablation_topology_families.pdb"
+  "CMakeFiles/ablation_topology_families.dir/ablation_topology_families.cpp.o"
+  "CMakeFiles/ablation_topology_families.dir/ablation_topology_families.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topology_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

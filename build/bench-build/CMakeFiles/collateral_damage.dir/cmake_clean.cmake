@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/collateral_damage"
+  "../bench/collateral_damage.pdb"
+  "CMakeFiles/collateral_damage.dir/collateral_damage.cpp.o"
+  "CMakeFiles/collateral_damage.dir/collateral_damage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collateral_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

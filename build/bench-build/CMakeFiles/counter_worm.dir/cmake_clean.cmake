@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/counter_worm"
+  "../bench/counter_worm.pdb"
+  "CMakeFiles/counter_worm.dir/counter_worm.cpp.o"
+  "CMakeFiles/counter_worm.dir/counter_worm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_star"
+  "../bench/fig01_star.pdb"
+  "CMakeFiles/fig01_star.dir/fig01_star.cpp.o"
+  "CMakeFiles/fig01_star.dir/fig01_star.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_host"
+  "../bench/fig02_host.pdb"
+  "CMakeFiles/fig02_host.dir/fig02_host.cpp.o"
+  "CMakeFiles/fig02_host.dir/fig02_host.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_edge"
+  "../bench/fig03_edge.pdb"
+  "CMakeFiles/fig03_edge.dir/fig03_edge.cpp.o"
+  "CMakeFiles/fig03_edge.dir/fig03_edge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

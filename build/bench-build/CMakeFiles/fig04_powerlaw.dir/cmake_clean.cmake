@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_powerlaw"
+  "../bench/fig04_powerlaw.pdb"
+  "CMakeFiles/fig04_powerlaw.dir/fig04_powerlaw.cpp.o"
+  "CMakeFiles/fig04_powerlaw.dir/fig04_powerlaw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_localpref_edge"
+  "../bench/fig05_localpref_edge.pdb"
+  "CMakeFiles/fig05_localpref_edge.dir/fig05_localpref_edge.cpp.o"
+  "CMakeFiles/fig05_localpref_edge.dir/fig05_localpref_edge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_localpref_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_localpref_backbone"
+  "../bench/fig06_localpref_backbone.pdb"
+  "CMakeFiles/fig06_localpref_backbone.dir/fig06_localpref_backbone.cpp.o"
+  "CMakeFiles/fig06_localpref_backbone.dir/fig06_localpref_backbone.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_localpref_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_immunization"
+  "../bench/fig07_immunization.pdb"
+  "CMakeFiles/fig07_immunization.dir/fig07_immunization.cpp.o"
+  "CMakeFiles/fig07_immunization.dir/fig07_immunization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_immunization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

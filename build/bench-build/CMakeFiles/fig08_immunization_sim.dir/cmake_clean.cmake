@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_immunization_sim"
+  "../bench/fig08_immunization_sim.pdb"
+  "CMakeFiles/fig08_immunization_sim.dir/fig08_immunization_sim.cpp.o"
+  "CMakeFiles/fig08_immunization_sim.dir/fig08_immunization_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_immunization_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

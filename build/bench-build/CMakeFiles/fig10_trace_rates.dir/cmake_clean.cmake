@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_trace_rates"
+  "../bench/fig10_trace_rates.pdb"
+  "CMakeFiles/fig10_trace_rates.dir/fig10_trace_rates.cpp.o"
+  "CMakeFiles/fig10_trace_rates.dir/fig10_trace_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_trace_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

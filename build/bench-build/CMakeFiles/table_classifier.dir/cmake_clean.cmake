@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_classifier"
+  "../bench/table_classifier.pdb"
+  "CMakeFiles/table_classifier.dir/table_classifier.cpp.o"
+  "CMakeFiles/table_classifier.dir/table_classifier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_trace_limits"
+  "../bench/table_trace_limits.pdb"
+  "CMakeFiles/table_trace_limits.dir/table_trace_limits.cpp.o"
+  "CMakeFiles/table_trace_limits.dir/table_trace_limits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_trace_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_defense.dir/enterprise_defense.cpp.o"
+  "CMakeFiles/enterprise_defense.dir/enterprise_defense.cpp.o.d"
+  "enterprise_defense"
+  "enterprise_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outbreak_comparison.dir/outbreak_comparison.cpp.o"
+  "CMakeFiles/outbreak_comparison.dir/outbreak_comparison.cpp.o.d"
+  "outbreak_comparison"
+  "outbreak_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outbreak_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_topology.dir/real_topology.cpp.o"
+  "CMakeFiles/real_topology.dir/real_topology.cpp.o.d"
+  "real_topology"
+  "real_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiments_analytical.cpp" "src/core/CMakeFiles/dq_core.dir/experiments_analytical.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/experiments_analytical.cpp.o.d"
+  "/root/repo/src/core/experiments_sim.cpp" "src/core/CMakeFiles/dq_core.dir/experiments_sim.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/experiments_sim.cpp.o.d"
+  "/root/repo/src/core/experiments_trace.cpp" "src/core/CMakeFiles/dq_core.dir/experiments_trace.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/experiments_trace.cpp.o.d"
+  "/root/repo/src/core/figure.cpp" "src/core/CMakeFiles/dq_core.dir/figure.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/figure.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/dq_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/dq_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/epidemic/CMakeFiles/dq_epidemic.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/dq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratelimit/CMakeFiles/dq_ratelimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/dq_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/worm/CMakeFiles/dq_worm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

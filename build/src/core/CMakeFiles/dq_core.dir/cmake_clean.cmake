@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_core.dir/experiments_analytical.cpp.o"
+  "CMakeFiles/dq_core.dir/experiments_analytical.cpp.o.d"
+  "CMakeFiles/dq_core.dir/experiments_sim.cpp.o"
+  "CMakeFiles/dq_core.dir/experiments_sim.cpp.o.d"
+  "CMakeFiles/dq_core.dir/experiments_trace.cpp.o"
+  "CMakeFiles/dq_core.dir/experiments_trace.cpp.o.d"
+  "CMakeFiles/dq_core.dir/figure.cpp.o"
+  "CMakeFiles/dq_core.dir/figure.cpp.o.d"
+  "CMakeFiles/dq_core.dir/planner.cpp.o"
+  "CMakeFiles/dq_core.dir/planner.cpp.o.d"
+  "CMakeFiles/dq_core.dir/scenario.cpp.o"
+  "CMakeFiles/dq_core.dir/scenario.cpp.o.d"
+  "libdq_core.a"
+  "libdq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdq_core.a"
+)

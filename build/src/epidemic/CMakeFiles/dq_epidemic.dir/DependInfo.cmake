@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epidemic/backbone_model.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/backbone_model.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/backbone_model.cpp.o.d"
+  "/root/repo/src/epidemic/branching.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/branching.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/branching.cpp.o.d"
+  "/root/repo/src/epidemic/classic_models.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/classic_models.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/classic_models.cpp.o.d"
+  "/root/repo/src/epidemic/edge_router_model.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/edge_router_model.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/edge_router_model.cpp.o.d"
+  "/root/repo/src/epidemic/hub_model.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/hub_model.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/hub_model.cpp.o.d"
+  "/root/repo/src/epidemic/immunization.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/immunization.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/immunization.cpp.o.d"
+  "/root/repo/src/epidemic/logistic.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/logistic.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/logistic.cpp.o.d"
+  "/root/repo/src/epidemic/partial_deployment.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/partial_deployment.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/partial_deployment.cpp.o.d"
+  "/root/repo/src/epidemic/predator_prey.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/predator_prey.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/predator_prey.cpp.o.d"
+  "/root/repo/src/epidemic/si_model.cpp" "src/epidemic/CMakeFiles/dq_epidemic.dir/si_model.cpp.o" "gcc" "src/epidemic/CMakeFiles/dq_epidemic.dir/si_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ode/CMakeFiles/dq_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

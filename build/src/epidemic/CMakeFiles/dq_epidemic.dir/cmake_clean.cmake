@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_epidemic.dir/backbone_model.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/backbone_model.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/branching.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/branching.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/classic_models.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/classic_models.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/edge_router_model.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/edge_router_model.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/hub_model.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/hub_model.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/immunization.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/immunization.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/logistic.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/logistic.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/partial_deployment.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/partial_deployment.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/predator_prey.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/predator_prey.cpp.o.d"
+  "CMakeFiles/dq_epidemic.dir/si_model.cpp.o"
+  "CMakeFiles/dq_epidemic.dir/si_model.cpp.o.d"
+  "libdq_epidemic.a"
+  "libdq_epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

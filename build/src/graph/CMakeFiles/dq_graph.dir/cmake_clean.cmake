@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_graph.dir/builders.cpp.o"
+  "CMakeFiles/dq_graph.dir/builders.cpp.o.d"
+  "CMakeFiles/dq_graph.dir/graph.cpp.o"
+  "CMakeFiles/dq_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dq_graph.dir/io.cpp.o"
+  "CMakeFiles/dq_graph.dir/io.cpp.o.d"
+  "CMakeFiles/dq_graph.dir/roles.cpp.o"
+  "CMakeFiles/dq_graph.dir/roles.cpp.o.d"
+  "CMakeFiles/dq_graph.dir/routing.cpp.o"
+  "CMakeFiles/dq_graph.dir/routing.cpp.o.d"
+  "CMakeFiles/dq_graph.dir/weighted_routing.cpp.o"
+  "CMakeFiles/dq_graph.dir/weighted_routing.cpp.o.d"
+  "libdq_graph.a"
+  "libdq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_ode.dir/piecewise.cpp.o"
+  "CMakeFiles/dq_ode.dir/piecewise.cpp.o.d"
+  "CMakeFiles/dq_ode.dir/solvers.cpp.o"
+  "CMakeFiles/dq_ode.dir/solvers.cpp.o.d"
+  "libdq_ode.a"
+  "libdq_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ratelimit/dns_throttle.cpp" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/dns_throttle.cpp.o" "gcc" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/dns_throttle.cpp.o.d"
+  "/root/repo/src/ratelimit/link_limiter.cpp" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/link_limiter.cpp.o" "gcc" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/link_limiter.cpp.o.d"
+  "/root/repo/src/ratelimit/sliding_window.cpp" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/sliding_window.cpp.o" "gcc" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/sliding_window.cpp.o.d"
+  "/root/repo/src/ratelimit/token_bucket.cpp" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/token_bucket.cpp.o" "gcc" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/ratelimit/williamson.cpp" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/williamson.cpp.o" "gcc" "src/ratelimit/CMakeFiles/dq_ratelimit.dir/williamson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_ratelimit.dir/dns_throttle.cpp.o"
+  "CMakeFiles/dq_ratelimit.dir/dns_throttle.cpp.o.d"
+  "CMakeFiles/dq_ratelimit.dir/link_limiter.cpp.o"
+  "CMakeFiles/dq_ratelimit.dir/link_limiter.cpp.o.d"
+  "CMakeFiles/dq_ratelimit.dir/sliding_window.cpp.o"
+  "CMakeFiles/dq_ratelimit.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/dq_ratelimit.dir/token_bucket.cpp.o"
+  "CMakeFiles/dq_ratelimit.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/dq_ratelimit.dir/williamson.cpp.o"
+  "CMakeFiles/dq_ratelimit.dir/williamson.cpp.o.d"
+  "libdq_ratelimit.a"
+  "libdq_ratelimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_ratelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/network.cpp" "src/simulator/CMakeFiles/dq_sim.dir/network.cpp.o" "gcc" "src/simulator/CMakeFiles/dq_sim.dir/network.cpp.o.d"
+  "/root/repo/src/simulator/runner.cpp" "src/simulator/CMakeFiles/dq_sim.dir/runner.cpp.o" "gcc" "src/simulator/CMakeFiles/dq_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/simulator/worm_sim.cpp" "src/simulator/CMakeFiles/dq_sim.dir/worm_sim.cpp.o" "gcc" "src/simulator/CMakeFiles/dq_sim.dir/worm_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratelimit/CMakeFiles/dq_ratelimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/worm/CMakeFiles/dq_worm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_sim.dir/network.cpp.o"
+  "CMakeFiles/dq_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dq_sim.dir/runner.cpp.o"
+  "CMakeFiles/dq_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/dq_sim.dir/worm_sim.cpp.o"
+  "CMakeFiles/dq_sim.dir/worm_sim.cpp.o.d"
+  "libdq_sim.a"
+  "libdq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_stats.dir/cdf.cpp.o"
+  "CMakeFiles/dq_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/dq_stats.dir/histogram.cpp.o"
+  "CMakeFiles/dq_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/dq_stats.dir/rng.cpp.o"
+  "CMakeFiles/dq_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/dq_stats.dir/summary.cpp.o"
+  "CMakeFiles/dq_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/dq_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/dq_stats.dir/timeseries.cpp.o.d"
+  "libdq_stats.a"
+  "libdq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/address_space.cpp" "src/trace/CMakeFiles/dq_trace.dir/address_space.cpp.o" "gcc" "src/trace/CMakeFiles/dq_trace.dir/address_space.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/dq_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/dq_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/classifier.cpp" "src/trace/CMakeFiles/dq_trace.dir/classifier.cpp.o" "gcc" "src/trace/CMakeFiles/dq_trace.dir/classifier.cpp.o.d"
+  "/root/repo/src/trace/department.cpp" "src/trace/CMakeFiles/dq_trace.dir/department.cpp.o" "gcc" "src/trace/CMakeFiles/dq_trace.dir/department.cpp.o.d"
+  "/root/repo/src/trace/host_models.cpp" "src/trace/CMakeFiles/dq_trace.dir/host_models.cpp.o" "gcc" "src/trace/CMakeFiles/dq_trace.dir/host_models.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/dq_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/dq_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ratelimit/CMakeFiles/dq_ratelimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

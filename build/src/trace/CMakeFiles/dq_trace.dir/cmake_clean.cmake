@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_trace.dir/address_space.cpp.o"
+  "CMakeFiles/dq_trace.dir/address_space.cpp.o.d"
+  "CMakeFiles/dq_trace.dir/analysis.cpp.o"
+  "CMakeFiles/dq_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/dq_trace.dir/classifier.cpp.o"
+  "CMakeFiles/dq_trace.dir/classifier.cpp.o.d"
+  "CMakeFiles/dq_trace.dir/department.cpp.o"
+  "CMakeFiles/dq_trace.dir/department.cpp.o.d"
+  "CMakeFiles/dq_trace.dir/host_models.cpp.o"
+  "CMakeFiles/dq_trace.dir/host_models.cpp.o.d"
+  "CMakeFiles/dq_trace.dir/trace.cpp.o"
+  "CMakeFiles/dq_trace.dir/trace.cpp.o.d"
+  "libdq_trace.a"
+  "libdq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

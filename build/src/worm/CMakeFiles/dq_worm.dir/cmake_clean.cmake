@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_worm.dir/target_selector.cpp.o"
+  "CMakeFiles/dq_worm.dir/target_selector.cpp.o.d"
+  "libdq_worm.a"
+  "libdq_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

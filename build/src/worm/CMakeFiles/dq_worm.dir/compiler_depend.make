@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dq_worm.
+# This may be replaced when dependencies are built.

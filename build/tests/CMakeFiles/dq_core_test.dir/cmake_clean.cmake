@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_core_test.dir/core/experiments_test.cpp.o"
+  "CMakeFiles/dq_core_test.dir/core/experiments_test.cpp.o.d"
+  "CMakeFiles/dq_core_test.dir/core/figure_test.cpp.o"
+  "CMakeFiles/dq_core_test.dir/core/figure_test.cpp.o.d"
+  "CMakeFiles/dq_core_test.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/dq_core_test.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/dq_core_test.dir/core/planner_test.cpp.o"
+  "CMakeFiles/dq_core_test.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/dq_core_test.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/dq_core_test.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/dq_core_test.dir/core/snapshot_test.cpp.o"
+  "CMakeFiles/dq_core_test.dir/core/snapshot_test.cpp.o.d"
+  "dq_core_test"
+  "dq_core_test.pdb"
+  "dq_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

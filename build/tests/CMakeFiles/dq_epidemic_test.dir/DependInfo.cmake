@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/epidemic/backbone_model_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/backbone_model_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/backbone_model_test.cpp.o.d"
+  "/root/repo/tests/epidemic/branching_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/branching_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/branching_test.cpp.o.d"
+  "/root/repo/tests/epidemic/classic_models_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/classic_models_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/classic_models_test.cpp.o.d"
+  "/root/repo/tests/epidemic/edge_router_model_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/edge_router_model_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/edge_router_model_test.cpp.o.d"
+  "/root/repo/tests/epidemic/hub_model_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/hub_model_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/hub_model_test.cpp.o.d"
+  "/root/repo/tests/epidemic/immunization_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/immunization_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/immunization_test.cpp.o.d"
+  "/root/repo/tests/epidemic/logistic_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/logistic_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/logistic_test.cpp.o.d"
+  "/root/repo/tests/epidemic/partial_deployment_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/partial_deployment_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/partial_deployment_test.cpp.o.d"
+  "/root/repo/tests/epidemic/predator_prey_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/predator_prey_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/predator_prey_test.cpp.o.d"
+  "/root/repo/tests/epidemic/si_model_test.cpp" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/si_model_test.cpp.o" "gcc" "tests/CMakeFiles/dq_epidemic_test.dir/epidemic/si_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/epidemic/CMakeFiles/dq_epidemic.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/dq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/worm/CMakeFiles/dq_worm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratelimit/CMakeFiles/dq_ratelimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/dq_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/backbone_model_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/backbone_model_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/branching_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/branching_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/classic_models_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/classic_models_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/edge_router_model_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/edge_router_model_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/hub_model_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/hub_model_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/immunization_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/immunization_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/logistic_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/logistic_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/partial_deployment_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/partial_deployment_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/predator_prey_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/predator_prey_test.cpp.o.d"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/si_model_test.cpp.o"
+  "CMakeFiles/dq_epidemic_test.dir/epidemic/si_model_test.cpp.o.d"
+  "dq_epidemic_test"
+  "dq_epidemic_test.pdb"
+  "dq_epidemic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_epidemic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

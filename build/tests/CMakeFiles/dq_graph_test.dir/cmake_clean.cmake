@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_graph_test.dir/graph/builders_test.cpp.o"
+  "CMakeFiles/dq_graph_test.dir/graph/builders_test.cpp.o.d"
+  "CMakeFiles/dq_graph_test.dir/graph/graph_test.cpp.o"
+  "CMakeFiles/dq_graph_test.dir/graph/graph_test.cpp.o.d"
+  "CMakeFiles/dq_graph_test.dir/graph/io_test.cpp.o"
+  "CMakeFiles/dq_graph_test.dir/graph/io_test.cpp.o.d"
+  "CMakeFiles/dq_graph_test.dir/graph/roles_test.cpp.o"
+  "CMakeFiles/dq_graph_test.dir/graph/roles_test.cpp.o.d"
+  "CMakeFiles/dq_graph_test.dir/graph/routing_test.cpp.o"
+  "CMakeFiles/dq_graph_test.dir/graph/routing_test.cpp.o.d"
+  "CMakeFiles/dq_graph_test.dir/graph/weighted_routing_test.cpp.o"
+  "CMakeFiles/dq_graph_test.dir/graph/weighted_routing_test.cpp.o.d"
+  "dq_graph_test"
+  "dq_graph_test.pdb"
+  "dq_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

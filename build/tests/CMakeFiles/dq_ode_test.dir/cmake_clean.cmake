@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_ode_test.dir/ode/piecewise_test.cpp.o"
+  "CMakeFiles/dq_ode_test.dir/ode/piecewise_test.cpp.o.d"
+  "CMakeFiles/dq_ode_test.dir/ode/solvers_test.cpp.o"
+  "CMakeFiles/dq_ode_test.dir/ode/solvers_test.cpp.o.d"
+  "dq_ode_test"
+  "dq_ode_test.pdb"
+  "dq_ode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_ode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/dns_throttle_test.cpp.o"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/dns_throttle_test.cpp.o.d"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/fuzz_test.cpp.o"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/fuzz_test.cpp.o.d"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/link_limiter_test.cpp.o"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/link_limiter_test.cpp.o.d"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/sliding_window_test.cpp.o"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/sliding_window_test.cpp.o.d"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/token_bucket_test.cpp.o"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/token_bucket_test.cpp.o.d"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/williamson_test.cpp.o"
+  "CMakeFiles/dq_ratelimit_test.dir/ratelimit/williamson_test.cpp.o.d"
+  "dq_ratelimit_test"
+  "dq_ratelimit_test.pdb"
+  "dq_ratelimit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_ratelimit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

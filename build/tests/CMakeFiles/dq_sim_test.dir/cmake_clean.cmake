@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_sim_test.dir/simulator/extensions_test.cpp.o"
+  "CMakeFiles/dq_sim_test.dir/simulator/extensions_test.cpp.o.d"
+  "CMakeFiles/dq_sim_test.dir/simulator/invariants_test.cpp.o"
+  "CMakeFiles/dq_sim_test.dir/simulator/invariants_test.cpp.o.d"
+  "CMakeFiles/dq_sim_test.dir/simulator/network_test.cpp.o"
+  "CMakeFiles/dq_sim_test.dir/simulator/network_test.cpp.o.d"
+  "CMakeFiles/dq_sim_test.dir/simulator/predator_test.cpp.o"
+  "CMakeFiles/dq_sim_test.dir/simulator/predator_test.cpp.o.d"
+  "CMakeFiles/dq_sim_test.dir/simulator/runner_test.cpp.o"
+  "CMakeFiles/dq_sim_test.dir/simulator/runner_test.cpp.o.d"
+  "CMakeFiles/dq_sim_test.dir/simulator/sim_vs_model_test.cpp.o"
+  "CMakeFiles/dq_sim_test.dir/simulator/sim_vs_model_test.cpp.o.d"
+  "CMakeFiles/dq_sim_test.dir/simulator/worm_sim_test.cpp.o"
+  "CMakeFiles/dq_sim_test.dir/simulator/worm_sim_test.cpp.o.d"
+  "dq_sim_test"
+  "dq_sim_test.pdb"
+  "dq_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/cdf_test.cpp" "tests/CMakeFiles/dq_stats_test.dir/stats/cdf_test.cpp.o" "gcc" "tests/CMakeFiles/dq_stats_test.dir/stats/cdf_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/dq_stats_test.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/dq_stats_test.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/rng_test.cpp" "tests/CMakeFiles/dq_stats_test.dir/stats/rng_test.cpp.o" "gcc" "tests/CMakeFiles/dq_stats_test.dir/stats/rng_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/dq_stats_test.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/dq_stats_test.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/timeseries_test.cpp" "tests/CMakeFiles/dq_stats_test.dir/stats/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/dq_stats_test.dir/stats/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/epidemic/CMakeFiles/dq_epidemic.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/dq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/worm/CMakeFiles/dq_worm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratelimit/CMakeFiles/dq_ratelimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/dq_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

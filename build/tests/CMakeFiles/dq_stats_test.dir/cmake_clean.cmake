@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_stats_test.dir/stats/cdf_test.cpp.o"
+  "CMakeFiles/dq_stats_test.dir/stats/cdf_test.cpp.o.d"
+  "CMakeFiles/dq_stats_test.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/dq_stats_test.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/dq_stats_test.dir/stats/rng_test.cpp.o"
+  "CMakeFiles/dq_stats_test.dir/stats/rng_test.cpp.o.d"
+  "CMakeFiles/dq_stats_test.dir/stats/summary_test.cpp.o"
+  "CMakeFiles/dq_stats_test.dir/stats/summary_test.cpp.o.d"
+  "CMakeFiles/dq_stats_test.dir/stats/timeseries_test.cpp.o"
+  "CMakeFiles/dq_stats_test.dir/stats/timeseries_test.cpp.o.d"
+  "dq_stats_test"
+  "dq_stats_test.pdb"
+  "dq_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_trace_test.dir/trace/address_space_test.cpp.o"
+  "CMakeFiles/dq_trace_test.dir/trace/address_space_test.cpp.o.d"
+  "CMakeFiles/dq_trace_test.dir/trace/analysis_test.cpp.o"
+  "CMakeFiles/dq_trace_test.dir/trace/analysis_test.cpp.o.d"
+  "CMakeFiles/dq_trace_test.dir/trace/calibration_test.cpp.o"
+  "CMakeFiles/dq_trace_test.dir/trace/calibration_test.cpp.o.d"
+  "CMakeFiles/dq_trace_test.dir/trace/classifier_test.cpp.o"
+  "CMakeFiles/dq_trace_test.dir/trace/classifier_test.cpp.o.d"
+  "CMakeFiles/dq_trace_test.dir/trace/department_test.cpp.o"
+  "CMakeFiles/dq_trace_test.dir/trace/department_test.cpp.o.d"
+  "CMakeFiles/dq_trace_test.dir/trace/host_models_test.cpp.o"
+  "CMakeFiles/dq_trace_test.dir/trace/host_models_test.cpp.o.d"
+  "CMakeFiles/dq_trace_test.dir/trace/trace_test.cpp.o"
+  "CMakeFiles/dq_trace_test.dir/trace/trace_test.cpp.o.d"
+  "dq_trace_test"
+  "dq_trace_test.pdb"
+  "dq_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

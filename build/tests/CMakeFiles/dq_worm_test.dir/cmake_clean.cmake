@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_worm_test.dir/worm/target_selector_test.cpp.o"
+  "CMakeFiles/dq_worm_test.dir/worm/target_selector_test.cpp.o.d"
+  "dq_worm_test"
+  "dq_worm_test.pdb"
+  "dq_worm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_worm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dq_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_ode_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_epidemic_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_ratelimit_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_worm_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_core_test[1]_include.cmake")

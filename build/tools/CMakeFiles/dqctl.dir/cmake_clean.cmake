@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqctl.dir/dqctl.cpp.o"
+  "CMakeFiles/dqctl.dir/dqctl.cpp.o.d"
+  "dqctl"
+  "dqctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(dqctl_figure "/root/repo/build/tools/dqctl" "figure" "fig2")
+set_tests_properties(dqctl_figure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dqctl_scenario "/root/repo/build/tools/dqctl" "scenario" "--topology" "star" "--nodes" "60" "--runs" "2" "--horizon" "20" "--analytical")
+set_tests_properties(dqctl_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dqctl_usage "/root/repo/build/tools/dqctl")
+set_tests_properties(dqctl_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dqctl_pipeline "/usr/bin/cmake" "-DDQCTL=/root/repo/build/tools/dqctl" "-P" "/root/repo/tools/pipeline_test.cmake")
+set_tests_properties(dqctl_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
