@@ -64,8 +64,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nreadings: smarter scanning changes the unthrottled "
                "timeline only modestly (every address here is a live "
-               "node), and backbone rate limiting slows every variant — "
-               "contact-rate control is strategy-agnostic, unlike "
-               "signature- or blacklist-based responses.\n";
+               "node) — except the hitlist, whose instances each walk "
+               "the full list before falling back to random and so pay "
+               "a long startup at this scale — and backbone rate "
+               "limiting slows every variant: contact-rate control is "
+               "strategy-agnostic, unlike signature- or blacklist-based "
+               "responses.\n";
   return 0;
 }

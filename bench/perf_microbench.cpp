@@ -3,7 +3,16 @@
 // a full worm-simulation run, throttle decision paths, and trace
 // analysis. These guard against performance regressions that would
 // make the 10-run figure averages painful.
+//
+// `--perf_json[=PATH]` skips the google-benchmark suite and instead
+// times the tick loop on a sparse-infection scenario (10k nodes, <1%
+// ever infected), dumping the PerfCounters breakdown as JSON — the
+// checked-in BENCH_* data points under bench/data come from this mode.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "epidemic/immunization.hpp"
 #include "epidemic/si_model.hpp"
@@ -164,6 +173,92 @@ void BM_WindowCounts(benchmark::State& state) {
 }
 BENCHMARK(BM_WindowCounts);
 
+// ---- --perf_json mode ----
+
+/// Times the per-tick pipeline in the regime the active-set indexes
+/// target: a large network with a tiny infected population, where the
+/// legacy implementation swept all N nodes and L links every tick.
+int run_perf_json(const char* path) {
+  constexpr std::size_t kNodes = 10000;
+  constexpr int kReps = 5;
+
+  // Open the sink before the expensive network build so a bad path
+  // fails in milliseconds, not minutes.
+  std::FILE* out = path != nullptr ? std::fopen(path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_microbench: cannot open %s\n", path);
+    return 1;
+  }
+
+  Rng rng(7);
+  const sim::Network net(graph::make_barabasi_albert(kNodes, 2, rng));
+
+  sim::SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.02;  // sparse: <1% ever infected
+  cfg.worm.initial_infected = 20;
+  cfg.max_ticks = 50.0;
+  cfg.stop_when_saturated = false;
+  cfg.seed = 3;
+
+  sim::RunResult best;
+  double best_secs = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    sim::WormSimulation sim(net, cfg);
+    sim::RunResult result = sim.run();
+    const double secs = result.perf.total_seconds();
+    if (rep == 0 || secs < best_secs) {
+      best_secs = secs;
+      best = std::move(result);
+    }
+  }
+
+  const sim::PerfCounters& p = best.perf;
+  const double ticks = static_cast<double>(p.ticks);
+  std::fprintf(out,
+               "{\n"
+               "  \"scenario\": \"sparse10k\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"reps\": %d,\n"
+               "  \"ticks\": %llu,\n"
+               "  \"final_ever_infected\": %llu,\n"
+               "  \"packets_forwarded\": %llu,\n"
+               "  \"link_hops\": %llu,\n"
+               "  \"queue_events\": %llu,\n"
+               "  \"queue_releases\": %llu,\n"
+               "  \"seconds_total\": %.9f,\n"
+               "  \"ticks_per_sec\": %.1f,\n"
+               "  \"seconds_queues\": %.9f,\n"
+               "  \"seconds_immunization\": %.9f,\n"
+               "  \"seconds_predator\": %.9f,\n"
+               "  \"seconds_emit\": %.9f,\n"
+               "  \"seconds_forward\": %.9f,\n"
+               "  \"seconds_record\": %.9f\n"
+               "}\n",
+               kNodes, kReps,
+               static_cast<unsigned long long>(p.ticks),
+               static_cast<unsigned long long>(best.final_ever_infected_count),
+               static_cast<unsigned long long>(p.packets_forwarded),
+               static_cast<unsigned long long>(p.link_hops),
+               static_cast<unsigned long long>(p.queue_events),
+               static_cast<unsigned long long>(p.queue_releases),
+               best_secs, ticks / best_secs,
+               p.seconds_queues, p.seconds_immunization, p.seconds_predator,
+               p.seconds_emit, p.seconds_forward, p.seconds_record);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf_json") == 0) return run_perf_json(nullptr);
+    if (std::strncmp(argv[i], "--perf_json=", 12) == 0)
+      return run_perf_json(argv[i] + 12);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

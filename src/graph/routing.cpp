@@ -4,7 +4,6 @@
 #include <deque>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace dq::graph {
 
@@ -64,6 +63,23 @@ std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
   return p;
 }
 
+std::size_t RoutingTable::link_ordinal(const LinkKey& key) const noexcept {
+  if (key.a >= link_row_.size() - 1) return links_.size();
+  // links_ is sorted by (a, b), so each smaller-endpoint row is a
+  // contiguous slice ordered by b.
+  std::size_t lo = link_row_[key.a];
+  std::size_t hi = link_row_[key.a + 1];
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (links_[mid].b < key.b)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo < link_row_[key.a + 1] && links_[lo].b == key.b) return lo;
+  return links_.size();
+}
+
 void RoutingTable::compute_link_loads(const Graph& g) {
   links_.clear();
   for (NodeId a = 0; a < n_; ++a)
@@ -73,26 +89,20 @@ void RoutingTable::compute_link_loads(const Graph& g) {
     return x.a != y.a ? x.a < y.a : x.b < y.b;
   });
   link_load_.assign(links_.size(), 0);
+  link_row_.assign(n_ + 1, 0);
+  for (const LinkKey& l : links_) ++link_row_[l.a + 1];
+  for (std::size_t a = 0; a < n_; ++a) link_row_[a + 1] += link_row_[a];
 
-  // Hashed link lookup: the per-hop cost dominates construction on
-  // large graphs (O(V^2 · path length) hops in total).
-  std::unordered_map<std::uint64_t, std::size_t> lookup;
-  lookup.reserve(links_.size() * 2);
-  for (std::size_t i = 0; i < links_.size(); ++i)
-    lookup.emplace(
-        (static_cast<std::uint64_t>(links_[i].a) << 32) | links_[i].b,
-        i);
-
+  // The per-hop link lookup dominates construction on large graphs
+  // (O(V^2 · path length) hops in total); the row-sliced binary search
+  // beats a hash probe on both locality and speed.
   for (NodeId src = 0; src < n_; ++src)
     for (NodeId dst = 0; dst < n_; ++dst) {
       if (src == dst) continue;
       NodeId cur = src;
       while (cur != dst) {
         const NodeId nxt = next_[index(cur, dst)];
-        const LinkKey key = make_link_key(cur, nxt);
-        ++link_load_[lookup.find((static_cast<std::uint64_t>(key.a) << 32) |
-                                 key.b)
-                         ->second];
+        ++link_load_[link_ordinal(make_link_key(cur, nxt))];
         cur = nxt;
       }
     }
@@ -101,14 +111,10 @@ void RoutingTable::compute_link_loads(const Graph& g) {
 }
 
 std::uint64_t RoutingTable::link_load(const LinkKey& link) const {
-  const auto it = std::lower_bound(
-      links_.begin(), links_.end(), link,
-      [](const LinkKey& l, const LinkKey& r) {
-        return l.a != r.a ? l.a < r.a : l.b < r.b;
-      });
-  if (it == links_.end() || !(*it == link))
+  const std::size_t i = link_ordinal(link);
+  if (i == links_.size())
     throw std::invalid_argument("RoutingTable::link_load: unknown link");
-  return link_load_[static_cast<std::size_t>(it - links_.begin())];
+  return link_load_[i];
 }
 
 std::vector<std::uint64_t> RoutingTable::node_transit_loads() const {

@@ -46,6 +46,12 @@ class RoutingTable {
   /// nullopt when from == to.
   std::optional<NodeId> next_hop(NodeId from, NodeId to) const;
 
+  /// Unchecked next hop for hot loops: no bounds check, no optional.
+  /// Precondition: from and to are in range and from != to.
+  NodeId next_hop_raw(NodeId from, NodeId to) const noexcept {
+    return next_[index(from, to)];
+  }
+
   /// Full path from `from` to `to`, inclusive of both endpoints.
   std::vector<NodeId> path(NodeId from, NodeId to) const;
 
@@ -75,11 +81,15 @@ class RoutingTable {
     return static_cast<std::size_t>(from) * n_ + to;
   }
   void compute_link_loads(const Graph& g);
+  /// Position of a normalized link key in the sorted links_ array;
+  /// links_.size() when absent.
+  std::size_t link_ordinal(const LinkKey& key) const noexcept;
 
   std::size_t n_ = 0;
   std::vector<std::uint32_t> dist_;      // n*n hop counts
   std::vector<NodeId> next_;             // n*n next hops (self when from==to)
   std::vector<LinkKey> links_;           // sorted unique links
+  std::vector<std::size_t> link_row_;    // links_ offsets by smaller endpoint
   std::vector<std::uint64_t> link_load_; // parallel to links_
   std::uint64_t total_load_ = 0;
 };

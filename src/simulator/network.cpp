@@ -1,15 +1,16 @@
 #include "simulator/network.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
 namespace dq::sim {
 
 namespace {
-std::uint64_t pack(NodeId a, NodeId b) {
-  const auto key = graph::make_link_key(a, b);
-  return (static_cast<std::uint64_t>(key.a) << 32) | key.b;
-}
+/// Memory budget for the dense per-(at,dest) hop-link table. Above
+/// this the simulator falls back to routing-table lookup plus a
+/// per-node binary search (still allocation- and hash-free).
+constexpr std::size_t kDenseHopTableBytes = std::size_t{1} << 30;
 }  // namespace
 
 Network::Network(graph::Graph g, double backbone_fraction,
@@ -49,14 +50,36 @@ Network::Network(graph::SubnetTopology topo)
 }
 
 void Network::index_links() {
+  const std::size_t n = graph_.num_nodes();
   links_.clear();
-  link_lookup_.clear();
-  for (NodeId a = 0; a < graph_.num_nodes(); ++a)
+  for (NodeId a = 0; a < n; ++a)
     for (NodeId b : graph_.neighbors(a))
-      if (a < b) {
-        link_lookup_[pack(a, b)] = links_.size();
-        links_.push_back({a, b});
-      }
+      if (a < b) links_.push_back({a, b});
+
+  // CSR adjacency with link indices, both directions, rows sorted by
+  // neighbor id so adj_link can binary-search.
+  adj_offset_.assign(n + 1, 0);
+  for (const graph::LinkKey& l : links_) {
+    ++adj_offset_[l.a + 1];
+    ++adj_offset_[l.b + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) adj_offset_[v + 1] += adj_offset_[v];
+  adj_.resize(links_.size() * 2);
+  {
+    std::vector<std::size_t> cursor(adj_offset_.begin(),
+                                    adj_offset_.end() - 1);
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const graph::LinkKey& l = links_[i];
+      adj_[cursor[l.a]++] = {l.b, static_cast<std::uint32_t>(i)};
+      adj_[cursor[l.b]++] = {l.a, static_cast<std::uint32_t>(i)};
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    std::sort(adj_.begin() + adj_offset_[v], adj_.begin() + adj_offset_[v + 1],
+              [](const AdjEntry& x, const AdjEntry& y) {
+                return x.neighbor < y.neighbor;
+              });
+
   link_loads_.resize(links_.size());
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < links_.size(); ++i) {
@@ -67,13 +90,35 @@ void Network::index_links() {
       links_.empty() ? 0.0
                      : static_cast<double>(total) /
                            static_cast<double>(links_.size());
+
+  // Dense next-link table: for every (at, dest) pair, the link crossed
+  // on the first hop. One array read replaces the per-hop hash probe
+  // the forwarding loop used to pay.
+  hop_link_.clear();
+  if (n >= 2 && n * n * sizeof(std::uint32_t) <= kDenseHopTableBytes) {
+    hop_link_.resize(n * n);
+    std::vector<std::uint32_t> link_of(n, 0);
+    for (NodeId from = 0; from < n; ++from) {
+      for (std::size_t e = adj_offset_[from]; e < adj_offset_[from + 1]; ++e)
+        link_of[adj_[e].neighbor] = adj_[e].link;
+      std::uint32_t* row = hop_link_.data() + static_cast<std::size_t>(from) * n;
+      for (NodeId to = 0; to < n; ++to)
+        if (to != from) row[to] = link_of[routing_->next_hop_raw(from, to)];
+    }
+  }
 }
 
 std::size_t Network::link_index(NodeId a, NodeId b) const {
-  const auto it = link_lookup_.find(pack(a, b));
-  if (it == link_lookup_.end())
+  if (a >= graph_.num_nodes() || b >= graph_.num_nodes() || a == b)
     throw std::invalid_argument("Network::link_index: no such link");
-  return it->second;
+  const std::size_t lo = adj_offset_[a];
+  const std::size_t hi = adj_offset_[a + 1];
+  const auto it = std::lower_bound(
+      adj_.begin() + lo, adj_.begin() + hi, b,
+      [](const AdjEntry& e, NodeId key) { return e.neighbor < key; });
+  if (it == adj_.begin() + hi || it->neighbor != b)
+    throw std::invalid_argument("Network::link_index: no such link");
+  return it->link;
 }
 
 std::optional<std::size_t> Network::subnet_of(NodeId n) const {

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/builders.hpp"
@@ -54,6 +53,30 @@ class Network {
   /// Index of the undirected link {a,b}; throws if absent.
   std::size_t link_index(NodeId a, NodeId b) const;
 
+  /// One routed hop: the next node toward a destination and the link
+  /// crossed to reach it.
+  struct HopStep {
+    NodeId next;
+    std::uint32_t link;
+  };
+
+  /// Next hop and traversed link from `at` toward `dest` in a single
+  /// lookup — the simulator's per-hop fast path. On networks small
+  /// enough for the dense table (see index_links) this is one array
+  /// read; otherwise it falls back to the routing table plus a
+  /// binary search over the node's adjacency row.
+  /// Precondition: at != dest, both in range.
+  HopStep hop_toward(NodeId at, NodeId dest) const noexcept {
+    if (!hop_link_.empty()) {
+      const std::uint32_t l =
+          hop_link_[static_cast<std::size_t>(at) * graph_.num_nodes() + dest];
+      const graph::LinkKey& key = links_[l];
+      return {key.a == at ? key.b : key.a, l};
+    }
+    const NodeId next = routing_->next_hop_raw(at, dest);
+    return {next, adj_link(at, next)};
+  }
+
   /// Routing-table load of a link (ordered path count crossing it).
   std::uint64_t link_load(std::size_t index) const {
     return link_loads_.at(index);
@@ -86,7 +109,29 @@ class Network {
   }
 
  private:
+  /// Entry of the per-node adjacency rows: a neighbor and the index of
+  /// the link reaching it. Rows are sorted by neighbor id.
+  struct AdjEntry {
+    NodeId neighbor;
+    std::uint32_t link;
+  };
+
   void index_links();
+
+  /// Link index between adjacent nodes via the CSR rows; noexcept fast
+  /// path that assumes the link exists (adjacency comes from routing).
+  std::uint32_t adj_link(NodeId a, NodeId b) const noexcept {
+    std::size_t lo = adj_offset_[a];
+    std::size_t hi = adj_offset_[a + 1];
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (adj_[mid].neighbor < b)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return adj_[lo].link;
+  }
 
   graph::Graph graph_;
   std::unique_ptr<graph::RoutingTable> routing_;
@@ -94,7 +139,13 @@ class Network {
   std::vector<graph::LinkKey> links_;
   std::vector<std::uint64_t> link_loads_;
   double mean_link_load_ = 0.0;
-  std::unordered_map<std::uint64_t, std::size_t> link_lookup_;
+  /// CSR adjacency (both directions of every link), rows sorted by
+  /// neighbor id: adj_[adj_offset_[v] .. adj_offset_[v+1]).
+  std::vector<std::size_t> adj_offset_;
+  std::vector<AdjEntry> adj_;
+  /// Dense per-(at,dest) link table (empty above the memory cap): the
+  /// link crossed first when routing from `at` to `dest`.
+  std::vector<std::uint32_t> hop_link_;
   std::vector<std::size_t> subnet_of_;  // empty when no subnets
   std::vector<std::vector<NodeId>> subnet_members_;
 };

@@ -50,7 +50,9 @@ AveragedResult run_many(const Network& net, const SimulationConfig& base,
   removed.reserve(runs);
   double start_sum = 0.0;
   std::size_t start_count = 0;
+  AveragedResult out;
   for (RunResult& result : results) {
+    out.perf_total += result.perf;
     active.push_back(std::move(result.active_infected));
     ever.push_back(std::move(result.ever_infected));
     removed.push_back(std::move(result.removed));
@@ -72,7 +74,6 @@ AveragedResult run_many(const Network& net, const SimulationConfig& base,
   for (auto* series : {&active, &ever, &removed, &seed_subnet, &predator})
     for (TimeSeries& run : *series) run = run.resample(grid);
 
-  AveragedResult out;
   out.active_infected = TimeSeries::average(active);
   out.ever_infected = TimeSeries::average(ever);
   out.removed = TimeSeries::average(removed);

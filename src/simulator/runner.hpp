@@ -23,6 +23,8 @@ struct AveragedResult {
   TimeSeries predator_infected;
   /// Mean tick at which immunization kicked in (-1 if it never did).
   double mean_immunization_start = -1.0;
+  /// Tick-loop counters and phase wall time summed over all runs.
+  PerfCounters perf_total;
   std::size_t runs = 0;
 };
 

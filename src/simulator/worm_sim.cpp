@@ -1,6 +1,7 @@
 #include "simulator/worm_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -109,8 +110,11 @@ WormSimulation::WormSimulation(const Network& net,
   filtered_.assign(net.num_nodes(), 0);
   infected_tick_.assign(net.num_nodes(), -1.0);
   predator_tick_.assign(net.num_nodes(), -1.0);
+  susceptible_count_ = net.num_nodes();
   link_credit_.assign(net.num_links(), 0.0);
   link_queue_.resize(net.num_links());
+  accrual_flag_.assign(net.num_links(), 0);
+  queued_flag_.assign(net.num_links(), 0);
 
   if (dep.node_forward_cap) {
     node_cap_node_ = dep.node_forward_cap->first;
@@ -173,7 +177,37 @@ void WormSimulation::assign_link_capacities() {
     link_capacity_[l] = std::max(dep.min_link_capacity, capacity);
     // Start with one tick's allowance as spendable credit.
     link_credit_[l] = link_capacity_[l];
+    // Fractional-capacity links start below their burst cap and must
+    // accrue from the first tick on.
+    if (link_credit_[l] < std::max(1.0, link_capacity_[l]))
+      mark_accrual(static_cast<std::uint32_t>(l));
   }
+}
+
+void WormSimulation::mark_accrual(std::uint32_t link) {
+  if (accrual_flag_[link]) return;
+  accrual_flag_[link] = 1;
+  accrual_links_.push_back(link);
+}
+
+void WormSimulation::merge_pending(std::vector<NodeId>& list,
+                                   std::vector<NodeId>& pending) {
+  std::sort(pending.begin(), pending.end());
+  merge_scratch_.resize(list.size() + pending.size());
+  std::merge(list.begin(), list.end(), pending.begin(), pending.end(),
+             merge_scratch_.begin());
+  list.swap(merge_scratch_);
+  pending.clear();
+}
+
+void WormSimulation::sync_infected_list() {
+  if (!pending_infected_.empty())
+    merge_pending(infected_nodes_, pending_infected_);
+}
+
+void WormSimulation::sync_predator_list() {
+  if (!pending_predator_.empty())
+    merge_pending(predator_nodes_, pending_predator_);
 }
 
 void WormSimulation::infect(NodeId n) {
@@ -182,6 +216,10 @@ void WormSimulation::infect(NodeId n) {
   infected_tick_[n] = tick_;
   if (first_infection_tick_ < 0.0) first_infection_tick_ = tick_;
   ++infected_count_;
+  --susceptible_count_;
+  // A node enters the infected index exactly once: infection is only
+  // reachable from kSusceptible and no transition leads back.
+  pending_infected_.push_back(n);
   if (!ever_[n]) {
     ever_[n] = 1;
     ++ever_count_;
@@ -192,10 +230,14 @@ void WormSimulation::predator_take(NodeId n) {
   if (state_[n] != NodeState::kSusceptible &&
       state_[n] != NodeState::kInfected)
     return;
-  if (state_[n] == NodeState::kInfected) --infected_count_;
+  if (state_[n] == NodeState::kInfected)
+    --infected_count_;
+  else
+    --susceptible_count_;
   state_[n] = NodeState::kPredator;
   predator_tick_[n] = tick_;
   ++predator_count_;
+  pending_predator_.push_back(n);
 }
 
 void WormSimulation::release_predator() {
@@ -217,20 +259,28 @@ void WormSimulation::release_predator() {
 
 void WormSimulation::predator_patch_step() {
   if (!config_.predator.enabled || predator_count_ == 0) return;
-  for (NodeId v = 0; v < net_.num_nodes(); ++v) {
-    if (state_[v] != NodeState::kPredator) continue;
+  sync_predator_list();
+  std::size_t out = 0;
+  for (const NodeId v : predator_nodes_) {
+    if (state_[v] != NodeState::kPredator) continue;  // compact away
     if (tick_ - predator_tick_[v] >= config_.predator.patch_delay) {
       state_[v] = NodeState::kRemoved;
       --predator_count_;
       ++removed_count_;
+      continue;
     }
+    predator_nodes_[out++] = v;
   }
+  predator_nodes_.resize(out);
 }
 
 void WormSimulation::emit_scans(std::vector<Packet>& fresh) {
   const auto& detector = config_.detector;
-  for (NodeId v = 0; v < net_.num_nodes(); ++v) {
-    if (state_[v] != NodeState::kInfected) continue;
+  sync_infected_list();
+  std::size_t out = 0;
+  for (const NodeId v : infected_nodes_) {
+    if (state_[v] != NodeState::kInfected) continue;  // compact away
+    infected_nodes_[out++] = v;
     const double rate = filtered_[v] ? config_.worm.filtered_contact_rate
                                      : config_.worm.contact_rate;
     const std::uint64_t attempts = rng_.poisson(rate);
@@ -248,14 +298,18 @@ void WormSimulation::emit_scans(std::vector<Packet>& fresh) {
       }
     }
   }
+  infected_nodes_.resize(out);
 }
 
 void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
   // Predator scans share this emission phase (random targets — Welchia
   // swept address ranges).
   if (config_.predator.enabled && predator_count_ > 0) {
-    for (NodeId v = 0; v < net_.num_nodes(); ++v) {
-      if (state_[v] != NodeState::kPredator) continue;
+    sync_predator_list();
+    std::size_t out = 0;
+    for (const NodeId v : predator_nodes_) {
+      if (state_[v] != NodeState::kPredator) continue;  // compact away
+      predator_nodes_[out++] = v;
       const std::uint64_t attempts =
           rng_.poisson(config_.predator.contact_rate);
       for (std::uint64_t a = 0; a < attempts; ++a) {
@@ -267,6 +321,7 @@ void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
                          PacketKind::kPredator});
       }
     }
+    predator_nodes_.resize(out);
   }
 
   const double rate = config_.legit.rate_per_node;
@@ -334,94 +389,121 @@ void WormSimulation::deliver(const Packet& p) {
   }
 }
 
+void WormSimulation::park_link(std::uint32_t link, const Packet& p) {
+  link_queue_[link].push_back(p);
+  ++result_.total_queued_packet_events;
+  ++result_.perf.queue_events;
+  if (queued_flag_[link]) return;
+  queued_flag_[link] = 1;
+  if (in_link_drain_ && link > drain_pass_[drain_pos_]) {
+    // Still ahead of the drain cursor: splice into the live pass so
+    // the behaviour matches the legacy ascending full-link scan.
+    drain_pass_.insert(
+        std::upper_bound(drain_pass_.begin() + drain_pos_ + 1,
+                         drain_pass_.end(), link),
+        link);
+  } else {
+    queued_links_.push_back(link);
+  }
+}
+
 void WormSimulation::forward(Packet p) {
   // Traverse the remaining path within this tick, consuming limiter
   // budgets. The first exhausted limiter parks the packet in its FIFO;
   // an active response filter may discard it outright.
+  ++result_.perf.packets_forwarded;
   for (;;) {
-    const auto next = net_.routing().next_hop(p.at, p.dest);
-    if (!next) return;  // already at destination (shouldn't happen)
+    if (p.at == p.dest) return;  // degenerate self-addressed packet
 
     // Node-level forwarding cap (the star hub experiment).
     if (node_cap_budget_ != 0 && p.at == node_cap_node_) {
       if (node_cap_used_ >= node_cap_budget_) {
         node_queue_.push_back(p);
         ++result_.total_queued_packet_events;
+        ++result_.perf.queue_events;
         return;
       }
       ++node_cap_used_;
     }
 
-    const std::size_t l = net_.link_index(p.at, *next);
-    if (response_drops(p, l)) {
+    const Network::HopStep hop = net_.hop_toward(p.at, p.dest);
+    if (response_drops(p, hop.link)) {
       if (p.kind == PacketKind::kLegit)
         ++result_.legit_dropped;
       else
         ++result_.worm_packets_dropped;
       return;
     }
-    if (link_capacity_[l] != 0.0) {
-      if (link_credit_[l] < 1.0) {
-        link_queue_[l].push_back(p);
-        ++result_.total_queued_packet_events;
+    if (link_capacity_[hop.link] != 0.0) {
+      if (link_credit_[hop.link] < 1.0) {
+        park_link(hop.link, p);
         return;
       }
-      link_credit_[l] -= 1.0;
+      link_credit_[hop.link] -= 1.0;
+      mark_accrual(hop.link);
     }
 
-    if (*next == p.dest) {
-      p.at = *next;
+    ++result_.perf.link_hops;
+    p.at = hop.next;
+    if (p.at == p.dest) {
       deliver(p);
       return;
     }
-    p.at = *next;
   }
 }
 
 void WormSimulation::release_queues() {
-  // New tick: limited links accrue one tick's capacity as credit
-  // (clamped so idle links cannot bank an unbounded burst), then queued
-  // packets drain in FIFO order into the fresh budgets and continue
-  // their routes (possibly queueing again at a later limiter).
-  for (std::size_t l = 0; l < link_capacity_.size(); ++l) {
-    if (link_capacity_[l] == 0.0) continue;
-    const double burst = std::max(1.0, link_capacity_[l]);
-    link_credit_[l] = std::min(link_credit_[l] + link_capacity_[l], burst);
+  // New tick: limited links below their burst cap accrue one tick's
+  // capacity as credit (clamped so idle links cannot bank an unbounded
+  // burst). Only links that spent credit — or fractional-capacity links
+  // still climbing toward one whole packet — are on the accrual list.
+  {
+    std::size_t out = 0;
+    for (const std::uint32_t l : accrual_links_) {
+      const double burst = std::max(1.0, link_capacity_[l]);
+      link_credit_[l] = std::min(link_credit_[l] + link_capacity_[l], burst);
+      if (link_credit_[l] < burst) {
+        accrual_links_[out++] = l;  // still short of a full burst
+      } else {
+        accrual_flag_[l] = 0;
+      }
+    }
+    accrual_links_.resize(out);
   }
   node_cap_used_ = 0;
 
-  // Node-capped packets: forward() re-checks the cap at the head of the
-  // route, so draining until the queue stops shrinking is equivalent to
-  // draining exactly the budget.
-  {
-    std::deque<Packet> retry;
-    retry.swap(node_queue_);
-    while (!retry.empty()) {
-      if (node_cap_budget_ != 0 && node_cap_used_ >= node_cap_budget_) {
-        // Budget gone; re-park the remainder in order.
-        for (const Packet& p : retry) node_queue_.push_back(p);
-        break;
-      }
-      const Packet p = retry.front();
-      retry.pop_front();
-      forward(p);
-    }
+  // Node-capped packets drain oldest-first; the in-place pop keeps
+  // strict FIFO order even if a released packet re-parks here.
+  while (!node_queue_.empty() &&
+         (node_cap_budget_ == 0 || node_cap_used_ < node_cap_budget_)) {
+    const Packet p = node_queue_.front();
+    node_queue_.pop_front();
+    ++result_.perf.queue_releases;
+    forward(p);
   }
 
-  for (std::size_t l = 0; l < link_queue_.size(); ++l) {
-    if (link_queue_[l].empty()) continue;
-    std::deque<Packet> retry;
-    retry.swap(link_queue_[l]);
-    while (!retry.empty()) {
-      if (link_credit_[l] < 1.0) {
-        for (const Packet& p : retry) link_queue_[l].push_back(p);
-        break;
-      }
-      const Packet p = retry.front();
-      retry.pop_front();
+  // Link FIFOs drain in ascending link-index order over the links that
+  // actually hold packets. A link gaining packets mid-pass joins the
+  // live pass when still ahead of the cursor (park_link), matching the
+  // legacy ascending sweep over all links.
+  drain_pass_.swap(queued_links_);
+  std::sort(drain_pass_.begin(), drain_pass_.end());
+  in_link_drain_ = true;
+  for (drain_pos_ = 0; drain_pos_ < drain_pass_.size(); ++drain_pos_) {
+    const std::uint32_t l = drain_pass_[drain_pos_];
+    while (!link_queue_[l].empty() && link_credit_[l] >= 1.0) {
+      const Packet p = link_queue_[l].front();
+      link_queue_[l].pop_front();
+      ++result_.perf.queue_releases;
       forward(p);
     }
+    if (link_queue_[l].empty())
+      queued_flag_[l] = 0;
+    else
+      queued_links_.push_back(l);  // still blocked; retry next tick
   }
+  in_link_drain_ = false;
+  drain_pass_.clear();
 }
 
 void WormSimulation::immunization_step() {
@@ -441,16 +523,43 @@ void WormSimulation::immunization_step() {
     immunizing_ = true;
     result_.immunization_start_tick = tick_;
   }
-  for (NodeId v = 0; v < net_.num_nodes(); ++v) {
-    if (state_[v] == NodeState::kRemoved) continue;
-    if (state_[v] == NodeState::kSusceptible && !imm.patch_susceptibles)
+  if (!alive_nodes_ready_) {
+    // First immunizing tick: snapshot the not-yet-removed nodes in
+    // ascending order (the legacy sweep's RNG draw order); afterwards
+    // the walk compacts nodes out as they are removed.
+    alive_nodes_.clear();
+    for (NodeId v = 0; v < net_.num_nodes(); ++v)
+      if (state_[v] != NodeState::kRemoved) alive_nodes_.push_back(v);
+    alive_nodes_ready_ = true;
+  }
+  std::size_t out = 0;
+  for (const NodeId v : alive_nodes_) {
+    if (state_[v] == NodeState::kRemoved) continue;  // compact away
+    if (state_[v] == NodeState::kSusceptible && !imm.patch_susceptibles) {
+      alive_nodes_[out++] = v;
       continue;
+    }
     if (rng_.bernoulli(imm.rate)) {
-      if (state_[v] == NodeState::kInfected) --infected_count_;
+      switch (state_[v]) {
+        case NodeState::kInfected:
+          --infected_count_;
+          break;
+        case NodeState::kSusceptible:
+          --susceptible_count_;
+          break;
+        case NodeState::kPredator:
+          --predator_count_;
+          break;
+        case NodeState::kRemoved:
+          break;
+      }
       state_[v] = NodeState::kRemoved;
       ++removed_count_;
+      continue;
     }
+    alive_nodes_[out++] = v;
   }
+  alive_nodes_.resize(out);
 }
 
 void WormSimulation::record() {
@@ -480,23 +589,41 @@ bool WormSimulation::saturated() const {
   if (config_.immunization.enabled) return false;
   if (config_.legit.rate_per_node > 0.0) return false;
   if (config_.predator.enabled) return false;
-  return ever_count_ + removed_count_ >= net_.num_nodes();
+  // Count susceptibles directly: a node can be removed after having
+  // been infected, so ever + removed double-counts and could report
+  // saturation while scannable hosts remain.
+  return susceptible_count_ == 0;
 }
 
 void WormSimulation::step() {
+  using clock = std::chrono::steady_clock;
+  const auto lap = [](clock::time_point& t) {
+    const auto now = clock::now();
+    const std::chrono::duration<double> d = now - t;
+    t = now;
+    return d.count();
+  };
   tick_ += 1.0;
 
+  auto t = clock::now();
   release_queues();
+  result_.perf.seconds_queues += lap(t);
   immunization_step();
+  result_.perf.seconds_immunization += lap(t);
   release_predator();
   predator_patch_step();
+  result_.perf.seconds_predator += lap(t);
 
-  std::vector<Packet> fresh;
-  emit_scans(fresh);
-  emit_legit(fresh);
-  for (const Packet& p : fresh) forward(p);
+  fresh_.clear();
+  emit_scans(fresh_);
+  emit_legit(fresh_);
+  result_.perf.seconds_emit += lap(t);
+  for (const Packet& p : fresh_) forward(p);
+  result_.perf.seconds_forward += lap(t);
 
   record();
+  result_.perf.seconds_record += lap(t);
+  ++result_.perf.ticks;
 }
 
 RunResult WormSimulation::run() {

@@ -42,6 +42,44 @@ enum class NodeState : std::uint8_t {
   kRemoved,
 };
 
+/// Tick-loop telemetry for one run: raw event counters plus wall time
+/// per pipeline phase. Cheap enough to collect unconditionally, and
+/// entirely outside the RNG stream, so trajectories are unaffected.
+struct PerfCounters {
+  std::uint64_t ticks = 0;               ///< step() calls
+  std::uint64_t packets_forwarded = 0;   ///< packets entering forward()
+  std::uint64_t link_hops = 0;           ///< individual link traversals
+  std::uint64_t queue_events = 0;        ///< packets parked in a limiter FIFO
+  std::uint64_t queue_releases = 0;      ///< packets popped from a FIFO
+
+  double seconds_queues = 0.0;        ///< release_queues phase
+  double seconds_immunization = 0.0;  ///< immunization_step phase
+  double seconds_predator = 0.0;      ///< predator release + patch phase
+  double seconds_emit = 0.0;          ///< scan + legit emission phase
+  double seconds_forward = 0.0;       ///< fresh-packet forwarding phase
+  double seconds_record = 0.0;        ///< metric recording phase
+
+  double total_seconds() const noexcept {
+    return seconds_queues + seconds_immunization + seconds_predator +
+           seconds_emit + seconds_forward + seconds_record;
+  }
+
+  PerfCounters& operator+=(const PerfCounters& o) noexcept {
+    ticks += o.ticks;
+    packets_forwarded += o.packets_forwarded;
+    link_hops += o.link_hops;
+    queue_events += o.queue_events;
+    queue_releases += o.queue_releases;
+    seconds_queues += o.seconds_queues;
+    seconds_immunization += o.seconds_immunization;
+    seconds_predator += o.seconds_predator;
+    seconds_emit += o.seconds_emit;
+    seconds_forward += o.seconds_forward;
+    seconds_record += o.seconds_record;
+    return *this;
+  }
+};
+
 /// Result of a single simulation run.
 struct RunResult {
   TimeSeries active_infected;  ///< fraction infected (and not removed)
@@ -71,6 +109,9 @@ struct RunResult {
   /// Mean ticks a delivered legitimate packet spent queued (0 = clean).
   double mean_legit_delay = 0.0;
   double max_legit_delay = 0.0;
+
+  /// Tick-loop counters and per-phase wall time for this run.
+  PerfCounters perf;
 };
 
 /// One worm outbreak over a shared Network.
@@ -121,6 +162,20 @@ class WormSimulation {
   void predator_patch_step();
   void emit_scans(std::vector<Packet>& fresh);
   void emit_legit(std::vector<Packet>& fresh);
+  /// Merges nodes infected since the last emission phase into the
+  /// sorted active-infected index.
+  void sync_infected_list();
+  /// Merges nodes taken by the predator since the last predator phase
+  /// into the sorted predator index.
+  void sync_predator_list();
+  /// Merges a sorted pending batch into a sorted index via the reusable
+  /// merge scratch buffer (no steady-state allocation).
+  void merge_pending(std::vector<NodeId>& list, std::vector<NodeId>& pending);
+  /// Parks a packet in a limited link's FIFO and registers the link
+  /// with the active-drain bookkeeping.
+  void park_link(std::uint32_t link, const Packet& p);
+  /// Flags a limited link as needing credit accrual next tick.
+  void mark_accrual(std::uint32_t link);
   /// Routes a packet from p.at toward p.dest within this tick,
   /// consuming limiter budgets hop by hop; parks it in the first
   /// exhausted limiter's queue, drops it at an active response filter,
@@ -152,11 +207,44 @@ class WormSimulation {
   std::uint64_t ever_count_ = 0;
   std::uint64_t removed_count_ = 0;
   std::uint64_t predator_count_ = 0;
+  std::uint64_t susceptible_count_ = 0;
   bool predator_released_ = false;
+
+  // Active-set indexes: per-tick phases walk these instead of sweeping
+  // all N nodes. Each index is kept sorted ascending (matching the
+  // legacy full-sweep RNG order exactly); state transitions append to a
+  // pending batch merged in before the next walk, and entries whose
+  // state moved on are compacted away during the walk itself.
+  std::vector<NodeId> infected_nodes_;
+  std::vector<NodeId> pending_infected_;
+  std::vector<NodeId> predator_nodes_;
+  std::vector<NodeId> pending_predator_;
+  /// Not-yet-removed nodes for the immunization sweep; built lazily on
+  /// the first immunizing tick, then compacted as nodes are removed.
+  std::vector<NodeId> alive_nodes_;
+  bool alive_nodes_ready_ = false;
+  std::vector<NodeId> merge_scratch_;
 
   std::vector<double> link_capacity_;          // 0 = unlimited
   std::vector<double> link_credit_;            // accumulated allowance
   std::vector<std::deque<Packet>> link_queue_;
+  /// Limited links whose credit sits below their burst cap and must
+  /// accrue next tick (flag array mirrors membership).
+  std::vector<std::uint32_t> accrual_links_;
+  std::vector<char> accrual_flag_;
+  /// Links holding queued packets awaiting the next drain pass (flag
+  /// array mirrors membership in either this list or the live pass).
+  std::vector<std::uint32_t> queued_links_;
+  std::vector<char> queued_flag_;
+  /// Live drain pass state: release_queues drains links in ascending
+  /// index order; a link that becomes non-empty mid-pass is spliced
+  /// into the remainder when still ahead of the cursor, or deferred to
+  /// next tick when already behind it (legacy full-scan semantics).
+  std::vector<std::uint32_t> drain_pass_;
+  std::size_t drain_pos_ = 0;
+  bool in_link_drain_ = false;
+  /// Reused emission buffer (cleared, never reallocated, each tick).
+  std::vector<Packet> fresh_;
   std::uint32_t node_cap_node_ = 0;
   std::uint32_t node_cap_budget_ = 0;  // 0 = disabled
   std::uint32_t node_cap_used_ = 0;

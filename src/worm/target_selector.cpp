@@ -101,8 +101,17 @@ NodeId TargetSelector::pick(NodeId scanner, Rng& rng) {
     case ScanStrategy::kPermutation:
       return advance_cursor(scanner);
     case ScanStrategy::kHitlist: {
-      while (hitlist_cursor_ < hitlist_.size()) {
-        const NodeId t = hitlist_[hitlist_cursor_++];
+      if (hitlist_.empty()) return pick_random(scanner, rng);
+      const auto [it, inserted] = hitlist_cursor_.try_emplace(scanner);
+      HitlistCursor& cur = it->second;
+      if (inserted) {
+        cur.pos = static_cast<std::uint32_t>(scanner % hitlist_.size());
+        cur.remaining = static_cast<std::uint32_t>(hitlist_.size());
+      }
+      while (cur.remaining > 0) {
+        const NodeId t = hitlist_[cur.pos];
+        cur.pos = static_cast<std::uint32_t>((cur.pos + 1) % hitlist_.size());
+        --cur.remaining;
         if (t != scanner) return t;
       }
       return pick_random(scanner, rng);

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -84,9 +85,21 @@ class TargetSelector {
   /// kSequential / kPermutation: per-scanner position in the scan
   /// order.
   std::vector<std::uint32_t> cursor_;
-  /// kHitlist: the list is divided among instances (Warhol-style), so
-  /// a single shared cursor hands each pick the next unclaimed entry.
-  std::uint32_t hitlist_cursor_ = 0;
+  /// kHitlist per-scanner walk state: cyclic position plus how many
+  /// entries this scanner has yet to visit.
+  struct HitlistCursor {
+    std::uint32_t pos = 0;
+    std::uint32_t remaining = 0;
+  };
+  /// kHitlist: every instance carries the full list (Warhol-style
+  /// startup) and walks all of it with its own cursor, lazily
+  /// allocated the first time a scanner picks. Scanners start at
+  /// offsets spread across the list (instances of a real hitlist worm
+  /// randomize their starting point so they don't duplicate effort)
+  /// and wrap around, so each covers every entry exactly once.
+  /// Entries naming the scanner itself are skipped without burning
+  /// them for anybody else.
+  std::unordered_map<NodeId, HitlistCursor> hitlist_cursor_;
   /// kPermutation: target = (a * position + b) mod N with gcd(a,N)=1.
   std::uint64_t perm_a_ = 1;
   std::uint64_t perm_b_ = 0;

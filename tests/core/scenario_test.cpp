@@ -119,9 +119,11 @@ TEST(Scenario, SimulationScanStrategyOverride) {
   s.worm.scan_strategy = worm::ScanStrategy::kPermutation;
   const PropagationResult result = run_simulation(s, 2);
   EXPECT_GT(result.final_ever_infected(), 0.9);
-  // Hitlist variant also runs.
+  // Hitlist variant also runs; its scanners each walk the full list
+  // before random fallback, so it needs a longer horizon.
   s.worm.scan_strategy = worm::ScanStrategy::kHitlist;
   s.worm.hitlist_size = 50;
+  s.horizon = 300.0;
   EXPECT_GT(run_simulation(s, 2).final_ever_infected(), 0.9);
 }
 

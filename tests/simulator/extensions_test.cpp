@@ -32,9 +32,13 @@ const Network& powerlaw() {
 
 class StrategySweep : public ::testing::TestWithParam<TargetSelection> {};
 
+// Hitlist scanners walk their whole list before falling back to random
+// scanning, so each new infectee sits out ~hitlist_size/β ticks; give
+// those runs a longer horizon (saturating runs stop early anyway).
 TEST_P(StrategySweep, EveryStrategySaturatesUnthrottled) {
   SimulationConfig cfg = base_config();
   cfg.worm.selection = GetParam();
+  if (GetParam() == TargetSelection::kHitlist) cfg.max_ticks = 600.0;
   WormSimulation sim(powerlaw(), cfg);
   const RunResult result = sim.run();
   EXPECT_DOUBLE_EQ(result.ever_infected.back_value(), 1.0);
@@ -43,10 +47,16 @@ TEST_P(StrategySweep, EveryStrategySaturatesUnthrottled) {
 TEST_P(StrategySweep, BackboneRlSlowsEveryStrategy) {
   SimulationConfig cfg = base_config();
   cfg.worm.selection = GetParam();
+  if (GetParam() == TargetSelection::kHitlist) {
+    cfg.max_ticks = 600.0;
+    // A long list-walk phase dominates spread time and would mask the
+    // rate limiter's relative slowdown; keep the list short here.
+    cfg.worm.hitlist_size = 20;
+  }
   const double t_base =
       WormSimulation(powerlaw(), cfg).run().ever_infected.time_to_reach(0.5);
   cfg.deployment.backbone_limited = true;
-  cfg.max_ticks = 400.0;
+  cfg.max_ticks = 1200.0;
   const double t_rl =
       WormSimulation(powerlaw(), cfg).run().ever_infected.time_to_reach(0.5);
   ASSERT_GT(t_base, 0.0);

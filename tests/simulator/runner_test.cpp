@@ -92,6 +92,31 @@ TEST(Runner, ParallelMatchesSerialExactly) {
   }
 }
 
+TEST(Runner, EightWayParallelMatchesSerialExactly) {
+  // Determinism must not depend on the worker count: every run's RNG
+  // stream is fixed by its seed, so 1 and 8 workers give bit-identical
+  // averaged curves (and the same aggregate tick-loop counters).
+  Rng rng(9);
+  const Network net(graph::make_barabasi_albert(200, 2, rng));
+  SimulationConfig cfg = base_config();
+  cfg.max_ticks = 40.0;
+  const AveragedResult serial = run_many(net, cfg, 8, 1);
+  const AveragedResult parallel = run_many(net, cfg, 8, 8);
+  ASSERT_EQ(serial.ever_infected.size(), parallel.ever_infected.size());
+  for (std::size_t i = 0; i < serial.ever_infected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.ever_infected.value_at(i),
+                     parallel.ever_infected.value_at(i));
+    EXPECT_DOUBLE_EQ(serial.active_infected.value_at(i),
+                     parallel.active_infected.value_at(i));
+    EXPECT_DOUBLE_EQ(serial.removed.value_at(i),
+                     parallel.removed.value_at(i));
+  }
+  EXPECT_EQ(serial.perf_total.ticks, parallel.perf_total.ticks);
+  EXPECT_EQ(serial.perf_total.packets_forwarded,
+            parallel.perf_total.packets_forwarded);
+  EXPECT_EQ(serial.perf_total.queue_events, parallel.perf_total.queue_events);
+}
+
 TEST(Runner, SeedSubnetAveragedOnSubnets) {
   Rng rng(5);
   const Network net(graph::make_subnet_topology(5, 8, rng));

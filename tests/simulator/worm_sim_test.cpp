@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
 #include "graph/builders.hpp"
 
 namespace dq::sim {
@@ -182,6 +186,66 @@ TEST(WormSimulation, HubCapSlowsStar) {
   EXPECT_GT(fast.ever_infected.back_value(),
             slow.ever_infected.back_value() + 0.2);
   EXPECT_GT(slow.total_queued_packet_events, 0u);
+}
+
+TEST(WormSimulation, CappedHubDrainsQueueInEmitOrder) {
+  // Regression for FIFO fairness: queued packets must leave in the
+  // order they were parked, across ticks. On a star whose hub forwards
+  // one packet per tick, a sequential-scanning infected hub emits
+  // targets c, c+1, c+2, ... — so exactly one leaf is infected per
+  // tick, in that cyclic id order. Any reordering in the queue drain
+  // breaks the sequence.
+  SimulationConfig cfg = base_config();
+  cfg.worm.contact_rate = 20.0;  // hub queues many scans per tick
+  cfg.worm.selection = TargetSelection::kSequential;
+  cfg.deployment.node_forward_cap = {0u, 1u};
+  cfg.stop_when_saturated = false;
+  cfg.max_ticks = 20.0;
+
+  const Network net = star_net(8);
+  // Pick a seed whose single initial infection lands on the hub.
+  std::optional<WormSimulation> sim;
+  for (std::uint64_t seed = 1; seed < 64; ++seed) {
+    cfg.seed = seed;
+    sim.emplace(net, cfg);
+    if (sim->state(0) == NodeState::kInfected) break;
+  }
+  ASSERT_EQ(sim->state(0), NodeState::kInfected);
+
+  std::vector<NodeId> infection_order;
+  for (int t = 1; t <= 7; ++t) {
+    const std::uint64_t before = sim->ever_infected_count();
+    sim->step();
+    ASSERT_EQ(sim->ever_infected_count(), before + 1)
+        << "exactly one release per tick " << t;
+    for (NodeId v = 1; v < 8; ++v)
+      if (sim->state(v) == NodeState::kInfected &&
+          std::find(infection_order.begin(), infection_order.end(), v) ==
+              infection_order.end())
+        infection_order.push_back(v);
+    ASSERT_EQ(infection_order.size(), static_cast<std::size_t>(t));
+  }
+  // Leaves came up in consecutive cyclic id order (hub id 0 skipped).
+  for (std::size_t i = 1; i < infection_order.size(); ++i) {
+    NodeId expected = (infection_order[i - 1] + 1) % 8;
+    if (expected == 0) expected = 1;
+    EXPECT_EQ(infection_order[i], expected) << "position " << i;
+  }
+}
+
+TEST(WormSimulation, PerfCountersTrackTickLoop) {
+  const Network net = star_net(30);
+  SimulationConfig cfg = base_config();
+  cfg.max_ticks = 12.0;
+  cfg.stop_when_saturated = false;
+  WormSimulation sim(net, cfg);
+  const RunResult result = sim.run();
+  EXPECT_EQ(result.perf.ticks, 12u);
+  EXPECT_GT(result.perf.packets_forwarded, 0u);
+  EXPECT_GE(result.perf.packets_forwarded, result.total_scan_packets);
+  EXPECT_GE(result.perf.link_hops, result.perf.packets_forwarded / 2);
+  EXPECT_EQ(result.perf.queue_events, result.total_queued_packet_events);
+  EXPECT_GE(result.perf.total_seconds(), 0.0);
 }
 
 TEST(WormSimulation, ImmunizationRemovesAndStops) {

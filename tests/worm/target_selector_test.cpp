@@ -93,17 +93,56 @@ TEST(TargetSelector, HitlistScannedFirstThenRandom) {
   TargetSelector selector(c, 100, {}, {}, 7);
   ASSERT_EQ(selector.hitlist().size(), 5u);
   Rng rng(8);
-  std::vector<graph::NodeId> first_picks;
-  for (int i = 0; i < 5; ++i) first_picks.push_back(selector.pick(99, rng));
-  // The first picks are exactly the hitlist (in order), scanner absent.
-  for (std::size_t i = 0; i < first_picks.size(); ++i)
-    EXPECT_EQ(first_picks[i], selector.hitlist()[i]);
+  // The first picks are exactly the hitlist (cyclically from the
+  // scanner's own offset), scanner absent.
+  std::set<graph::NodeId> first_picks;
+  for (int i = 0; i < 5; ++i) first_picks.insert(selector.pick(99, rng));
+  const std::set<graph::NodeId> expected(selector.hitlist().begin(),
+                                         selector.hitlist().end());
+  EXPECT_EQ(first_picks, expected);
   // Further picks fall back to random but remain valid.
   for (int i = 0; i < 50; ++i) {
     const graph::NodeId t = selector.pick(99, rng);
     EXPECT_LT(t, 100u);
     EXPECT_NE(t, 99u);
   }
+}
+
+TEST(TargetSelector, HitlistEachScannerCoversFullList) {
+  // Regression: the cursor used to be shared across scanners, so the
+  // list was consumed once globally; every scanner must cover it.
+  TargetSelectorConfig c = config(ScanStrategy::kHitlist);
+  c.hitlist_size = 8;
+  TargetSelector selector(c, 100, {}, {}, 11);
+  ASSERT_EQ(selector.hitlist().size(), 8u);
+  const std::set<graph::NodeId> expected(selector.hitlist().begin(),
+                                         selector.hitlist().end());
+  Rng rng(12);
+  std::vector<graph::NodeId> scanners;  // two scanners not on the list
+  for (graph::NodeId v = 0; scanners.size() < 2; ++v)
+    if (expected.count(v) == 0) scanners.push_back(v);
+  for (graph::NodeId scanner : scanners) {
+    std::set<graph::NodeId> picks;
+    for (int i = 0; i < 8; ++i) picks.insert(selector.pick(scanner, rng));
+    EXPECT_EQ(picks, expected) << "scanner " << scanner;
+  }
+}
+
+TEST(TargetSelector, HitlistSelfEntryNotBurnedForOthers) {
+  // Regression: a list entry equal to the current scanner used to be
+  // consumed from the shared cursor, so nobody ever scanned it. Each
+  // scanner must still cover every *other* entry, and a scanner that
+  // appears on the list covers the whole list minus itself.
+  TargetSelectorConfig c = config(ScanStrategy::kHitlist);
+  c.hitlist_size = 6;
+  TargetSelector selector(c, 6, {}, {}, 13);  // list == whole population
+  ASSERT_EQ(selector.hitlist().size(), 6u);
+  Rng rng(14);
+  const graph::NodeId scanner = selector.hitlist()[2];
+  std::set<graph::NodeId> picks;
+  for (int i = 0; i < 5; ++i) picks.insert(selector.pick(scanner, rng));
+  EXPECT_EQ(picks.size(), 5u);
+  EXPECT_EQ(picks.count(scanner), 0u);
 }
 
 TEST(TargetSelector, HitlistClampedToPopulation) {
