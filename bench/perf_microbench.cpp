@@ -232,7 +232,8 @@ int run_perf_json(const char* path) {
                "  \"seconds_predator\": %.9f,\n"
                "  \"seconds_emit\": %.9f,\n"
                "  \"seconds_forward\": %.9f,\n"
-               "  \"seconds_record\": %.9f\n"
+               "  \"seconds_record\": %.9f,\n"
+               "  \"seconds_quarantine\": %.9f\n"
                "}\n",
                kNodes, kReps,
                static_cast<unsigned long long>(p.ticks),
@@ -243,7 +244,8 @@ int run_perf_json(const char* path) {
                static_cast<unsigned long long>(p.queue_releases),
                best_secs, ticks / best_secs,
                p.seconds_queues, p.seconds_immunization, p.seconds_predator,
-               p.seconds_emit, p.seconds_forward, p.seconds_record);
+               p.seconds_emit, p.seconds_forward, p.seconds_record,
+               p.seconds_quarantine);
   if (out != stdout) std::fclose(out);
   return 0;
 }

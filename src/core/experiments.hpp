@@ -14,12 +14,14 @@
 //   Fig. 8(a)/(b) — delayed immunization, simulated (ever-infected)
 //   Fig. 9(a)/(b) — trace contact-rate CDFs
 //   Fig. 10       — practical rate limits fed back into the models
+//   Fig. 11       — dynamic quarantine vs static defenses (extension)
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "core/figure.hpp"
+#include "quarantine/engine.hpp"
 #include "trace/department.hpp"
 
 namespace dq::core {
@@ -72,6 +74,19 @@ trace::Trace make_department_trace(const ExperimentOptions& options);
 FigureData fig9a_normal_client_cdf(const trace::Trace& trace);
 FigureData fig9b_worm_host_cdf(const trace::Trace& trace);
 FigureData fig10_trace_rates_analytical();
+
+// --- Dynamic quarantine (the paper's namesake defense) ---
+/// Dynamic quarantine vs the static baselines on the power-law
+/// topology, under a sparse address space (most scans miss — the
+/// failed-connection signal the detectors key on) with legitimate
+/// background traffic so collateral damage is measurable. Series:
+/// no-defense, 100% host rate limiting, blacklisting, and dynamic
+/// quarantine. When `cost` is non-null it receives the quarantine
+/// run's averaged report (detection latency, FP rate, benign
+/// quarantine ticks).
+FigureData fig11_dynamic_quarantine_simulated(
+    const ExperimentOptions& options,
+    quarantine::QuarantineReport* cost = nullptr);
 
 /// The quantitative Section 7 findings (category census, 99.9% rate
 /// limits under each refinement, window-size study, worm peak scan

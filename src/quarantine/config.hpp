@@ -1,0 +1,111 @@
+// Configuration for the dynamic-quarantine engine — the paper's
+// namesake mechanism: detect a host behaving suspiciously, quarantine
+// it for a short period, release it automatically, and tolerate false
+// positives because the penalty per mistake is bounded.
+//
+// The detectors are the cheap per-host signals of the related work:
+// Williamson-style contact-rate counting (Balthrop et al.), a compact
+// distinct-destination estimate, and the connection-failure ratio of
+// Zhou et al. ("Limiting Self-Propagating Malware Based on Connection
+// Failure Behavior"). Each is O(1) memory per host.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace dq::quarantine {
+
+/// Per-host streaming detector thresholds, evaluated over tumbling
+/// windows of `window` time units (ticks in the simulator, seconds in
+/// the trace replay). A threshold <= 0 disables that detector.
+struct DetectorSettings {
+  /// Window length in the caller's time unit. Must be > 0.
+  double window = 5.0;
+  /// Suspicious when a window holds more than this many attempted
+  /// contacts (Williamson's "new connections per unit time").
+  double contact_rate_threshold = 25.0;
+  /// Suspicious when the window's *estimated* distinct-destination
+  /// count exceeds this (64-bucket linear-counting sketch, so O(1)
+  /// memory rather than a per-destination set).
+  double distinct_dest_threshold = 20.0;
+  /// Suspicious when failed contacts / attempted contacts in a window
+  /// reaches this ratio (Zhou et al.'s failure signal). The caller
+  /// defines "failed": unanswered scans in the simulator, first-contact
+  /// destinations (no DNS, no prior inbound) in the trace replay.
+  double failure_ratio_threshold = 0.5;
+  /// Minimum attempts in the window before the failure ratio counts —
+  /// one unlucky contact must not condemn a quiet host.
+  std::uint32_t failure_min_attempts = 2;
+};
+
+/// What happens to a quarantined host's traffic.
+enum class Treatment : std::uint8_t {
+  /// Full isolation: nothing in or out (the paper's quarantine).
+  kDropAll,
+  /// Throttle outbound scanning to a β₂-style trickle instead of
+  /// isolating the host (rate limiting as the quarantine action).
+  kThrottle,
+};
+
+/// The quarantine state machine: kFree → kSuspected (strikes
+/// accumulating) → kQuarantined for a period → released back to kFree.
+/// Repeat offenders serve escalating periods; false positives pay at
+/// most one period per offense — the bounded-penalty property.
+struct PolicySettings {
+  /// Suspicious windows (leaky count: clean windows decay it by one)
+  /// required to move a suspect into quarantine.
+  std::uint32_t strikes_to_quarantine = 1;
+  /// First offense quarantine length (caller's time unit).
+  double base_period = 40.0;
+  /// Period multiplier per repeat offense (>= 1).
+  double escalation = 4.0;
+  /// Ceiling on any single quarantine period.
+  double max_period = 400.0;
+  Treatment treatment = Treatment::kDropAll;
+  /// Outbound contact budget per time unit under kThrottle.
+  double throttle_rate = 0.01;
+};
+
+struct QuarantineConfig {
+  bool enabled = false;
+  /// When true (simulator only), the engine stays dormant until the
+  /// dark-space detector raises its alarm — the quarantine analogue of
+  /// ImmunizationConfig::start_on_detection.
+  bool start_on_detection = false;
+  DetectorSettings detector;
+  PolicySettings policy;
+
+  /// Throws std::invalid_argument on out-of-range settings.
+  void validate() const {
+    if (detector.window <= 0.0)
+      throw std::invalid_argument("QuarantineConfig: window must be > 0");
+    if (detector.contact_rate_threshold <= 0.0 &&
+        detector.distinct_dest_threshold <= 0.0 &&
+        detector.failure_ratio_threshold <= 0.0)
+      throw std::invalid_argument(
+          "QuarantineConfig: at least one detector must be enabled");
+    if (detector.failure_ratio_threshold > 1.0)
+      throw std::invalid_argument(
+          "QuarantineConfig: failure ratio threshold in (0,1]");
+    if (detector.failure_ratio_threshold > 0.0 &&
+        detector.failure_min_attempts == 0)
+      throw std::invalid_argument(
+          "QuarantineConfig: failure_min_attempts must be >= 1");
+    if (policy.strikes_to_quarantine == 0)
+      throw std::invalid_argument(
+          "QuarantineConfig: strikes_to_quarantine must be >= 1");
+    if (policy.base_period <= 0.0)
+      throw std::invalid_argument("QuarantineConfig: base period > 0");
+    if (policy.escalation < 1.0)
+      throw std::invalid_argument("QuarantineConfig: escalation >= 1");
+    if (policy.max_period < policy.base_period)
+      throw std::invalid_argument(
+          "QuarantineConfig: max period >= base period");
+    if (policy.treatment == Treatment::kThrottle &&
+        policy.throttle_rate < 0.0)
+      throw std::invalid_argument(
+          "QuarantineConfig: throttle rate must be >= 0");
+  }
+};
+
+}  // namespace dq::quarantine

@@ -1,0 +1,70 @@
+#include "quarantine/detectors.hpp"
+
+#include <cmath>
+
+namespace dq::quarantine {
+
+double HostDetector::distinct_estimate() const noexcept {
+  const int occupied = __builtin_popcountll(dest_sketch_);
+  if (occupied == 64) return 1e9;  // sketch saturated: "a lot"
+  // Linear counting over m = 64 buckets: n̂ = −m·ln(zeros/m).
+  return -64.0 * std::log(static_cast<double>(64 - occupied) / 64.0);
+}
+
+bool HostDetector::suspicious(
+    const DetectorSettings& settings) const noexcept {
+  if (settings.contact_rate_threshold > 0.0 &&
+      static_cast<double>(contacts_) > settings.contact_rate_threshold)
+    return true;
+  if (settings.distinct_dest_threshold > 0.0 &&
+      distinct_estimate() > settings.distinct_dest_threshold)
+    return true;
+  if (settings.failure_ratio_threshold > 0.0 &&
+      contacts_ >= settings.failure_min_attempts &&
+      static_cast<double>(failures_) >=
+          settings.failure_ratio_threshold * static_cast<double>(contacts_))
+    return true;
+  return false;
+}
+
+ObservationOutcome HostDetector::observe(const DetectorSettings& settings,
+                                         double now, std::uint64_t dest_key,
+                                         bool failed) noexcept {
+  ObservationOutcome outcome;
+  const std::int64_t w =
+      static_cast<std::int64_t>(std::floor(now / settings.window));
+  if (w != window_index_) {
+    if (window_index_ >= 0 && w > window_index_) {
+      // Every fully elapsed window was clean except the current one if
+      // it was flagged; empty windows in between are clean by
+      // definition.
+      outcome.clean_windows =
+          static_cast<std::uint64_t>(w - window_index_) - (flagged_ ? 1 : 0);
+    }
+    window_index_ = w;
+    contacts_ = 0;
+    failures_ = 0;
+    dest_sketch_ = 0;
+    flagged_ = false;
+  }
+
+  ++contacts_;
+  if (failed) ++failures_;
+  dest_sketch_ |= 1ULL << (mix_destination(dest_key) & 63);
+
+  if (!flagged_ && suspicious(settings)) {
+    flagged_ = true;
+    outcome.strike = true;
+  }
+  return outcome;
+}
+
+void HostDetector::reset() noexcept {
+  window_index_ = -1;
+  contacts_ = 0;
+  failures_ = 0;
+  dest_sketch_ = 0;
+  flagged_ = false;
+}
+
+}  // namespace dq::quarantine

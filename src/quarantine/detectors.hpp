@@ -1,0 +1,67 @@
+// Streaming per-host behavioral detectors, O(1) memory per host.
+//
+// A HostDetector watches one host's outbound contacts over tumbling
+// windows and flags a window as suspicious as soon as any enabled
+// threshold is crossed *inside* the window (not only at its close), so
+// a fast scanner is caught after a handful of contacts rather than a
+// full window later. Three signals, per DetectorSettings:
+//   * contact rate   — attempted contacts in the window;
+//   * distinct dests — a 64-bucket linear-counting sketch (bitmap of
+//                      hashed destinations; estimate −m·ln(z/m));
+//   * failure ratio  — failed / attempted contacts, with a minimum
+//                      attempt count before the ratio is trusted.
+#pragma once
+
+#include <cstdint>
+
+#include "quarantine/config.hpp"
+
+namespace dq::quarantine {
+
+/// Stable 64-bit mix for destination keys (SplitMix64 finalizer), so
+/// callers can feed raw node ids / IP addresses directly.
+inline std::uint64_t mix_destination(std::uint64_t key) noexcept {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// What one observation did to the host's window state.
+struct ObservationOutcome {
+  /// Fully elapsed windows since the previous observation that ended
+  /// without a strike (the policy decays one strike per clean window).
+  std::uint64_t clean_windows = 0;
+  /// This observation crossed a threshold in a not-yet-flagged window.
+  bool strike = false;
+};
+
+class HostDetector {
+ public:
+  /// Records one attempted contact at `now` (non-decreasing per host).
+  /// `dest_key` is any stable destination identifier; `failed` is the
+  /// caller-defined failure signal.
+  ObservationOutcome observe(const DetectorSettings& settings, double now,
+                             std::uint64_t dest_key, bool failed) noexcept;
+
+  /// Clears all window state (used when a host leaves quarantine so it
+  /// restarts with a clean slate).
+  void reset() noexcept;
+
+  /// Attempted contacts in the currently open window.
+  std::uint32_t window_contacts() const noexcept { return contacts_; }
+  std::uint32_t window_failures() const noexcept { return failures_; }
+  /// Linear-counting estimate of distinct destinations in the window.
+  double distinct_estimate() const noexcept;
+
+ private:
+  bool suspicious(const DetectorSettings& settings) const noexcept;
+
+  std::int64_t window_index_ = -1;  ///< -1: no observation yet
+  std::uint32_t contacts_ = 0;
+  std::uint32_t failures_ = 0;
+  std::uint64_t dest_sketch_ = 0;  ///< 64-bucket presence bitmap
+  bool flagged_ = false;           ///< current window already struck
+};
+
+}  // namespace dq::quarantine

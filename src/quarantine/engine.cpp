@@ -1,0 +1,169 @@
+#include "quarantine/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dq::quarantine {
+
+QuarantineEngine::QuarantineEngine(std::size_t num_hosts,
+                                   const QuarantineConfig& config)
+    : config_(config), hosts_(num_hosts), detectors_(num_hosts) {
+  config_.validate();
+  if (num_hosts == 0)
+    throw std::invalid_argument("QuarantineEngine: need at least one host");
+}
+
+void QuarantineEngine::advance_to(double now) {
+  while (!releases_.empty() && releases_.top().first <= now) {
+    const std::uint32_t host = releases_.top().second;
+    releases_.pop();
+    release(host);
+  }
+}
+
+void QuarantineEngine::quarantine(std::uint32_t host, double now) {
+  HostRecord& rec = hosts_[host];
+  rec.state = HostQState::kQuarantined;
+  ++rec.offenses;
+  const double period = std::min(
+      config_.policy.base_period *
+          std::pow(config_.policy.escalation,
+                   static_cast<double>(rec.offenses - 1)),
+      config_.policy.max_period);
+  rec.quarantine_start = now;
+  rec.release_time = now + period;
+  if (rec.first_quarantined < 0.0) rec.first_quarantined = now;
+  releases_.push({rec.release_time, host});
+  ++events_;
+  ++active_;
+}
+
+void QuarantineEngine::release(std::uint32_t host) {
+  HostRecord& rec = hosts_[host];
+  rec.state = HostQState::kFree;
+  rec.strikes = 0;
+  rec.quarantine_time += rec.release_time - rec.quarantine_start;
+  // A released host restarts with a clean detector; if it is still
+  // misbehaving it will re-strike within a window or two and serve the
+  // escalated period.
+  detectors_[host].reset();
+  --active_;
+}
+
+void QuarantineEngine::observe(std::uint32_t host, std::uint64_t dest_key,
+                               double now, bool failed) {
+  HostRecord& rec = hosts_[host];
+  if (rec.state == HostQState::kQuarantined) return;
+
+  const ObservationOutcome outcome =
+      detectors_[host].observe(config_.detector, now, dest_key, failed);
+
+  if (outcome.clean_windows > 0 && rec.strikes > 0) {
+    rec.strikes = outcome.clean_windows >= rec.strikes
+                      ? 0
+                      : rec.strikes -
+                            static_cast<std::uint32_t>(outcome.clean_windows);
+    if (rec.strikes == 0 && rec.state == HostQState::kSuspected)
+      rec.state = HostQState::kFree;
+  }
+
+  if (!outcome.strike) return;
+  ++rec.strikes;
+  if (rec.state == HostQState::kFree) {
+    rec.state = HostQState::kSuspected;
+    if (rec.first_suspected < 0.0) rec.first_suspected = now;
+  }
+  if (rec.strikes >= config_.policy.strikes_to_quarantine)
+    quarantine(host, now);
+}
+
+double QuarantineEngine::quarantine_time(std::uint32_t host,
+                                         double now) const {
+  const HostRecord& rec = hosts_[host];
+  double total = rec.quarantine_time;
+  if (rec.state == HostQState::kQuarantined)
+    total += std::max(0.0, now - rec.quarantine_start);
+  return total;
+}
+
+QuarantineReport QuarantineEngine::report(
+    const std::vector<double>& label_time, double now) const {
+  if (label_time.size() != hosts_.size())
+    throw std::invalid_argument(
+        "QuarantineEngine::report: label vector size mismatch");
+  QuarantineReport out;
+  double latency_sum = 0.0;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const HostRecord& rec = hosts_[h];
+    if (label_time[h] >= 0.0) {
+      ++out.target_hosts;
+      out.target_quarantine_time +=
+          quarantine_time(static_cast<std::uint32_t>(h), now);
+      if (rec.first_quarantined >= 0.0) {
+        out.detected_targets += 1.0;
+        latency_sum += std::max(0.0, rec.first_quarantined - label_time[h]);
+      }
+    } else {
+      ++out.benign_hosts;
+      if (rec.offenses > 0) {
+        out.false_positive_hosts += 1.0;
+        out.benign_quarantine_time +=
+            quarantine_time(static_cast<std::uint32_t>(h), now);
+      }
+    }
+  }
+  if (out.target_hosts > 0)
+    out.detection_rate =
+        out.detected_targets / static_cast<double>(out.target_hosts);
+  if (out.detected_targets > 0.0)
+    out.mean_detection_latency = latency_sum / out.detected_targets;
+  if (out.benign_hosts > 0)
+    out.false_positive_rate =
+        out.false_positive_hosts / static_cast<double>(out.benign_hosts);
+  if (out.false_positive_hosts > 0.0)
+    out.mean_benign_quarantine_time =
+        out.benign_quarantine_time / out.false_positive_hosts;
+  out.quarantine_events = static_cast<double>(events_);
+  return out;
+}
+
+QuarantineReport average_quarantine_reports(
+    const std::vector<QuarantineReport>& reports) {
+  if (reports.empty())
+    throw std::invalid_argument("average_quarantine_reports: empty input");
+  QuarantineReport mean;
+  mean.target_hosts = reports.front().target_hosts;
+  mean.benign_hosts = reports.front().benign_hosts;
+  double latency_sum = 0.0;
+  std::size_t latency_runs = 0;
+  for (const QuarantineReport& r : reports) {
+    mean.detected_targets += r.detected_targets;
+    mean.detection_rate += r.detection_rate;
+    mean.false_positive_hosts += r.false_positive_hosts;
+    mean.false_positive_rate += r.false_positive_rate;
+    mean.benign_quarantine_time += r.benign_quarantine_time;
+    mean.mean_benign_quarantine_time += r.mean_benign_quarantine_time;
+    mean.target_quarantine_time += r.target_quarantine_time;
+    mean.quarantine_events += r.quarantine_events;
+    if (r.mean_detection_latency >= 0.0) {
+      latency_sum += r.mean_detection_latency;
+      ++latency_runs;
+    }
+  }
+  const double n = static_cast<double>(reports.size());
+  mean.detected_targets /= n;
+  mean.detection_rate /= n;
+  mean.false_positive_hosts /= n;
+  mean.false_positive_rate /= n;
+  mean.benign_quarantine_time /= n;
+  mean.mean_benign_quarantine_time /= n;
+  mean.target_quarantine_time /= n;
+  mean.quarantine_events /= n;
+  mean.mean_detection_latency =
+      latency_runs > 0 ? latency_sum / static_cast<double>(latency_runs)
+                       : -1.0;
+  return mean;
+}
+
+}  // namespace dq::quarantine

@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "quarantine/config.hpp"
 #include "worm/target_selector.hpp"
 
 namespace dq::sim {
@@ -32,6 +33,13 @@ struct WormConfig {
   std::uint32_t hitlist_size = 100;
   /// Number of nodes infected at tick 0 (chosen uniformly at random).
   std::uint32_t initial_infected = 1;
+  /// Probability a scan targets a live host at all. Real worms sweep a
+  /// mostly-unused address space; a value < 1 models that sparsity: a
+  /// missing scan produces no packet but is a *failed connection*
+  /// visible to the dynamic-quarantine detectors (Zhou et al.'s
+  /// signal). 1.0 (the default) reproduces the dense legacy behaviour
+  /// exactly, with no extra RNG draws.
+  double hit_probability = 1.0;
 };
 
 /// Where rate-limiting filters are installed.
@@ -84,6 +92,13 @@ struct ResponseConfig {
   /// true: filters act on every link; false: only on backbone links
   /// (the deployment question applies to these defenses too).
   bool filters_everywhere = false;
+  /// When true, the response stays dormant until the dark-space
+  /// detector raises its alarm (requires detector.enabled); the
+  /// content filter's reaction clock then runs from the alarm rather
+  /// than the first infection. Mirrors
+  /// ImmunizationConfig::start_on_detection, so alarms can drive any
+  /// defense, not just patching.
+  bool start_on_detection = false;
 };
 
 /// Dark-space worm detection (Zou, Gao, Gong & Towsley, "Monitoring
@@ -152,6 +167,10 @@ struct SimulationConfig {
   ImmunizationConfig immunization;
   LegitTrafficConfig legit;
   PredatorConfig predator;
+  /// Dynamic quarantine (the paper's namesake defense): per-host
+  /// anomaly detectors feeding a timed quarantine/release state
+  /// machine. See quarantine/config.hpp for the knobs.
+  quarantine::QuarantineConfig quarantine;
   /// Stop after this many ticks.
   double max_ticks = 100.0;
   /// Stop early once every node has been infected or removed.

@@ -50,9 +50,20 @@ AveragedResult run_many(const Network& net, const SimulationConfig& base,
   removed.reserve(runs);
   double start_sum = 0.0;
   std::size_t start_count = 0;
+  std::vector<quarantine::QuarantineReport> qreports;
+  if (base.quarantine.enabled) qreports.reserve(runs);
   AveragedResult out;
   for (RunResult& result : results) {
     out.perf_total += result.perf;
+    out.perf_max_run_seconds =
+        std::max(out.perf_max_run_seconds, result.perf.total_seconds());
+    if (base.quarantine.enabled) {
+      qreports.push_back(result.quarantine);
+      out.mean_quarantine_dropped +=
+          static_cast<double>(result.quarantine_dropped_packets);
+      out.mean_legit_quarantine_dropped +=
+          static_cast<double>(result.legit_quarantine_dropped);
+    }
     active.push_back(std::move(result.active_infected));
     ever.push_back(std::move(result.ever_infected));
     removed.push_back(std::move(result.removed));
@@ -83,6 +94,11 @@ AveragedResult run_many(const Network& net, const SimulationConfig& base,
     out.predator_infected = TimeSeries::average(predator);
   out.mean_immunization_start =
       start_count ? start_sum / static_cast<double>(start_count) : -1.0;
+  if (!qreports.empty()) {
+    out.quarantine_mean = quarantine::average_quarantine_reports(qreports);
+    out.mean_quarantine_dropped /= static_cast<double>(runs);
+    out.mean_legit_quarantine_dropped /= static_cast<double>(runs);
+  }
   out.runs = runs;
   return out;
 }

@@ -23,8 +23,19 @@ struct AveragedResult {
   TimeSeries predator_infected;
   /// Mean tick at which immunization kicked in (-1 if it never did).
   double mean_immunization_start = -1.0;
-  /// Tick-loop counters and phase wall time summed over all runs.
+  /// Quarantine report averaged pointwise over runs (all-zero defaults
+  /// unless base.quarantine.enabled).
+  quarantine::QuarantineReport quarantine_mean;
+  /// Mean per-run quarantine packet drops (worm+predator / legit).
+  double mean_quarantine_dropped = 0.0;
+  double mean_legit_quarantine_dropped = 0.0;
+  /// Tick-loop counters and phase wall time summed over all runs. Under
+  /// parallel execution the seconds fields overstate wall-clock time —
+  /// they add up concurrent threads' work.
   PerfCounters perf_total;
+  /// Wall time of the slowest single run — the critical path, and the
+  /// honest wall-clock figure when runs execute in parallel.
+  double perf_max_run_seconds = 0.0;
   std::size_t runs = 0;
 };
 

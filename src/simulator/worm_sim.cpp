@@ -52,6 +52,9 @@ WormSimulation::WormSimulation(const Network& net,
       worm_cfg.initial_infected >= net.num_nodes())
     throw std::invalid_argument(
         "WormSimulation: initial infected in [1, num_nodes)");
+  if (worm_cfg.hit_probability <= 0.0 || worm_cfg.hit_probability > 1.0)
+    throw std::invalid_argument(
+        "WormSimulation: hit probability in (0,1]");
   const auto& dep = config.deployment;
   if (dep.host_filter_fraction < 0.0 || dep.host_filter_fraction > 1.0)
     throw std::invalid_argument(
@@ -65,6 +68,17 @@ WormSimulation::WormSimulation(const Network& net,
       config.response.reaction_time < 0.0)
     throw std::invalid_argument(
         "WormSimulation: response reaction time must be >= 0");
+  if (config.response.kind != ResponseConfig::Kind::kNone &&
+      config.response.start_on_detection && !config.detector.enabled)
+    throw std::invalid_argument(
+        "WormSimulation: response start_on_detection needs the detector");
+  if (config.quarantine.enabled) {
+    config.quarantine.validate();
+    if (config.quarantine.start_on_detection && !config.detector.enabled)
+      throw std::invalid_argument(
+          "WormSimulation: quarantine start_on_detection needs the "
+          "detector");
+  }
   if (config.detector.enabled) {
     if (config.detector.observe_probability <= 0.0 ||
         config.detector.observe_probability > 1.0)
@@ -125,6 +139,11 @@ WormSimulation::WormSimulation(const Network& net,
     if (node_cap_budget_ == 0)
       throw std::invalid_argument(
           "WormSimulation: node forward budget must be >= 1");
+  }
+
+  if (config.quarantine.enabled) {
+    quarantine_.emplace(net.num_nodes(), config.quarantine);
+    quarantine_armed_ = !config.quarantine.start_on_detection;
   }
 
   assign_host_filters();
@@ -276,15 +295,40 @@ void WormSimulation::predator_patch_step() {
 
 void WormSimulation::emit_scans(std::vector<Packet>& fresh) {
   const auto& detector = config_.detector;
+  const double hit = config_.worm.hit_probability;
+  const bool sparse = hit < 1.0;  // gate: no extra RNG draws when dense
+  const auto& qpolicy = config_.quarantine.policy;
   sync_infected_list();
   std::size_t out = 0;
   for (const NodeId v : infected_nodes_) {
     if (state_[v] != NodeState::kInfected) continue;  // compact away
     infected_nodes_[out++] = v;
-    const double rate = filtered_[v] ? config_.worm.filtered_contact_rate
-                                     : config_.worm.contact_rate;
+    double rate = filtered_[v] ? config_.worm.filtered_contact_rate
+                               : config_.worm.contact_rate;
+    const bool q = quarantine_ && quarantine_->quarantined(v);
+    if (q && qpolicy.treatment == quarantine::Treatment::kThrottle)
+      rate = std::min(rate, qpolicy.throttle_rate);
     const std::uint64_t attempts = rng_.poisson(rate);
+    if (q && qpolicy.treatment == quarantine::Treatment::kDropAll) {
+      // Full isolation: the scans die at the host's own uplink. No
+      // targets are drawn — the poisson draw above is the only RNG
+      // this host consumes, keeping the stream aligned across
+      // treatments.
+      result_.quarantine_dropped_packets += attempts;
+      continue;
+    }
     for (std::uint64_t a = 0; a < attempts; ++a) {
+      if (sparse && !rng_.bernoulli(hit)) {
+        // The scan landed on an unused address: no packet enters the
+        // network, but the attempt is a failed connection the
+        // quarantine detectors can see (Zhou et al.'s signal). Each
+        // miss gets a fresh synthetic key — dead addresses are
+        // effectively never revisited during a random sweep.
+        quarantine_observe(
+            v, (static_cast<std::uint64_t>(v) << 32) ^ quarantine_miss_seq_++,
+            /*failed=*/true);
+        continue;
+      }
       fresh.push_back({v, selector_.pick(v, rng_), v,
                        static_cast<std::uint32_t>(tick_),
                        PacketKind::kWorm});
@@ -305,14 +349,33 @@ void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
   // Predator scans share this emission phase (random targets — Welchia
   // swept address ranges).
   if (config_.predator.enabled && predator_count_ > 0) {
+    const double hit = config_.worm.hit_probability;
+    const bool sparse = hit < 1.0;
+    const auto& qpolicy = config_.quarantine.policy;
     sync_predator_list();
     std::size_t out = 0;
     for (const NodeId v : predator_nodes_) {
       if (state_[v] != NodeState::kPredator) continue;  // compact away
       predator_nodes_[out++] = v;
-      const std::uint64_t attempts =
-          rng_.poisson(config_.predator.contact_rate);
+      double prate = config_.predator.contact_rate;
+      // The counter-worm sweeps just as aggressively as its prey, so
+      // the quarantine treats it identically.
+      const bool q = quarantine_ && quarantine_->quarantined(v);
+      if (q && qpolicy.treatment == quarantine::Treatment::kThrottle)
+        prate = std::min(prate, qpolicy.throttle_rate);
+      const std::uint64_t attempts = rng_.poisson(prate);
+      if (q && qpolicy.treatment == quarantine::Treatment::kDropAll) {
+        result_.quarantine_dropped_packets += attempts;
+        continue;
+      }
       for (std::uint64_t a = 0; a < attempts; ++a) {
+        if (sparse && !rng_.bernoulli(hit)) {
+          quarantine_observe(
+              v,
+              (static_cast<std::uint64_t>(v) << 32) ^ quarantine_miss_seq_++,
+              /*failed=*/true);
+          continue;
+        }
         NodeId dest;
         do {
           dest = static_cast<NodeId>(rng_.uniform_int(net_.num_nodes()));
@@ -329,6 +392,14 @@ void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
   const std::size_t n = net_.num_nodes();
   for (NodeId v = 0; v < n; ++v) {
     const std::uint64_t count = rng_.poisson(rate);
+    if (count > 0 && quarantine_isolated(static_cast<NodeId>(v))) {
+      // An isolated host's legitimate traffic dies with the worm's —
+      // the collateral cost this PR measures. Destination draws are
+      // skipped: the packets never exist.
+      result_.legit_sent += count;
+      result_.legit_quarantine_dropped += count;
+      continue;
+    }
     for (std::uint64_t i = 0; i < count; ++i) {
       NodeId dest;
       do {
@@ -343,7 +414,14 @@ void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
 
 bool WormSimulation::source_blacklisted(NodeId src) const {
   if (infected_tick_[src] < 0.0) return false;
-  return tick_ >= infected_tick_[src] + config_.response.reaction_time;
+  double clock_start = infected_tick_[src];
+  if (config_.response.start_on_detection) {
+    // Identification cannot begin before the alarm: the reaction clock
+    // runs from whichever is later, infection or detection.
+    if (detection_tick_ < 0.0) return false;
+    clock_start = std::max(clock_start, detection_tick_);
+  }
+  return tick_ >= clock_start + config_.response.reaction_time;
 }
 
 bool WormSimulation::response_drops(const Packet& p, std::size_t link) {
@@ -364,6 +442,12 @@ bool WormSimulation::response_drops(const Packet& p, std::size_t link) {
       if (p.kind != PacketKind::kWorm) return false;
       if (!response.filters_everywhere && !net_.link_is_backbone(link))
         return false;
+      if (response.start_on_detection) {
+        // Signature extraction starts at the alarm, not the (unseen)
+        // first infection.
+        return detection_tick_ >= 0.0 &&
+               tick_ >= detection_tick_ + response.reaction_time;
+      }
       return first_infection_tick_ >= 0.0 &&
              tick_ >= first_infection_tick_ + response.reaction_time;
     }
@@ -372,6 +456,25 @@ bool WormSimulation::response_drops(const Packet& p, std::size_t link) {
 }
 
 void WormSimulation::deliver(const Packet& p) {
+  if (quarantine_) {
+    // The sender's detector records every completed attempt (feeding
+    // the contact-rate and distinct-destination signals), but never as
+    // a *failure*: a patched host still accepts connections, and a
+    // drop at a quarantined destination is the quarantine's own doing
+    // — charging the sender for it would let a few isolated hosts make
+    // their peers' traffic look anomalous and cascade quarantine
+    // across the whole population. Failures come from address-space
+    // misses and response-filter drops only.
+    const bool blocked = quarantine_isolated(p.dest);
+    quarantine_observe(p.src, p.dest, /*failed=*/false);
+    if (blocked) {
+      if (p.kind == PacketKind::kLegit)
+        ++result_.legit_quarantine_dropped;
+      else
+        ++result_.quarantine_dropped_packets;
+      return;
+    }
+  }
   switch (p.kind) {
     case PacketKind::kLegit: {
       ++result_.legit_delivered;
@@ -432,6 +535,9 @@ void WormSimulation::forward(Packet p) {
         ++result_.legit_dropped;
       else
         ++result_.worm_packets_dropped;
+      // A filtered connection never completes: the source's quarantine
+      // detector sees it as a failure.
+      quarantine_observe(p.src, p.dest, /*failed=*/true);
       return;
     }
     if (link_capacity_[hop.link] != 0.0) {
@@ -562,6 +668,26 @@ void WormSimulation::immunization_step() {
   alive_nodes_.resize(out);
 }
 
+void WormSimulation::quarantine_step() {
+  if (!quarantine_) return;
+  if (!quarantine_armed_ && detection_tick_ >= 0.0)
+    quarantine_armed_ = true;
+  quarantine_->advance_to(tick_);
+}
+
+bool WormSimulation::quarantine_isolated(NodeId host) const {
+  return quarantine_ &&
+         config_.quarantine.policy.treatment ==
+             quarantine::Treatment::kDropAll &&
+         quarantine_->quarantined(host);
+}
+
+void WormSimulation::quarantine_observe(NodeId host, std::uint64_t dest_key,
+                                        bool failed) {
+  if (quarantine_ && quarantine_armed_)
+    quarantine_->observe(host, dest_key, tick_, failed);
+}
+
 void WormSimulation::record() {
   const double n = static_cast<double>(net_.num_nodes());
   result_.active_infected.push(tick_,
@@ -613,6 +739,8 @@ void WormSimulation::step() {
   release_predator();
   predator_patch_step();
   result_.perf.seconds_predator += lap(t);
+  quarantine_step();
+  result_.perf.seconds_quarantine += lap(t);
 
   fresh_.clear();
   emit_scans(fresh_);
@@ -632,6 +760,10 @@ RunResult WormSimulation::run() {
   if (result_.legit_delivered > 0)
     result_.mean_legit_delay =
         legit_delay_sum_ / static_cast<double>(result_.legit_delivered);
+  if (quarantine_)
+    // Ground truth: a host is a target iff the worm ever took it, with
+    // its infection tick as the detection-latency reference point.
+    result_.quarantine = quarantine_->report(infected_tick_, tick_);
   return result_;
 }
 

@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "quarantine/engine.hpp"
 #include "simulator/config.hpp"
 #include "simulator/network.hpp"
 #include "stats/rng.hpp"
@@ -55,13 +56,15 @@ struct PerfCounters {
   double seconds_queues = 0.0;        ///< release_queues phase
   double seconds_immunization = 0.0;  ///< immunization_step phase
   double seconds_predator = 0.0;      ///< predator release + patch phase
+  double seconds_quarantine = 0.0;    ///< quarantine release processing
   double seconds_emit = 0.0;          ///< scan + legit emission phase
   double seconds_forward = 0.0;       ///< fresh-packet forwarding phase
   double seconds_record = 0.0;        ///< metric recording phase
 
   double total_seconds() const noexcept {
     return seconds_queues + seconds_immunization + seconds_predator +
-           seconds_emit + seconds_forward + seconds_record;
+           seconds_quarantine + seconds_emit + seconds_forward +
+           seconds_record;
   }
 
   PerfCounters& operator+=(const PerfCounters& o) noexcept {
@@ -73,6 +76,7 @@ struct PerfCounters {
     seconds_queues += o.seconds_queues;
     seconds_immunization += o.seconds_immunization;
     seconds_predator += o.seconds_predator;
+    seconds_quarantine += o.seconds_quarantine;
     seconds_emit += o.seconds_emit;
     seconds_forward += o.seconds_forward;
     seconds_record += o.seconds_record;
@@ -109,6 +113,17 @@ struct RunResult {
   /// Mean ticks a delivered legitimate packet spent queued (0 = clean).
   double mean_legit_delay = 0.0;
   double max_legit_delay = 0.0;
+
+  // Dynamic-quarantine outcome (all zero unless quarantine.enabled).
+  /// Detection latency / FP rate / penalty report, labeled by each
+  /// host's infection tick.
+  quarantine::QuarantineReport quarantine;
+  /// Worm + predator packets suppressed by quarantine (outbound drops
+  /// of isolated hosts, plus inbound scans blocked at an isolated
+  /// destination).
+  std::uint64_t quarantine_dropped_packets = 0;
+  /// Legitimate packets destroyed by quarantine isolation.
+  std::uint64_t legit_quarantine_dropped = 0;
 
   /// Tick-loop counters and per-phase wall time for this run.
   PerfCounters perf;
@@ -186,6 +201,15 @@ class WormSimulation {
   bool response_drops(const Packet& p, std::size_t link);
   void release_queues();
   void immunization_step();
+  /// Arms the engine (honouring start_on_detection) and processes due
+  /// quarantine releases for this tick.
+  void quarantine_step();
+  /// True when the host sits in full-isolation quarantine (kDropAll):
+  /// nothing it sends leaves, nothing addressed to it is accepted.
+  bool quarantine_isolated(NodeId host) const;
+  /// Feeds one attempted contact into the armed quarantine engine
+  /// (no-op when quarantine is off or still dormant).
+  void quarantine_observe(NodeId host, std::uint64_t dest_key, bool failed);
   void record();
   bool saturated() const;
   bool source_blacklisted(NodeId src) const;
@@ -249,6 +273,17 @@ class WormSimulation {
   std::uint32_t node_cap_budget_ = 0;  // 0 = disabled
   std::uint32_t node_cap_used_ = 0;
   std::deque<Packet> node_queue_;
+
+  /// Dynamic-quarantine engine (engaged iff config.quarantine.enabled).
+  std::optional<quarantine::QuarantineEngine> quarantine_;
+  /// False while the engine waits for the dark-space alarm
+  /// (quarantine.start_on_detection); observations are discarded until
+  /// armed.
+  bool quarantine_armed_ = false;
+  /// Sequence for synthetic dead-address keys: each missed scan
+  /// (hit_probability < 1) contacts a fresh unused address, so misses
+  /// drive the distinct-destination sketch like real sweeps do.
+  std::uint64_t quarantine_miss_seq_ = 0;
 
   double tick_ = 0.0;
   bool immunizing_ = false;

@@ -1,0 +1,108 @@
+#include "trace/quarantine_replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ratelimit/dns_throttle.hpp"
+
+namespace dq::trace {
+
+namespace {
+
+/// Per-host edge-router knowledge for the first-contact failure proxy
+/// (mirrors the kNoPriorNoDns refinement in analysis.cpp).
+struct HostKnowledge {
+  ratelimit::DnsCache dns;
+  std::unordered_set<IpAddress> inbound_peers;
+};
+
+bool is_worm(HostCategory c) {
+  return c == HostCategory::kWormBlaster || c == HostCategory::kWormWelchia;
+}
+
+}  // namespace
+
+QuarantineReplayReport replay_quarantine(
+    const Trace& trace, const quarantine::QuarantineConfig& config) {
+  if (!trace.finalized())
+    throw std::invalid_argument("replay_quarantine: trace not finalized");
+  if (trace.num_hosts() == 0)
+    throw std::invalid_argument("replay_quarantine: trace has no census");
+
+  quarantine::QuarantineEngine engine(trace.num_hosts(), config);
+  std::unordered_map<HostId, HostKnowledge> knowledge;
+
+  // Target labels for the overall report: a worm host's onset is its
+  // first outbound contact (traces do not record the infection moment).
+  const auto& categories = trace.host_categories();
+  std::vector<double> label_time(trace.num_hosts(), -1.0);
+
+  QuarantineReplayReport report;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.host >= trace.num_hosts())
+      throw std::invalid_argument("replay_quarantine: event host outside "
+                                  "census");
+    ++report.events_processed;
+    engine.advance_to(e.time);
+    HostKnowledge& known = knowledge[e.host];
+    switch (e.type) {
+      case EventType::kDnsAnswer:
+        known.dns.record(e.remote, e.time + e.dns_ttl);
+        break;
+      case EventType::kInboundContact:
+        known.inbound_peers.insert(e.remote);
+        break;
+      case EventType::kOutboundContact: {
+        if (is_worm(categories[e.host]) && label_time[e.host] < 0.0)
+          label_time[e.host] = e.time;
+        // First-contact proxy: a destination the host neither resolved
+        // nor heard from is the blind connection a scanner makes.
+        const bool failed = !known.inbound_peers.contains(e.remote) &&
+                            !known.dns.valid(e.remote, e.time);
+        engine.observe(e.host, e.remote, e.time, failed);
+        break;
+      }
+    }
+  }
+  const double end = trace.duration();
+  engine.advance_to(end);
+
+  report.overall = engine.report(label_time, end);
+
+  for (const HostCategory category :
+       {HostCategory::kNormalClient, HostCategory::kServer,
+        HostCategory::kP2P, HostCategory::kWormBlaster,
+        HostCategory::kWormWelchia}) {
+    const std::vector<HostId> members = trace.hosts_in(category);
+    if (members.empty()) continue;
+    CategoryQuarantineStats stats;
+    stats.category = category;
+    stats.hosts = members.size();
+    double latency_sum = 0.0;
+    std::size_t latency_count = 0;
+    for (const HostId h : members) {
+      const quarantine::HostRecord& rec = engine.record(h);
+      stats.quarantine_events += rec.offenses;
+      stats.total_quarantine_time += engine.quarantine_time(h, end);
+      if (rec.first_quarantined < 0.0) continue;
+      ++stats.quarantined_hosts;
+      if (is_worm(category) && label_time[h] >= 0.0) {
+        latency_sum += std::max(0.0, rec.first_quarantined - label_time[h]);
+        ++latency_count;
+      }
+    }
+    stats.quarantined_fraction = static_cast<double>(stats.quarantined_hosts) /
+                                 static_cast<double>(stats.hosts);
+    stats.mean_quarantine_time =
+        stats.total_quarantine_time / static_cast<double>(stats.hosts);
+    if (latency_count > 0)
+      stats.mean_detection_latency =
+          latency_sum / static_cast<double>(latency_count);
+    report.categories.push_back(stats);
+  }
+  return report;
+}
+
+}  // namespace dq::trace

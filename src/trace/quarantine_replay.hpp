@@ -1,0 +1,57 @@
+// Replays a trace through the dynamic-quarantine engine — the Section 7
+// validation of the quarantine detectors: run the exact detector +
+// policy code the simulator uses over labeled edge-router traffic and
+// measure (a) the false-positive rate and quarantine-time penalty paid
+// by each normal host class (clients, servers, P2P) and (b) the
+// detection rate and latency on the trace's real worm hosts (Blaster,
+// Welchia).
+//
+// Traces carry no connection outcomes, so "failed contact" uses the
+// paper's kNoPriorNoDns first-contact proxy: an outbound contact with
+// no valid DNS translation and no prior inbound exchange with that
+// peer is the kind of blind connection a scanner makes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quarantine/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace dq::trace {
+
+/// Quarantine outcome for one host category.
+struct CategoryQuarantineStats {
+  HostCategory category = HostCategory::kNormalClient;
+  std::size_t hosts = 0;
+  /// Hosts of this category quarantined at least once.
+  std::size_t quarantined_hosts = 0;
+  double quarantined_fraction = 0.0;
+  std::uint64_t quarantine_events = 0;
+  /// Total / per-host quarantine time served (seconds).
+  double total_quarantine_time = 0.0;
+  double mean_quarantine_time = 0.0;
+  /// Worm categories only: mean seconds from the host's first outbound
+  /// contact to its first quarantine, over detected hosts (-1 when
+  /// nothing was detected or the category is benign).
+  double mean_detection_latency = -1.0;
+};
+
+struct QuarantineReplayReport {
+  /// One entry per category present in the trace's census, in enum
+  /// order.
+  std::vector<CategoryQuarantineStats> categories;
+  /// Engine-level summary with worm hosts as targets (labeled by first
+  /// outbound contact time) and everything else benign.
+  quarantine::QuarantineReport overall;
+  std::uint64_t events_processed = 0;
+};
+
+/// Feeds every outbound contact in the trace to a QuarantineEngine
+/// (windows in seconds) and evaluates the outcome against the host
+/// census. Throws std::invalid_argument on an unfinalized trace, an
+/// empty census, or an invalid config.
+QuarantineReplayReport replay_quarantine(
+    const Trace& trace, const quarantine::QuarantineConfig& config);
+
+}  // namespace dq::trace

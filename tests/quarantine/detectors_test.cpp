@@ -1,0 +1,102 @@
+#include "quarantine/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::quarantine {
+namespace {
+
+DetectorSettings contact_only(double threshold) {
+  DetectorSettings s;
+  s.window = 5.0;
+  s.contact_rate_threshold = threshold;
+  s.distinct_dest_threshold = 0.0;
+  s.failure_ratio_threshold = 0.0;
+  return s;
+}
+
+TEST(HostDetector, StrikesInsideTheWindowOnceThresholdCrossed) {
+  const DetectorSettings s = contact_only(3.0);
+  HostDetector d;
+  bool struck = false;
+  for (int i = 0; i < 4; ++i)
+    struck = d.observe(s, 1.0, static_cast<std::uint64_t>(i), false).strike;
+  // The 4th contact exceeds "more than 3 per window" mid-window.
+  EXPECT_TRUE(struck);
+}
+
+TEST(HostDetector, AtMostOneStrikePerWindow) {
+  const DetectorSettings s = contact_only(1.0);
+  HostDetector d;
+  int strikes = 0;
+  for (int i = 0; i < 10; ++i)
+    strikes += d.observe(s, 2.0, static_cast<std::uint64_t>(i), false).strike;
+  EXPECT_EQ(strikes, 1);
+}
+
+TEST(HostDetector, WindowRolloverResetsCounters) {
+  const DetectorSettings s = contact_only(100.0);
+  HostDetector d;
+  for (int i = 0; i < 7; ++i) d.observe(s, 1.0, 1, false);
+  EXPECT_EQ(d.window_contacts(), 7u);
+  d.observe(s, 6.0, 1, true);  // next window: [5,10)
+  EXPECT_EQ(d.window_contacts(), 1u);
+  EXPECT_EQ(d.window_failures(), 1u);
+}
+
+TEST(HostDetector, ReportsInterveningCleanWindows) {
+  const DetectorSettings s = contact_only(100.0);
+  HostDetector d;
+  d.observe(s, 0.0, 1, false);  // window 0, never flagged
+  const ObservationOutcome o = d.observe(s, 26.0, 1, false);  // window 5
+  EXPECT_EQ(o.clean_windows, 5u);
+}
+
+TEST(HostDetector, FlaggedWindowIsNotCountedClean) {
+  const DetectorSettings s = contact_only(1.0);
+  HostDetector d;
+  d.observe(s, 0.0, 1, false);
+  EXPECT_TRUE(d.observe(s, 0.1, 2, false).strike);  // window 0 flagged
+  const ObservationOutcome o = d.observe(s, 5.5, 3, false);  // window 1
+  EXPECT_EQ(o.clean_windows, 0u);
+}
+
+TEST(HostDetector, DistinctEstimateTracksUniqueKeysNotRepeats) {
+  DetectorSettings s = contact_only(0.0);
+  s.distinct_dest_threshold = 1000.0;  // keep it from striking
+  HostDetector repeat, unique;
+  for (int i = 0; i < 30; ++i) {
+    repeat.observe(s, 1.0, 42, false);
+    unique.observe(s, 1.0, static_cast<std::uint64_t>(i) * 7919, false);
+  }
+  EXPECT_NEAR(repeat.distinct_estimate(), 1.0, 0.1);
+  // Linear counting over 64 buckets: 30 keys estimate within ~25%.
+  EXPECT_GT(unique.distinct_estimate(), 22.0);
+  EXPECT_LT(unique.distinct_estimate(), 40.0);
+}
+
+TEST(HostDetector, FailureRatioRespectsMinimumAttempts) {
+  DetectorSettings s = contact_only(0.0);
+  s.failure_ratio_threshold = 0.5;
+  s.failure_min_attempts = 3;
+  HostDetector d;
+  EXPECT_FALSE(d.observe(s, 1.0, 1, true).strike);
+  EXPECT_FALSE(d.observe(s, 1.1, 2, true).strike);  // 2/2 but < 3 attempts
+  EXPECT_TRUE(d.observe(s, 1.2, 3, true).strike);   // 3/3 >= 0.5
+}
+
+TEST(HostDetector, ResetClearsAllWindowState) {
+  const DetectorSettings s = contact_only(2.0);
+  HostDetector d;
+  for (int i = 0; i < 3; ++i) d.observe(s, 1.0, 1, true);
+  d.reset();
+  EXPECT_EQ(d.window_contacts(), 0u);
+  EXPECT_EQ(d.window_failures(), 0u);
+  // After reset the same burst strikes again (flag was cleared too).
+  bool struck = false;
+  for (int i = 0; i < 3; ++i)
+    struck = d.observe(s, 1.0, 1, false).strike || struck;
+  EXPECT_TRUE(struck);
+}
+
+}  // namespace
+}  // namespace dq::quarantine

@@ -1,0 +1,170 @@
+#include "quarantine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dq::quarantine {
+namespace {
+
+/// Contact-rate-only config: more than `limit` contacts in a 5-tick
+/// window is suspicious.
+QuarantineConfig make_config(double limit = 3.0) {
+  QuarantineConfig c;
+  c.enabled = true;
+  c.detector.window = 5.0;
+  c.detector.contact_rate_threshold = limit;
+  c.detector.distinct_dest_threshold = 0.0;
+  c.detector.failure_ratio_threshold = 0.0;
+  c.policy.strikes_to_quarantine = 1;
+  c.policy.base_period = 10.0;
+  c.policy.escalation = 2.0;
+  c.policy.max_period = 35.0;
+  return c;
+}
+
+void burst(QuarantineEngine& e, std::uint32_t host, double t, int n) {
+  for (int i = 0; i < n; ++i)
+    e.observe(host, static_cast<std::uint64_t>(i), t, false);
+}
+
+TEST(QuarantineEngine, ValidatesConfigAndHostCount) {
+  QuarantineConfig c = make_config();
+  EXPECT_THROW(QuarantineEngine(0, c), std::invalid_argument);
+  c.detector.window = 0.0;
+  EXPECT_THROW(QuarantineEngine(4, c), std::invalid_argument);
+  c = make_config();
+  c.policy.escalation = 0.5;
+  EXPECT_THROW(QuarantineEngine(4, c), std::invalid_argument);
+  c = make_config();
+  c.detector.contact_rate_threshold = 0.0;  // no detector left enabled
+  EXPECT_THROW(QuarantineEngine(4, c), std::invalid_argument);
+}
+
+TEST(QuarantineEngine, WalksFreeSuspectedQuarantined) {
+  QuarantineConfig c = make_config();
+  c.policy.strikes_to_quarantine = 2;
+  QuarantineEngine e(2, c);
+
+  EXPECT_EQ(e.state(0), HostQState::kFree);
+  burst(e, 0, 1.0, 4);  // first strike
+  EXPECT_EQ(e.state(0), HostQState::kSuspected);
+  EXPECT_EQ(e.record(0).strikes, 1u);
+  burst(e, 0, 6.0, 4);  // second strike, next window
+  EXPECT_EQ(e.state(0), HostQState::kQuarantined);
+  EXPECT_TRUE(e.quarantined(0));
+  EXPECT_EQ(e.state(1), HostQState::kFree);  // bystander untouched
+}
+
+TEST(QuarantineEngine, ReleasesWhenThePeriodExpires) {
+  QuarantineEngine e(1, make_config());
+  burst(e, 0, 1.0, 4);
+  ASSERT_TRUE(e.quarantined(0));
+  EXPECT_EQ(e.currently_quarantined(), 1u);
+
+  e.advance_to(10.9);  // release due at 1.0 + 10
+  EXPECT_TRUE(e.quarantined(0));
+  e.advance_to(11.0);
+  EXPECT_EQ(e.state(0), HostQState::kFree);
+  EXPECT_EQ(e.currently_quarantined(), 0u);
+  EXPECT_DOUBLE_EQ(e.record(0).quarantine_time, 10.0);
+}
+
+TEST(QuarantineEngine, EscalatesRepeatOffendersUpToTheCap) {
+  QuarantineEngine e(1, make_config());
+  // Offense periods: 10, 20, 35 (40 capped at max_period 35).
+  double t = 0.0;
+  const double expected[] = {10.0, 20.0, 35.0};
+  for (const double period : expected) {
+    burst(e, 0, t, 4);
+    ASSERT_TRUE(e.quarantined(0));
+    EXPECT_DOUBLE_EQ(e.record(0).release_time - e.record(0).quarantine_start,
+                     period);
+    t = e.record(0).release_time;
+    e.advance_to(t);
+    ASSERT_FALSE(e.quarantined(0));
+  }
+  EXPECT_EQ(e.record(0).offenses, 3u);
+  EXPECT_EQ(e.quarantine_events(), 3u);
+}
+
+TEST(QuarantineEngine, IgnoresObservationsWhileQuarantined) {
+  QuarantineEngine e(1, make_config());
+  burst(e, 0, 1.0, 4);
+  ASSERT_TRUE(e.quarantined(0));
+  burst(e, 0, 2.0, 50);  // an isolated host generates no observations
+  EXPECT_EQ(e.quarantine_events(), 1u);
+  EXPECT_EQ(e.record(0).offenses, 1u);
+}
+
+TEST(QuarantineEngine, CleanWindowsDecayStrikesBackToFree) {
+  QuarantineConfig c = make_config();
+  c.policy.strikes_to_quarantine = 2;
+  QuarantineEngine e(1, c);
+  burst(e, 0, 1.0, 4);
+  ASSERT_EQ(e.state(0), HostQState::kSuspected);
+  // One quiet contact two windows later: the intervening clean window
+  // decays the strike and the host returns to kFree.
+  e.observe(0, 7, 11.0, false);
+  EXPECT_EQ(e.state(0), HostQState::kFree);
+  EXPECT_EQ(e.record(0).strikes, 0u);
+}
+
+TEST(QuarantineEngine, PenaltyIsBoundedPerOffense) {
+  // The dynamic-quarantine bargain: however wild one burst looks, it
+  // costs exactly one quarantine period — a host that then behaves is
+  // never charged again.
+  QuarantineEngine e(1, make_config());
+  burst(e, 0, 1.0, 500);  // an extremely loud single window
+  ASSERT_TRUE(e.quarantined(0));
+  e.advance_to(11.0);
+  ASSERT_FALSE(e.quarantined(0));
+  // A long quiet life afterwards: one contact per window, never struck.
+  for (double t = 12.0; t < 200.0; t += 5.0) e.observe(0, 1, t, false);
+  e.advance_to(200.0);
+  EXPECT_EQ(e.record(0).offenses, 1u);
+  EXPECT_DOUBLE_EQ(e.quarantine_time(0, 200.0), 10.0);
+}
+
+TEST(QuarantineEngine, ReportSplitsTargetsAndBenignHosts) {
+  QuarantineEngine e(3, make_config());
+  burst(e, 0, 4.0, 4);  // target, quarantined at t=4
+  burst(e, 1, 6.0, 4);  // benign, quarantined at t=6 (false positive)
+  // Host 2 stays clean.
+  const QuarantineReport r = e.report({2.0, -1.0, -1.0}, 8.0);
+  EXPECT_EQ(r.target_hosts, 1u);
+  EXPECT_EQ(r.benign_hosts, 2u);
+  EXPECT_DOUBLE_EQ(r.detection_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_detection_latency, 2.0);  // 4 - 2
+  EXPECT_DOUBLE_EQ(r.false_positive_hosts, 1.0);
+  EXPECT_DOUBLE_EQ(r.false_positive_rate, 0.5);
+  EXPECT_DOUBLE_EQ(r.benign_quarantine_time, 2.0);  // open interval 6->8
+  EXPECT_DOUBLE_EQ(r.quarantine_events, 2.0);
+}
+
+TEST(QuarantineEngine, ReportRejectsMismatchedLabels) {
+  QuarantineEngine e(3, make_config());
+  EXPECT_THROW(e.report({1.0, 2.0}, 5.0), std::invalid_argument);
+}
+
+TEST(QuarantineEngine, AverageReportsIsPointwiseMean) {
+  QuarantineReport a, b;
+  a.target_hosts = b.target_hosts = 10;
+  a.benign_hosts = b.benign_hosts = 90;
+  a.detected_targets = 8.0;
+  b.detected_targets = 10.0;
+  a.detection_rate = 0.8;
+  b.detection_rate = 1.0;
+  a.mean_detection_latency = 3.0;
+  b.mean_detection_latency = -1.0;  // run with no detections
+  a.benign_quarantine_time = 4.0;
+  b.benign_quarantine_time = 0.0;
+  const QuarantineReport m = average_quarantine_reports({a, b});
+  EXPECT_DOUBLE_EQ(m.detected_targets, 9.0);
+  EXPECT_DOUBLE_EQ(m.detection_rate, 0.9);
+  // Latency averages only over runs that detected something.
+  EXPECT_DOUBLE_EQ(m.mean_detection_latency, 3.0);
+  EXPECT_DOUBLE_EQ(m.benign_quarantine_time, 2.0);
+  EXPECT_THROW(average_quarantine_reports({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dq::quarantine

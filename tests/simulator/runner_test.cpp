@@ -117,6 +117,15 @@ TEST(Runner, EightWayParallelMatchesSerialExactly) {
   EXPECT_EQ(serial.perf_total.queue_events, parallel.perf_total.queue_events);
 }
 
+TEST(Runner, MaxRunSecondsTracksTheCriticalPath) {
+  // perf_total sums CPU time across runs; perf_max_run_seconds is the
+  // slowest single run — the honest wall-clock floor under parallelism.
+  const Network net(graph::make_star(40), 0.025, 0.0);
+  const AveragedResult avg = run_many(net, base_config(), 4);
+  EXPECT_GT(avg.perf_max_run_seconds, 0.0);
+  EXPECT_LE(avg.perf_max_run_seconds, avg.perf_total.total_seconds() + 1e-12);
+}
+
 TEST(Runner, SeedSubnetAveragedOnSubnets) {
   Rng rng(5);
   const Network net(graph::make_subnet_topology(5, 8, rng));

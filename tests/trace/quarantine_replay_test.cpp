@@ -1,0 +1,140 @@
+#include "trace/quarantine_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/department.hpp"
+
+namespace dq::trace {
+namespace {
+
+/// Failure-ratio-only detector with the trace-domain thresholds: 10+
+/// first-contact destinations in a 5 s window, 90% of them blind.
+quarantine::QuarantineConfig replay_config() {
+  quarantine::QuarantineConfig c;
+  c.enabled = true;
+  c.detector.window = 5.0;
+  c.detector.contact_rate_threshold = 0.0;
+  c.detector.distinct_dest_threshold = 0.0;
+  c.detector.failure_ratio_threshold = 0.9;
+  c.detector.failure_min_attempts = 10;
+  c.policy.base_period = 300.0;
+  c.policy.escalation = 4.0;
+  c.policy.max_period = 3600.0;
+  return c;
+}
+
+TraceEvent outbound(Seconds t, HostId host, IpAddress remote) {
+  return {t, EventType::kOutboundContact, host, remote, 0.0};
+}
+
+TEST(QuarantineReplay, ScannerQuarantinedCoveredTrafficIsNot) {
+  // Host 0 talks to DNS-resolved and previously-inbound peers; host 1
+  // blasts 12 blind first-contacts in one window.
+  Trace trace;
+  trace.add({1.0, EventType::kDnsAnswer, 0, 500, 60.0});
+  trace.add(outbound(2.0, 0, 500));
+  trace.add({3.0, EventType::kInboundContact, 0, 600, 0.0});
+  trace.add(outbound(4.0, 0, 600));
+  for (int i = 0; i < 12; ++i)
+    trace.add(outbound(10.0, 1, static_cast<IpAddress>(1000 + i)));
+  // A late benign event extends the trace, so the scanner's open
+  // quarantine interval accrues time.
+  trace.add(outbound(50.0, 0, 500));
+  trace.finalize();
+  trace.set_host_categories(
+      {HostCategory::kNormalClient, HostCategory::kWormBlaster});
+
+  const QuarantineReplayReport report =
+      replay_quarantine(trace, replay_config());
+  EXPECT_EQ(report.events_processed, trace.events().size());
+  EXPECT_EQ(report.overall.target_hosts, 1u);
+  EXPECT_EQ(report.overall.benign_hosts, 1u);
+  EXPECT_DOUBLE_EQ(report.overall.detection_rate, 1.0);
+  // First outbound and quarantine both happen at t=10.
+  EXPECT_DOUBLE_EQ(report.overall.mean_detection_latency, 0.0);
+  EXPECT_DOUBLE_EQ(report.overall.false_positive_rate, 0.0);
+
+  ASSERT_EQ(report.categories.size(), 2u);
+  const CategoryQuarantineStats* blaster = nullptr;
+  for (const auto& c : report.categories)
+    if (c.category == HostCategory::kWormBlaster) blaster = &c;
+  ASSERT_NE(blaster, nullptr);
+  EXPECT_EQ(blaster->hosts, 1u);
+  EXPECT_EQ(blaster->quarantined_hosts, 1u);
+  EXPECT_DOUBLE_EQ(blaster->mean_detection_latency, 0.0);
+  // The open quarantine interval counts up to the end of the trace
+  // (quarantined at t=10, trace ends at t=50).
+  EXPECT_DOUBLE_EQ(blaster->total_quarantine_time, 40.0);
+}
+
+TEST(QuarantineReplay, BlindBenignBurstPaysTheBoundedPenalty) {
+  // The first-contact proxy has no oracle: a benign host making 12
+  // blind contacts in a window is indistinguishable from a scanner and
+  // is quarantined — the design answer is that the penalty is one
+  // bounded period, not permanence.
+  Trace trace;
+  for (int i = 0; i < 12; ++i)
+    trace.add(outbound(10.0, 0, static_cast<IpAddress>(2000 + i)));
+  // Identical burst, but every destination was DNS-resolved first.
+  for (int i = 0; i < 12; ++i)
+    trace.add({5.0, EventType::kDnsAnswer, 1,
+               static_cast<IpAddress>(3000 + i), 600.0});
+  for (int i = 0; i < 12; ++i)
+    trace.add(outbound(10.0, 1, static_cast<IpAddress>(3000 + i)));
+  trace.finalize();
+  trace.set_host_categories(
+      {HostCategory::kNormalClient, HostCategory::kNormalClient});
+
+  const QuarantineReplayReport report =
+      replay_quarantine(trace, replay_config());
+  EXPECT_DOUBLE_EQ(report.overall.false_positive_hosts, 1.0);
+  EXPECT_DOUBLE_EQ(report.overall.false_positive_rate, 0.5);
+  // The blind host serves at most one base period.
+  EXPECT_LE(report.overall.benign_quarantine_time,
+            replay_config().policy.base_period);
+}
+
+TEST(QuarantineReplay, RejectsBadInput) {
+  const quarantine::QuarantineConfig cfg = replay_config();
+  Trace unfinalized;
+  unfinalized.add(outbound(1.0, 0, 1));
+  unfinalized.set_host_categories({HostCategory::kNormalClient});
+  EXPECT_THROW(replay_quarantine(unfinalized, cfg), std::invalid_argument);
+
+  Trace no_census;
+  no_census.add(outbound(1.0, 0, 1));
+  no_census.finalize();
+  EXPECT_THROW(replay_quarantine(no_census, cfg), std::invalid_argument);
+
+  Trace out_of_range;
+  out_of_range.add(outbound(1.0, 7, 1));  // host 7, census of 1
+  out_of_range.finalize();
+  out_of_range.set_host_categories({HostCategory::kNormalClient});
+  EXPECT_THROW(replay_quarantine(out_of_range, cfg), std::invalid_argument);
+}
+
+TEST(QuarantineReplay, DepartmentTraceEndToEnd) {
+  DepartmentConfig dept;
+  dept.normal_clients = 30;
+  dept.servers = 2;
+  dept.p2p_clients = 2;
+  dept.blaster_hosts = 5;
+  dept.welchia_hosts = 5;
+  dept.duration = 600.0;
+  const Trace trace = generate_department_trace(dept, 21);
+
+  const QuarantineReplayReport report =
+      replay_quarantine(trace, replay_config());
+  EXPECT_GT(report.events_processed, 0u);
+  EXPECT_EQ(report.overall.benign_hosts + report.overall.target_hosts, 44u);
+
+  std::size_t census = 0;
+  for (const auto& c : report.categories) census += c.hosts;
+  EXPECT_EQ(census, 44u);
+  // The tuned trace thresholds keep ordinary hosts almost entirely out
+  // of quarantine even on a live department trace.
+  EXPECT_LE(report.overall.false_positive_rate, 0.2);
+}
+
+}  // namespace
+}  // namespace dq::trace

@@ -4,10 +4,13 @@
 //   dqctl trace [options]        synthesize a department trace (CSV)
 //   dqctl analyze FILE [options] contact-rate analysis of a trace CSV
 //   dqctl plan FILE [options]    derive a quarantine plan from a trace
-//   dqctl figure ID [--csv]      print one paper figure (fig1a..fig10)
+//   dqctl quarantine [FILE]      replay a trace through the quarantine
+//                                engine (synthesizes one when no FILE)
+//   dqctl figure ID [--csv]      print one paper figure (fig1a..fig11)
 //
 // Run any subcommand with --help for its options.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -21,6 +24,7 @@
 #include "trace/analysis.hpp"
 #include "trace/classifier.hpp"
 #include "trace/department.hpp"
+#include "trace/quarantine_replay.hpp"
 
 namespace {
 
@@ -80,8 +84,17 @@ int usage() {
          "  dqctl classify FILE        behavioural host classification\n"
          "  dqctl plan FILE [--normal N --servers N --p2p N --blaster N "
          "--welchia N]\n"
+         "  dqctl quarantine [FILE] [census flags as for plan] "
+         "[--duration SECONDS]\n"
+         "                   [--window W] [--contact-limit C] "
+         "[--distinct-limit D]\n"
+         "                   [--failure-ratio F] [--min-attempts A] "
+         "[--strikes K]\n"
+         "                   [--base-period P] [--escalation E] "
+         "[--max-period M] [--seed S]\n"
          "  dqctl figure ID [--csv] [--quick]   (fig1a fig1b fig2 fig3a "
-         "fig3b fig4 fig5 fig6 fig7a fig7b fig8a fig8b fig9a fig9b fig10)\n";
+         "fig3b fig4 fig5 fig6 fig7a fig7b fig8a fig8b fig9a fig9b fig10 "
+         "fig11)\n";
   return 2;
 }
 
@@ -269,6 +282,84 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+int cmd_quarantine(const Args& args) {
+  // Load a trace CSV when given, else synthesize the department trace;
+  // either way the census flags define the per-category ground truth.
+  const trace::DepartmentConfig census = department_from(args);
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+  trace::Trace t;
+  if (!args.positional().empty()) {
+    t = load_trace(args.positional()[0]);
+    std::vector<trace::HostCategory> categories;
+    auto fill = [&](std::size_t n, trace::HostCategory c) {
+      categories.insert(categories.end(), n, c);
+    };
+    fill(census.normal_clients, trace::HostCategory::kNormalClient);
+    fill(census.servers, trace::HostCategory::kServer);
+    fill(census.p2p_clients, trace::HostCategory::kP2P);
+    fill(census.blaster_hosts, trace::HostCategory::kWormBlaster);
+    fill(census.welchia_hosts, trace::HostCategory::kWormWelchia);
+    t.set_host_categories(std::move(categories));
+  } else {
+    t = trace::generate_department_trace(census, seed);
+  }
+
+  quarantine::QuarantineConfig config;
+  config.enabled = true;
+  config.detector.window = args.num("window", 5.0);
+  config.detector.contact_rate_threshold = args.num("contact-limit", 25.0);
+  config.detector.distinct_dest_threshold = args.num("distinct-limit", 20.0);
+  // Trace-domain failure signal: "failed" means a first-contact
+  // destination (no DNS, no prior inbound), which normal clients also
+  // produce in small numbers — so the ratio needs a high bar and a
+  // generous minimum-attempt guard, unlike the simulator where failure
+  // means a genuinely unanswered scan.
+  config.detector.failure_ratio_threshold = args.num("failure-ratio", 0.9);
+  config.detector.failure_min_attempts =
+      static_cast<std::uint32_t>(args.num("min-attempts", 10.0));
+  config.policy.strikes_to_quarantine =
+      static_cast<std::uint32_t>(args.num("strikes", 1.0));
+  config.policy.base_period = args.num("base-period", 300.0);
+  config.policy.escalation = args.num("escalation", 4.0);
+  config.policy.max_period = args.num("max-period", 3600.0);
+
+  const trace::QuarantineReplayReport report =
+      trace::replay_quarantine(t, config);
+
+  std::cout << report.events_processed << " events over " << t.duration()
+            << " s, " << t.num_hosts() << " hosts\n\n";
+  std::cout << std::left << std::setw(16) << "category" << std::right
+            << std::setw(7) << "hosts" << std::setw(13) << "quarantined"
+            << std::setw(9) << "events" << std::setw(13) << "mean-q-time"
+            << std::setw(13) << "latency" << '\n';
+  std::cout << std::fixed << std::setprecision(2);
+  for (const trace::CategoryQuarantineStats& c : report.categories) {
+    std::cout << std::left << std::setw(16) << trace::to_string(c.category)
+              << std::right << std::setw(7) << c.hosts << std::setw(8)
+              << c.quarantined_hosts << " (" << std::setw(3)
+              << static_cast<int>(100.0 * c.quarantined_fraction + 0.5)
+              << "%)" << std::setw(9) << c.quarantine_events << std::setw(12)
+              << c.mean_quarantine_time << " s";
+    if (c.mean_detection_latency >= 0.0)
+      std::cout << std::setw(11) << c.mean_detection_latency << " s";
+    else
+      std::cout << std::setw(13) << "-";
+    std::cout << '\n';
+  }
+  const quarantine::QuarantineReport& overall = report.overall;
+  std::cout << "\nworm hosts detected : " << overall.detected_targets
+            << " of " << overall.target_hosts << " ("
+            << 100.0 * overall.detection_rate << "%), mean latency "
+            << overall.mean_detection_latency << " s\n";
+  std::cout << "false positives     : " << overall.false_positive_hosts
+            << " of " << overall.benign_hosts << " benign hosts ("
+            << 100.0 * overall.false_positive_rate << "%)\n";
+  std::cout << "benign quarantine   : " << overall.benign_quarantine_time
+            << " s total, " << overall.mean_benign_quarantine_time
+            << " s per false-positive host\n";
+  return 0;
+}
+
 int cmd_figure(const Args& args) {
   if (args.positional().empty()) return usage();
   const std::string id = args.positional()[0];
@@ -298,6 +389,8 @@ int cmd_figure(const Args& args) {
                         : core::fig9b_worm_host_cdf(department);
   } else if (id == "fig10") {
     fig = core::fig10_trace_rates_analytical();
+  } else if (id == "fig11") {
+    fig = core::fig11_dynamic_quarantine_simulated(options);
   } else {
     std::cerr << "unknown figure id: " << id << '\n';
     return usage();
@@ -320,6 +413,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "classify") return cmd_classify(args);
     if (command == "plan") return cmd_plan(args);
+    if (command == "quarantine") return cmd_quarantine(args);
     if (command == "figure") return cmd_figure(args);
   } catch (const std::exception& e) {
     std::cerr << "dqctl: " << e.what() << '\n';
