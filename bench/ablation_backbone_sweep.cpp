@@ -1,14 +1,15 @@
 // Ablation: backbone deployment depth. Sweeps the fraction of
 // highest-degree nodes designated (and rate-limited) as backbone
 // routers, and separately the analytical path-coverage α, reporting the
-// slowdown each buys. DESIGN.md: how much backbone is enough?
+// slowdown each buys. DESIGN.md: how much backbone is enough? The six
+// simulated depths run as campaign jobs (shared pool + artifact
+// cache); the measured α is recomputed here from the same TopologySpec
+// the jobs hashed, so it always matches the cached curves.
 #include <iomanip>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "epidemic/backbone_model.hpp"
-#include "graph/builders.hpp"
-#include "simulator/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace dq;
@@ -29,16 +30,25 @@ int main(int argc, char** argv) {
               << 1.0 / (1.0 - alpha) << "x\n";
   }
 
+  const campaign::CampaignReport report =
+      bench::run_scenario("ablation-backbone-depth", argc, argv);
+
   std::cout << "\n== simulated: slowdown vs backbone designation depth "
                "(1000-node power-law) ==\n";
-  Rng rng(options.seed);
-  graph::Graph g = graph::make_barabasi_albert(1000, 2, rng);
   std::cout << "  depth   covered-paths   t50(ticks)   slowdown\n";
 
   double t50_base = -1.0;
   for (double depth : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
-    sim::Network net(g, depth, 0.0);
-    // Measured α: fraction of host-to-host paths crossing the backbone.
+    // Measured α: fraction of host-to-host paths crossing the
+    // backbone, on the same network the campaign job built.
+    campaign::TopologySpec topo;
+    topo.kind = campaign::TopologySpec::Kind::kPowerLaw;
+    topo.nodes = 1000;
+    topo.ba_links = 2;
+    topo.backbone_fraction = depth;
+    topo.edge_fraction = 0.0;
+    topo.build_seed = options.seed;
+    const sim::Network net = campaign::build_network(topo);
     const double alpha =
         depth == 0.0
             ? 0.0
@@ -46,14 +56,10 @@ int main(int argc, char** argv) {
                   net.roles().hosts,
                   net.roles().indicator(graph::NodeRole::kBackboneRouter));
 
-    sim::SimulationConfig cfg;
-    cfg.worm.contact_rate = 0.8;
-    cfg.worm.initial_infected = 1;
-    cfg.max_ticks = 200.0;
-    cfg.seed = options.seed;
-    cfg.deployment.backbone_limited = depth > 0.0;
-    const sim::AveragedResult result =
-        sim::run_many(net, cfg, options.sim_runs);
+    const sim::AveragedResult& result =
+        *bench::outcome_of(report, "ablation-backbone-depth/depth-" +
+                                       campaign::format_double(depth))
+             .sim_result;
     const double t50 = result.ever_infected.time_to_reach(0.5);
     if (depth == 0.0) t50_base = t50;
     std::cout << "  " << std::setw(5) << depth << "   " << std::setw(13)

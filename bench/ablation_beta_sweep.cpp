@@ -1,37 +1,30 @@
 // Ablation: worm-speed sensitivity. The paper evaluates at β = 0.8
 // (Code-Red-class). Does backbone rate limiting keep its edge against
 // slower stealthy worms and Slammer-class fast worms? Sweep β and
-// report the slowdown factor.
+// report the slowdown factor. The 12 (β, deployment) cells run as
+// campaign jobs — cached, deduplicated, and executed on the shared
+// work-stealing pool instead of a serial loop.
 #include <iomanip>
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "graph/builders.hpp"
-#include "simulator/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace dq;
-  const auto options = bench::options_from_args(argc, argv);
+  const campaign::CampaignReport report =
+      bench::run_scenario("ablation-beta", argc, argv);
   std::cout << std::fixed << std::setprecision(2);
-
-  Rng rng(options.seed ^ 0x510e527fade682d1ULL);
-  const sim::Network net(graph::make_barabasi_albert(1000, 2, rng));
 
   std::cout << "backbone rate limiting (paper's weighted rule) vs worm "
                "speed; 1000-node power-law graph\n\n";
   std::cout << "  beta    no-RL t50   RL t50    slowdown   RL final@200\n";
   for (double beta : {0.1, 0.2, 0.4, 0.8, 1.6, 3.2}) {
-    auto run = [&](bool limited) {
-      sim::SimulationConfig cfg;
-      cfg.worm.contact_rate = beta;
-      cfg.worm.initial_infected = 1;
-      cfg.max_ticks = 200.0;
-      cfg.seed = options.seed;
-      cfg.deployment.backbone_limited = limited;
-      return sim::run_many(net, cfg, options.sim_runs);
-    };
-    const sim::AveragedResult base = run(false);
-    const sim::AveragedResult limited = run(true);
+    const std::string stem =
+        "ablation-beta/beta-" + campaign::format_double(beta);
+    const sim::AveragedResult& base =
+        *bench::outcome_of(report, stem + "-none").sim_result;
+    const sim::AveragedResult& limited =
+        *bench::outcome_of(report, stem + "-backbone").sim_result;
     const double t_base = base.ever_infected.time_to_reach(0.5);
     const double t_rl = limited.ever_infected.time_to_reach(0.5);
     std::cout << "  " << std::setw(4) << beta << "   " << std::setw(9)

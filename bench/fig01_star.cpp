@@ -1,7 +1,8 @@
 // Figure 1: rate-limiting deployment on a 200-node star topology —
 // (a) analytical, (b) simulated. Also checks the paper's ratio claim:
 // reaching 60% infection with 30% leaf RL is ~3x quicker than with
-// hub RL.
+// hub RL. Runs through the campaign engine: jobs are content-hashed
+// and cached under .dq-cache, so a rerun replays from artifacts.
 #include <iomanip>
 #include <iostream>
 
@@ -9,12 +10,12 @@
 
 int main(int argc, char** argv) {
   using namespace dq;
-  const auto options = bench::options_from_args(argc, argv);
+  const campaign::CampaignReport report =
+      bench::run_scenario("fig01", argc, argv);
 
-  const core::FigureData fig1a = core::fig1a_star_analytical();
+  const core::FigureData& fig1a = bench::figure_of(report, "fig1a");
   bench::print_figure(fig1a, argc, argv);
-
-  const core::FigureData fig1b = core::fig1b_star_simulated(options);
+  const core::FigureData& fig1b = bench::figure_of(report, "fig1b");
   bench::print_figure(fig1b, argc, argv);
 
   const double t_leaf_model = fig1a.find("30%-leaf-RL").time_to_reach(0.6);

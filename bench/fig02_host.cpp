@@ -1,6 +1,7 @@
 // Figure 2: analytical host-based rate limiting at 0/5/50/80/100%
 // deployment — the linear-slowdown law λ = qβ₂ + (1−q)β₁. Note the gulf
-// between 80% and 100% deployment.
+// between 80% and 100% deployment. Served from the campaign engine's
+// artifact cache after the first run.
 #include <iomanip>
 #include <iostream>
 
@@ -8,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace dq;
-  const core::FigureData fig = core::fig2_host_analytical();
+  const campaign::CampaignReport report =
+      bench::run_scenario("fig02", argc, argv);
+  const core::FigureData& fig = bench::figure_of(report, "fig2");
   bench::print_figure(fig, argc, argv);
 
   std::cout << std::fixed << std::setprecision(2);

@@ -1,7 +1,8 @@
 // Figure 3: analytical edge-router rate limiting for random vs
 // local-preferential worms, (a) across subnets and (b) within a subnet.
 // Edge filters throttle only cross-subnet traffic, so they barely slow
-// a local-preferential worm inside a subnet.
+// a local-preferential worm inside a subnet. Served from the campaign
+// engine's artifact cache after the first run.
 #include <iomanip>
 #include <iostream>
 
@@ -9,9 +10,11 @@
 
 int main(int argc, char** argv) {
   using namespace dq;
-  const core::FigureData fig3a = core::fig3a_edge_across_subnets();
+  const campaign::CampaignReport report =
+      bench::run_scenario("fig03", argc, argv);
+  const core::FigureData& fig3a = bench::figure_of(report, "fig3a");
   bench::print_figure(fig3a, argc, argv);
-  const core::FigureData fig3b = core::fig3b_edge_within_subnet();
+  const core::FigureData& fig3b = bench::figure_of(report, "fig3b");
   bench::print_figure(fig3b, argc, argv);
 
   std::cout << std::fixed << std::setprecision(2);

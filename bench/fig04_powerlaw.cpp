@@ -1,7 +1,8 @@
 // Figure 4: random-propagation worm on the 1000-node power-law graph
 // with rate limiting at 5% of end hosts, edge routers, and backbone
 // routers. The paper: backbone RL makes reaching 50% infection take
-// ~5x as long as host/edge deployments.
+// ~5x as long as host/edge deployments. The four deployments run as
+// campaign jobs on the shared pool; artifacts cache under .dq-cache.
 #include <iomanip>
 #include <iostream>
 
@@ -9,9 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace dq;
-  const auto options = bench::options_from_args(argc, argv);
-
-  const core::FigureData fig = core::fig4_powerlaw_simulated(options);
+  const campaign::CampaignReport report =
+      bench::run_scenario("fig04", argc, argv);
+  const core::FigureData& fig = bench::figure_of(report, "fig4");
   bench::print_figure(fig, argc, argv);
 
   const double t_none = fig.find("no-RL").time_to_reach(0.5);

@@ -1,0 +1,62 @@
+#include "campaign/cache.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/hash.hpp"
+
+namespace dq::campaign {
+
+std::filesystem::path ArtifactCache::path_for(std::uint64_t hash) const {
+  return dir_ / (hash_hex(hash) + ".json");
+}
+
+std::optional<std::string> ArtifactCache::load(std::uint64_t hash) const {
+  std::ifstream file(path_for(hash), std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!file.good() && !file.eof()) return std::nullopt;
+  return buffer.str();
+}
+
+bool ArtifactCache::contains(std::uint64_t hash) const {
+  std::error_code ec;
+  return std::filesystem::exists(path_for(hash), ec);
+}
+
+void ArtifactCache::store(std::uint64_t hash,
+                          const std::string& contents) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::filesystem::path final_path = path_for(hash);
+  // Temp name unique per writer thread: two concurrent writers of the
+  // same hash write identical bytes, so whichever rename lands last is
+  // fine, but they must not interleave within one file.
+  const std::uint64_t writer_tag = mix64(
+      hash ^ static_cast<std::uint64_t>(
+                 std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp." + hash_hex(writer_tag);
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file)
+      throw std::runtime_error("ArtifactCache: cannot write " +
+                               tmp_path.string());
+    file << contents;
+    if (!file.good())
+      throw std::runtime_error("ArtifactCache: short write to " +
+                               tmp_path.string());
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    throw std::runtime_error("ArtifactCache: cannot publish " +
+                             final_path.string());
+  }
+}
+
+}  // namespace dq::campaign

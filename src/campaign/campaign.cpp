@@ -1,0 +1,194 @@
+#include "campaign/campaign.hpp"
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/cache.hpp"
+#include "campaign/pool.hpp"
+#include "campaign/result_io.hpp"
+#include "core/experiments.hpp"
+#include "stats/hash.hpp"
+
+namespace dq::campaign {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::size_t Campaign::add_job(std::string name, JobConfig config,
+                              std::vector<std::size_t> deps) {
+  const std::size_t index = jobs_.size();
+  for (const JobEntry& existing : jobs_) {
+    if (existing.name == name)
+      throw std::invalid_argument("Campaign: duplicate job name " + name);
+  }
+  for (std::size_t dep : deps) {
+    if (dep >= index)
+      throw std::invalid_argument("Campaign: dependency must reference an "
+                                  "earlier job (got " +
+                                  std::to_string(dep) + " for job " +
+                                  std::to_string(index) + ")");
+  }
+  jobs_.push_back({std::move(name), std::move(config), std::move(deps)});
+  return index;
+}
+
+JobOutcome execute_job(const std::string& name, const JobConfig& config,
+                       const RunOptions& options) {
+  JobOutcome outcome;
+  outcome.name = name;
+  outcome.config = config;
+  outcome.hash = job_hash(config);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const ArtifactCache cache(options.cache_dir);
+    if (options.use_cache) {
+      if (std::optional<std::string> bytes = cache.load(outcome.hash)) {
+        outcome.artifact = std::move(*bytes);
+        outcome.cache_hit = true;
+      }
+    }
+    if (!outcome.cache_hit) {
+      if (config.kind == JobConfig::Kind::kSimulation) {
+        const sim::Network net = build_network(config.topology);
+        sim::SimulationConfig cfg = config.sim;
+        cfg.seed = substream_seed(outcome.hash);
+        // Serial inner runs: campaign parallelism is across jobs, and
+        // nesting thread fan-out would oversubscribe the pool.
+        const sim::AveragedResult avg =
+            sim::run_many(net, cfg, config.runs, /*max_parallelism=*/1);
+        outcome.artifact = averaged_result_to_json(avg).dump();
+      } else {
+        const core::FigureData fig =
+            core::analytical_figure(config.figure_id);
+        outcome.artifact = figure_to_json(fig).dump();
+      }
+      if (options.use_cache) cache.store(outcome.hash, outcome.artifact);
+    }
+    // Parse the payload back from the artifact bytes (for hits and
+    // misses alike) so consumers always see exactly what the artifact
+    // records — a corrupt cache file fails here, loudly.
+    const JsonValue parsed = JsonValue::parse(outcome.artifact);
+    if (config.kind == JobConfig::Kind::kSimulation) {
+      outcome.sim_result = averaged_result_from_json(parsed);
+    } else {
+      outcome.figure = figure_from_json(parsed);
+    }
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+    outcome.sim_result.reset();
+    outcome.figure.reset();
+  }
+  outcome.wall_seconds = seconds_since(start);
+  return outcome;
+}
+
+std::vector<JobOutcome> Campaign::run(const RunOptions& options) const {
+  const std::size_t n = jobs_.size();
+  std::vector<JobOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  // Dependency bookkeeping: pending dep counts and reverse edges.
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending[i] = jobs_[i].deps.size();
+    for (std::size_t dep : jobs_[i].deps) dependents[dep].push_back(i);
+  }
+
+  WorkStealingPool pool(options.jobs);
+  std::mutex mu;  // guards pending[] and the failed-dep propagation
+
+  // Declared std::function so the lambda can capture itself and submit
+  // dependents as they become ready. A job marked failed before it ran
+  // (upstream failure) flows through here too — it just skips
+  // execution and keeps propagating, so arbitrarily deep failure
+  // chains resolve without special cases.
+  std::function<void(std::size_t)> run_job = [&](std::size_t index) {
+    const bool skipped = [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      return !outcomes[index].error.empty();
+    }();
+    if (!skipped) {
+      outcomes[index] =
+          execute_job(jobs_[index].name, jobs_[index].config, options);
+    }
+    std::vector<std::size_t> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (std::size_t dependent : dependents[index]) {
+        if (!outcomes[index].ok() && outcomes[dependent].error.empty()) {
+          outcomes[dependent].name = jobs_[dependent].name;
+          outcomes[dependent].config = jobs_[dependent].config;
+          outcomes[dependent].hash = job_hash(jobs_[dependent].config);
+          outcomes[dependent].error =
+              "dependency failed: " + jobs_[index].name;
+        }
+        if (--pending[dependent] == 0) ready.push_back(dependent);
+      }
+    }
+    for (std::size_t dependent : ready)
+      pool.submit([&run_job, dependent] { run_job(dependent); });
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) pool.submit([&run_job, i] { run_job(i); });
+  }
+  pool.wait_idle();
+  return outcomes;
+}
+
+JsonValue build_manifest(const std::vector<JobOutcome>& outcomes,
+                         const RunOptions& options,
+                         double total_wall_seconds) {
+  const ArtifactCache cache(options.cache_dir);
+  JsonValue jobs = JsonValue::array();
+  std::size_t hits = 0, misses = 0, failures = 0;
+  for (const JobOutcome& outcome : outcomes) {
+    JsonValue o = JsonValue::object();
+    o.set("name", JsonValue::str(outcome.name));
+    o.set("hash", JsonValue::str(hash_hex(outcome.hash)));
+    o.set("kind",
+          JsonValue::str(outcome.config.kind == JobConfig::Kind::kSimulation
+                             ? "simulation"
+                             : "analytical"));
+    o.set("cache_hit", JsonValue::boolean(outcome.cache_hit));
+    o.set("wall_seconds", JsonValue::number(outcome.wall_seconds));
+    o.set("artifact",
+          JsonValue::str(options.use_cache
+                             ? cache.path_for(outcome.hash).string()
+                             : std::string()));
+    if (outcome.ok()) {
+      outcome.cache_hit ? ++hits : ++misses;
+      if (outcome.sim_result)
+        o.set("perf", perf_counters_to_json(outcome.sim_result->perf_total));
+    } else {
+      ++failures;
+      o.set("error", JsonValue::str(outcome.error));
+    }
+    jobs.push_back(std::move(o));
+  }
+  JsonValue manifest = JsonValue::object();
+  manifest.set("schema", JsonValue::integer(1));
+  manifest.set("cache_dir",
+               JsonValue::str(options.use_cache ? options.cache_dir.string()
+                                                : std::string()));
+  manifest.set("jobs_total", JsonValue::integer(outcomes.size()));
+  manifest.set("cache_hits", JsonValue::integer(hits));
+  manifest.set("cache_misses", JsonValue::integer(misses));
+  manifest.set("failures", JsonValue::integer(failures));
+  manifest.set("total_wall_seconds", JsonValue::number(total_wall_seconds));
+  manifest.set("jobs", std::move(jobs));
+  return manifest;
+}
+
+}  // namespace dq::campaign

@@ -1,0 +1,90 @@
+// Declarative experiment-campaign engine.
+//
+// A Campaign is a DAG of content-hashed jobs. Each job's configuration
+// is canonically serialized (job.hpp) and FNV-hashed; the hash names
+// the job's on-disk artifact (cache.hpp) and seeds its private RNG
+// substream. Execution runs on one shared work-stealing pool
+// (pool.hpp) — results are byte-identical regardless of thread count,
+// cache state, or completion order, because nothing about scheduling
+// feeds into a job's RNG stream or its serialized output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/job.hpp"
+#include "campaign/json.hpp"
+#include "core/figure.hpp"
+#include "simulator/runner.hpp"
+
+namespace dq::campaign {
+
+/// What a finished (or failed/skipped) job produced. Exactly one of
+/// `sim_result` / `figure` is set on success, matching the job kind.
+struct JobOutcome {
+  std::string name;
+  JobConfig config;
+  std::uint64_t hash = 0;
+  bool cache_hit = false;
+  double wall_seconds = 0.0;       ///< manifest-only; never in artifact
+  std::string artifact;            ///< canonical JSON bytes
+  std::optional<sim::AveragedResult> sim_result;
+  std::optional<core::FigureData> figure;
+  std::string error;               ///< non-empty means the job failed
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+struct RunOptions {
+  std::size_t jobs = 0;            ///< worker threads; 0 = hardware
+  bool use_cache = true;
+  std::filesystem::path cache_dir = ".dq-cache";
+};
+
+class Campaign {
+ public:
+  /// Adds a job whose dependencies are indices of previously added
+  /// jobs (so the graph is acyclic by construction). Returns the new
+  /// job's index. Throws std::invalid_argument on a forward/self dep
+  /// or a duplicate name.
+  std::size_t add_job(std::string name, JobConfig config,
+                      std::vector<std::size_t> deps = {});
+
+  std::size_t size() const noexcept { return jobs_.size(); }
+  const std::string& name_of(std::size_t i) const { return jobs_[i].name; }
+  const JobConfig& config_of(std::size_t i) const { return jobs_[i].config; }
+
+  /// Executes every job, respecting dependencies, on a work-stealing
+  /// pool of `options.jobs` threads. Outcomes are indexed like the
+  /// jobs. Failed jobs carry their error; jobs downstream of a failure
+  /// are skipped with a "dependency failed" error.
+  std::vector<JobOutcome> run(const RunOptions& options) const;
+
+ private:
+  struct JobEntry {
+    std::string name;
+    JobConfig config;
+    std::vector<std::size_t> deps;
+  };
+  std::vector<JobEntry> jobs_;
+};
+
+/// Runs a single job to an outcome: cache probe, then (on a miss)
+/// build + simulate/evaluate, serialize, store. The effective
+/// simulation seed is substream_seed(job hash) — the config's own
+/// `seed` participates in the hash but is not used directly, so any
+/// config edit lands on a fresh, reproducible stream.
+JobOutcome execute_job(const std::string& name, const JobConfig& config,
+                       const RunOptions& options);
+
+/// Machine-readable run manifest: per-job name/hash/kind/cache_hit/
+/// wall_seconds/artifact-path/perf plus aggregate totals. Wall-clock
+/// lives only here, never in artifacts.
+JsonValue build_manifest(const std::vector<JobOutcome>& outcomes,
+                         const RunOptions& options, double total_wall_seconds);
+
+}  // namespace dq::campaign

@@ -41,6 +41,12 @@ struct ExperimentOptions {
   }
 };
 
+/// Closed-form figures by registry id — "fig1a", "fig2", "fig3a",
+/// "fig3b", "fig7a", "fig7b", "fig10". The campaign engine's entry
+/// point for analytical jobs. Throws std::invalid_argument on an
+/// unknown id.
+FigureData analytical_figure(const std::string& id);
+
 // --- Section 4: star topology ---
 FigureData fig1a_star_analytical();
 FigureData fig1b_star_simulated(const ExperimentOptions& options);

@@ -2,6 +2,7 @@
 #include "core/experiments.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "epidemic/edge_router_model.hpp"
 #include "epidemic/hub_model.hpp"
@@ -285,6 +286,17 @@ FigureData fig10_trace_rates_analytical() {
          epidemic::PartialDeploymentModel(p).closed_form(grid)});
   }
   return fig;
+}
+
+FigureData analytical_figure(const std::string& id) {
+  if (id == "fig1a") return fig1a_star_analytical();
+  if (id == "fig2") return fig2_host_analytical();
+  if (id == "fig3a") return fig3a_edge_across_subnets();
+  if (id == "fig3b") return fig3b_edge_within_subnet();
+  if (id == "fig7a") return fig7a_immunization_analytical();
+  if (id == "fig7b") return fig7b_immunization_ratelimited_analytical();
+  if (id == "fig10") return fig10_trace_rates_analytical();
+  throw std::invalid_argument("analytical_figure: unknown figure id " + id);
 }
 
 }  // namespace dq::core

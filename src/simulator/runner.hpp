@@ -30,8 +30,9 @@ struct AveragedResult {
   double mean_quarantine_dropped = 0.0;
   double mean_legit_quarantine_dropped = 0.0;
   /// Tick-loop counters and phase wall time summed over all runs. Under
-  /// parallel execution the seconds fields overstate wall-clock time —
-  /// they add up concurrent threads' work.
+  /// parallel execution the seconds fields add up concurrent threads'
+  /// work, so they overstate elapsed time — read perf_max_run_seconds
+  /// for the real wall clock.
   PerfCounters perf_total;
   /// Wall time of the slowest single run — the critical path, and the
   /// honest wall-clock figure when runs execute in parallel.

@@ -1,0 +1,47 @@
+// Stable non-cryptographic hashing for content-addressed artifacts.
+//
+// The campaign engine canonically serializes every job configuration
+// and hashes the bytes to name its cache artifact and to derive the
+// job's RNG substream, so the hash must be identical across platforms,
+// build types, and library versions. FNV-1a over the canonical bytes
+// satisfies that; never swap the constants without a cache-format bump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dq {
+
+/// FNV-1a over a byte string (64-bit offset basis / prime).
+inline std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: decorrelates structured inputs (sequential
+/// ids, FNV outputs) into well-mixed 64-bit values — used to turn a
+/// job hash into an RNG seed.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fixed-width lowercase hex rendering of a 64-bit hash (16 chars).
+inline std::string hash_hex(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace dq

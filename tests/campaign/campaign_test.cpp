@@ -1,0 +1,326 @@
+// Campaign engine tests: canonical JSON, content hashing, the artifact
+// cache, the work-stealing pool, DAG scheduling, and the headline
+// determinism matrix — artifacts must be byte-identical across
+// --jobs 1 / --jobs 8 / cold-vs-warm cache, with a warm rerun
+// reporting every job as a cache hit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/json.hpp"
+#include "campaign/pool.hpp"
+#include "campaign/result_io.hpp"
+#include "campaign/scenarios.hpp"
+#include "stats/hash.hpp"
+
+namespace dq::campaign {
+namespace {
+
+// --- canonical JSON ---
+
+TEST(Json, DumpIsCanonical) {
+  JsonValue o = JsonValue::object();
+  o.set("b", JsonValue::integer(2));
+  o.set("a", JsonValue::number(0.5));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::boolean(true));
+  arr.push_back(JsonValue());
+  arr.push_back(JsonValue::str("x\n\"y\""));
+  o.set("list", std::move(arr));
+  // Insertion order, no whitespace, shortest round-trip numbers,
+  // escaped control characters.
+  EXPECT_EQ(o.dump(), "{\"b\":2,\"a\":0.5,\"list\":[true,null,"
+                      "\"x\\n\\\"y\\\"\"]}");
+}
+
+TEST(Json, ParseRoundTripsDump) {
+  const std::string text =
+      "{\"schema\":1,\"x\":-2.25,\"big\":18446744073709551615,"
+      "\"s\":\"a\\u0041\\t\",\"v\":[1,2.5,false,null,{}]}";
+  const JsonValue parsed = JsonValue::parse(text);
+  EXPECT_EQ(parsed.at("big").as_uint(), 18446744073709551615ULL);
+  EXPECT_EQ(parsed.at("s").as_string(), "aA\t");
+  // dump∘parse is idempotent on canonical text (modulo the A
+  // escape collapsing to its character).
+  EXPECT_EQ(JsonValue::parse(parsed.dump()).dump(), parsed.dump());
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW(JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("nul"), std::invalid_argument);
+}
+
+// --- hashing and seeds ---
+
+JobConfig small_sim_job(double contact_rate = 0.8) {
+  JobConfig job;
+  job.topology.kind = TopologySpec::Kind::kStar;
+  job.topology.nodes = 50;
+  job.topology.backbone_fraction = 1.0 / 50.0;
+  job.topology.edge_fraction = 0.0;
+  job.sim.worm.contact_rate = contact_rate;
+  job.sim.worm.initial_infected = 1;
+  job.sim.max_ticks = 10.0;
+  job.sim.seed = 7;
+  job.runs = 2;
+  return job;
+}
+
+TEST(JobHash, EqualConfigsEqualHashes) {
+  EXPECT_EQ(job_hash(small_sim_job()), job_hash(small_sim_job()));
+}
+
+TEST(JobHash, AnyFieldEditMovesTheHash) {
+  const std::uint64_t base = job_hash(small_sim_job());
+  std::set<std::uint64_t> hashes{base};
+  JobConfig j = small_sim_job();
+  j.sim.seed = 8;
+  hashes.insert(job_hash(j));
+  j = small_sim_job();
+  j.runs = 3;
+  hashes.insert(job_hash(j));
+  j = small_sim_job();
+  j.topology.nodes = 51;
+  hashes.insert(job_hash(j));
+  j = small_sim_job();
+  j.sim.deployment.node_forward_cap = {0u, 6u};
+  hashes.insert(job_hash(j));
+  j = small_sim_job();
+  j.sim.quarantine.enabled = true;
+  hashes.insert(job_hash(j));
+  EXPECT_EQ(hashes.size(), 6u) << "a config edit failed to move the hash";
+}
+
+TEST(JobHash, SubstreamSeedDecorrelatesNeighbouringHashes) {
+  // SplitMix64 finalizer: consecutive inputs must not yield
+  // consecutive outputs.
+  const std::uint64_t a = substream_seed(1);
+  const std::uint64_t b = substream_seed(2);
+  EXPECT_NE(a + 1, b);
+  EXPECT_NE(a, b);
+}
+
+// --- artifact cache ---
+
+TEST(ArtifactCacheTest, StoreLoadRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "dq-cache-roundtrip";
+  std::filesystem::remove_all(dir);
+  const ArtifactCache cache(dir);
+  EXPECT_FALSE(cache.contains(42));
+  EXPECT_FALSE(cache.load(42).has_value());
+  cache.store(42, "{\"x\":1}");
+  EXPECT_TRUE(cache.contains(42));
+  EXPECT_EQ(cache.load(42).value(), "{\"x\":1}");
+  // Overwrite is atomic and last-writer-wins.
+  cache.store(42, "{\"x\":2}");
+  EXPECT_EQ(cache.load(42).value(), "{\"x\":2}");
+  std::filesystem::remove_all(dir);
+}
+
+// --- work-stealing pool ---
+
+TEST(Pool, RunsEveryTaskIncludingNestedSubmissions) {
+  WorkStealingPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      // Tasks submitted from inside tasks must also complete before
+      // wait_idle returns.
+      pool.submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 128);
+  // The pool is reusable after an idle period.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 129);
+}
+
+// --- DAG scheduling ---
+
+TEST(CampaignDag, RejectsForwardAndSelfDependencies) {
+  Campaign campaign;
+  JobConfig fig;
+  fig.kind = JobConfig::Kind::kAnalyticalFigure;
+  fig.figure_id = "fig2";
+  const std::size_t first = campaign.add_job("a", fig);
+  EXPECT_THROW(campaign.add_job("b", fig, {5}), std::invalid_argument);
+  EXPECT_THROW(campaign.add_job("a", fig), std::invalid_argument);
+  EXPECT_EQ(first, 0u);
+}
+
+TEST(CampaignDag, DependentsRunAfterDependenciesAndFailuresCascade) {
+  Campaign campaign;
+  JobConfig good;
+  good.kind = JobConfig::Kind::kAnalyticalFigure;
+  good.figure_id = "fig2";
+  JobConfig bad = good;
+  bad.figure_id = "not-a-figure";
+
+  const std::size_t a = campaign.add_job("good", good);
+  const std::size_t b = campaign.add_job("bad", bad, {a});
+  const std::size_t c = campaign.add_job("downstream", good, {b});
+
+  RunOptions options;
+  options.jobs = 4;
+  options.use_cache = false;
+  const std::vector<JobOutcome> outcomes = campaign.run(options);
+
+  EXPECT_TRUE(outcomes[a].ok());
+  EXPECT_TRUE(outcomes[a].figure.has_value());
+  EXPECT_FALSE(outcomes[b].ok());
+  EXPECT_NE(outcomes[b].error.find("not-a-figure"), std::string::npos);
+  EXPECT_FALSE(outcomes[c].ok());
+  EXPECT_NE(outcomes[c].error.find("dependency failed"), std::string::npos)
+      << outcomes[c].error;
+  EXPECT_EQ(outcomes[c].name, "downstream");
+}
+
+// --- result round trips ---
+
+TEST(ResultIo, AveragedResultSurvivesJsonRoundTrip) {
+  RunOptions options;
+  options.use_cache = false;
+  const JobOutcome outcome = execute_job("rt", small_sim_job(), options);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  ASSERT_TRUE(outcome.sim_result.has_value());
+
+  const JsonValue encoded = averaged_result_to_json(*outcome.sim_result);
+  const sim::AveragedResult decoded = averaged_result_from_json(
+      JsonValue::parse(encoded.dump()));
+  // Byte-stable: re-encoding the decoded result reproduces the exact
+  // artifact text.
+  EXPECT_EQ(averaged_result_to_json(decoded).dump(), encoded.dump());
+  EXPECT_EQ(decoded.runs, outcome.sim_result->runs);
+  EXPECT_EQ(decoded.perf_total.ticks, outcome.sim_result->perf_total.ticks);
+}
+
+// --- the determinism matrix ---
+
+/// A tiny two-scenario campaign: two cheap simulations plus one
+/// analytical figure, with one sim job shared verbatim between the
+/// scenarios to exercise cross-scenario dedup.
+std::vector<ScenarioDef> tiny_scenarios() {
+  ScenarioDef first;
+  first.name = "tiny-a";
+  first.jobs.push_back({"sim", small_sim_job()});
+  first.jobs.push_back({"fig", [] {
+                          JobConfig job;
+                          job.kind = JobConfig::Kind::kAnalyticalFigure;
+                          job.figure_id = "fig2";
+                          return job;
+                        }()});
+  ScenarioDef second;
+  second.name = "tiny-b";
+  second.jobs.push_back({"shared-sim", small_sim_job()});
+  second.jobs.push_back({"faster", small_sim_job(1.6)});
+  return {first, second};
+}
+
+TEST(Determinism, ArtifactsIdenticalAcrossThreadCountsAndCacheStates) {
+  const std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "dq-determinism";
+  std::filesystem::remove_all(root);
+
+  const auto artifacts_of = [&](const std::filesystem::path& cache_dir,
+                                std::size_t jobs) {
+    RunOptions options;
+    options.jobs = jobs;
+    options.cache_dir = cache_dir;
+    return run_scenarios(tiny_scenarios(), options);
+  };
+
+  const CampaignReport serial = artifacts_of(root / "serial", 1);
+  const CampaignReport parallel = artifacts_of(root / "parallel", 8);
+  const CampaignReport warm = artifacts_of(root / "serial", 8);
+
+  // Cross-scenario dedup: 4 declared jobs, 3 distinct configs.
+  ASSERT_EQ(serial.outcomes.size(), 3u);
+  ASSERT_EQ(parallel.outcomes.size(), 3u);
+
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    SCOPED_TRACE(serial.outcomes[i].name);
+    EXPECT_FALSE(serial.outcomes[i].cache_hit);
+    EXPECT_FALSE(parallel.outcomes[i].cache_hit);
+    // Warm rerun: every job must be served from cache...
+    EXPECT_TRUE(warm.outcomes[i].cache_hit);
+    // ...and every artifact must be byte-identical across thread
+    // counts and cache temperature.
+    EXPECT_EQ(serial.outcomes[i].artifact, parallel.outcomes[i].artifact);
+    EXPECT_EQ(serial.outcomes[i].artifact, warm.outcomes[i].artifact);
+    EXPECT_FALSE(serial.outcomes[i].artifact.empty());
+  }
+
+  // The manifest agrees with the outcomes on cache accounting.
+  EXPECT_EQ(warm.manifest.at("cache_hits").as_uint(), 3u);
+  EXPECT_EQ(warm.manifest.at("cache_misses").as_uint(), 0u);
+  EXPECT_EQ(serial.manifest.at("cache_misses").as_uint(), 3u);
+
+  // On-disk artifact files match across the two cold cache dirs.
+  for (const JobOutcome& outcome : serial.outcomes) {
+    std::ifstream a(ArtifactCache(root / "serial").path_for(outcome.hash),
+                    std::ios::binary);
+    std::ifstream b(ArtifactCache(root / "parallel").path_for(outcome.hash),
+                    std::ios::binary);
+    ASSERT_TRUE(a && b);
+    std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                        std::istreambuf_iterator<char>());
+    std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes_a, bytes_b);
+    EXPECT_EQ(bytes_a, outcome.artifact);
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(Determinism, NoCacheRunMatchesCachedRun) {
+  RunOptions no_cache;
+  no_cache.use_cache = false;
+  no_cache.jobs = 2;
+  const CampaignReport a = run_scenarios(tiny_scenarios(), no_cache);
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "dq-nocache-compare";
+  std::filesystem::remove_all(dir);
+  RunOptions cached;
+  cached.cache_dir = dir;
+  cached.jobs = 2;
+  const CampaignReport b = run_scenarios(tiny_scenarios(), cached);
+
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i)
+    EXPECT_EQ(a.outcomes[i].artifact, b.outcomes[i].artifact);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Scenarios, BuiltinCatalogueExpandsAndDedups) {
+  const std::vector<ScenarioDef> catalogue =
+      builtin_scenarios(core::ExperimentOptions::quick());
+  EXPECT_NE(find_scenario(catalogue, "fig01"), nullptr);
+  EXPECT_NE(find_scenario(catalogue, "ablation-beta"), nullptr);
+  EXPECT_EQ(find_scenario(catalogue, "nope"), nullptr);
+  // Every job in the catalogue hashes distinctly (no accidental
+  // duplicate configs within a scenario).
+  for (const ScenarioDef& scenario : catalogue) {
+    std::set<std::uint64_t> hashes;
+    for (const ScenarioJob& job : scenario.jobs)
+      EXPECT_TRUE(hashes.insert(job_hash(job.config)).second)
+          << scenario.name << "/" << job.name;
+  }
+}
+
+}  // namespace
+}  // namespace dq::campaign

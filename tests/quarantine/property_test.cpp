@@ -1,0 +1,214 @@
+// Property tests for the streaming per-host detectors.
+//
+// Two families:
+//   * the 64-bucket linear-counting sketch stays within the theoretical
+//     error envelope of its estimator versus an exact std::set count,
+//     across 1..500 distinct destinations and 64 RNG seeds;
+//   * the windowed detector state (contacts, failures, distinct
+//     estimate) is invariant to the order events arrive within a
+//     window — every counter is a sum or a bitwise OR. The failure-
+//     ratio *strike* may fire earlier or later depending on order
+//     (the ratio can transiently cross the threshold on a prefix),
+//     but the latch admits at most one strike per window, and a
+//     final window state over the threshold guarantees exactly one
+//     strike under every ordering — at latest on the last event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "quarantine/detectors.hpp"
+#include "stats/rng.hpp"
+
+namespace dq::quarantine {
+namespace {
+
+/// All thresholds disabled: observations only accumulate window state.
+DetectorSettings passive_settings() {
+  DetectorSettings s;
+  s.window = 5.0;
+  s.contact_rate_threshold = 0.0;
+  s.distinct_dest_threshold = 0.0;
+  s.failure_ratio_threshold = 0.0;
+  return s;
+}
+
+/// Theoretical standard deviation of the linear-counting estimate for
+/// n distinct keys over m buckets: sqrt(m (e^t − t − 1)), t = n/m
+/// (Whang, Vander-Zanden & Taylor 1990, Eq. 4.4).
+double linear_counting_sigma(double n, double m) {
+  const double t = n / m;
+  return std::sqrt(m * (std::exp(t) - t - 1.0));
+}
+
+TEST(SketchProperty, EstimateWithinTheoreticalErrorBound) {
+  constexpr double kBuckets = 64.0;
+  const std::vector<std::size_t> sizes = {1,  2,  3,   5,   8,   13,  21,
+                                          34, 55, 89,  144, 233, 377, 500};
+  for (std::size_t n : sizes) {
+    const double sigma = linear_counting_sigma(static_cast<double>(n),
+                                               kBuckets);
+    double total_error = 0.0;
+    std::size_t unsaturated = 0;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+      Rng rng(0x9e3779b97f4a7c15ULL * (seed + 1) + n);
+      std::set<std::uint64_t> exact;
+      HostDetector detector;
+      const DetectorSettings settings = passive_settings();
+      while (exact.size() < n) {
+        const std::uint64_t key = rng.next_u64();
+        if (!exact.insert(key).second) continue;
+        detector.observe(settings, 0.5, key, false);
+      }
+      const double estimate = detector.distinct_estimate();
+      if (estimate >= 1e9) {
+        // Saturated sketch: all 64 buckets occupied, which needs at
+        // least one distinct key per bucket.
+        ASSERT_GE(exact.size(), 64u)
+            << "sketch saturated with only " << exact.size() << " keys";
+        continue;
+      }
+      ++unsaturated;
+      const double error = estimate - static_cast<double>(n);
+      total_error += error;
+      // Per-trial envelope: 5σ plus a unit of slack for the
+      // discreteness of occupied-bucket counts at tiny n.
+      EXPECT_LE(std::abs(error), 5.0 * sigma + 1.0)
+          << "n=" << n << " seed=" << seed << " estimate=" << estimate;
+    }
+    if (unsaturated >= 32) {
+      // The estimator is asymptotically unbiased: the mean error over
+      // seeds must sit well inside a single trial's envelope.
+      EXPECT_LE(std::abs(total_error / unsaturated), 1.5 * sigma + 1.0)
+          << "n=" << n;
+    }
+  }
+}
+
+struct Event {
+  double time;
+  std::uint64_t dest;
+  bool failed;
+};
+
+/// Feeds events and returns (strikes, contacts, failures, estimate).
+struct Verdict {
+  std::uint64_t strikes = 0;
+  std::uint32_t contacts = 0;
+  std::uint32_t failures = 0;
+  double estimate = 0.0;
+};
+
+Verdict feed(const DetectorSettings& settings,
+             const std::vector<Event>& events) {
+  HostDetector detector;
+  Verdict v;
+  for (const Event& e : events)
+    v.strikes += detector.observe(settings, e.time, e.dest, e.failed).strike;
+  v.contacts = detector.window_contacts();
+  v.failures = detector.window_failures();
+  v.estimate = detector.distinct_estimate();
+  return v;
+}
+
+TEST(DetectorProperty, FailureRatioInvariantToReorderingWithinWindow) {
+  DetectorSettings settings;
+  settings.window = 5.0;
+  settings.contact_rate_threshold = 0.0;
+  settings.distinct_dest_threshold = 0.0;
+  settings.failure_ratio_threshold = 0.5;
+  settings.failure_min_attempts = 4;
+
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng(0xd1b54a32d192ed03ULL + seed);
+    // One window of mixed traffic: timestamps anywhere inside it,
+    // failure marks drawn so some seeds cross the ratio and some
+    // don't.
+    std::vector<Event> events;
+    const std::size_t count = 4 + static_cast<std::size_t>(rng.next_u64() % 24);
+    for (std::size_t i = 0; i < count; ++i)
+      events.push_back({settings.window * rng.uniform(),
+                        rng.next_u64() % 40, rng.uniform() < 0.5});
+
+    const Verdict baseline = feed(settings, events);
+    // The whole-window verdict is a pure function of the final
+    // counters; when it crosses the ratio, the in-stream check sees
+    // that same state on the last event, so the latch must have fired
+    // by then under EVERY ordering. (Strike *timing* is not
+    // order-invariant: a prefix like F F S S crosses 0.5 transiently
+    // even when the full window ends below it.)
+    const bool final_suspicious =
+        baseline.contacts >= settings.failure_min_attempts &&
+        static_cast<double>(baseline.failures) >=
+            settings.failure_ratio_threshold *
+                static_cast<double>(baseline.contacts);
+    for (int shuffle = 0; shuffle < 8; ++shuffle) {
+      // Fisher–Yates with the test RNG, so every permutation is
+      // reproducible from the seed.
+      std::vector<Event> permuted = events;
+      for (std::size_t i = permuted.size(); i > 1; --i)
+        std::swap(permuted[i - 1], permuted[rng.next_u64() % i]);
+
+      const Verdict verdict = feed(settings, permuted);
+      EXPECT_EQ(verdict.contacts, baseline.contacts) << "seed=" << seed;
+      EXPECT_EQ(verdict.failures, baseline.failures) << "seed=" << seed;
+      EXPECT_DOUBLE_EQ(verdict.estimate, baseline.estimate)
+          << "seed=" << seed;
+      // The strike latch admits at most one strike per window no
+      // matter the order.
+      EXPECT_LE(verdict.strikes, 1u) << "seed=" << seed;
+      if (final_suspicious) {
+        EXPECT_EQ(verdict.strikes, 1u)
+            << "seed=" << seed << " contacts=" << verdict.contacts
+            << " failures=" << verdict.failures;
+      }
+    }
+  }
+}
+
+TEST(DetectorProperty, ReorderingAcrossWindowsPreservesPerWindowStrikes) {
+  DetectorSettings settings;
+  settings.window = 5.0;
+  settings.contact_rate_threshold = 6.0;
+  settings.distinct_dest_threshold = 0.0;
+  settings.failure_ratio_threshold = 0.0;
+
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(0xa0761d6478bd642fULL + seed);
+    // Three consecutive windows with independent loads; windows are
+    // delivered in order, events inside each are permuted.
+    std::vector<std::vector<Event>> windows(3);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      const std::size_t count = 1 + static_cast<std::size_t>(rng.next_u64() % 12);
+      for (std::size_t i = 0; i < count; ++i)
+        windows[w].push_back(
+            {settings.window * (static_cast<double>(w) + rng.uniform()),
+             rng.next_u64() % 40, false});
+    }
+
+    auto strikes_of = [&](bool permute) {
+      HostDetector detector;
+      std::vector<std::uint64_t> strikes;
+      std::uint64_t rotation = seed;
+      for (const std::vector<Event>& window : windows) {
+        std::vector<Event> batch = window;
+        if (permute)
+          std::rotate(batch.begin(),
+                      batch.begin() + (++rotation % batch.size()),
+                      batch.end());
+        std::uint64_t count = 0;
+        for (const Event& e : batch)
+          count += detector.observe(settings, e.time, e.dest, e.failed).strike;
+        strikes.push_back(count);
+      }
+      return strikes;
+    };
+
+    EXPECT_EQ(strikes_of(false), strikes_of(true)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dq::quarantine

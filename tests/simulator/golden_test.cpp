@@ -1,0 +1,146 @@
+// Golden-trajectory fixtures: four fixed-seed single runs serialized
+// as canonical JSON under tests/data/golden/, byte-compared against a
+// fresh simulation. Any behavioural change in the tick loop — event
+// ordering, RNG draw order, a new counter — shows up as a fixture
+// diff here before it shows up as a silently shifted figure.
+//
+// Regenerating after an INTENDED behaviour change:
+//
+//   ./build/tests/dq_golden_test --update-golden
+//
+// rewrites every fixture in place (the source tree's tests/data/golden,
+// baked in via DQ_GOLDEN_DIR); commit the diff alongside the change
+// that caused it, and say in the commit message why the trajectories
+// moved. A missing fixture fails the test rather than auto-creating,
+// so CI can never mint its own baseline.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "campaign/job.hpp"
+#include "campaign/result_io.hpp"
+#include "simulator/worm_sim.hpp"
+
+namespace dq::sim {
+namespace {
+
+bool g_update_golden = false;
+
+std::filesystem::path golden_dir() { return DQ_GOLDEN_DIR; }
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void check_golden(const std::string& name,
+                  const campaign::TopologySpec& topology,
+                  const SimulationConfig& config) {
+  const Network net = campaign::build_network(topology);
+  WormSimulation sim(net, config);
+  const RunResult result = sim.run();
+  const std::string fresh =
+      campaign::run_result_to_json(result).dump() + "\n";
+
+  const std::filesystem::path path = golden_dir() / (name + ".json");
+  if (g_update_golden) {
+    std::filesystem::create_directories(golden_dir());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << fresh;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+
+  const std::optional<std::string> golden = read_file(path);
+  ASSERT_TRUE(golden.has_value())
+      << path << " is missing — run dq_golden_test --update-golden and "
+      << "commit the fixture";
+  EXPECT_EQ(fresh, *golden)
+      << name << " trajectory diverged from its fixture. If the "
+      << "behaviour change is intended, regenerate with "
+      << "dq_golden_test --update-golden and commit the diff.";
+}
+
+TEST(Golden, StarNoRateLimiting) {
+  campaign::TopologySpec topo;
+  topo.kind = campaign::TopologySpec::Kind::kStar;
+  topo.nodes = 200;
+  topo.backbone_fraction = 1.0 / 200.0;
+  topo.edge_fraction = 0.0;
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.8;
+  cfg.worm.filtered_contact_rate = 0.01;
+  cfg.worm.initial_infected = 1;
+  cfg.max_ticks = 50.0;
+  cfg.seed = 12345;
+  check_golden("star_no_rl", topo, cfg);
+}
+
+TEST(Golden, PowerLawBackboneRateLimiting) {
+  campaign::TopologySpec topo;  // BA(1000, 2), top-5% backbone
+  topo.build_seed = 99;
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.8;
+  cfg.worm.filtered_contact_rate = 0.01;
+  cfg.worm.initial_infected = 1;
+  cfg.deployment.backbone_limited = true;
+  cfg.max_ticks = 120.0;
+  cfg.seed = 12345;
+  check_golden("powerlaw_backbone_rl", topo, cfg);
+}
+
+TEST(Golden, QuarantineEnabled) {
+  campaign::TopologySpec topo;
+  topo.build_seed = 99;
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.8;
+  cfg.worm.filtered_contact_rate = 0.01;
+  cfg.worm.initial_infected = 5;
+  cfg.worm.hit_probability = 0.1;  // sparse scans feed the detectors
+  cfg.legit.rate_per_node = 0.2;
+  cfg.quarantine.enabled = true;
+  cfg.max_ticks = 100.0;
+  cfg.seed = 12345;
+  check_golden("quarantine_enabled", topo, cfg);
+}
+
+TEST(Golden, ImmunizationAtTwentyPercent) {
+  campaign::TopologySpec topo;
+  topo.build_seed = 99;
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.8;
+  cfg.worm.filtered_contact_rate = 0.01;
+  cfg.worm.initial_infected = 1;
+  cfg.immunization.enabled = true;
+  cfg.immunization.start_at_infected_fraction = 0.2;
+  cfg.immunization.rate = 0.1;
+  cfg.max_ticks = 100.0;
+  cfg.seed = 12345;
+  check_golden("immunization_at_20pct", topo, cfg);
+}
+
+}  // namespace
+}  // namespace dq::sim
+
+int main(int argc, char** argv) {
+  // Filter our flag out before gtest sees the command line.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      dq::sim::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -3,6 +3,7 @@
 // results confirm our analytical models").
 #include <gtest/gtest.h>
 
+#include "epidemic/hub_model.hpp"
 #include "epidemic/partial_deployment.hpp"
 #include "epidemic/si_model.hpp"
 #include "graph/builders.hpp"
@@ -96,6 +97,31 @@ TEST(SimVsModel, DeploymentOrderingMatchesPaper) {
   EXPECT_GT(edge, none * 0.9);            // edge helps a little
   EXPECT_GT(backbone, edge);              // backbone wins
   EXPECT_GT(backbone, none * 2.0);        // and decisively so
+}
+
+TEST(SimVsModel, HubLimitedStarTracksClosedForm) {
+  // Section 4's hub regime: once the leaves' combined demand
+  // saturates the hub, dI/dt = β(N−I)/N and the paper derives
+  // t ≈ N·ln(α)/β to reach level α. Pin the simulated hub-capped star
+  // (forward cap 6/tick at the hub, Figure 1(b)'s "hub-RL" series)
+  // to the HubModel closed form within 25%.
+  const Network net(graph::make_star(200), 1.0 / 200.0, 0.0);
+  SimulationConfig cfg = config(0.8, 1);
+  cfg.max_ticks = 60.0;
+  cfg.deployment.node_forward_cap = {0u, 6u};
+  const AveragedResult avg = run_many(net, cfg, 10);
+  const double t60_sim = avg.ever_infected.time_to_reach(0.6);
+
+  epidemic::HubModelParams p;
+  p.population = 200.0;
+  p.link_rate = 0.8;  // γ = β₁: each infected leaf pushes at full rate
+  p.hub_rate = 6.0;   // the hub forwards at most 6 contacts per tick
+  p.initial_infected = 1.0;
+  const double t60_model = epidemic::HubModel(p).time_to_level(0.6);
+
+  ASSERT_GT(t60_sim, 0.0);
+  ASSERT_GT(t60_model, 0.0);
+  EXPECT_NEAR(t60_sim, t60_model, 0.25 * t60_model);
 }
 
 TEST(SimVsModel, ImmunizationEarlierIsBetterInSim) {

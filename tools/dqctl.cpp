@@ -7,8 +7,12 @@
 //   dqctl quarantine [FILE]      replay a trace through the quarantine
 //                                engine (synthesizes one when no FILE)
 //   dqctl figure ID [--csv]      print one paper figure (fig1a..fig11)
+//   dqctl campaign list|status|run [NAMES...]
+//                                declarative experiment campaigns with
+//                                content-hashed artifact caching
 //
 // Run any subcommand with --help for its options.
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -18,7 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "campaign/cache.hpp"
+#include "campaign/scenarios.hpp"
 #include "core/experiments.hpp"
+#include "stats/hash.hpp"
 #include "core/planner.hpp"
 #include "core/scenario.hpp"
 #include "trace/analysis.hpp"
@@ -94,7 +101,16 @@ int usage() {
          "[--max-period M] [--seed S]\n"
          "  dqctl figure ID [--csv] [--quick]   (fig1a fig1b fig2 fig3a "
          "fig3b fig4 fig5 fig6 fig7a fig7b fig8a fig8b fig9a fig9b fig10 "
-         "fig11)\n";
+         "fig11)\n"
+         "  dqctl campaign list                 show the scenario "
+         "catalogue\n"
+         "  dqctl campaign status [NAMES...]    per-job cache state, no "
+         "execution\n"
+         "  dqctl campaign run [NAMES...] [--jobs N] [--no-cache]\n"
+         "                 [--cache-dir DIR] [--out DIR] [--runs R] "
+         "[--seed S]\n"
+         "                 [--quick] [--csv]    execute scenarios (all "
+         "when no NAMES)\n";
   return 2;
 }
 
@@ -401,6 +417,118 @@ int cmd_figure(const Args& args) {
   return 0;
 }
 
+/// Resolves the NAMES positionals (minus the verb) against the
+/// catalogue; no names selects every scenario.
+std::vector<campaign::ScenarioDef> select_scenarios(
+    const std::vector<campaign::ScenarioDef>& catalogue, const Args& args) {
+  std::vector<campaign::ScenarioDef> selected;
+  if (args.positional().size() <= 1) return catalogue;
+  for (std::size_t i = 1; i < args.positional().size(); ++i) {
+    const std::string& name = args.positional()[i];
+    const campaign::ScenarioDef* scenario =
+        campaign::find_scenario(catalogue, name);
+    if (!scenario)
+      throw std::invalid_argument("unknown scenario: " + name +
+                                  " (try `dqctl campaign list`)");
+    selected.push_back(*scenario);
+  }
+  return selected;
+}
+
+int cmd_campaign(const Args& args) {
+  if (args.positional().empty()) return usage();
+  const std::string verb = args.positional()[0];
+
+  core::ExperimentOptions options = args.flag("quick")
+                                        ? core::ExperimentOptions::quick()
+                                        : core::ExperimentOptions{};
+  if (args.flag("runs"))
+    options.sim_runs = static_cast<std::size_t>(args.num("runs", 10.0));
+  if (args.flag("seed"))
+    options.seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+  const std::vector<campaign::ScenarioDef> catalogue =
+      campaign::builtin_scenarios(options);
+
+  campaign::RunOptions run_options;
+  run_options.jobs = static_cast<std::size_t>(args.num("jobs", 0.0));
+  run_options.use_cache = !args.flag("no-cache");
+  run_options.cache_dir = args.str("cache-dir", ".dq-cache");
+
+  if (verb == "list") {
+    for (const campaign::ScenarioDef& scenario : catalogue)
+      std::cout << std::left << std::setw(24) << scenario.name
+                << scenario.jobs.size() << " jobs  "
+                << scenario.description << '\n';
+    return 0;
+  }
+
+  if (verb == "status") {
+    const campaign::ArtifactCache cache(run_options.cache_dir);
+    std::size_t cached = 0, total = 0;
+    for (const campaign::ScenarioDef& scenario :
+         select_scenarios(catalogue, args)) {
+      for (const campaign::ScenarioJob& job : scenario.jobs) {
+        const std::uint64_t hash = campaign::job_hash(job.config);
+        const bool hit = cache.contains(hash);
+        ++total;
+        cached += hit ? 1 : 0;
+        std::cout << (hit ? "cached " : "missing") << "  "
+                  << dq::hash_hex(hash) << "  " << scenario.name << "/"
+                  << job.name << '\n';
+      }
+    }
+    std::cout << cached << "/" << total << " artifacts cached in "
+              << run_options.cache_dir.string() << '\n';
+    return 0;
+  }
+
+  if (verb != "run") return usage();
+
+  const campaign::CampaignReport report =
+      campaign::run_scenarios(select_scenarios(catalogue, args), run_options);
+
+  int failures = 0;
+  for (const campaign::JobOutcome& outcome : report.outcomes) {
+    std::cerr << (outcome.ok() ? (outcome.cache_hit ? "hit    " : "ran    ")
+                               : "FAILED ")
+              << dq::hash_hex(outcome.hash) << "  " << std::left
+              << std::setw(36) << outcome.name << std::fixed
+              << std::setprecision(3) << outcome.wall_seconds << " s";
+    if (!outcome.ok()) {
+      std::cerr << "  (" << outcome.error << ")";
+      ++failures;
+    }
+    std::cerr << '\n';
+  }
+
+  const std::string out_dir = args.str("out", "");
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    const auto write = [&](const std::filesystem::path& path,
+                           const std::string& contents) {
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      if (!file) throw std::runtime_error("cannot write " + path.string());
+      file << contents;
+    };
+    write(std::filesystem::path(out_dir) / "manifest.json",
+          report.manifest.dump() + "\n");
+    for (const core::FigureData& fig : report.figures)
+      write(std::filesystem::path(out_dir) /
+                (fig.id + (args.flag("csv") ? ".csv" : ".txt")),
+            args.flag("csv") ? core::render_csv(fig)
+                             : core::render_table(fig));
+    std::cerr << "wrote manifest + " << report.figures.size()
+              << " figures to " << out_dir << '\n';
+  } else {
+    for (const core::FigureData& fig : report.figures)
+      std::cout << (args.flag("csv") ? core::render_csv(fig)
+                                     : core::render_table(fig))
+                << '\n';
+    std::cout << report.manifest.dump() << '\n';
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -415,6 +543,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(args);
     if (command == "quarantine") return cmd_quarantine(args);
     if (command == "figure") return cmd_figure(args);
+    if (command == "campaign") return cmd_campaign(args);
   } catch (const std::exception& e) {
     std::cerr << "dqctl: " << e.what() << '\n';
     return 1;
