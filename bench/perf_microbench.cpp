@@ -8,11 +8,21 @@
 // times the tick loop on a sparse-infection scenario (10k nodes, <1%
 // ever infected), dumping the PerfCounters breakdown as JSON — the
 // checked-in BENCH_* data points under bench/data come from this mode.
+//
+// `--obs_json[=PATH]` is the observability perf gate: it times the same
+// sparse scenario with the obs sink disabled, metrics-only, and
+// metrics+trace-ring, asserts the three produce identical trajectories,
+// and fails (exit 1) when the instrumented runs exceed generous
+// overhead bounds relative to obs-off. bench/data/BENCH_obs.json is
+// written from this mode and also records the pre-PR tick-loop baseline
+// for the <3% obs-off regression check.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#include "obs/sink.hpp"
 
 #include "epidemic/immunization.hpp"
 #include "epidemic/si_model.hpp"
@@ -250,6 +260,149 @@ int run_perf_json(const char* path) {
   return 0;
 }
 
+// ---- --obs_json mode ----
+
+/// Pre-PR sparse10k baseline (perf_microbench --perf_json on the seed
+/// revision, same machine class as the checked-in BENCH_tickloop.json).
+/// The obs-off run must stay within kOffRegressionBound of this.
+constexpr double kPreprTicksPerSec = 653355.6;
+constexpr double kPreprSecondsTotal = 0.000076528;
+constexpr double kOffRegressionBound = 1.03;
+
+/// In-process overhead bounds, asserted every run. The sparse run is
+/// ~75us, so even best-of timing carries a few percent of scheduler
+/// noise — the bounds are deliberately generous; the measured ratios
+/// land in the JSON for trend tracking.
+constexpr double kMetricsOverheadBound = 1.25;
+constexpr double kTraceOverheadBound = 2.00;
+
+struct ObsSample {
+  double seconds = 0.0;                ///< best-of-kObsReps wall time
+  std::uint64_t ticks = 0;
+  std::uint64_t ever_infected = 0;
+  std::uint64_t events = 0;            ///< trace mode only
+};
+
+enum class ObsMode { kOff, kMetrics, kTrace };
+
+ObsSample run_obs_case(const sim::Network& net, const sim::SimulationConfig& cfg,
+                       ObsMode mode) {
+  constexpr int kObsReps = 25;
+  ObsSample sample;
+  for (int rep = 0; rep < kObsReps; ++rep) {
+    // Fresh sink per rep: timing always covers the same cold-counter
+    // path a campaign job sees.
+    obs::MultiRunSink sink(
+        1, mode == ObsMode::kTrace ? obs::kDefaultRingCapacity : 0);
+    sim::WormSimulation sim(net, cfg,
+                            mode == ObsMode::kOff ? obs::Sink{}
+                                                  : sink.run_sink(0));
+    const sim::RunResult result = sim.run();
+    const double secs = result.perf.total_seconds();
+    if (rep == 0 || secs < sample.seconds) {
+      sample.seconds = secs;
+      sample.ticks = result.perf.ticks;
+      sample.ever_infected = result.final_ever_infected_count;
+      sample.events =
+          mode == ObsMode::kTrace ? sink.ring(0).events().size() : 0;
+    }
+  }
+  return sample;
+}
+
+int run_obs_json(const char* path) {
+  constexpr std::size_t kNodes = 10000;
+
+  std::FILE* out = path != nullptr ? std::fopen(path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_microbench: cannot open %s\n", path);
+    return 1;
+  }
+
+  Rng rng(7);
+  const sim::Network net(graph::make_barabasi_albert(kNodes, 2, rng));
+
+  sim::SimulationConfig cfg;
+  cfg.worm.contact_rate = 0.02;  // sparse: <1% ever infected
+  cfg.worm.initial_infected = 20;
+  cfg.max_ticks = 50.0;
+  cfg.stop_when_saturated = false;
+  cfg.seed = 3;
+
+  const ObsSample off = run_obs_case(net, cfg, ObsMode::kOff);
+  const ObsSample metrics = run_obs_case(net, cfg, ObsMode::kMetrics);
+  const ObsSample trace = run_obs_case(net, cfg, ObsMode::kTrace);
+
+  bool ok = true;
+  // The sink must never perturb the simulation: identical trajectories
+  // in all three modes (the sink shares no state with the RNG stream).
+  if (metrics.ticks != off.ticks || trace.ticks != off.ticks ||
+      metrics.ever_infected != off.ever_infected ||
+      trace.ever_infected != off.ever_infected) {
+    std::fprintf(stderr,
+                 "perf_microbench: obs sink changed the trajectory "
+                 "(off %llu/%llu, metrics %llu/%llu, trace %llu/%llu)\n",
+                 static_cast<unsigned long long>(off.ticks),
+                 static_cast<unsigned long long>(off.ever_infected),
+                 static_cast<unsigned long long>(metrics.ticks),
+                 static_cast<unsigned long long>(metrics.ever_infected),
+                 static_cast<unsigned long long>(trace.ticks),
+                 static_cast<unsigned long long>(trace.ever_infected));
+    ok = false;
+  }
+  const double metrics_ratio = metrics.seconds / off.seconds;
+  const double trace_ratio = trace.seconds / off.seconds;
+  if (metrics_ratio > kMetricsOverheadBound) {
+    std::fprintf(stderr,
+                 "perf_microbench: metrics-only overhead %.3fx exceeds "
+                 "bound %.2fx\n",
+                 metrics_ratio, kMetricsOverheadBound);
+    ok = false;
+  }
+  if (trace_ratio > kTraceOverheadBound) {
+    std::fprintf(stderr,
+                 "perf_microbench: trace overhead %.3fx exceeds bound "
+                 "%.2fx\n",
+                 trace_ratio, kTraceOverheadBound);
+    ok = false;
+  }
+
+  const double off_tps = static_cast<double>(off.ticks) / off.seconds;
+  std::fprintf(out,
+               "{\n"
+               "  \"scenario\": \"sparse10k-obs\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"reps\": 25,\n"
+               "  \"ticks\": %llu,\n"
+               "  \"final_ever_infected\": %llu,\n"
+               "  \"off\": {\"seconds_total\": %.9f, \"ticks_per_sec\": %.1f},\n"
+               "  \"metrics\": {\"seconds_total\": %.9f, "
+               "\"overhead_vs_off\": %.4f},\n"
+               "  \"trace\": {\"seconds_total\": %.9f, "
+               "\"overhead_vs_off\": %.4f, \"events_captured\": %llu},\n"
+               "  \"prepr_baseline\": {\"seconds_total\": %.9f, "
+               "\"ticks_per_sec\": %.1f},\n"
+               "  \"off_vs_prepr_ratio\": %.4f,\n"
+               "  \"off_regression_bound\": %.2f,\n"
+               "  \"bounds\": {\"metrics\": %.2f, \"trace\": %.2f},\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               kNodes,
+               static_cast<unsigned long long>(off.ticks),
+               static_cast<unsigned long long>(off.ever_infected),
+               off.seconds, off_tps,
+               metrics.seconds, metrics_ratio,
+               trace.seconds, trace_ratio,
+               static_cast<unsigned long long>(trace.events),
+               kPreprSecondsTotal, kPreprTicksPerSec,
+               kPreprTicksPerSec / off_tps,
+               kOffRegressionBound,
+               kMetricsOverheadBound, kTraceOverheadBound,
+               ok ? "true" : "false");
+  if (out != stdout) std::fclose(out);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,6 +410,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--perf_json") == 0) return run_perf_json(nullptr);
     if (std::strncmp(argv[i], "--perf_json=", 12) == 0)
       return run_perf_json(argv[i] + 12);
+    if (std::strcmp(argv[i], "--obs_json") == 0) return run_obs_json(nullptr);
+    if (std::strncmp(argv[i], "--obs_json=", 11) == 0)
+      return run_obs_json(argv[i] + 11);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,6 +1,7 @@
 #include "campaign/campaign.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <functional>
 #include <mutex>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include "campaign/pool.hpp"
 #include "campaign/result_io.hpp"
 #include "core/experiments.hpp"
+#include "obs/metrics.hpp"
 #include "stats/hash.hpp"
 
 namespace dq::campaign {
@@ -22,7 +24,45 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+void notify(const RunOptions& options, std::size_t index,
+            const std::string& name, JobPhase phase, bool cache_hit = false,
+            double wall_seconds = 0.0) {
+  if (!options.on_job_event) return;
+  JobEvent event;
+  event.index = index;
+  event.name = name;
+  event.phase = phase;
+  event.cache_hit = cache_hit;
+  event.wall_seconds = wall_seconds;
+  options.on_job_event(event);
+}
+
+/// Job names use '/' for scenario scoping; flatten for the filesystem.
+std::string trace_file_name(const std::string& job_name) {
+  std::string out = job_name;
+  for (char& c : out)
+    if (c == '/') c = '_';
+  out += ".ndjson";
+  return out;
+}
+
 }  // namespace
+
+const char* to_string(JobPhase phase) noexcept {
+  switch (phase) {
+    case JobPhase::kQueued:
+      return "queued";
+    case JobPhase::kStarted:
+      return "started";
+    case JobPhase::kCacheHit:
+      return "cache_hit";
+    case JobPhase::kFinished:
+      return "finished";
+    case JobPhase::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 std::size_t Campaign::add_job(std::string name, JobConfig config,
                               std::vector<std::size_t> deps) {
@@ -43,18 +83,20 @@ std::size_t Campaign::add_job(std::string name, JobConfig config,
 }
 
 JobOutcome execute_job(const std::string& name, const JobConfig& config,
-                       const RunOptions& options) {
+                       const RunOptions& options, std::size_t index) {
   JobOutcome outcome;
   outcome.name = name;
   outcome.config = config;
   outcome.hash = job_hash(config);
   const auto start = std::chrono::steady_clock::now();
+  notify(options, index, name, JobPhase::kStarted);
   try {
     const ArtifactCache cache(options.cache_dir);
     if (options.use_cache) {
       if (std::optional<std::string> bytes = cache.load(outcome.hash)) {
         outcome.artifact = std::move(*bytes);
         outcome.cache_hit = true;
+        notify(options, index, name, JobPhase::kCacheHit, /*cache_hit=*/true);
       }
     }
     if (!outcome.cache_hit) {
@@ -62,11 +104,32 @@ JobOutcome execute_job(const std::string& name, const JobConfig& config,
         const sim::Network net = build_network(config.topology);
         sim::SimulationConfig cfg = config.sim;
         cfg.seed = substream_seed(outcome.hash);
+        // Rings are only allocated when a trace is requested; metrics
+        // always record (cheap, and needed for the artifact snapshot).
+        const bool tracing = !options.trace_dir.empty();
+        obs::MultiRunSink sink(config.runs,
+                               tracing ? options.trace_ring_capacity : 0);
         // Serial inner runs: campaign parallelism is across jobs, and
         // nesting thread fan-out would oversubscribe the pool.
-        const sim::AveragedResult avg =
-            sim::run_many(net, cfg, config.runs, /*max_parallelism=*/1);
-        outcome.artifact = averaged_result_to_json(avg).dump();
+        const sim::AveragedResult avg = sim::run_many(
+            net, cfg, config.runs, /*max_parallelism=*/1, &sink);
+        // The artifact embeds the deterministic-only snapshot: a pure
+        // function of the job config (commutative counters, wall-clock
+        // metrics excluded), so artifact bytes stay identical across
+        // thread counts, cache states, and tracing on/off — and a
+        // cache hit restores the same telemetry a fresh run produces.
+        JsonValue art = averaged_result_to_json(avg);
+        art.set("metrics", sink.metrics().snapshot(/*deterministic_only=*/true));
+        outcome.artifact = art.dump();
+        if (tracing) {
+          std::filesystem::create_directories(options.trace_dir);
+          std::ofstream out(options.trace_dir / trace_file_name(name),
+                            std::ios::binary | std::ios::trunc);
+          if (!out)
+            throw std::runtime_error("execute_job: cannot write trace for " +
+                                     name);
+          sink.write_ndjson(out);
+        }
       } else {
         const core::FigureData fig =
             core::analytical_figure(config.figure_id);
@@ -80,6 +143,8 @@ JobOutcome execute_job(const std::string& name, const JobConfig& config,
     const JsonValue parsed = JsonValue::parse(outcome.artifact);
     if (config.kind == JobConfig::Kind::kSimulation) {
       outcome.sim_result = averaged_result_from_json(parsed);
+      if (const JsonValue* metrics = parsed.find("metrics"))
+        outcome.metrics = *metrics;
     } else {
       outcome.figure = figure_from_json(parsed);
     }
@@ -89,6 +154,9 @@ JobOutcome execute_job(const std::string& name, const JobConfig& config,
     outcome.figure.reset();
   }
   outcome.wall_seconds = seconds_since(start);
+  notify(options, index, name,
+         outcome.ok() ? JobPhase::kFinished : JobPhase::kFailed,
+         outcome.cache_hit, outcome.wall_seconds);
   return outcome;
 }
 
@@ -120,7 +188,9 @@ std::vector<JobOutcome> Campaign::run(const RunOptions& options) const {
     }();
     if (!skipped) {
       outcomes[index] =
-          execute_job(jobs_[index].name, jobs_[index].config, options);
+          execute_job(jobs_[index].name, jobs_[index].config, options, index);
+    } else {
+      notify(options, index, jobs_[index].name, JobPhase::kFailed);
     }
     std::vector<std::size_t> ready;
     {
@@ -136,12 +206,17 @@ std::vector<JobOutcome> Campaign::run(const RunOptions& options) const {
         if (--pending[dependent] == 0) ready.push_back(dependent);
       }
     }
-    for (std::size_t dependent : ready)
+    for (std::size_t dependent : ready) {
+      notify(options, dependent, jobs_[dependent].name, JobPhase::kQueued);
       pool.submit([&run_job, dependent] { run_job(dependent); });
+    }
   };
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (pending[i] == 0) pool.submit([&run_job, i] { run_job(i); });
+    if (pending[i] == 0) {
+      notify(options, i, jobs_[i].name, JobPhase::kQueued);
+      pool.submit([&run_job, i] { run_job(i); });
+    }
   }
   pool.wait_idle();
   return outcomes;
@@ -170,7 +245,10 @@ JsonValue build_manifest(const std::vector<JobOutcome>& outcomes,
     if (outcome.ok()) {
       outcome.cache_hit ? ++hits : ++misses;
       if (outcome.sim_result)
-        o.set("perf", perf_counters_to_json(outcome.sim_result->perf_total));
+        o.set("perf", perf_counters_to_json(outcome.sim_result->perf_counters));
+      // Restored from the artifact, so hits and misses report the same
+      // snapshot — the manifest's metric totals are cold/warm-identical.
+      if (!outcome.metrics.is_null()) o.set("metrics", outcome.metrics);
     } else {
       ++failures;
       o.set("error", JsonValue::str(outcome.error));
@@ -178,7 +256,7 @@ JsonValue build_manifest(const std::vector<JobOutcome>& outcomes,
     jobs.push_back(std::move(o));
   }
   JsonValue manifest = JsonValue::object();
-  manifest.set("schema", JsonValue::integer(1));
+  manifest.set("schema", JsonValue::integer(2));
   manifest.set("cache_dir",
                JsonValue::str(options.use_cache ? options.cache_dir.string()
                                                 : std::string()));
@@ -187,8 +265,26 @@ JsonValue build_manifest(const std::vector<JobOutcome>& outcomes,
   manifest.set("cache_misses", JsonValue::integer(misses));
   manifest.set("failures", JsonValue::integer(failures));
   manifest.set("total_wall_seconds", JsonValue::number(total_wall_seconds));
+  manifest.set("metrics", merge_outcome_metrics(outcomes));
   manifest.set("jobs", std::move(jobs));
   return manifest;
+}
+
+JsonValue merge_outcome_metrics(const std::vector<JobOutcome>& outcomes) {
+  JsonValue total;
+  for (const JobOutcome& outcome : outcomes) {
+    if (!outcome.ok()) continue;
+    obs::MetricsRegistry::merge_snapshot(total, outcome.metrics);
+  }
+  // An all-analytical (or legacy-artifact) campaign has no snapshots;
+  // canonical empty object keeps the manifest schema stable.
+  if (total.is_null()) {
+    total = JsonValue::object();
+    total.set("counters", JsonValue::object());
+    total.set("gauges", JsonValue::object());
+    total.set("histograms", JsonValue::object());
+  }
+  return total;
 }
 
 }  // namespace dq::campaign

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "campaign/job.hpp"
 #include "campaign/json.hpp"
 #include "core/figure.hpp"
+#include "obs/sink.hpp"
 #include "simulator/runner.hpp"
 
 namespace dq::campaign {
@@ -34,15 +36,50 @@ struct JobOutcome {
   std::string artifact;            ///< canonical JSON bytes
   std::optional<sim::AveragedResult> sim_result;
   std::optional<core::FigureData> figure;
+  /// Deterministic obs-registry snapshot recorded inside the artifact
+  /// ("metrics" key) — restored from cache on a hit, so telemetry
+  /// totals are cold/warm-identical. Null for analytical jobs and
+  /// artifacts written before the obs layer existed.
+  JsonValue metrics;
   std::string error;               ///< non-empty means the job failed
 
   bool ok() const noexcept { return error.empty(); }
+};
+
+/// Job lifecycle notifications (the campaign progress surface).
+enum class JobPhase : std::uint8_t {
+  kQueued,    ///< submitted to the pool
+  kStarted,   ///< execution began (cache probe included)
+  kCacheHit,  ///< artifact served from .dq-cache
+  kFinished,  ///< completed OK (cache hit or fresh run)
+  kFailed,    ///< completed with an error (or skipped: upstream failed)
+};
+
+const char* to_string(JobPhase phase) noexcept;
+
+struct JobEvent {
+  std::size_t index = 0;
+  std::string name;
+  JobPhase phase = JobPhase::kQueued;
+  bool cache_hit = false;
+  double wall_seconds = 0.0;  ///< kFinished/kFailed only
 };
 
 struct RunOptions {
   std::size_t jobs = 0;            ///< worker threads; 0 = hardware
   bool use_cache = true;
   std::filesystem::path cache_dir = ".dq-cache";
+  /// Non-empty: freshly executed simulation jobs write their NDJSON
+  /// event trace to <trace_dir>/<job name, '/'→'_'>.ndjson. Cache hits
+  /// write no trace (events are not cached) — pass use_cache=false to
+  /// trace everything. Trace output never feeds back into artifacts,
+  /// so artifact bytes are identical with tracing on or off.
+  std::filesystem::path trace_dir;
+  /// Per-run trace ring capacity when trace_dir is set.
+  std::size_t trace_ring_capacity = obs::kDefaultRingCapacity;
+  /// Lifecycle callback; invoked from worker threads (must be
+  /// thread-safe). Null = no notifications.
+  std::function<void(const JobEvent&)> on_job_event;
 };
 
 class Campaign {
@@ -79,12 +116,18 @@ class Campaign {
 /// `seed` participates in the hash but is not used directly, so any
 /// config edit lands on a fresh, reproducible stream.
 JobOutcome execute_job(const std::string& name, const JobConfig& config,
-                       const RunOptions& options);
+                       const RunOptions& options, std::size_t index = 0);
 
 /// Machine-readable run manifest: per-job name/hash/kind/cache_hit/
-/// wall_seconds/artifact-path/perf plus aggregate totals. Wall-clock
-/// lives only here, never in artifacts.
+/// wall_seconds/artifact-path/perf/metrics plus aggregate totals
+/// (including the merged deterministic "metrics" across simulation
+/// jobs, identical cold or warm). Wall-clock lives only here, never in
+/// artifacts.
 JsonValue build_manifest(const std::vector<JobOutcome>& outcomes,
                          const RunOptions& options, double total_wall_seconds);
+
+/// Merged deterministic metrics across successful jobs (the manifest's
+/// "metrics" object, exposed for `dqctl campaign run --metrics-out`).
+JsonValue merge_outcome_metrics(const std::vector<JobOutcome>& outcomes);
 
 }  // namespace dq::campaign

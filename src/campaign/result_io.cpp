@@ -104,7 +104,7 @@ JsonValue averaged_result_to_json(const sim::AveragedResult& result) {
         JsonValue::number(result.mean_quarantine_dropped));
   o.set("mean_legit_quarantine_dropped",
         JsonValue::number(result.mean_legit_quarantine_dropped));
-  o.set("perf", perf_counters_to_json(result.perf_total));
+  o.set("perf", perf_counters_to_json(result.perf_counters));
   return o;
 }
 
@@ -125,7 +125,7 @@ sim::AveragedResult averaged_result_from_json(const JsonValue& v) {
   out.mean_quarantine_dropped = v.at("mean_quarantine_dropped").as_number();
   out.mean_legit_quarantine_dropped =
       v.at("mean_legit_quarantine_dropped").as_number();
-  out.perf_total = perf_counters_from_json(v.at("perf"));
+  out.perf_counters = perf_counters_from_json(v.at("perf"));
   return out;
 }
 

@@ -1,0 +1,183 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace dq::obs {
+
+namespace {
+
+using campaign::JsonValue;
+
+}  // namespace
+
+std::string labeled(std::string_view name,
+                    std::vector<std::pair<std::string, std::string>> labels) {
+  if (labels.empty()) return std::string(name);
+  std::sort(labels.begin(), labels.end());
+  std::string out(name);
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Determinism det) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      Entry<Counter>{std::make_unique<Counter>(), det})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Determinism det) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      Entry<Gauge>{std::make_unique<Gauge>(), det})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Determinism det) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      Entry<Histogram>{std::make_unique<Histogram>(), det})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+campaign::JsonValue MetricsRegistry::snapshot(bool deterministic_only) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::object();
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, entry] : counters_) {
+    if (deterministic_only && entry.det == Determinism::kWallClock) continue;
+    counters.set(name, JsonValue::integer(entry.metric->value()));
+  }
+  out.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, entry] : gauges_) {
+    if (deterministic_only && entry.det == Determinism::kWallClock) continue;
+    gauges.set(name, JsonValue::number(entry.metric->value()));
+  }
+  out.set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, entry] : histograms_) {
+    if (deterministic_only && entry.det == Determinism::kWallClock) continue;
+    JsonValue h = JsonValue::object();
+    h.set("count", JsonValue::integer(entry.metric->count()));
+    h.set("sum", JsonValue::integer(entry.metric->sum()));
+    JsonValue buckets = JsonValue::array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = entry.metric->bucket(i);
+      if (n == 0) continue;
+      JsonValue pair = JsonValue::array();
+      pair.push_back(JsonValue::integer(Histogram::bucket_lower_bound(i)));
+      pair.push_back(JsonValue::integer(n));
+      buckets.push_back(std::move(pair));
+    }
+    h.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(h));
+  }
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::merge_snapshot(campaign::JsonValue& total,
+                                     const campaign::JsonValue& part) {
+  if (part.is_null()) return;
+  if (total.is_null()) {
+    total = part;
+    return;
+  }
+
+  // Counters: numeric sum per name. Sorted-name invariant of snapshot()
+  // is preserved by re-sorting the merged key set.
+  auto merge_numeric = [](JsonValue& dst_obj, const JsonValue& src_obj) {
+    std::map<std::string, std::uint64_t> merged;
+    for (const auto& [k, v] : dst_obj.members()) merged[k] += v.as_uint();
+    for (const auto& [k, v] : src_obj.members()) merged[k] += v.as_uint();
+    JsonValue out = JsonValue::object();
+    for (const auto& [k, v] : merged) out.set(k, JsonValue::integer(v));
+    dst_obj = std::move(out);
+  };
+
+  JsonValue counters = JsonValue::object();
+  if (const JsonValue* c = total.find("counters")) counters = *c;
+  if (const JsonValue* c = part.find("counters"))
+    merge_numeric(counters, *c);
+
+  JsonValue gauges = JsonValue::object();
+  if (const JsonValue* g = total.find("gauges")) gauges = *g;
+  if (const JsonValue* g = part.find("gauges")) {
+    std::map<std::string, JsonValue> merged;
+    for (const auto& [k, v] : gauges.members()) merged[k] = v;
+    for (const auto& [k, v] : g->members()) merged[k] = v;  // last wins
+    JsonValue out = JsonValue::object();
+    for (auto& [k, v] : merged) out.set(k, std::move(v));
+    gauges = std::move(out);
+  }
+
+  JsonValue histograms = JsonValue::object();
+  if (const JsonValue* h = total.find("histograms")) histograms = *h;
+  if (const JsonValue* h = part.find("histograms")) {
+    std::map<std::string, JsonValue> merged;
+    for (const auto& [k, v] : histograms.members()) merged[k] = v;
+    for (const auto& [k, v] : h->members()) {
+      auto it = merged.find(k);
+      if (it == merged.end()) {
+        merged[k] = v;
+        continue;
+      }
+      std::map<std::uint64_t, std::uint64_t> buckets;
+      for (const auto& pair : it->second.at("buckets").items())
+        buckets[pair.items()[0].as_uint()] += pair.items()[1].as_uint();
+      for (const auto& pair : v.at("buckets").items())
+        buckets[pair.items()[0].as_uint()] += pair.items()[1].as_uint();
+      JsonValue hv = JsonValue::object();
+      hv.set("count", JsonValue::integer(it->second.at("count").as_uint() +
+                                         v.at("count").as_uint()));
+      hv.set("sum", JsonValue::integer(it->second.at("sum").as_uint() +
+                                       v.at("sum").as_uint()));
+      JsonValue barr = JsonValue::array();
+      for (const auto& [lower, n] : buckets) {
+        JsonValue pair = JsonValue::array();
+        pair.push_back(JsonValue::integer(lower));
+        pair.push_back(JsonValue::integer(n));
+        barr.push_back(std::move(pair));
+      }
+      hv.set("buckets", std::move(barr));
+      it->second = std::move(hv);
+    }
+    JsonValue out = JsonValue::object();
+    for (auto& [k, v] : merged) out.set(k, std::move(v));
+    histograms = std::move(out);
+  }
+
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  total = std::move(out);
+}
+
+}  // namespace dq::obs

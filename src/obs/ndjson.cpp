@@ -1,0 +1,212 @@
+#include "obs/ndjson.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dq::obs {
+
+namespace {
+
+using campaign::JsonValue;
+
+const char* packet_kind_name(std::uint8_t kind) noexcept {
+  switch (kind) {
+    case 0:
+      return "worm";
+    case 1:
+      return "predator";
+    case 2:
+      return "legit";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kInfection:
+      return "infection";
+    case EventKind::kQueuePark:
+      return "queue_park";
+    case EventKind::kQueueRelease:
+      return "queue_release";
+    case EventKind::kResponseDrop:
+      return "response_drop";
+    case EventKind::kQuarantineDrop:
+      return "quarantine_drop";
+    case EventKind::kDetectorStrike:
+      return "detector_strike";
+    case EventKind::kQuarantineTransition:
+      return "quarantine_transition";
+    case EventKind::kDetectorAlarm:
+      return "detector_alarm";
+    case EventKind::kImmunizationStart:
+      return "immunization_start";
+    case EventKind::kImmunization:
+      return "immunization";
+    case EventKind::kPredatorTake:
+      return "predator_take";
+  }
+  return "unknown";
+}
+
+const char* to_string(QState state) noexcept {
+  switch (state) {
+    case QState::kFree:
+      return "free";
+    case QState::kSuspected:
+      return "suspected";
+    case QState::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+campaign::JsonValue event_to_json(const Event& e, long run) {
+  JsonValue o = JsonValue::object();
+  o.set("t", JsonValue::number(e.time));
+  if (run >= 0) o.set("run", JsonValue::integer(static_cast<std::uint64_t>(run)));
+  o.set("kind", JsonValue::str(to_string(e.kind)));
+  switch (e.kind) {
+    case EventKind::kInfection:
+    case EventKind::kImmunization:
+    case EventKind::kPredatorTake:
+      o.set("node", JsonValue::integer(e.id));
+      break;
+    case EventKind::kQueuePark:
+    case EventKind::kQueueRelease:
+      o.set(e.a != 0 ? "hub" : "link", JsonValue::integer(e.id));
+      break;
+    case EventKind::kResponseDrop:
+      o.set("node", JsonValue::integer(e.id));
+      o.set("packet", JsonValue::str(packet_kind_name(e.b)));
+      o.set("link", JsonValue::integer(e.value));
+      break;
+    case EventKind::kQuarantineDrop:
+      o.set("node", JsonValue::integer(e.id));
+      o.set("direction", JsonValue::str(e.a != 0 ? "inbound" : "outbound"));
+      o.set("packet", JsonValue::str(packet_kind_name(e.b)));
+      o.set("count", JsonValue::integer(e.value));
+      break;
+    case EventKind::kDetectorStrike:
+      o.set("node", JsonValue::integer(e.id));
+      o.set("strikes", JsonValue::integer(e.value));
+      break;
+    case EventKind::kQuarantineTransition:
+      o.set("node", JsonValue::integer(e.id));
+      o.set("from", JsonValue::str(to_string(static_cast<QState>(e.a))));
+      o.set("to", JsonValue::str(to_string(static_cast<QState>(e.b))));
+      o.set("offenses", JsonValue::integer(e.value));
+      break;
+    case EventKind::kDetectorAlarm:
+      o.set("sightings", JsonValue::integer(e.value));
+      break;
+    case EventKind::kImmunizationStart:
+      break;
+  }
+  return o;
+}
+
+std::string event_to_ndjson_line(const Event& e, long run) {
+  std::string line = event_to_json(e, run).dump();
+  line += '\n';
+  return line;
+}
+
+campaign::JsonValue NdjsonSummary::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("total_events", JsonValue::integer(total_events));
+  o.set("malformed_lines", JsonValue::integer(malformed_lines));
+  o.set("runs", JsonValue::integer(runs));
+  JsonValue kinds = JsonValue::object();
+  for (const auto& [kind, n] : events_by_kind)
+    kinds.set(kind, JsonValue::integer(n));
+  o.set("events_by_kind", std::move(kinds));
+  o.set("infected_hosts", JsonValue::integer(infected_hosts));
+  o.set("quarantined_hosts", JsonValue::integer(quarantined_hosts));
+  o.set("detected_hosts", JsonValue::integer(detected_hosts));
+  o.set("false_positive_hosts", JsonValue::integer(false_positive_hosts));
+  o.set("mean_detection_latency", JsonValue::number(mean_detection_latency));
+  o.set("strikes", JsonValue::integer(strikes));
+  o.set("strikes_time_ordered", JsonValue::boolean(strikes_time_ordered));
+  return o;
+}
+
+NdjsonSummary summarize_ndjson(std::string_view text) {
+  NdjsonSummary s;
+  // Keyed by (run, node).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> first_infected;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> first_quarantined;
+  std::map<std::uint64_t, double> last_strike_time;
+  std::map<std::uint64_t, bool> run_seen;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    JsonValue v;
+    try {
+      v = JsonValue::parse(line);
+    } catch (const std::exception&) {
+      ++s.malformed_lines;
+      continue;
+    }
+    const JsonValue* kind = v.find("kind");
+    const JsonValue* t = v.find("t");
+    if (kind == nullptr || t == nullptr) {
+      ++s.malformed_lines;
+      continue;
+    }
+    ++s.total_events;
+    ++s.events_by_kind[kind->as_string()];
+
+    std::uint64_t run = 0;
+    if (const JsonValue* r = v.find("run")) run = r->as_uint();
+    run_seen[run] = true;
+    const double time = t->as_number();
+    std::uint64_t node = 0;
+    if (const JsonValue* n = v.find("node")) node = n->as_uint();
+    const std::pair<std::uint64_t, std::uint64_t> key{run, node};
+
+    const std::string& k = kind->as_string();
+    if (k == "infection") {
+      first_infected.try_emplace(key, time);
+    } else if (k == "detector_strike") {
+      ++s.strikes;
+      auto [it, inserted] = last_strike_time.try_emplace(run, time);
+      if (!inserted) {
+        if (time < it->second) s.strikes_time_ordered = false;
+        it->second = time;
+      }
+    } else if (k == "quarantine_transition") {
+      const JsonValue* to = v.find("to");
+      if (to != nullptr && to->as_string() == "quarantined")
+        first_quarantined.try_emplace(key, time);
+    }
+  }
+
+  s.runs = run_seen.empty() ? 1 : run_seen.size();
+  s.infected_hosts = first_infected.size();
+  s.quarantined_hosts = first_quarantined.size();
+  double latency_sum = 0.0;
+  for (const auto& [key, qt] : first_quarantined) {
+    auto it = first_infected.find(key);
+    if (it == first_infected.end()) {
+      ++s.false_positive_hosts;
+      continue;
+    }
+    ++s.detected_hosts;
+    latency_sum += std::max(0.0, qt - it->second);
+  }
+  if (s.detected_hosts > 0)
+    s.mean_detection_latency = latency_sum / static_cast<double>(s.detected_hosts);
+  return s;
+}
+
+}  // namespace dq::obs

@@ -1,0 +1,48 @@
+// NDJSON rendering of trace events and the stream summarizer behind
+// `dqctl obs summarize`. One canonical-JSON object per line; field
+// set depends on the event kind (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "campaign/json.hpp"
+#include "obs/events.hpp"
+
+namespace dq::obs {
+
+/// Canonical JSON object for one event. `run` < 0 omits the run field.
+campaign::JsonValue event_to_json(const Event& e, long run = -1);
+
+/// One NDJSON line (event_to_json().dump() + '\n').
+std::string event_to_ndjson_line(const Event& e, long run = -1);
+
+/// Aggregates computed from an NDJSON event stream. Detection fields
+/// mirror quarantine::QuarantineReport semantics: a host is detected
+/// when it was both infected and quarantined (in either order),
+/// latency = max(0, first_quarantined - first_infected), and a false
+/// positive is a quarantined host that was never infected.
+struct NdjsonSummary {
+  std::uint64_t total_events = 0;
+  std::uint64_t malformed_lines = 0;
+  std::map<std::string, std::uint64_t> events_by_kind;
+  std::uint64_t runs = 1;  ///< distinct run indices seen (min 1)
+
+  std::uint64_t infected_hosts = 0;     ///< distinct (run, host) infected
+  std::uint64_t quarantined_hosts = 0;  ///< distinct (run, host) quarantined
+  std::uint64_t detected_hosts = 0;
+  std::uint64_t false_positive_hosts = 0;
+  double mean_detection_latency = 0.0;  ///< over detected hosts
+  std::uint64_t strikes = 0;
+  bool strikes_time_ordered = true;  ///< per run, strike times non-decreasing
+
+  campaign::JsonValue to_json() const;
+};
+
+/// Parses an NDJSON stream (one JSON object per line; blank lines
+/// skipped; unparsable lines counted as malformed, never fatal).
+NdjsonSummary summarize_ndjson(std::string_view text);
+
+}  // namespace dq::obs

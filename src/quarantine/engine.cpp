@@ -6,12 +6,44 @@
 
 namespace dq::quarantine {
 
+// obs::QState mirrors HostQState so the obs layer stays free of
+// quarantine headers; keep the numeric values locked together.
+static_assert(static_cast<std::uint8_t>(HostQState::kFree) ==
+              static_cast<std::uint8_t>(obs::QState::kFree));
+static_assert(static_cast<std::uint8_t>(HostQState::kSuspected) ==
+              static_cast<std::uint8_t>(obs::QState::kSuspected));
+static_assert(static_cast<std::uint8_t>(HostQState::kQuarantined) ==
+              static_cast<std::uint8_t>(obs::QState::kQuarantined));
+
 QuarantineEngine::QuarantineEngine(std::size_t num_hosts,
                                    const QuarantineConfig& config)
     : config_(config), hosts_(num_hosts), detectors_(num_hosts) {
   config_.validate();
   if (num_hosts == 0)
     throw std::invalid_argument("QuarantineEngine: need at least one host");
+}
+
+void QuarantineEngine::set_obs(obs::Sink sink) {
+  obs_ = sink;
+  obs_strikes_ = nullptr;
+  obs_transitions_ = nullptr;
+  if (obs_.metrics != nullptr) {
+    obs_strikes_ = &obs_.metrics->counter("quarantine.strikes");
+    obs_transitions_ = &obs_.metrics->counter("quarantine.transitions");
+  }
+}
+
+void QuarantineEngine::emit_transition(std::uint32_t host, HostQState from,
+                                       HostQState to, double when) {
+  if (obs_transitions_ != nullptr) obs_transitions_->add();
+  obs::Event e;
+  e.time = when;
+  e.id = host;
+  e.kind = obs::EventKind::kQuarantineTransition;
+  e.a = static_cast<std::uint8_t>(from);
+  e.b = static_cast<std::uint8_t>(to);
+  e.value = hosts_[host].offenses;
+  obs_.emit(e);
 }
 
 void QuarantineEngine::advance_to(double now) {
@@ -37,6 +69,7 @@ void QuarantineEngine::quarantine(std::uint32_t host, double now) {
   releases_.push({rec.release_time, host});
   ++events_;
   ++active_;
+  if (obs_) emit_transition(host, HostQState::kSuspected, rec.state, now);
 }
 
 void QuarantineEngine::release(std::uint32_t host) {
@@ -44,6 +77,9 @@ void QuarantineEngine::release(std::uint32_t host) {
   rec.state = HostQState::kFree;
   rec.strikes = 0;
   rec.quarantine_time += rec.release_time - rec.quarantine_start;
+  if (obs_)
+    emit_transition(host, HostQState::kQuarantined, HostQState::kFree,
+                    rec.release_time);
   // A released host restarts with a clean detector; if it is still
   // misbehaving it will re-strike within a window or two and serve the
   // escalated period.
@@ -64,15 +100,29 @@ void QuarantineEngine::observe(std::uint32_t host, std::uint64_t dest_key,
                       ? 0
                       : rec.strikes -
                             static_cast<std::uint32_t>(outcome.clean_windows);
-    if (rec.strikes == 0 && rec.state == HostQState::kSuspected)
+    if (rec.strikes == 0 && rec.state == HostQState::kSuspected) {
       rec.state = HostQState::kFree;
+      if (obs_)
+        emit_transition(host, HostQState::kSuspected, HostQState::kFree, now);
+    }
   }
 
   if (!outcome.strike) return;
   ++rec.strikes;
+  if (obs_) {
+    if (obs_strikes_ != nullptr) obs_strikes_->add();
+    obs::Event e;
+    e.time = now;
+    e.id = host;
+    e.kind = obs::EventKind::kDetectorStrike;
+    e.value = rec.strikes;
+    obs_.emit(e);
+  }
   if (rec.state == HostQState::kFree) {
     rec.state = HostQState::kSuspected;
     if (rec.first_suspected < 0.0) rec.first_suspected = now;
+    if (obs_)
+      emit_transition(host, HostQState::kFree, HostQState::kSuspected, now);
   }
   if (rec.strikes >= config_.policy.strikes_to_quarantine)
     quarantine(host, now);

@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "quarantine/config.hpp"
 #include "quarantine/detectors.hpp"
 
@@ -89,6 +90,12 @@ class QuarantineEngine {
   std::uint64_t quarantine_events() const noexcept { return events_; }
   std::size_t currently_quarantined() const noexcept { return active_; }
 
+  /// Attaches an observability sink: state transitions and detector
+  /// strikes are emitted as trace events, and `quarantine.strikes` /
+  /// `quarantine.transitions` counters update live. The default null
+  /// sink costs one branch per transition. Deterministic either way.
+  void set_obs(obs::Sink sink);
+
   /// Quarantine time served by `host` including any open interval.
   double quarantine_time(std::uint32_t host, double now) const;
 
@@ -101,7 +108,12 @@ class QuarantineEngine {
  private:
   void quarantine(std::uint32_t host, double now);
   void release(std::uint32_t host);
+  void emit_transition(std::uint32_t host, HostQState from, HostQState to,
+                       double when);
 
+  obs::Sink obs_;
+  obs::Counter* obs_strikes_ = nullptr;
+  obs::Counter* obs_transitions_ = nullptr;
   QuarantineConfig config_;
   std::vector<HostRecord> hosts_;
   std::vector<HostDetector> detectors_;

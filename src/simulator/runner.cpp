@@ -9,8 +9,18 @@
 namespace dq::sim {
 
 AveragedResult run_many(const Network& net, const SimulationConfig& base,
-                        std::size_t runs, std::size_t max_parallelism) {
+                        std::size_t runs, std::size_t max_parallelism,
+                        obs::MultiRunSink* obs) {
   if (runs == 0) throw std::invalid_argument("run_many: runs must be > 0");
+  if (obs != nullptr && obs->runs() < runs)
+    throw std::invalid_argument("run_many: obs sink sized for fewer runs");
+
+  const auto run_one = [&](std::size_t r) {
+    SimulationConfig cfg = base;
+    cfg.seed = base.seed + r;
+    const obs::Sink sink = obs != nullptr ? obs->run_sink(r) : obs::Sink{};
+    return WormSimulation(net, cfg, sink).run();
+  };
 
   std::vector<RunResult> results(runs);
   if (max_parallelism == 0) {
@@ -20,22 +30,18 @@ AveragedResult run_many(const Network& net, const SimulationConfig& base,
   const std::size_t workers = std::min(max_parallelism, runs);
 
   if (workers <= 1) {
-    for (std::size_t r = 0; r < runs; ++r) {
-      SimulationConfig cfg = base;
-      cfg.seed = base.seed + r;
-      results[r] = WormSimulation(net, cfg).run();
-    }
+    for (std::size_t r = 0; r < runs; ++r) results[r] = run_one(r);
   } else {
-    // Each run is fully independent (own RNG stream, own state); the
-    // Network is only read. A shared counter hands out run indices.
+    // Each run is fully independent (own RNG stream, own state, own
+    // trace ring); the Network is only read and the metrics registry
+    // takes commutative atomic updates. A shared counter hands out run
+    // indices.
     std::atomic<std::size_t> next{0};
     auto work = [&] {
       for (;;) {
         const std::size_t r = next.fetch_add(1);
         if (r >= runs) return;
-        SimulationConfig cfg = base;
-        cfg.seed = base.seed + r;
-        results[r] = WormSimulation(net, cfg).run();
+        results[r] = run_one(r);
       }
     };
     std::vector<std::thread> pool;
@@ -54,7 +60,13 @@ AveragedResult run_many(const Network& net, const SimulationConfig& base,
   if (base.quarantine.enabled) qreports.reserve(runs);
   AveragedResult out;
   for (RunResult& result : results) {
-    out.perf_total += result.perf;
+    // Only the deterministic event counters aggregate; summed wall
+    // seconds were the old perf_total footgun (see runner.hpp).
+    out.perf_counters.ticks += result.perf.ticks;
+    out.perf_counters.packets_forwarded += result.perf.packets_forwarded;
+    out.perf_counters.link_hops += result.perf.link_hops;
+    out.perf_counters.queue_events += result.perf.queue_events;
+    out.perf_counters.queue_releases += result.perf.queue_releases;
     out.perf_max_run_seconds =
         std::max(out.perf_max_run_seconds, result.perf.total_seconds());
     if (base.quarantine.enabled) {

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 
+#include "obs/sink.hpp"
 #include "simulator/config.hpp"
 #include "simulator/network.hpp"
 #include "simulator/worm_sim.hpp"
@@ -29,11 +30,14 @@ struct AveragedResult {
   /// Mean per-run quarantine packet drops (worm+predator / legit).
   double mean_quarantine_dropped = 0.0;
   double mean_legit_quarantine_dropped = 0.0;
-  /// Tick-loop counters and phase wall time summed over all runs. Under
-  /// parallel execution the seconds fields add up concurrent threads'
-  /// work, so they overstate elapsed time — read perf_max_run_seconds
-  /// for the real wall clock.
-  PerfCounters perf_total;
+  /// Deterministic tick-loop event counters summed over all runs.
+  /// Replaces the old `perf_total`, which also summed per-phase wall
+  /// seconds — a footgun under parallel execution, where concurrent
+  /// threads' time added up to more than elapsed time. The seconds
+  /// fields here stay zero; wall-clock timing now lives in
+  /// perf_max_run_seconds and the obs registry's kWallClock metrics
+  /// (`sim.run_micros` — see docs/OBSERVABILITY.md).
+  PerfCounters perf_counters;
   /// Wall time of the slowest single run — the critical path, and the
   /// honest wall-clock figure when runs execute in parallel.
   double perf_max_run_seconds = 0.0;
@@ -46,7 +50,13 @@ struct AveragedResult {
 /// the hardware concurrency, 1 forces serial execution. Results are
 /// identical regardless of parallelism — every run's RNG stream is
 /// fixed by its seed. Throws std::invalid_argument on runs == 0.
+///
+/// When `obs` is non-null it must have been constructed with at least
+/// `runs` runs; run r records into obs->run_sink(r). Registry totals
+/// and the concatenated NDJSON export are byte-identical at any
+/// parallelism (commutative counters; one private ring per run).
 AveragedResult run_many(const Network& net, const SimulationConfig& base,
-                        std::size_t runs, std::size_t max_parallelism = 0);
+                        std::size_t runs, std::size_t max_parallelism = 0,
+                        obs::MultiRunSink* obs = nullptr);
 
 }  // namespace dq::sim

@@ -33,10 +33,28 @@ worm::TargetSelector make_selector(const Network& net,
 
 }  // namespace
 
+namespace {
+
+dq::obs::Event make_event(double time, std::uint32_t id, dq::obs::EventKind kind,
+                          std::uint8_t a = 0, std::uint8_t b = 0,
+                          std::uint64_t value = 0) {
+  dq::obs::Event e;
+  e.time = time;
+  e.id = id;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.value = value;
+  return e;
+}
+
+}  // namespace
+
 WormSimulation::WormSimulation(const Network& net,
-                               const SimulationConfig& config)
+                               const SimulationConfig& config, obs::Sink obs)
     : net_(net),
       config_(config),
+      obs_(obs),
       rng_(config.seed),
       selector_(make_selector(net, config)) {
   const auto& worm_cfg = config.worm;
@@ -144,6 +162,7 @@ WormSimulation::WormSimulation(const Network& net,
   if (config.quarantine.enabled) {
     quarantine_.emplace(net.num_nodes(), config.quarantine);
     quarantine_armed_ = !config.quarantine.start_on_detection;
+    if (obs_) quarantine_->set_obs(obs_);
   }
 
   assign_host_filters();
@@ -243,6 +262,8 @@ void WormSimulation::infect(NodeId n) {
     ever_[n] = 1;
     ++ever_count_;
   }
+  if (obs_.trace != nullptr)
+    obs_.emit(make_event(tick_, n, obs::EventKind::kInfection));
 }
 
 void WormSimulation::predator_take(NodeId n) {
@@ -257,6 +278,8 @@ void WormSimulation::predator_take(NodeId n) {
   predator_tick_[n] = tick_;
   ++predator_count_;
   pending_predator_.push_back(n);
+  if (obs_.trace != nullptr)
+    obs_.emit(make_event(tick_, n, obs::EventKind::kPredatorTake));
 }
 
 void WormSimulation::release_predator() {
@@ -315,6 +338,9 @@ void WormSimulation::emit_scans(std::vector<Packet>& fresh) {
       // this host consumes, keeping the stream aligned across
       // treatments.
       result_.quarantine_dropped_packets += attempts;
+      if (obs_.trace != nullptr && attempts > 0)
+        obs_.emit(make_event(tick_, v, obs::EventKind::kQuarantineDrop,
+                             /*a=*/0, /*b=*/0, attempts));
       continue;
     }
     for (std::uint64_t a = 0; a < attempts; ++a) {
@@ -338,6 +364,9 @@ void WormSimulation::emit_scans(std::vector<Packet>& fresh) {
         if (++detector_sightings_ >= detector.threshold) {
           detection_tick_ = tick_;
           result_.detection_tick = tick_;
+          if (obs_.trace != nullptr)
+            obs_.emit(make_event(tick_, 0, obs::EventKind::kDetectorAlarm,
+                                 /*a=*/0, /*b=*/0, detector_sightings_));
         }
       }
     }
@@ -366,6 +395,9 @@ void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
       const std::uint64_t attempts = rng_.poisson(prate);
       if (q && qpolicy.treatment == quarantine::Treatment::kDropAll) {
         result_.quarantine_dropped_packets += attempts;
+        if (obs_.trace != nullptr && attempts > 0)
+          obs_.emit(make_event(tick_, v, obs::EventKind::kQuarantineDrop,
+                               /*a=*/0, /*b=*/1, attempts));
         continue;
       }
       for (std::uint64_t a = 0; a < attempts; ++a) {
@@ -398,6 +430,9 @@ void WormSimulation::emit_legit(std::vector<Packet>& fresh) {
       // skipped: the packets never exist.
       result_.legit_sent += count;
       result_.legit_quarantine_dropped += count;
+      if (obs_.trace != nullptr)
+        obs_.emit(make_event(tick_, v, obs::EventKind::kQuarantineDrop,
+                             /*a=*/0, /*b=*/2, count));
       continue;
     }
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -472,6 +507,9 @@ void WormSimulation::deliver(const Packet& p) {
         ++result_.legit_quarantine_dropped;
       else
         ++result_.quarantine_dropped_packets;
+      if (obs_.trace != nullptr)
+        obs_.emit(make_event(tick_, p.dest, obs::EventKind::kQuarantineDrop,
+                             /*a=*/1, static_cast<std::uint8_t>(p.kind), 1));
       return;
     }
   }
@@ -496,6 +534,8 @@ void WormSimulation::park_link(std::uint32_t link, const Packet& p) {
   link_queue_[link].push_back(p);
   ++result_.total_queued_packet_events;
   ++result_.perf.queue_events;
+  if (obs_.trace != nullptr)
+    obs_.emit(make_event(tick_, link, obs::EventKind::kQueuePark));
   if (queued_flag_[link]) return;
   queued_flag_[link] = 1;
   if (in_link_drain_ && link > drain_pass_[drain_pos_]) {
@@ -524,6 +564,9 @@ void WormSimulation::forward(Packet p) {
         node_queue_.push_back(p);
         ++result_.total_queued_packet_events;
         ++result_.perf.queue_events;
+        if (obs_.trace != nullptr)
+          obs_.emit(make_event(tick_, node_cap_node_,
+                               obs::EventKind::kQueuePark, /*a=*/1));
         return;
       }
       ++node_cap_used_;
@@ -535,6 +578,10 @@ void WormSimulation::forward(Packet p) {
         ++result_.legit_dropped;
       else
         ++result_.worm_packets_dropped;
+      if (obs_.trace != nullptr)
+        obs_.emit(make_event(tick_, p.src, obs::EventKind::kResponseDrop,
+                             /*a=*/0, static_cast<std::uint8_t>(p.kind),
+                             hop.link));
       // A filtered connection never completes: the source's quarantine
       // detector sees it as a failure.
       quarantine_observe(p.src, p.dest, /*failed=*/true);
@@ -585,6 +632,9 @@ void WormSimulation::release_queues() {
     const Packet p = node_queue_.front();
     node_queue_.pop_front();
     ++result_.perf.queue_releases;
+    if (obs_.trace != nullptr)
+      obs_.emit(make_event(tick_, node_cap_node_,
+                           obs::EventKind::kQueueRelease, /*a=*/1));
     forward(p);
   }
 
@@ -601,6 +651,8 @@ void WormSimulation::release_queues() {
       const Packet p = link_queue_[l].front();
       link_queue_[l].pop_front();
       ++result_.perf.queue_releases;
+      if (obs_.trace != nullptr)
+        obs_.emit(make_event(tick_, l, obs::EventKind::kQueueRelease));
       forward(p);
     }
     if (link_queue_[l].empty())
@@ -628,6 +680,8 @@ void WormSimulation::immunization_step() {
     if (!due) return;
     immunizing_ = true;
     result_.immunization_start_tick = tick_;
+    if (obs_.trace != nullptr)
+      obs_.emit(make_event(tick_, 0, obs::EventKind::kImmunizationStart));
   }
   if (!alive_nodes_ready_) {
     // First immunizing tick: snapshot the not-yet-removed nodes in
@@ -661,6 +715,8 @@ void WormSimulation::immunization_step() {
       }
       state_[v] = NodeState::kRemoved;
       ++removed_count_;
+      if (obs_.trace != nullptr)
+        obs_.emit(make_event(tick_, v, obs::EventKind::kImmunization));
       continue;
     }
     alive_nodes_[out++] = v;
@@ -754,6 +810,38 @@ void WormSimulation::step() {
   ++result_.perf.ticks;
 }
 
+void WormSimulation::flush_metrics() {
+  if (obs_.metrics == nullptr) return;
+  // One batched flush per run: relaxed counter adds commute, so totals
+  // across a run_many batch are identical at any thread count.
+  obs::MetricsRegistry& m = *obs_.metrics;
+  m.counter("sim.runs").add(1);
+  m.counter("sim.ticks").add(result_.perf.ticks);
+  m.counter("sim.packets_forwarded").add(result_.perf.packets_forwarded);
+  m.counter("sim.link_hops").add(result_.perf.link_hops);
+  m.counter("sim.queue_events").add(result_.perf.queue_events);
+  m.counter("sim.queue_releases").add(result_.perf.queue_releases);
+  m.counter("sim.scan_packets").add(result_.total_scan_packets);
+  m.counter("sim.infections").add(ever_count_);
+  m.counter("sim.worm_packets_dropped").add(result_.worm_packets_dropped);
+  m.counter("sim.legit.sent").add(result_.legit_sent);
+  m.counter("sim.legit.delivered").add(result_.legit_delivered);
+  m.counter("sim.legit.dropped").add(result_.legit_dropped);
+  m.histogram("sim.run_ticks").record(result_.perf.ticks);
+  if (quarantine_) {
+    m.counter("quarantine.events").add(quarantine_->quarantine_events());
+    m.counter("quarantine.dropped_packets")
+        .add(result_.quarantine_dropped_packets);
+    m.counter("quarantine.legit_dropped")
+        .add(result_.legit_quarantine_dropped);
+  }
+  // Wall-clock timing supersedes AveragedResult's old perf_total
+  // seconds: flagged kWallClock so deterministic snapshots (cached
+  // artifacts) never include it.
+  m.histogram("sim.run_micros", obs::Determinism::kWallClock)
+      .record(static_cast<std::uint64_t>(result_.perf.total_seconds() * 1e6));
+}
+
 RunResult WormSimulation::run() {
   while (tick_ < config_.max_ticks && !saturated()) step();
   result_.final_ever_infected_count = ever_count_;
@@ -764,6 +852,7 @@ RunResult WormSimulation::run() {
     // Ground truth: a host is a target iff the worm ever took it, with
     // its infection tick as the detection-latency reference point.
     result_.quarantine = quarantine_->report(infected_tick_, tick_);
+  flush_metrics();
   return result_;
 }
 

@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "quarantine/engine.hpp"
 #include "simulator/config.hpp"
 #include "simulator/network.hpp"
@@ -132,8 +133,15 @@ struct RunResult {
 /// One worm outbreak over a shared Network.
 class WormSimulation {
  public:
-  /// The network must outlive the simulation.
-  WormSimulation(const Network& net, const SimulationConfig& config);
+  /// The network must outlive the simulation. The optional sink
+  /// receives trace events (infections, queue activity, quarantine
+  /// churn — see obs/events.hpp) as they happen and a metrics flush at
+  /// the end of run(); the default null sink reduces every hook to a
+  /// pointer test, and the sink never touches the RNG stream, so
+  /// trajectories are identical with observability on or off. Pass the
+  /// sink at construction: initial infections fire at tick 0.
+  WormSimulation(const Network& net, const SimulationConfig& config,
+                 obs::Sink obs = {});
 
   /// Runs to completion and returns the recorded curves.
   RunResult run();
@@ -214,8 +222,13 @@ class WormSimulation {
   bool saturated() const;
   bool source_blacklisted(NodeId src) const;
 
+  /// Publishes this run's PerfCounters and outcome counters into the
+  /// registry (run() calls it once; step()-driven tests may skip it).
+  void flush_metrics();
+
   const Network& net_;
   SimulationConfig config_;
+  obs::Sink obs_;
   Rng rng_;
   worm::TargetSelector selector_;
 

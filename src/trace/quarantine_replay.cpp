@@ -25,13 +25,15 @@ bool is_worm(HostCategory c) {
 }  // namespace
 
 QuarantineReplayReport replay_quarantine(
-    const Trace& trace, const quarantine::QuarantineConfig& config) {
+    const Trace& trace, const quarantine::QuarantineConfig& config,
+    obs::Sink obs) {
   if (!trace.finalized())
     throw std::invalid_argument("replay_quarantine: trace not finalized");
   if (trace.num_hosts() == 0)
     throw std::invalid_argument("replay_quarantine: trace has no census");
 
   quarantine::QuarantineEngine engine(trace.num_hosts(), config);
+  if (obs) engine.set_obs(obs);
   std::unordered_map<HostId, HostKnowledge> knowledge;
 
   // Target labels for the overall report: a worm host's onset is its
@@ -101,6 +103,13 @@ QuarantineReplayReport replay_quarantine(
       stats.mean_detection_latency =
           latency_sum / static_cast<double>(latency_count);
     report.categories.push_back(stats);
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->counter("replay.events_processed")
+        .add(report.events_processed);
+    obs.metrics->counter("replay.hosts").add(trace.num_hosts());
+    obs.metrics->counter("quarantine.events")
+        .add(engine.quarantine_events());
   }
   return report;
 }

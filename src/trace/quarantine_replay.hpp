@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "quarantine/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -50,8 +51,12 @@ struct QuarantineReplayReport {
 /// Feeds every outbound contact in the trace to a QuarantineEngine
 /// (windows in seconds) and evaluates the outcome against the host
 /// census. Throws std::invalid_argument on an unfinalized trace, an
-/// empty census, or an invalid config.
+/// empty census, or an invalid config. The optional sink receives the
+/// engine's strike/transition events (times in trace seconds) and the
+/// `quarantine.*` / `replay.*` counters; the default null sink adds a
+/// branch per transition and nothing else.
 QuarantineReplayReport replay_quarantine(
-    const Trace& trace, const quarantine::QuarantineConfig& config);
+    const Trace& trace, const quarantine::QuarantineConfig& config,
+    obs::Sink obs = {});
 
 }  // namespace dq::trace

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -205,7 +206,8 @@ TEST(ResultIo, AveragedResultSurvivesJsonRoundTrip) {
   // artifact text.
   EXPECT_EQ(averaged_result_to_json(decoded).dump(), encoded.dump());
   EXPECT_EQ(decoded.runs, outcome.sim_result->runs);
-  EXPECT_EQ(decoded.perf_total.ticks, outcome.sim_result->perf_total.ticks);
+  EXPECT_EQ(decoded.perf_counters.ticks,
+            outcome.sim_result->perf_counters.ticks);
 }
 
 // --- the determinism matrix ---
@@ -320,6 +322,137 @@ TEST(Scenarios, BuiltinCatalogueExpandsAndDedups) {
       EXPECT_TRUE(hashes.insert(job_hash(job.config)).second)
           << scenario.name << "/" << job.name;
   }
+}
+
+// --- observability through the campaign engine ---
+
+TEST(CampaignObs, SimArtifactEmbedsDeterministicMetrics) {
+  RunOptions options;
+  options.use_cache = false;
+  const JobOutcome outcome = execute_job("m", small_sim_job(), options);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  ASSERT_FALSE(outcome.metrics.is_null());
+
+  const JsonValue parsed = JsonValue::parse(outcome.artifact);
+  const JsonValue* metrics = parsed.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->dump(), outcome.metrics.dump());
+  const JsonValue* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("sim.runs")->as_uint(), small_sim_job().runs);
+  EXPECT_GT(counters->find("sim.ticks")->as_uint(), 0u);
+  // Wall-clock metrics must not leak into the cached artifact.
+  EXPECT_EQ(counters->find("trace.dropped"), nullptr);
+  EXPECT_EQ(metrics->find("histograms")->find("sim.run_micros"), nullptr);
+}
+
+TEST(CampaignObs, CacheHitRestoresIdenticalMetricsSnapshot) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "dq-obs-cache";
+  std::filesystem::remove_all(dir);
+  RunOptions options;
+  options.cache_dir = dir;
+  const JobOutcome cold = execute_job("m", small_sim_job(), options);
+  const JobOutcome warm = execute_job("m", small_sim_job(), options);
+  ASSERT_TRUE(cold.ok() && warm.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  ASSERT_FALSE(cold.metrics.is_null());
+  EXPECT_EQ(cold.metrics.dump(), warm.metrics.dump());
+  // Manifest totals are therefore cold/warm-identical too.
+  EXPECT_EQ(merge_outcome_metrics({cold}).dump(),
+            merge_outcome_metrics({warm}).dump());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignObs, ManifestMergesPerJobMetrics) {
+  RunOptions options;
+  options.use_cache = false;
+  const CampaignReport report = run_scenarios(tiny_scenarios(), options);
+  const JsonValue* merged = report.manifest.find("metrics");
+  ASSERT_NE(merged, nullptr);
+  // Two distinct sim jobs of `runs` runs each (the analytical job
+  // contributes nothing).
+  EXPECT_EQ(merged->find("counters")->find("sim.runs")->as_uint(),
+            2 * small_sim_job().runs);
+  EXPECT_EQ(report.manifest.at("schema").as_uint(), 2u);
+}
+
+TEST(CampaignObs, TraceFilesAreByteIdenticalAcrossThreadCounts) {
+  const std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "dq-obs-traces";
+  std::filesystem::remove_all(root);
+
+  const auto run_with = [&](std::size_t jobs,
+                            const std::filesystem::path& trace_dir) {
+    RunOptions options;
+    options.jobs = jobs;
+    options.use_cache = false;
+    options.trace_dir = trace_dir;
+    return run_scenarios(tiny_scenarios(), options);
+  };
+  const CampaignReport serial = run_with(1, root / "serial");
+  const CampaignReport parallel = run_with(8, root / "parallel");
+
+  const auto read = [](const std::filesystem::path& p) {
+    std::ifstream f(p, std::ios::binary);
+    EXPECT_TRUE(f) << p;
+    return std::string((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  };
+  std::size_t traced = 0;
+  for (const JobOutcome& outcome : serial.outcomes) {
+    if (outcome.config.kind != JobConfig::Kind::kSimulation) continue;
+    std::string file = outcome.name + ".ndjson";
+    for (char& c : file)
+      if (c == '/') c = '_';
+    const std::string a = read(root / "serial" / file);
+    EXPECT_EQ(a, read(root / "parallel" / file));
+    EXPECT_FALSE(a.empty());
+    ++traced;
+  }
+  EXPECT_EQ(traced, 2u);
+  // Tracing never changes artifact bytes.
+  RunOptions untraced;
+  untraced.use_cache = false;
+  const CampaignReport plain = run_scenarios(tiny_scenarios(), untraced);
+  for (std::size_t i = 0; i < plain.outcomes.size(); ++i)
+    EXPECT_EQ(plain.outcomes[i].artifact, serial.outcomes[i].artifact);
+  std::filesystem::remove_all(root);
+}
+
+TEST(CampaignObs, JobEventsFollowTheLifecycle) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "dq-obs-events";
+  std::filesystem::remove_all(dir);
+  std::mutex mu;
+  std::map<std::string, std::vector<JobPhase>> phases;
+  RunOptions options;
+  options.cache_dir = dir;
+  options.jobs = 2;
+  options.on_job_event = [&](const JobEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    phases[event.name].push_back(event.phase);
+  };
+
+  run_scenarios(tiny_scenarios(), options);
+  for (const auto& [name, seq] : phases) {
+    SCOPED_TRACE(name);
+    ASSERT_EQ(seq.size(), 3u);
+    EXPECT_EQ(seq[0], JobPhase::kQueued);
+    EXPECT_EQ(seq[1], JobPhase::kStarted);
+    EXPECT_EQ(seq[2], JobPhase::kFinished);
+  }
+
+  phases.clear();
+  run_scenarios(tiny_scenarios(), options);  // warm: all cache hits
+  for (const auto& [name, seq] : phases) {
+    SCOPED_TRACE(name);
+    ASSERT_EQ(seq.size(), 4u);
+    EXPECT_EQ(seq[2], JobPhase::kCacheHit);
+    EXPECT_EQ(seq[3], JobPhase::kFinished);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

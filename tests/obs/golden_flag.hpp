@@ -1,0 +1,7 @@
+// Shared --update-golden state for the dq_obs_test binary (the flag is
+// parsed in obs_test_main.cpp before gtest sees the command line).
+#pragma once
+
+namespace dq::obs_test {
+extern bool g_update_golden;
+}  // namespace dq::obs_test

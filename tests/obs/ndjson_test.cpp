@@ -1,0 +1,142 @@
+#include "obs/ndjson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dq::obs {
+namespace {
+
+Event make(double time, std::uint32_t id, EventKind kind, std::uint8_t a = 0,
+           std::uint8_t b = 0, std::uint64_t value = 0) {
+  Event e;
+  e.time = time;
+  e.id = id;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.value = value;
+  return e;
+}
+
+TEST(EventToJson, InfectionWithAndWithoutRun) {
+  const Event e = make(1.5, 7, EventKind::kInfection);
+  EXPECT_EQ(event_to_json(e, 0).dump(),
+            "{\"t\":1.5,\"run\":0,\"kind\":\"infection\",\"node\":7}");
+  EXPECT_EQ(event_to_json(e).dump(),
+            "{\"t\":1.5,\"kind\":\"infection\",\"node\":7}");
+}
+
+TEST(EventToJson, QueueSiteIsHubOrLink) {
+  EXPECT_EQ(event_to_json(make(2, 9, EventKind::kQueuePark, 1)).dump(),
+            "{\"t\":2,\"kind\":\"queue_park\",\"hub\":9}");
+  EXPECT_EQ(event_to_json(make(2, 9, EventKind::kQueueRelease)).dump(),
+            "{\"t\":2,\"kind\":\"queue_release\",\"link\":9}");
+}
+
+TEST(EventToJson, QuarantineTransitionNamesStates) {
+  const Event e = make(3, 4, EventKind::kQuarantineTransition,
+                       static_cast<std::uint8_t>(QState::kSuspected),
+                       static_cast<std::uint8_t>(QState::kQuarantined), 2);
+  EXPECT_EQ(event_to_json(e).dump(),
+            "{\"t\":3,\"kind\":\"quarantine_transition\",\"node\":4,"
+            "\"from\":\"suspected\",\"to\":\"quarantined\",\"offenses\":2}");
+}
+
+TEST(EventToJson, QuarantineDropDirectionAndPacket) {
+  const Event e = make(4, 11, EventKind::kQuarantineDrop, /*a=*/1,
+                       /*b=*/2, /*value=*/5);
+  EXPECT_EQ(event_to_json(e).dump(),
+            "{\"t\":4,\"kind\":\"quarantine_drop\",\"node\":11,"
+            "\"direction\":\"inbound\",\"packet\":\"legit\",\"count\":5}");
+}
+
+TEST(EventToJson, DetectorStrikeCarriesStrikeCount) {
+  const Event e = make(5, 3, EventKind::kDetectorStrike, 0, 0, 2);
+  EXPECT_EQ(event_to_json(e).dump(),
+            "{\"t\":5,\"kind\":\"detector_strike\",\"node\":3,"
+            "\"strikes\":2}");
+}
+
+TEST(Summarize, DetectionSemanticsMirrorQuarantineReport) {
+  // Node 1: infected then quarantined (detected, latency 4).
+  // Node 2: quarantined but never infected (false positive).
+  // Node 3: infected, never quarantined.
+  // Node 4: quarantined at t=2 then infected at t=6 — still "detected"
+  // with latency clamped to 0, matching QuarantineReport.
+  const std::string text =
+      "{\"t\":1,\"kind\":\"infection\",\"node\":1}\n"
+      "{\"t\":3,\"kind\":\"detector_strike\",\"node\":1,\"strikes\":1}\n"
+      "{\"t\":5,\"kind\":\"quarantine_transition\",\"node\":1,"
+      "\"from\":\"suspected\",\"to\":\"quarantined\",\"offenses\":1}\n"
+      "{\"t\":3,\"kind\":\"quarantine_transition\",\"node\":2,"
+      "\"from\":\"suspected\",\"to\":\"quarantined\",\"offenses\":1}\n"
+      "{\"t\":4,\"kind\":\"infection\",\"node\":3}\n"
+      "{\"t\":2,\"kind\":\"quarantine_transition\",\"node\":4,"
+      "\"from\":\"suspected\",\"to\":\"quarantined\",\"offenses\":1}\n"
+      "{\"t\":6,\"kind\":\"infection\",\"node\":4}\n";
+  const NdjsonSummary s = summarize_ndjson(text);
+  EXPECT_EQ(s.total_events, 7u);
+  EXPECT_EQ(s.malformed_lines, 0u);
+  EXPECT_EQ(s.runs, 1u);
+  EXPECT_EQ(s.infected_hosts, 3u);
+  EXPECT_EQ(s.quarantined_hosts, 3u);
+  EXPECT_EQ(s.detected_hosts, 2u);
+  EXPECT_EQ(s.false_positive_hosts, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_detection_latency, 2.0);  // (4 + 0) / 2
+  EXPECT_EQ(s.strikes, 1u);
+  EXPECT_TRUE(s.strikes_time_ordered);
+}
+
+TEST(Summarize, HostsAreKeyedPerRun) {
+  // The same node id in different runs is a different host.
+  const std::string text =
+      "{\"t\":1,\"run\":0,\"kind\":\"infection\",\"node\":1}\n"
+      "{\"t\":2,\"run\":1,\"kind\":\"quarantine_transition\",\"node\":1,"
+      "\"from\":\"suspected\",\"to\":\"quarantined\",\"offenses\":1}\n";
+  const NdjsonSummary s = summarize_ndjson(text);
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_EQ(s.infected_hosts, 1u);
+  EXPECT_EQ(s.quarantined_hosts, 1u);
+  EXPECT_EQ(s.detected_hosts, 0u);
+  EXPECT_EQ(s.false_positive_hosts, 1u);
+}
+
+TEST(Summarize, MalformedLinesAreCountedNotFatal) {
+  const std::string text =
+      "not json at all\n"
+      "{\"t\":1}\n"  // missing kind
+      "\n"           // blank lines are skipped entirely
+      "{\"t\":1,\"kind\":\"infection\",\"node\":1}\n";
+  const NdjsonSummary s = summarize_ndjson(text);
+  EXPECT_EQ(s.malformed_lines, 2u);
+  EXPECT_EQ(s.total_events, 1u);
+  EXPECT_EQ(s.infected_hosts, 1u);
+}
+
+TEST(Summarize, OutOfOrderStrikesAreFlagged) {
+  const std::string text =
+      "{\"t\":5,\"run\":0,\"kind\":\"detector_strike\",\"node\":1,"
+      "\"strikes\":1}\n"
+      "{\"t\":3,\"run\":0,\"kind\":\"detector_strike\",\"node\":2,"
+      "\"strikes\":1}\n";
+  EXPECT_FALSE(summarize_ndjson(text).strikes_time_ordered);
+  // Ordering is tracked per run: interleaved runs stay ordered.
+  const std::string per_run =
+      "{\"t\":5,\"run\":0,\"kind\":\"detector_strike\",\"node\":1,"
+      "\"strikes\":1}\n"
+      "{\"t\":3,\"run\":1,\"kind\":\"detector_strike\",\"node\":2,"
+      "\"strikes\":1}\n";
+  EXPECT_TRUE(summarize_ndjson(per_run).strikes_time_ordered);
+}
+
+TEST(Summarize, RoundTripsThroughToJson) {
+  const std::string text =
+      "{\"t\":1,\"kind\":\"infection\",\"node\":1}\n";
+  const campaign::JsonValue j = summarize_ndjson(text).to_json();
+  EXPECT_EQ(j.find("total_events")->as_uint(), 1u);
+  EXPECT_EQ(j.find("events_by_kind")->find("infection")->as_uint(), 1u);
+}
+
+}  // namespace
+}  // namespace dq::obs

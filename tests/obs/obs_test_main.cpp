@@ -1,0 +1,25 @@
+// Custom main for dq_obs_test: strips --update-golden (regenerates the
+// NDJSON fixture under tests/data/golden) before handing the command
+// line to gtest. Mirrors dq_golden_test's contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "golden_flag.hpp"
+
+namespace dq::obs_test {
+bool g_update_golden = false;
+}  // namespace dq::obs_test
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      dq::obs_test::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace dq::obs {
+namespace {
+
+Event at(double time, std::uint32_t id) {
+  Event e;
+  e.time = time;
+  e.id = id;
+  return e;
+}
+
+TEST(TraceRing, KeepsNewestDropsOldest) {
+  TraceRing ring(4);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(at(i, i)));
+  for (std::uint32_t i = 4; i < 10; ++i) EXPECT_FALSE(ring.push(at(i, i)));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.evicted(), 6u);
+  const std::vector<Event> events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and the retained window is the newest four events.
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].id, 6 + i);
+}
+
+TEST(TraceRing, ZeroCapacityDropsEverythingLoudly) {
+  TraceRing ring(0);
+  EXPECT_FALSE(ring.push(at(1.0, 1)));
+  EXPECT_FALSE(ring.push(at(2.0, 2)));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.evicted(), 2u);
+}
+
+TEST(TraceRing, ClearResetsEviction) {
+  TraceRing ring(1);
+  ring.push(at(1.0, 1));
+  ring.push(at(2.0, 2));
+  EXPECT_EQ(ring.evicted(), 1u);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.evicted(), 0u);
+  EXPECT_TRUE(ring.push(at(3.0, 3)));
+}
+
+TEST(Sink, NullSinkIsInert) {
+  Sink s;
+  EXPECT_FALSE(static_cast<bool>(s));
+  s.emit(at(1.0, 1));  // must not crash
+}
+
+TEST(Sink, EmitCountsEveryDroppedEvent) {
+  // Ring overflow must never be silent: each eviction increments the
+  // trace.dropped counter.
+  MetricsRegistry reg;
+  Counter& dropped = reg.counter("trace.dropped", Determinism::kWallClock);
+  TraceRing ring(2);
+  Sink s;
+  s.metrics = &reg;
+  s.trace = &ring;
+  s.trace_dropped = &dropped;
+  for (std::uint32_t i = 0; i < 5; ++i) s.emit(at(i, i));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(dropped.value(), 3u);
+  EXPECT_EQ(ring.evicted(), 3u);
+}
+
+TEST(MultiRunSink, DroppedCounterStaysOutOfDeterministicSnapshots) {
+  // The ring capacity is an observability knob, not simulation config,
+  // so eviction counts must not leak into cached artifacts.
+  MultiRunSink sink(1, /*ring_capacity=*/1);
+  Sink s = sink.run_sink(0);
+  s.emit(at(0.0, 0));
+  s.emit(at(1.0, 1));
+  const campaign::JsonValue full = sink.metrics().snapshot(false);
+  ASSERT_NE(full.find("counters")->find("trace.dropped"), nullptr);
+  EXPECT_EQ(full.find("counters")->find("trace.dropped")->as_uint(), 1u);
+  const campaign::JsonValue det = sink.metrics().snapshot(true);
+  EXPECT_EQ(det.find("counters")->find("trace.dropped"), nullptr);
+}
+
+TEST(MultiRunSink, MetricsOnlyModeHasNoRings) {
+  MultiRunSink sink(3, /*ring_capacity=*/0);
+  EXPECT_FALSE(sink.tracing());
+  EXPECT_EQ(sink.runs(), 3u);
+  Sink s = sink.run_sink(1);
+  EXPECT_NE(s.metrics, nullptr);
+  EXPECT_EQ(s.trace, nullptr);
+  s.emit(at(1.0, 1));  // dropped silently: no ring was requested
+  EXPECT_EQ(sink.metrics().counter("trace.dropped").value(), 0u);
+  EXPECT_TRUE(sink.export_ndjson().empty());
+}
+
+TEST(MultiRunSink, NdjsonConcatenatesRunsInIndexOrder) {
+  MultiRunSink sink(2, 8);
+  Event e0 = at(1.0, 10);
+  Event e1 = at(0.5, 20);
+  sink.run_sink(1).emit(e1);  // emitted first, but run 1 prints second
+  sink.run_sink(0).emit(e0);
+  EXPECT_EQ(sink.export_ndjson(),
+            "{\"t\":1,\"run\":0,\"kind\":\"infection\",\"node\":10}\n"
+            "{\"t\":0.5,\"run\":1,\"kind\":\"infection\",\"node\":20}\n");
+}
+
+}  // namespace
+}  // namespace dq::obs

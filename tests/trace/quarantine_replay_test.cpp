@@ -136,5 +136,48 @@ TEST(QuarantineReplay, DepartmentTraceEndToEnd) {
   EXPECT_LE(report.overall.false_positive_rate, 0.2);
 }
 
+TEST(QuarantineReplay, ObsSinkRecordsStrikesAndCounters) {
+  Trace trace;
+  for (int i = 0; i < 12; ++i)
+    trace.add(outbound(10.0, 1, static_cast<IpAddress>(1000 + i)));
+  trace.add(outbound(50.0, 0, 500));
+  trace.finalize();
+  trace.set_host_categories(
+      {HostCategory::kNormalClient, HostCategory::kWormBlaster});
+
+  obs::MultiRunSink sink(1);
+  const QuarantineReplayReport report =
+      replay_quarantine(trace, replay_config(), sink.run_sink(0));
+  // Instrumented and plain replays agree — the sink is observe-only.
+  const QuarantineReplayReport plain =
+      replay_quarantine(trace, replay_config());
+  EXPECT_EQ(report.events_processed, plain.events_processed);
+  EXPECT_DOUBLE_EQ(report.overall.detection_rate,
+                   plain.overall.detection_rate);
+
+  const campaign::JsonValue snap = sink.metrics().snapshot();
+  const campaign::JsonValue* counters = snap.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("replay.events_processed")->as_uint(),
+            report.events_processed);
+  EXPECT_EQ(counters->find("replay.hosts")->as_uint(), 2u);
+  EXPECT_EQ(counters->find("quarantine.events")->as_uint(), 1u);
+
+  // The scanner's strike and suspected→quarantined transition are in
+  // the event stream, stamped with trace seconds.
+  bool saw_strike = false, saw_quarantine = false;
+  for (const obs::Event& e : sink.ring(0).events()) {
+    if (e.kind == obs::EventKind::kDetectorStrike && e.id == 1) {
+      saw_strike = true;
+      EXPECT_DOUBLE_EQ(e.time, 10.0);
+    }
+    if (e.kind == obs::EventKind::kQuarantineTransition && e.id == 1 &&
+        static_cast<obs::QState>(e.b) == obs::QState::kQuarantined)
+      saw_quarantine = true;
+  }
+  EXPECT_TRUE(saw_strike);
+  EXPECT_TRUE(saw_quarantine);
+}
+
 }  // namespace
 }  // namespace dq::trace

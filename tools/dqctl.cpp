@@ -10,6 +10,9 @@
 //   dqctl campaign list|status|run [NAMES...]
 //                                declarative experiment campaigns with
 //                                content-hashed artifact caching
+//   dqctl obs summarize FILE     aggregate an NDJSON event trace
+//                                (detection latency, false positives,
+//                                per-kind event counts)
 //
 // Run any subcommand with --help for its options.
 #include <filesystem>
@@ -17,6 +20,7 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -24,6 +28,7 @@
 
 #include "campaign/cache.hpp"
 #include "campaign/scenarios.hpp"
+#include "obs/ndjson.hpp"
 #include "core/experiments.hpp"
 #include "stats/hash.hpp"
 #include "core/planner.hpp"
@@ -110,7 +115,15 @@ int usage() {
          "                 [--cache-dir DIR] [--out DIR] [--runs R] "
          "[--seed S]\n"
          "                 [--quick] [--csv]    execute scenarios (all "
-         "when no NAMES)\n";
+         "when no NAMES)\n"
+         "                 [--trace-dir DIR]    write per-job NDJSON "
+         "event traces\n"
+         "                 [--metrics-out FILE] write merged metrics "
+         "snapshot (JSON)\n"
+         "                 [--progress]         live one-line progress "
+         "meter\n"
+         "  dqctl obs summarize FILE [--json]   aggregate an NDJSON "
+         "event trace\n";
   return 2;
 }
 
@@ -435,6 +448,93 @@ std::vector<campaign::ScenarioDef> select_scenarios(
   return selected;
 }
 
+/// Live one-line campaign progress meter. Job events arrive from
+/// worker threads, so every update happens under a mutex; the line is
+/// rewritten in place with '\r' and padded to cover the previous one.
+class ProgressMeter {
+ public:
+  void operator()(const campaign::JobEvent& event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (event.phase) {
+      case campaign::JobPhase::kQueued:
+        ++queued_;
+        break;
+      case campaign::JobPhase::kStarted:
+      case campaign::JobPhase::kCacheHit:
+        // kCacheHit is followed by kFinished with cache_hit set; count
+        // hits there so a hit is not tallied twice.
+        return;
+      case campaign::JobPhase::kFinished:
+        ++done_;
+        if (event.cache_hit) ++hits_;
+        break;
+      case campaign::JobPhase::kFailed:
+        ++done_;
+        ++failed_;
+        break;
+    }
+    std::ostringstream line;
+    line << "[" << done_ << "/" << queued_ << "] " << hits_ << " cached";
+    if (failed_ > 0) line << ", " << failed_ << " failed";
+    line << "  " << event.name;
+    std::string text = line.str();
+    const std::size_t width = text.size();
+    if (text.size() < last_width_) text.append(last_width_ - text.size(), ' ');
+    last_width_ = width;
+    std::cerr << '\r' << text << std::flush;
+  }
+
+  /// Ends the meter line so subsequent output starts on a fresh line.
+  void finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_width_ > 0) std::cerr << '\n';
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t queued_ = 0;
+  std::size_t done_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t last_width_ = 0;
+};
+
+int cmd_obs(const Args& args) {
+  if (args.positional().size() < 2 || args.positional()[0] != "summarize")
+    return usage();
+  const std::string& path = args.positional()[1];
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const obs::NdjsonSummary summary = obs::summarize_ndjson(buffer.str());
+
+  if (args.flag("json")) {
+    std::cout << summary.to_json().dump() << '\n';
+    return 0;
+  }
+  std::cout << "events            " << summary.total_events << " ("
+            << summary.runs << " run" << (summary.runs == 1 ? "" : "s");
+  if (summary.malformed_lines > 0)
+    std::cout << ", " << summary.malformed_lines << " malformed lines";
+  std::cout << ")\n";
+  for (const auto& [kind, count] : summary.events_by_kind)
+    std::cout << "  " << std::left << std::setw(22) << kind << count << '\n';
+  std::cout << "infected hosts    " << summary.infected_hosts << '\n'
+            << "quarantined hosts " << summary.quarantined_hosts << '\n'
+            << "detected hosts    " << summary.detected_hosts << '\n'
+            << "false positives   " << summary.false_positive_hosts << '\n'
+            << "detector strikes  " << summary.strikes
+            << (summary.strikes_time_ordered ? " (time-ordered)"
+                                             : " (OUT OF ORDER)")
+            << '\n';
+  if (summary.detected_hosts > 0)
+    std::cout << "mean detection latency " << std::fixed
+              << std::setprecision(3) << summary.mean_detection_latency
+              << " ticks\n";
+  return 0;
+}
+
 int cmd_campaign(const Args& args) {
   if (args.positional().empty()) return usage();
   const std::string verb = args.positional()[0];
@@ -453,6 +553,12 @@ int cmd_campaign(const Args& args) {
   run_options.jobs = static_cast<std::size_t>(args.num("jobs", 0.0));
   run_options.use_cache = !args.flag("no-cache");
   run_options.cache_dir = args.str("cache-dir", ".dq-cache");
+  run_options.trace_dir = args.str("trace-dir", "");
+  ProgressMeter meter;
+  if (args.flag("progress"))
+    run_options.on_job_event = [&meter](const campaign::JobEvent& event) {
+      meter(event);
+    };
 
   if (verb == "list") {
     for (const campaign::ScenarioDef& scenario : catalogue)
@@ -486,6 +592,14 @@ int cmd_campaign(const Args& args) {
 
   const campaign::CampaignReport report =
       campaign::run_scenarios(select_scenarios(catalogue, args), run_options);
+  meter.finish();
+
+  const std::string metrics_out = args.str("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream file(metrics_out, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot write " + metrics_out);
+    file << campaign::merge_outcome_metrics(report.outcomes).dump() << '\n';
+  }
 
   int failures = 0;
   for (const campaign::JobOutcome& outcome : report.outcomes) {
@@ -544,6 +658,7 @@ int main(int argc, char** argv) {
     if (command == "quarantine") return cmd_quarantine(args);
     if (command == "figure") return cmd_figure(args);
     if (command == "campaign") return cmd_campaign(args);
+    if (command == "obs") return cmd_obs(args);
   } catch (const std::exception& e) {
     std::cerr << "dqctl: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,44 @@
+# End-to-end observability pipeline: campaign run with --trace-dir and
+# --metrics-out, then `dqctl obs summarize` over a produced trace in
+# both human and --json modes.
+set(workdir ${CMAKE_CURRENT_BINARY_DIR}/dqctl_obs_smoke)
+file(REMOVE_RECURSE ${workdir})
+file(MAKE_DIRECTORY ${workdir})
+
+execute_process(COMMAND ${DQCTL} campaign run fig01 --quick --no-cache
+                        --trace-dir ${workdir}/traces
+                        --metrics-out ${workdir}/metrics.json
+                        --out ${workdir}/out
+                RESULT_VARIABLE rc ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dqctl campaign run --trace-dir failed: ${rc}")
+endif()
+if(NOT EXISTS ${workdir}/metrics.json)
+  message(FATAL_ERROR "--metrics-out wrote no file")
+endif()
+file(READ ${workdir}/metrics.json metrics)
+if(NOT metrics MATCHES "sim\\.runs")
+  message(FATAL_ERROR "merged metrics missing sim.runs: ${metrics}")
+endif()
+
+set(trace ${workdir}/traces/fig01_no-rl.ndjson)
+if(NOT EXISTS ${trace})
+  message(FATAL_ERROR "campaign run wrote no trace for fig01/no-rl")
+endif()
+execute_process(COMMAND ${DQCTL} obs summarize ${trace}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE human)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dqctl obs summarize failed: ${rc}")
+endif()
+if(NOT human MATCHES "infected hosts")
+  message(FATAL_ERROR "summarize output missing summary lines: ${human}")
+endif()
+execute_process(COMMAND ${DQCTL} obs summarize ${trace} --json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE json)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dqctl obs summarize --json failed: ${rc}")
+endif()
+if(NOT json MATCHES "\"total_events\":")
+  message(FATAL_ERROR "summarize --json output malformed: ${json}")
+endif()
+file(REMOVE_RECURSE ${workdir})
