@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     double detect = 0.0, infected_at_detect = 0.0, final_ever = 0.0;
     for (std::size_t r = 0; r < options.sim_runs; ++r) {
       sim::SimulationConfig one = cfg;
-      one.seed = cfg.seed + r;
+      one.seed = sim::run_seed(cfg.seed, r);
       const sim::RunResult result = sim::WormSimulation(net, one).run();
       detect += result.detection_tick < 0 ? cfg.max_ticks
                                           : result.detection_tick;

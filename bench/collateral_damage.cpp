@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const std::size_t runs = std::max<std::size_t>(3, options.sim_runs / 2);
     for (std::size_t r = 0; r < runs; ++r) {
       sim::SimulationConfig one = cfg;
-      one.seed = cfg.seed + r;
+      one.seed = sim::run_seed(cfg.seed, r);
       const sim::RunResult result = sim::WormSimulation(net, one).run();
       const double t = result.ever_infected.time_to_reach(0.5);
       t50 += (t < 0 ? cfg.max_ticks : t);

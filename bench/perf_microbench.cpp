@@ -16,11 +16,24 @@
 // overhead bounds relative to obs-off. bench/data/BENCH_obs.json is
 // written from this mode and also records the pre-PR tick-loop baseline
 // for the <3% obs-off regression check.
+//
+// `--scale_json[=PATH]` is the nodes-scaling gate for the sharded
+// engine: for each N on the curve (10⁴, 10⁵, 10⁶) it builds a BA(N, 2)
+// network, runs ShardedSimulation at 1 shard and at the hardware shard
+// count, asserts the two trajectories are identical, and fails
+// (exit 1) if throughput drops below a generous node-ticks/sec floor.
+// bench/data/BENCH_scale.json is written from this mode.
+// `--scale_json_small[=PATH]` runs the same gate on a 5·10³/5·10⁴
+// curve for the CI fast lane.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/sink.hpp"
 
@@ -31,6 +44,7 @@
 #include "ratelimit/dns_throttle.hpp"
 #include "ratelimit/sliding_window.hpp"
 #include "ratelimit/williamson.hpp"
+#include "simulator/sharded_sim.hpp"
 #include "simulator/worm_sim.hpp"
 #include "stats/rng.hpp"
 #include "trace/analysis.hpp"
@@ -403,6 +417,145 @@ int run_obs_json(const char* path) {
   return ok ? 0 : 1;
 }
 
+// ---- --scale_json mode ----
+
+/// Floor on sharded-engine throughput (node-ticks per wall second,
+/// multi-shard run). Deliberately an order of magnitude below what the
+/// engine delivers on CI-class hardware — the gate exists to catch an
+/// accidental return to O(N²) work per tick, not scheduler noise.
+constexpr double kScaleThroughputFloor = 1.0e6;
+
+struct ScalePoint {
+  std::size_t nodes = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t final_ever_infected = 0;
+  std::uint64_t total_scan_packets = 0;
+  bool tree_routed = false;
+  bool identical_across_shards = false;
+  double seconds_build = 0.0;  ///< graph + network (routing) construction
+  double seconds_run = 0.0;    ///< multi-shard simulation wall time
+  double node_ticks_per_sec = 0.0;
+};
+
+/// One point on the nodes-scaling curve: build BA(n, 2), run the
+/// sharded engine at 1 shard and at `shards`, demand identical
+/// trajectories, report multi-shard throughput.
+ScalePoint run_scale_point(std::size_t n, std::size_t shards) {
+  using clock = std::chrono::steady_clock;
+  ScalePoint point;
+  point.nodes = n;
+
+  const auto build_start = clock::now();
+  Rng rng(7);
+  const sim::Network net(graph::make_barabasi_albert(n, 2, rng));
+  point.seconds_build =
+      std::chrono::duration<double>(clock::now() - build_start).count();
+  point.tree_routed = !net.has_routing_table();
+
+  sim::SimulationConfig cfg;
+  cfg.worm.contact_rate = 1.0;
+  cfg.worm.hit_probability = 0.5;
+  cfg.worm.initial_infected =
+      static_cast<std::uint32_t>(std::max<std::size_t>(10, n / 100000));
+  cfg.max_ticks = 15.0;
+  cfg.stop_when_saturated = false;
+  cfg.seed = 3;
+
+  const sim::RunResult one = sim::ShardedSimulation(net, cfg, 1).run();
+  const auto run_start = clock::now();
+  const sim::RunResult many = sim::ShardedSimulation(net, cfg, shards).run();
+  point.seconds_run =
+      std::chrono::duration<double>(clock::now() - run_start).count();
+
+  point.identical_across_shards =
+      one.ever_infected.values() == many.ever_infected.values() &&
+      one.active_infected.values() == many.active_infected.values() &&
+      one.total_scan_packets == many.total_scan_packets &&
+      one.final_ever_infected_count == many.final_ever_infected_count &&
+      one.perf.packets_forwarded == many.perf.packets_forwarded;
+  point.ticks = many.perf.ticks;
+  point.final_ever_infected = many.final_ever_infected_count;
+  point.total_scan_packets = many.total_scan_packets;
+  point.node_ticks_per_sec = static_cast<double>(n) *
+                             static_cast<double>(point.ticks) /
+                             point.seconds_run;
+  return point;
+}
+
+int run_scale_json(const char* path, bool small) {
+  std::FILE* out = path != nullptr ? std::fopen(path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_microbench: cannot open %s\n", path);
+    return 1;
+  }
+
+  // The small curve keeps its dense-table point at 5k nodes: all-pairs
+  // construction is cubic-ish in practice and 10k costs ~40s, too slow
+  // for the fast lane.
+  const std::vector<std::size_t> curve =
+      small ? std::vector<std::size_t>{5'000, 50'000}
+            : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+  const std::size_t shards =
+      std::max(2u, std::thread::hardware_concurrency());
+
+  bool ok = true;
+  std::vector<ScalePoint> points;
+  points.reserve(curve.size());
+  for (const std::size_t n : curve) {
+    const ScalePoint point = run_scale_point(n, shards);
+    if (!point.identical_across_shards) {
+      std::fprintf(stderr,
+                   "perf_microbench: %zu-node trajectory differs between "
+                   "1 and %zu shards\n",
+                   n, shards);
+      ok = false;
+    }
+    if (point.node_ticks_per_sec < kScaleThroughputFloor) {
+      std::fprintf(stderr,
+                   "perf_microbench: %zu-node throughput %.0f "
+                   "node-ticks/sec below floor %.0f\n",
+                   n, point.node_ticks_per_sec, kScaleThroughputFloor);
+      ok = false;
+    }
+    points.push_back(point);
+  }
+
+  std::fprintf(out,
+               "{\n"
+               "  \"scenario\": \"nodes-scaling\",\n"
+               "  \"variant\": \"%s\",\n"
+               "  \"shards\": %zu,\n"
+               "  \"throughput_floor_node_ticks_per_sec\": %.0f,\n"
+               "  \"points\": [\n",
+               small ? "small" : "full", shards, kScaleThroughputFloor);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"nodes\": %zu, \"ticks\": %llu, "
+                 "\"final_ever_infected\": %llu, "
+                 "\"total_scan_packets\": %llu, "
+                 "\"tree_routed\": %s, "
+                 "\"identical_across_shards\": %s, "
+                 "\"seconds_build\": %.6f, \"seconds_run\": %.6f, "
+                 "\"node_ticks_per_sec\": %.1f}%s\n",
+                 p.nodes,
+                 static_cast<unsigned long long>(p.ticks),
+                 static_cast<unsigned long long>(p.final_ever_infected),
+                 static_cast<unsigned long long>(p.total_scan_packets),
+                 p.tree_routed ? "true" : "false",
+                 p.identical_across_shards ? "true" : "false",
+                 p.seconds_build, p.seconds_run, p.node_ticks_per_sec,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               ok ? "true" : "false");
+  if (out != stdout) std::fclose(out);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -413,6 +566,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--obs_json") == 0) return run_obs_json(nullptr);
     if (std::strncmp(argv[i], "--obs_json=", 11) == 0)
       return run_obs_json(argv[i] + 11);
+    if (std::strcmp(argv[i], "--scale_json") == 0)
+      return run_scale_json(nullptr, /*small=*/false);
+    if (std::strncmp(argv[i], "--scale_json=", 13) == 0)
+      return run_scale_json(argv[i] + 13, /*small=*/false);
+    if (std::strcmp(argv[i], "--scale_json_small") == 0)
+      return run_scale_json(nullptr, /*small=*/true);
+    if (std::strncmp(argv[i], "--scale_json_small=", 19) == 0)
+      return run_scale_json(argv[i] + 19, /*small=*/true);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

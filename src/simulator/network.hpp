@@ -1,11 +1,20 @@
 // Network: the static substrate a worm runs over — topology, routing,
 // node roles, optional subnet structure, and link indexing.
 //
-// Building the all-pairs routing table and per-link routing loads once
-// lets every simulation run (the paper averages 10 runs per
-// configuration) share them.
+// Routing has two backends chosen by memory budget:
+//   * all-pairs — the BFS next-hop table plus (on small nets) a dense
+//     per-(at,dest) hop-link table; exact shortest paths, O(N²) memory,
+//     shared across every run of a configuration.
+//   * shortest-path tree — above the all-pairs budget the network keeps
+//     only a BFS tree rooted at the highest-degree node (parent
+//     pointers, Euler-tour intervals, a child index), so a million-node
+//     graph routes in O(N) memory: up to the lowest common ancestor,
+//     then down. Tree paths are exact on trees and stars and a
+//     hub-biased approximation elsewhere — the trade the scale tier
+//     accepts for bounded memory.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -20,6 +29,20 @@ namespace dq::sim {
 
 using graph::NodeId;
 
+/// Memory budgets steering which routing structures a Network builds.
+/// Defaults keep every historical configuration (≤ ~11.5k nodes for
+/// the all-pairs table) on the exact shortest-path backend while
+/// letting million-node graphs construct in bounded memory. Tests
+/// shrink the budgets to force a specific backend on small graphs.
+struct NetworkOptions {
+  /// Budget for the all-pairs routing table (8 bytes per ordered node
+  /// pair: distance + next hop). Above it, tree routing.
+  std::size_t routing_table_bytes = std::size_t{1} << 30;
+  /// Budget for the dense per-(at,dest) first-link table (4 bytes per
+  /// ordered pair); only ever built when the all-pairs table exists.
+  std::size_t dense_hop_table_bytes = std::size_t{1} << 30;
+};
+
 /// Immutable network substrate shared across simulation runs.
 class Network {
  public:
@@ -27,19 +50,29 @@ class Network {
   /// rank per the paper (top backbone_fraction backbone, next
   /// edge_fraction edge routers).
   explicit Network(graph::Graph g, double backbone_fraction = 0.05,
-                   double edge_fraction = 0.10);
+                   double edge_fraction = 0.10, NetworkOptions options = {});
 
   /// Wraps a subnet topology: gateways become the edge routers, the
   /// backbone interconnect links are the backbone, members keep their
   /// subnet ids for local-preferential scanning.
-  explicit Network(graph::SubnetTopology topo);
+  explicit Network(graph::SubnetTopology topo, NetworkOptions options = {});
 
   /// Wraps a graph with an explicit role assignment (e.g. the
   /// betweenness-based designation of assign_roles_by_transit).
-  Network(graph::Graph g, graph::RoleAssignment roles);
+  Network(graph::Graph g, graph::RoleAssignment roles,
+          NetworkOptions options = {});
 
   const graph::Graph& graph() const noexcept { return graph_; }
-  const graph::RoutingTable& routing() const noexcept { return *routing_; }
+
+  /// True when the all-pairs table was built (node count within
+  /// NetworkOptions::routing_table_bytes); false on tree-routed nets.
+  bool has_routing_table() const noexcept { return routing_ != nullptr; }
+
+  /// The all-pairs table. Throws std::logic_error on tree-routed
+  /// networks — callers needing exact path analytics (path_coverage,
+  /// node_transit_loads) must check has_routing_table() first.
+  const graph::RoutingTable& routing() const;
+
   const graph::RoleAssignment& roles() const noexcept { return roles_; }
 
   std::size_t num_nodes() const noexcept { return graph_.num_nodes(); }
@@ -63,8 +96,9 @@ class Network {
   /// Next hop and traversed link from `at` toward `dest` in a single
   /// lookup — the simulator's per-hop fast path. On networks small
   /// enough for the dense table (see index_links) this is one array
-  /// read; otherwise it falls back to the routing table plus a
-  /// binary search over the node's adjacency row.
+  /// read; with the all-pairs table it is a next-hop read plus a
+  /// binary search over the node's adjacency row; on tree-routed
+  /// networks it is an Euler-interval test plus a child binary search.
   /// Precondition: at != dest, both in range.
   HopStep hop_toward(NodeId at, NodeId dest) const noexcept {
     if (!hop_link_.empty()) {
@@ -73,14 +107,23 @@ class Network {
       const graph::LinkKey& key = links_[l];
       return {key.a == at ? key.b : key.a, l};
     }
-    const NodeId next = routing_->next_hop_raw(at, dest);
-    return {next, adj_link(at, next)};
+    if (routing_ != nullptr) {
+      const NodeId next = routing_->next_hop_raw(at, dest);
+      return {next, adj_link(at, next)};
+    }
+    return tree_hop(at, dest);
   }
 
-  /// Routing-table load of a link (ordered path count crossing it).
+  /// Routing load of a link: ordered path count crossing it (all-pairs
+  /// backend) or the tree-edge pair count 2·s·(N−s) (tree backend,
+  /// where s is the child-side subtree size; non-tree links carry 0).
   std::uint64_t link_load(std::size_t index) const {
     return link_loads_.at(index);
   }
+
+  /// Sum of link_load over all links — the normalizer for the paper's
+  /// routing-entry link-weight rule, available on both backends.
+  std::uint64_t total_link_load() const noexcept { return total_link_load_; }
 
   /// Mean link load across all links (>= 1 path on connected graphs).
   double mean_link_load() const noexcept { return mean_link_load_; }
@@ -90,6 +133,17 @@ class Network {
 
   /// Members of a subnet (empty when no subnets).
   const std::vector<NodeId>& subnet_members(std::size_t subnet) const;
+
+  /// Borrowable views of the subnet structure, owned by the Network
+  /// for its lifetime (both empty when the topology has no subnets).
+  /// worm::TargetSelector borrows these instead of copying O(N) state
+  /// per simulation construction.
+  const std::vector<std::size_t>& subnet_ids() const noexcept {
+    return subnet_of_;
+  }
+  const std::vector<std::vector<NodeId>>& subnet_lists() const noexcept {
+    return subnet_members_;
+  }
 
   bool has_subnets() const noexcept { return !subnet_members_.empty(); }
   std::size_t num_subnets() const noexcept { return subnet_members_.size(); }
@@ -117,12 +171,16 @@ class Network {
   };
 
   void index_links();
+  void build_tree_routing();
 
   /// Link index between adjacent nodes via the CSR rows; noexcept fast
   /// path that assumes the link exists (adjacency comes from routing).
+  /// A violated precondition used to read past the row end (or the
+  /// whole array) silently; debug builds die on the assert instead.
   std::uint32_t adj_link(NodeId a, NodeId b) const noexcept {
     std::size_t lo = adj_offset_[a];
-    std::size_t hi = adj_offset_[a + 1];
+    const std::size_t row_end = adj_offset_[a + 1];
+    std::size_t hi = row_end;
     while (lo < hi) {
       const std::size_t mid = lo + (hi - lo) / 2;
       if (adj_[mid].neighbor < b)
@@ -130,14 +188,41 @@ class Network {
       else
         hi = mid;
     }
+    assert(lo < row_end && adj_[lo].neighbor == b &&
+           "Network::adj_link: nodes are not adjacent");
     return adj_[lo].link;
   }
 
+  /// Tree-backend hop: descend when dest sits in at's subtree (Euler
+  /// interval test + binary search over at's children, sorted by
+  /// tour-entry time), otherwise climb to the parent.
+  HopStep tree_hop(NodeId at, NodeId dest) const noexcept {
+    const std::uint32_t d = tree_tin_[dest];
+    if (d >= tree_tin_[at] && d < tree_tout_[at]) {
+      std::size_t lo = tree_child_offset_[at];
+      std::size_t hi = tree_child_offset_[at + 1];
+      // Last child whose tour entry is <= dest's (children partition
+      // the subtree interval, so that child contains dest).
+      while (lo + 1 < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (tree_tin_[tree_children_[mid]] <= d)
+          lo = mid;
+        else
+          hi = mid;
+      }
+      const NodeId c = tree_children_[lo];
+      return {c, tree_parent_link_[c]};
+    }
+    return {tree_parent_[at], tree_parent_link_[at]};
+  }
+
   graph::Graph graph_;
+  NetworkOptions options_;
   std::unique_ptr<graph::RoutingTable> routing_;
   graph::RoleAssignment roles_;
   std::vector<graph::LinkKey> links_;
   std::vector<std::uint64_t> link_loads_;
+  std::uint64_t total_link_load_ = 0;
   double mean_link_load_ = 0.0;
   /// CSR adjacency (both directions of every link), rows sorted by
   /// neighbor id: adj_[adj_offset_[v] .. adj_offset_[v+1]).
@@ -146,6 +231,16 @@ class Network {
   /// Dense per-(at,dest) link table (empty above the memory cap): the
   /// link crossed first when routing from `at` to `dest`.
   std::vector<std::uint32_t> hop_link_;
+  /// Tree-routing state (built only when the all-pairs table is over
+  /// budget). parent of the root is the root itself; tout = tin +
+  /// subtree size, so [tin, tout) is the node's Euler interval.
+  NodeId tree_root_ = 0;
+  std::vector<NodeId> tree_parent_;
+  std::vector<std::uint32_t> tree_parent_link_;
+  std::vector<std::uint32_t> tree_tin_;
+  std::vector<std::uint32_t> tree_tout_;
+  std::vector<std::size_t> tree_child_offset_;
+  std::vector<NodeId> tree_children_;
   std::vector<std::size_t> subnet_of_;  // empty when no subnets
   std::vector<std::vector<NodeId>> subnet_members_;
 };

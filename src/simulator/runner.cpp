@@ -17,7 +17,7 @@ AveragedResult run_many(const Network& net, const SimulationConfig& base,
 
   const auto run_one = [&](std::size_t r) {
     SimulationConfig cfg = base;
-    cfg.seed = base.seed + r;
+    cfg.seed = run_seed(base.seed, r);
     const obs::Sink sink = obs != nullptr ? obs->run_sink(r) : obs::Sink{};
     return WormSimulation(net, cfg, sink).run();
   };

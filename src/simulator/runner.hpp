@@ -3,14 +3,30 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "obs/sink.hpp"
 #include "simulator/config.hpp"
 #include "simulator/network.hpp"
 #include "simulator/worm_sim.hpp"
+#include "stats/hash.hpp"
 #include "stats/timeseries.hpp"
 
 namespace dq::sim {
+
+/// Seed of run `run` in a multi-run batch over base seed `base`: a
+/// mix64 substream, the same derivation the campaign engine uses for
+/// its job streams. The old `base + run` arithmetic made run r of
+/// base seed S bit-identical to run r−1 of base seed S+1, so
+/// adjacent-seed scenarios (ablation sweeps step seeds by one) shared
+/// RNG streams and under-estimated variance. The golden-ratio stride
+/// inside the avalanche keeps every (base, run) pair on its own
+/// stream: run_seed(S, r) == run_seed(S', r') requires a full 64-bit
+/// mix64 collision, not an off-by-one.
+inline std::uint64_t run_seed(std::uint64_t base, std::size_t run) {
+  return mix64(mix64(base) +
+               0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(run));
+}
 
 /// Pointwise averages of the per-run curves, on the integer tick grid
 /// [0, max_ticks].
@@ -44,8 +60,8 @@ struct AveragedResult {
   std::size_t runs = 0;
 };
 
-/// Runs `runs` independent simulations (seeds base.seed, base.seed+1,
-/// ...) and averages the curves. Runs execute concurrently (the shared
+/// Runs `runs` independent simulations (run r seeded with
+/// run_seed(base.seed, r)) and averages the curves. Runs execute concurrently (the shared
 /// Network is read-only) up to `max_parallelism` threads; 0 means use
 /// the hardware concurrency, 1 forces serial execution. Results are
 /// identical regardless of parallelism — every run's RNG stream is

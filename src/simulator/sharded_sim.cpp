@@ -1,0 +1,506 @@
+#include "simulator/sharded_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/hash.hpp"
+#include "stats/rng.hpp"
+
+namespace dq::sim {
+
+namespace {
+
+// Substream salts: each random purpose (initial placement, host
+// filters, per-tick emission, per-tick immunization) gets its own
+// mix64 root so no two purposes ever share a draw.
+constexpr std::uint64_t kInitSalt = 0x27d4eb2f165667c5ULL;
+constexpr std::uint64_t kFilterSalt = 0x94d049bb133111ebULL;
+constexpr std::uint64_t kEmitSalt = 0x9b1a6f0c5d3e2a71ULL;
+constexpr std::uint64_t kImmSalt = 0x6c62272e07bb0142ULL;
+// Odd strides decorrelating the tick / node dimensions before the
+// mix64 avalanche.
+constexpr std::uint64_t kTickStride = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kNodeStride = 0xBF58476D1CE4E5B9ULL;
+
+/// The Rng driving node v's decisions on the tick whose base is
+/// `tick_base`. Its stream is a pure function of (seed, purpose, tick,
+/// node) — nothing another node or thread does can shift it.
+Rng node_rng(std::uint64_t tick_base, NodeId v) {
+  return Rng(mix64(tick_base ^ (kNodeStride * (static_cast<std::uint64_t>(v) + 1))));
+}
+
+worm::TargetSelector make_selector(const Network& net,
+                                   const SimulationConfig& config) {
+  worm::TargetSelectorConfig sc;
+  sc.strategy = config.worm.selection;
+  sc.local_bias = config.worm.local_bias;
+  sc.hitlist_size = config.worm.hitlist_size;
+  const auto* subnet_of = net.has_subnets() ? &net.subnet_ids() : nullptr;
+  const auto* members = net.has_subnets() ? &net.subnet_lists() : nullptr;
+  return worm::TargetSelector(sc, net.num_nodes(), subnet_of, members,
+                              config.seed ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace
+
+ShardedSimulation::ShardedSimulation(const Network& net,
+                                     const SimulationConfig& config,
+                                     std::size_t num_shards, obs::Sink obs)
+    : net_(net),
+      config_(config),
+      obs_(obs),
+      selector_(make_selector(net, config)) {
+  validate_config();
+
+  const std::size_t n = net.num_nodes();
+  state_.assign(n, NodeState::kSusceptible);
+  ever_.assign(n, 0);
+  filtered_.assign(n, 0);
+  infected_tick_.assign(n, -1.0);
+  susceptible_count_ = n;
+
+  if (num_shards == 0)
+    num_shards = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  num_shards = std::min(num_shards, n);
+  shards_.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    Shard& sh = shards_[s];
+    sh.begin = static_cast<NodeId>(s * n / num_shards);
+    sh.end = static_cast<NodeId>((s + 1) * n / num_shards);
+    sh.outbox.resize(num_shards);
+    if (config_.quarantine.enabled)
+      sh.quarantine.emplace(sh.end - sh.begin, config_.quarantine);
+  }
+  quarantine_armed_ =
+      config_.quarantine.enabled && !config_.quarantine.start_on_detection;
+
+  emit_stream_ = mix64(config_.seed ^ kEmitSalt);
+  imm_stream_ = mix64(config_.seed ^ kImmSalt);
+
+  assign_host_filters();
+  place_initial_infections();
+  record();
+}
+
+void ShardedSimulation::validate_config() const {
+  const auto& worm_cfg = config_.worm;
+  if (worm_cfg.contact_rate <= 0.0)
+    throw std::invalid_argument("ShardedSimulation: contact rate must be > 0");
+  if (worm_cfg.filtered_contact_rate < 0.0 ||
+      worm_cfg.filtered_contact_rate > worm_cfg.contact_rate)
+    throw std::invalid_argument(
+        "ShardedSimulation: filtered rate must be in [0, contact rate]");
+  if (worm_cfg.local_bias < 0.0 || worm_cfg.local_bias > 1.0)
+    throw std::invalid_argument("ShardedSimulation: local bias in [0,1]");
+  if (worm_cfg.initial_infected == 0 ||
+      worm_cfg.initial_infected >= net_.num_nodes())
+    throw std::invalid_argument(
+        "ShardedSimulation: initial infected in [1, num_nodes)");
+  if (worm_cfg.hit_probability <= 0.0 || worm_cfg.hit_probability > 1.0)
+    throw std::invalid_argument("ShardedSimulation: hit probability in (0,1]");
+  if (worm_cfg.selection != worm::ScanStrategy::kRandom &&
+      worm_cfg.selection != worm::ScanStrategy::kLocalPreferential)
+    throw std::invalid_argument(
+        "ShardedSimulation: only the memoryless scan strategies (random, "
+        "local-preferential) are shardable; cursor-based strategies need "
+        "WormSimulation");
+  const auto& dep = config_.deployment;
+  if (dep.host_filter_fraction < 0.0 || dep.host_filter_fraction > 1.0)
+    throw std::invalid_argument(
+        "ShardedSimulation: host filter fraction in [0,1]");
+  if (dep.edge_router_limited || dep.backbone_limited || dep.node_forward_cap)
+    throw std::invalid_argument(
+        "ShardedSimulation: link/node rate limiting is serial (global FIFO "
+        "drain order); use WormSimulation");
+  if (config_.response.kind != ResponseConfig::Kind::kNone)
+    throw std::invalid_argument(
+        "ShardedSimulation: blacklist/content-filter responses are not "
+        "supported; use WormSimulation");
+  if (config_.legit.rate_per_node != 0.0)
+    throw std::invalid_argument(
+        "ShardedSimulation: legitimate background traffic is not supported; "
+        "use WormSimulation");
+  if (config_.predator.enabled)
+    throw std::invalid_argument(
+        "ShardedSimulation: the predator counter-worm is not supported; use "
+        "WormSimulation");
+  if (config_.quarantine.enabled) {
+    config_.quarantine.validate();
+    if (config_.quarantine.start_on_detection && !config_.detector.enabled)
+      throw std::invalid_argument(
+          "ShardedSimulation: quarantine start_on_detection needs the "
+          "detector");
+  }
+  if (config_.detector.enabled) {
+    if (config_.detector.observe_probability <= 0.0 ||
+        config_.detector.observe_probability > 1.0)
+      throw std::invalid_argument(
+          "ShardedSimulation: detector observe probability in (0,1]");
+    if (config_.detector.threshold == 0)
+      throw std::invalid_argument(
+          "ShardedSimulation: detector threshold must be >= 1");
+  }
+  const auto& imm = config_.immunization;
+  if (imm.enabled) {
+    if (imm.rate <= 0.0 || imm.rate > 1.0)
+      throw std::invalid_argument("ShardedSimulation: immunization rate (0,1]");
+    if (imm.start_on_detection && !config_.detector.enabled)
+      throw std::invalid_argument(
+          "ShardedSimulation: start_on_detection needs the detector");
+    if (!imm.start_on_detection && !imm.start_at_tick &&
+        (imm.start_at_infected_fraction <= 0.0 ||
+         imm.start_at_infected_fraction > 1.0))
+      throw std::invalid_argument(
+          "ShardedSimulation: immunization start fraction in (0,1]");
+  }
+  if (config_.max_ticks <= 0.0)
+    throw std::invalid_argument("ShardedSimulation: max_ticks must be > 0");
+}
+
+std::size_t ShardedSimulation::shard_of(NodeId v) const noexcept {
+  // begin[s] = floor(s*n/S), so v*S/n lands within one of v's shard.
+  std::size_t s = static_cast<std::size_t>(v) * shards_.size() /
+                  net_.num_nodes();
+  if (s >= shards_.size()) s = shards_.size() - 1;
+  while (v < shards_[s].begin) --s;
+  while (s + 1 < shards_.size() && v >= shards_[s].end) ++s;
+  return s;
+}
+
+void ShardedSimulation::assign_host_filters() {
+  const double q = config_.deployment.host_filter_fraction;
+  if (q <= 0.0) return;
+  std::vector<NodeId> hosts = net_.roles().hosts;
+  Rng rng(mix64(config_.seed ^ kFilterSalt));
+  rng.shuffle(hosts);
+  const std::size_t count = static_cast<std::size_t>(
+      std::llround(q * static_cast<double>(hosts.size())));
+  for (std::size_t i = 0; i < count && i < hosts.size(); ++i)
+    filtered_[hosts[i]] = 1;
+}
+
+void ShardedSimulation::place_initial_infections() {
+  std::vector<NodeId> order(net_.num_nodes());
+  for (NodeId v = 0; v < net_.num_nodes(); ++v) order[v] = v;
+  Rng rng(mix64(config_.seed ^ kInitSalt));
+  rng.shuffle(order);
+  for (std::uint32_t i = 0; i < config_.worm.initial_infected; ++i) {
+    const NodeId v = order[i];
+    state_[v] = NodeState::kInfected;
+    ever_[v] = 1;
+    infected_tick_[v] = 0.0;
+    ++infected_count_;
+    ++ever_count_;
+    --susceptible_count_;
+    shards_[shard_of(v)].infected.push_back(v);
+  }
+  for (Shard& sh : shards_)
+    std::sort(sh.infected.begin(), sh.infected.end());
+  if (net_.has_subnets()) seed_subnet_ = net_.subnet_of(order[0]);
+}
+
+template <typename Fn>
+void ShardedSimulation::parallel_shards(Fn&& fn) {
+  if (shards_.size() == 1) {
+    fn(shards_[0]);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(shards_.size());
+  for (Shard& sh : shards_) pool.emplace_back([&fn, &sh] { fn(sh); });
+  for (std::thread& t : pool) t.join();
+}
+
+void ShardedSimulation::phase_emit(Shard& shard, std::uint64_t emit_base,
+                                   std::uint64_t imm_base) {
+  // Reset this tick's deltas and hand back the outboxes phase B of the
+  // previous tick consumed.
+  shard.scan_packets = 0;
+  shard.sightings = 0;
+  shard.quarantine_dropped = 0;
+  shard.delivered = 0;
+  shard.new_infections = 0;
+  shard.immunized_infected = 0;
+  shard.immunized_susceptible = 0;
+  for (auto& box : shard.outbox) box.clear();
+
+  if (shard.quarantine) shard.quarantine->advance_to(tick_);
+
+  const auto& imm = config_.immunization;
+  if (immunizing_) {
+    if (!shard.alive_ready) {
+      shard.alive.clear();
+      for (NodeId v = shard.begin; v < shard.end; ++v)
+        if (state_[v] != NodeState::kRemoved) shard.alive.push_back(v);
+      shard.alive_ready = true;
+    }
+    std::size_t out = 0;
+    for (const NodeId v : shard.alive) {
+      if (state_[v] == NodeState::kRemoved) continue;  // compact away
+      if (state_[v] == NodeState::kSusceptible && !imm.patch_susceptibles) {
+        shard.alive[out++] = v;
+        continue;
+      }
+      Rng rng = node_rng(imm_base, v);
+      if (rng.bernoulli(imm.rate)) {
+        if (state_[v] == NodeState::kInfected)
+          ++shard.immunized_infected;
+        else
+          ++shard.immunized_susceptible;
+        state_[v] = NodeState::kRemoved;
+        continue;
+      }
+      shard.alive[out++] = v;
+    }
+    shard.alive.resize(out);
+  }
+
+  const auto& detector = config_.detector;
+  const double hit = config_.worm.hit_probability;
+  const bool sparse = hit < 1.0;  // gate: no extra draws when dense
+  const bool draw_sightings = detector.enabled && detection_tick_ < 0.0;
+  const auto& qpolicy = config_.quarantine.policy;
+
+  std::size_t out = 0;
+  for (const NodeId v : shard.infected) {
+    if (state_[v] != NodeState::kInfected) continue;  // compact away
+    shard.infected[out++] = v;
+    Rng rng = node_rng(emit_base, v);
+    double rate = filtered_[v] ? config_.worm.filtered_contact_rate
+                               : config_.worm.contact_rate;
+    const std::uint32_t local = v - shard.begin;
+    const bool q = shard.quarantine && shard.quarantine->quarantined(local);
+    if (q && qpolicy.treatment == quarantine::Treatment::kThrottle)
+      rate = std::min(rate, qpolicy.throttle_rate);
+    const std::uint64_t attempts = rng.poisson(rate);
+    if (q && qpolicy.treatment == quarantine::Treatment::kDropAll) {
+      // Full isolation: scans die at the host's own uplink.
+      shard.quarantine_dropped += attempts;
+      continue;
+    }
+    for (std::uint64_t a = 0; a < attempts; ++a) {
+      if (sparse && !rng.bernoulli(hit)) {
+        // Address-space miss: a failed connection the quarantine
+        // detector sees. The synthetic dead-address key comes from the
+        // node's own stream (the serial engine's global miss counter
+        // is inherently unshardable).
+        if (shard.quarantine && quarantine_armed_)
+          shard.quarantine->observe(local, rng.next_u64(), tick_,
+                                    /*failed=*/true);
+        continue;
+      }
+      const NodeId dest = selector_.pick_stateless(v, rng);
+      shard.outbox[shard_of(dest)].push_back({v, dest});
+      ++shard.scan_packets;
+      // The sender's detector records the completed attempt at
+      // emission (the scale tier has no limiters that could still
+      // drop it in flight; a drop at a quarantined destination is
+      // charged to the quarantine, not the sender — see deliver() in
+      // worm_sim.cpp for the rationale).
+      if (shard.quarantine && quarantine_armed_)
+        shard.quarantine->observe(local,
+                                  static_cast<std::uint64_t>(dest),
+                                  tick_, /*failed=*/false);
+      if (draw_sightings && rng.bernoulli(detector.observe_probability))
+        ++shard.sightings;
+    }
+  }
+  shard.infected.resize(out);
+}
+
+void ShardedSimulation::phase_apply(Shard& shard) {
+  const std::size_t self =
+      static_cast<std::size_t>(&shard - shards_.data());
+  const bool drop_all =
+      shard.quarantine &&
+      config_.quarantine.policy.treatment == quarantine::Treatment::kDropAll;
+  // Ascending source shard + per-shard emission order = ascending
+  // source node id globally, whatever the shard count.
+  for (const Shard& src : shards_) {
+    for (const Packet& p : src.outbox[self]) {
+      ++shard.delivered;
+      if (drop_all &&
+          shard.quarantine->quarantined(p.dest - shard.begin)) {
+        // Inbound scan blocked at an isolated destination.
+        ++shard.quarantine_dropped;
+        continue;
+      }
+      if (state_[p.dest] != NodeState::kSusceptible) continue;
+      state_[p.dest] = NodeState::kInfected;
+      infected_tick_[p.dest] = tick_;
+      ever_[p.dest] = 1;
+      shard.pending.push_back(p.dest);
+      ++shard.new_infections;
+    }
+  }
+  if (!shard.pending.empty()) {
+    std::sort(shard.pending.begin(), shard.pending.end());
+    shard.merge_scratch.resize(shard.infected.size() + shard.pending.size());
+    std::merge(shard.infected.begin(), shard.infected.end(),
+               shard.pending.begin(), shard.pending.end(),
+               shard.merge_scratch.begin());
+    shard.infected.swap(shard.merge_scratch);
+    shard.pending.clear();
+  }
+}
+
+void ShardedSimulation::step() {
+  tick_ += 1.0;
+  ++tick_index_;
+
+  // Serial pre-phase: tick-granularity control decisions from last
+  // tick's state (the serial engine can flip these mid-phase; here
+  // they are frozen for the whole tick so shards need no coordination).
+  if (config_.quarantine.enabled && !quarantine_armed_ &&
+      detection_tick_ >= 0.0)
+    quarantine_armed_ = true;
+  const auto& imm = config_.immunization;
+  if (imm.enabled && !immunizing_) {
+    bool due = false;
+    if (imm.start_on_detection)
+      due = detection_tick_ >= 0.0;
+    else if (imm.start_at_tick)
+      due = tick_ >= *imm.start_at_tick;
+    else
+      due = static_cast<double>(ever_count_) /
+                static_cast<double>(net_.num_nodes()) >=
+            imm.start_at_infected_fraction;
+    if (due) {
+      immunizing_ = true;
+      result_.immunization_start_tick = tick_;
+    }
+  }
+
+  const std::uint64_t emit_base =
+      mix64(emit_stream_ ^ (kTickStride * tick_index_));
+  const std::uint64_t imm_base =
+      mix64(imm_stream_ ^ (kTickStride * tick_index_));
+
+  parallel_shards(
+      [&](Shard& sh) { phase_emit(sh, emit_base, imm_base); });
+
+  // Serial merge A: fold emission deltas in ascending shard order.
+  for (const Shard& sh : shards_) {
+    result_.total_scan_packets += sh.scan_packets;
+    detector_sightings_ += sh.sightings;
+    infected_count_ -= sh.immunized_infected;
+    susceptible_count_ -= sh.immunized_susceptible;
+    removed_count_ += sh.immunized_infected + sh.immunized_susceptible;
+  }
+  if (config_.detector.enabled && detection_tick_ < 0.0 &&
+      detector_sightings_ >= config_.detector.threshold) {
+    detection_tick_ = tick_;
+    result_.detection_tick = tick_;
+  }
+
+  parallel_shards([&](Shard& sh) { phase_apply(sh); });
+
+  // Serial merge B: fold delivery deltas.
+  for (const Shard& sh : shards_) {
+    result_.perf.packets_forwarded += sh.delivered;
+    result_.quarantine_dropped_packets += sh.quarantine_dropped;
+    infected_count_ += sh.new_infections;
+    ever_count_ += sh.new_infections;
+    susceptible_count_ -= sh.new_infections;
+  }
+
+  record();
+  ++result_.perf.ticks;
+}
+
+void ShardedSimulation::record() {
+  const double n = static_cast<double>(net_.num_nodes());
+  result_.active_infected.push(tick_,
+                               static_cast<double>(infected_count_) / n);
+  result_.ever_infected.push(tick_, static_cast<double>(ever_count_) / n);
+  result_.removed.push(tick_, static_cast<double>(removed_count_) / n);
+  if (seed_subnet_) {
+    const auto& members = net_.subnet_members(*seed_subnet_);
+    std::size_t ever = 0;
+    for (NodeId m : members) ever += ever_[m];
+    result_.seed_subnet_infected.push(
+        tick_,
+        static_cast<double>(ever) / static_cast<double>(members.size()));
+  }
+}
+
+bool ShardedSimulation::saturated() const {
+  if (!config_.stop_when_saturated) return false;
+  if (config_.immunization.enabled) return false;
+  return susceptible_count_ == 0;
+}
+
+quarantine::QuarantineReport ShardedSimulation::quarantine_report() const {
+  // One pass over hosts in global id order — exactly the accumulation
+  // order (and float result) an unsharded QuarantineEngine::report
+  // produces, so the report is invariant in the shard count.
+  quarantine::QuarantineReport out;
+  double latency_sum = 0.0;
+  for (const Shard& sh : shards_) {
+    for (NodeId v = sh.begin; v < sh.end; ++v) {
+      const std::uint32_t local = v - sh.begin;
+      const quarantine::HostRecord& rec = sh.quarantine->record(local);
+      if (infected_tick_[v] >= 0.0) {
+        ++out.target_hosts;
+        out.target_quarantine_time +=
+            sh.quarantine->quarantine_time(local, tick_);
+        if (rec.first_quarantined >= 0.0) {
+          out.detected_targets += 1.0;
+          latency_sum +=
+              std::max(0.0, rec.first_quarantined - infected_tick_[v]);
+        }
+      } else {
+        ++out.benign_hosts;
+        if (rec.offenses > 0) {
+          out.false_positive_hosts += 1.0;
+          out.benign_quarantine_time +=
+              sh.quarantine->quarantine_time(local, tick_);
+        }
+      }
+    }
+    out.quarantine_events +=
+        static_cast<double>(sh.quarantine->quarantine_events());
+  }
+  if (out.target_hosts > 0)
+    out.detection_rate =
+        out.detected_targets / static_cast<double>(out.target_hosts);
+  if (out.detected_targets > 0.0)
+    out.mean_detection_latency = latency_sum / out.detected_targets;
+  if (out.benign_hosts > 0)
+    out.false_positive_rate =
+        out.false_positive_hosts / static_cast<double>(out.benign_hosts);
+  if (out.false_positive_hosts > 0.0)
+    out.mean_benign_quarantine_time =
+        out.benign_quarantine_time / out.false_positive_hosts;
+  return out;
+}
+
+void ShardedSimulation::flush_metrics() {
+  if (obs_.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *obs_.metrics;
+  m.counter("sim.runs").add(1);
+  m.counter("sim.ticks").add(result_.perf.ticks);
+  m.counter("sim.packets_forwarded").add(result_.perf.packets_forwarded);
+  m.counter("sim.scan_packets").add(result_.total_scan_packets);
+  m.counter("sim.infections").add(ever_count_);
+  m.histogram("sim.run_ticks").record(result_.perf.ticks);
+  if (config_.quarantine.enabled) {
+    std::uint64_t events = 0;
+    for (const Shard& sh : shards_) events += sh.quarantine->quarantine_events();
+    m.counter("quarantine.events").add(events);
+    m.counter("quarantine.dropped_packets")
+        .add(result_.quarantine_dropped_packets);
+  }
+}
+
+RunResult ShardedSimulation::run() {
+  while (tick_ < config_.max_ticks && !saturated()) step();
+  result_.final_ever_infected_count = ever_count_;
+  if (config_.quarantine.enabled) result_.quarantine = quarantine_report();
+  flush_metrics();
+  return result_;
+}
+
+}  // namespace dq::sim

@@ -1,0 +1,189 @@
+// ShardedSimulation: the million-node tick core.
+//
+// WormSimulation models every mechanism in the paper but walks one
+// RNG stream through one thread — fine at 10³–10⁴ nodes, hopeless at
+// 10⁶. This engine trades the serial engine's full feature surface
+// for a struct-of-arrays layout and a sharded tick loop whose output
+// is *byte-identical at any shard count*:
+//
+//   * Node state is flat arrays (uint8 state/ever/filtered, double
+//     infection tick) — no per-node objects, no pointer chasing.
+//   * Nodes are pre-partitioned into contiguous id ranges (shards), so
+//     each shard's infected frontier, pending queue, and quarantine
+//     detectors live in a cache-local slab owned by one thread.
+//   * Every random decision a node makes on a tick comes from its own
+//     counter-based substream: Rng(mix64(tick_base ^ stride·(v+1))).
+//     No draw order is shared across nodes, so threading cannot
+//     reorder the stream — the same trick run_many uses per run,
+//     pushed down to per-node granularity.
+//   * The tick is two parallel phases around serial merge points.
+//     Phase A (per source shard): quarantine releases, immunization,
+//     scan emission into per-destination-shard outboxes. Serial merge:
+//     detector sightings and counter deltas fold in ascending shard
+//     order. Phase B (per destination shard): inbound packets apply in
+//     ascending source-node order — the concatenation of outboxes in
+//     ascending source-shard order is the same global sequence no
+//     matter how many shards produced it.
+//
+// Scope: the scale tier supports random / local-preferential
+// scanning, host filters, sparse address space (hit_probability),
+// the dark-space detector, immunization, and dynamic quarantine
+// (drop-all and throttle). Mechanisms that are inherently serial —
+// link rate limiting (one global FIFO drain order), node forward
+// caps, blacklist/content-filter responses, legitimate traffic,
+// the predator — stay on WormSimulation and are rejected at
+// construction. Detection is evaluated at tick granularity (the
+// serial engine can fire mid-emission), and successful contacts feed
+// a host's quarantine detector at emission rather than delivery, so
+// the two engines' trajectories are close but not bit-equal; the
+// sharded engine's own fixtures pin ITS contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "quarantine/engine.hpp"
+#include "simulator/config.hpp"
+#include "simulator/network.hpp"
+#include "simulator/worm_sim.hpp"
+#include "worm/target_selector.hpp"
+
+namespace dq::sim {
+
+/// One worm outbreak over a shared Network, sharded across threads.
+/// Produces the same RunResult shape as WormSimulation; trajectories
+/// are a pure function of (network, config) — independent of
+/// num_shards and of how the OS schedules the shard threads.
+class ShardedSimulation {
+ public:
+  /// num_shards == 0 picks the hardware concurrency. The network must
+  /// outlive the simulation. The sink only receives the end-of-run
+  /// metrics flush (per-event tracing would serialize the shards).
+  /// Throws std::invalid_argument for configs outside the scale tier
+  /// (see file comment).
+  ShardedSimulation(const Network& net, const SimulationConfig& config,
+                    std::size_t num_shards = 0, obs::Sink obs = {});
+
+  /// Runs to completion and returns the recorded curves.
+  RunResult run();
+
+  /// Single-step interface for tests: state after construction is
+  /// tick 0 with initial infections placed.
+  void step();
+  double tick() const noexcept { return tick_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  NodeState state(NodeId v) const { return state_.at(v); }
+  std::uint64_t ever_infected_count() const noexcept { return ever_count_; }
+  std::uint64_t active_infected_count() const noexcept {
+    return infected_count_;
+  }
+  bool detector_fired() const noexcept { return detection_tick_ >= 0.0; }
+
+ private:
+  /// A scan in flight between phases. The full path is implied by the
+  /// network's routing; with no limiters in the scale tier the packet
+  /// reaches its destination within the tick, so only the endpoints
+  /// travel between shards.
+  struct Packet {
+    NodeId src;
+    NodeId dest;
+  };
+
+  /// Everything one thread owns: a contiguous node range plus the
+  /// frontier, outboxes, quarantine slab, and per-tick counter deltas
+  /// that belong to it. No other thread reads or writes any of this
+  /// between merge points.
+  struct Shard {
+    NodeId begin = 0;
+    NodeId end = 0;
+    /// Active infected nodes in this range, ascending; compacted as
+    /// nodes leave kInfected during the emit walk.
+    std::vector<NodeId> infected;
+    /// Nodes infected during the current phase B, merged into
+    /// `infected` (sorted) at the end of the phase.
+    std::vector<NodeId> pending;
+    std::vector<NodeId> merge_scratch;
+    /// outbox[d]: packets emitted this tick for destination shard d.
+    std::vector<std::vector<Packet>> outbox;
+    /// Quarantine slab for this range (host h ↦ local index h-begin);
+    /// engaged iff config.quarantine.enabled.
+    std::optional<quarantine::QuarantineEngine> quarantine;
+    /// Immunization walk list (not-yet-removed nodes in this range),
+    /// built on the first immunizing tick.
+    std::vector<NodeId> alive;
+    bool alive_ready = false;
+
+    // Per-tick deltas, folded serially in ascending shard order.
+    std::uint64_t scan_packets = 0;
+    std::uint64_t sightings = 0;
+    std::uint64_t quarantine_dropped = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t new_infections = 0;
+    std::uint64_t immunized_infected = 0;
+    std::uint64_t immunized_susceptible = 0;
+  };
+
+  void validate_config() const;
+  void place_initial_infections();
+  void assign_host_filters();
+  std::size_t shard_of(NodeId v) const noexcept;
+
+  /// Phase A for one shard: quarantine releases, immunization walk,
+  /// scan emission into the outboxes.
+  void phase_emit(Shard& shard, std::uint64_t emit_base,
+                  std::uint64_t imm_base);
+  /// Phase B for one shard: apply inbound packets (ascending source
+  /// shard = ascending source node), then fold fresh infections into
+  /// the sorted frontier.
+  void phase_apply(Shard& shard);
+  /// Runs fn(shard) on every shard, one thread each (inline when there
+  /// is a single shard).
+  template <typename Fn>
+  void parallel_shards(Fn&& fn);
+
+  void record();
+  bool saturated() const;
+  /// Assembles the quarantine report with one serial pass over hosts
+  /// in global id order — the exact accumulation order (and therefore
+  /// float result) QuarantineEngine::report produces on an unsharded
+  /// engine.
+  quarantine::QuarantineReport quarantine_report() const;
+  void flush_metrics();
+
+  const Network& net_;
+  SimulationConfig config_;
+  obs::Sink obs_;
+  worm::TargetSelector selector_;
+
+  // Struct-of-arrays node state.
+  std::vector<NodeState> state_;
+  std::vector<std::uint8_t> ever_;
+  std::vector<std::uint8_t> filtered_;
+  std::vector<double> infected_tick_;  ///< -1 when never infected
+
+  std::vector<Shard> shards_;
+
+  std::uint64_t infected_count_ = 0;
+  std::uint64_t ever_count_ = 0;
+  std::uint64_t removed_count_ = 0;
+  std::uint64_t susceptible_count_ = 0;
+  std::uint64_t detector_sightings_ = 0;
+
+  /// Substream roots: every per-node, per-tick Rng hangs off one of
+  /// these via two mix64 applications (tick, then node).
+  std::uint64_t emit_stream_ = 0;
+  std::uint64_t imm_stream_ = 0;
+
+  double tick_ = 0.0;
+  std::uint64_t tick_index_ = 0;
+  bool immunizing_ = false;
+  bool quarantine_armed_ = false;
+  double detection_tick_ = -1.0;
+  std::optional<std::size_t> seed_subnet_;
+  RunResult result_;
+};
+
+}  // namespace dq::sim

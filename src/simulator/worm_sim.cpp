@@ -16,18 +16,12 @@ worm::TargetSelector make_selector(const Network& net,
   sc.local_bias = config.worm.local_bias;
   sc.hitlist_size = config.worm.hitlist_size;
 
-  std::vector<std::size_t> subnet_of;
-  std::vector<std::vector<NodeId>> members;
-  if (net.has_subnets()) {
-    subnet_of.resize(net.num_nodes());
-    for (NodeId v = 0; v < net.num_nodes(); ++v)
-      subnet_of[v] = *net.subnet_of(v);
-    members.reserve(net.num_subnets());
-    for (std::size_t s = 0; s < net.num_subnets(); ++s)
-      members.push_back(net.subnet_members(s));
-  }
-  return worm::TargetSelector(sc, net.num_nodes(), std::move(subnet_of),
-                              std::move(members),
+  // The selector borrows the Network's subnet structure (views live as
+  // long as the Network, which outlives every simulation over it) —
+  // the old per-construction deep copy was O(N) per run.
+  const auto* subnet_of = net.has_subnets() ? &net.subnet_ids() : nullptr;
+  const auto* members = net.has_subnets() ? &net.subnet_lists() : nullptr;
+  return worm::TargetSelector(sc, net.num_nodes(), subnet_of, members,
                               config.seed ^ 0xd1b54a32d192ed03ULL);
 }
 
@@ -202,14 +196,14 @@ void WormSimulation::assign_link_capacities() {
                        (dep.backbone_limited && net_.link_is_backbone(l));
     if (!limit) continue;
     double capacity = dep.base_link_capacity;
-    if (dep.weight_by_routing_load && net_.routing().total_link_load() > 0) {
+    if (dep.weight_by_routing_load && net_.total_link_load() > 0) {
       // The paper's rule: "a link weight that is proportional to the
       // number of routing table entries the link occupies", multiplied
       // into the base rate — i.e. the link's share of all routing
       // entries, so heavily used links keep the most throughput.
       const double weight =
           static_cast<double>(net_.link_load(l)) /
-          static_cast<double>(net_.routing().total_link_load());
+          static_cast<double>(net_.total_link_load());
       capacity *= weight;
     }
     link_capacity_[l] = std::max(dep.min_link_capacity, capacity);

@@ -5,21 +5,23 @@
 
 namespace dq::worm {
 
-TargetSelector::TargetSelector(const TargetSelectorConfig& config,
-                               std::size_t num_nodes,
-                               std::vector<std::size_t> subnet_of,
-                               std::vector<std::vector<NodeId>> subnet_members,
-                               std::uint64_t seed)
+TargetSelector::TargetSelector(
+    const TargetSelectorConfig& config, std::size_t num_nodes,
+    const std::vector<std::size_t>* subnet_of,
+    const std::vector<std::vector<NodeId>>* subnet_members, std::uint64_t seed)
     : config_(config),
       num_nodes_(num_nodes),
-      subnet_of_(std::move(subnet_of)),
-      subnet_members_(std::move(subnet_members)) {
+      subnet_of_(subnet_of),
+      subnet_members_(subnet_members) {
   if (num_nodes_ < 2)
     throw std::invalid_argument("TargetSelector: need at least 2 nodes");
   if (config.local_bias < 0.0 || config.local_bias > 1.0)
     throw std::invalid_argument("TargetSelector: local bias in [0,1]");
-  if (!subnet_of_.empty() && subnet_of_.size() != num_nodes_)
+  if (has_subnets() && subnet_of_->size() != num_nodes_)
     throw std::invalid_argument("TargetSelector: subnet_of size mismatch");
+  if (has_subnets() && subnet_members_ == nullptr)
+    throw std::invalid_argument(
+        "TargetSelector: subnet_of without subnet_members");
 
   Rng rng(seed);
   switch (config_.strategy) {
@@ -63,8 +65,8 @@ NodeId TargetSelector::pick_random(NodeId scanner, Rng& rng) const {
 }
 
 NodeId TargetSelector::pick_local(NodeId scanner, Rng& rng) const {
-  if (!subnet_of_.empty() && rng.bernoulli(config_.local_bias)) {
-    const auto& members = subnet_members_[subnet_of_[scanner]];
+  if (has_subnets() && rng.bernoulli(config_.local_bias)) {
+    const auto& members = (*subnet_members_)[(*subnet_of_)[scanner]];
     if (members.size() > 1) {
       for (;;) {
         const NodeId t = members[rng.uniform_int(members.size())];
@@ -87,6 +89,21 @@ NodeId TargetSelector::advance_cursor(NodeId scanner) {
             : static_cast<NodeId>(position);
     if (target != scanner) return target;
   }
+}
+
+NodeId TargetSelector::pick_stateless(NodeId scanner, Rng& rng) const {
+  switch (config_.strategy) {
+    case ScanStrategy::kRandom:
+      return pick_random(scanner, rng);
+    case ScanStrategy::kLocalPreferential:
+      return pick_local(scanner, rng);
+    case ScanStrategy::kSequential:
+    case ScanStrategy::kPermutation:
+    case ScanStrategy::kHitlist:
+      break;
+  }
+  throw std::logic_error(
+      "TargetSelector::pick_stateless: strategy needs per-scanner state");
 }
 
 NodeId TargetSelector::pick(NodeId scanner, Rng& rng) {

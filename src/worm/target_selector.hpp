@@ -56,16 +56,28 @@ struct TargetSelectorConfig {
 /// permutation, the hitlist). One instance per simulation run.
 class TargetSelector {
  public:
-  /// subnet_of/members may be empty when the topology has no subnets
-  /// (local-preferential then degrades to random, as in the paper's
-  /// simulator). `seed` fixes the permutation/hitlist/cursors.
+  /// subnet_of/subnet_members are *borrowed* const views — typically
+  /// the vectors owned by sim::Network, which outlives every run over
+  /// it. Either may be nullptr (or point at an empty vector) when the
+  /// topology has no subnets; local-preferential then degrades to
+  /// random, as in the paper's simulator. Borrowing instead of copying
+  /// keeps selector construction O(1) — the old per-run deep copy was
+  /// O(N) and dominated run_many setup at scale. `seed` fixes the
+  /// permutation/hitlist/cursors.
   TargetSelector(const TargetSelectorConfig& config, std::size_t num_nodes,
-                 std::vector<std::size_t> subnet_of,
-                 std::vector<std::vector<NodeId>> subnet_members,
+                 const std::vector<std::size_t>* subnet_of,
+                 const std::vector<std::vector<NodeId>>* subnet_members,
                  std::uint64_t seed);
 
   /// Picks the next target for `scanner` (never the scanner itself).
   NodeId pick(NodeId scanner, Rng& rng);
+
+  /// Stateless variant for the sharded engine: safe to call
+  /// concurrently from many threads, each with its own Rng, because it
+  /// touches no selector state. Only the memoryless strategies qualify
+  /// (kRandom, kLocalPreferential); cursor-based strategies throw
+  /// std::logic_error.
+  NodeId pick_stateless(NodeId scanner, Rng& rng) const;
 
   ScanStrategy strategy() const noexcept { return config_.strategy; }
 
@@ -77,10 +89,14 @@ class TargetSelector {
   NodeId pick_local(NodeId scanner, Rng& rng) const;
   NodeId advance_cursor(NodeId scanner);
 
+  bool has_subnets() const noexcept {
+    return subnet_of_ != nullptr && !subnet_of_->empty();
+  }
+
   TargetSelectorConfig config_;
   std::size_t num_nodes_;
-  std::vector<std::size_t> subnet_of_;
-  std::vector<std::vector<NodeId>> subnet_members_;
+  const std::vector<std::size_t>* subnet_of_;                // borrowed
+  const std::vector<std::vector<NodeId>>* subnet_members_;   // borrowed
 
   /// kSequential / kPermutation: per-scanner position in the scan
   /// order.

@@ -74,7 +74,12 @@ TEST(Experiments, Fig4BackboneWinsBigger) {
 TEST(Experiments, Fig5EdgeVsLocalPreferential) {
   const FigureData fig = fig5_edge_localpref_simulated(quick());
   const double t_r0 = fig.find("no-RL-random").time_to_reach(0.5);
-  const double t_r1 = fig.find("edge-RL-random").time_to_reach(0.5);
+  // A rate-limited curve that never crosses 50% inside the horizon is
+  // the strongest possible slowdown — clamp to the horizon instead of
+  // letting the -1 sentinel wreck the ratio (the quick profile's 3
+  // runs sit right at this margin).
+  double t_r1 = fig.find("edge-RL-random").time_to_reach(0.5);
+  if (t_r1 < 0.0) t_r1 = fig.find("edge-RL-random").back_time();
   const double t_l0 = fig.find("no-RL-localpref").time_to_reach(0.5);
   const double t_l1 = fig.find("edge-RL-localpref").time_to_reach(0.5);
   ASSERT_GT(t_r0, 0.0);

@@ -90,5 +90,97 @@ TEST(Network, SubnetlessHasNoSubnetInfo) {
   EXPECT_EQ(net.num_subnets(), 0u);
 }
 
+TEST(Network, BorrowedSubnetViewsMatchAccessors) {
+  Rng rng(6);
+  const Network net(graph::make_subnet_topology(3, 4, rng));
+  ASSERT_EQ(net.subnet_ids().size(), net.num_nodes());
+  ASSERT_EQ(net.subnet_lists().size(), net.num_subnets());
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v)
+    EXPECT_EQ(net.subnet_ids()[v], *net.subnet_of(v));
+  for (std::size_t s = 0; s < net.num_subnets(); ++s)
+    EXPECT_EQ(net.subnet_lists()[s], net.subnet_members(s));
+}
+
+// Satellite: adj_link used to read adj_[lo] unconditionally after its
+// binary search — an OOB read in a noexcept function whenever the
+// routing table named a non-adjacent next hop. The public path to the
+// lookup is hop_toward with the dense table disabled; sweeping every
+// (at, dest) pair drives the search into every row boundary (first,
+// last, and only neighbors of each row) and must reproduce the dense
+// table's answers exactly.
+TEST(Network, HopTowardFallbackMatchesDenseTableOnEveryPair) {
+  Rng rng(7);
+  graph::Graph g = graph::make_barabasi_albert(60, 2, rng);
+  NetworkOptions no_dense;
+  no_dense.dense_hop_table_bytes = 0;
+  const Network fallback(g, 0.05, 0.10, no_dense);
+  const Network dense(std::move(g), 0.05, 0.10);
+  ASSERT_TRUE(fallback.has_routing_table());
+  for (graph::NodeId a = 0; a < fallback.num_nodes(); ++a)
+    for (graph::NodeId b = 0; b < fallback.num_nodes(); ++b) {
+      if (a == b) continue;
+      const Network::HopStep fb = fallback.hop_toward(a, b);
+      const Network::HopStep dn = dense.hop_toward(a, b);
+      ASSERT_EQ(fb.next, dn.next) << a << "->" << b;
+      ASSERT_EQ(fb.link, dn.link) << a << "->" << b;
+    }
+}
+
+TEST(Network, TreeBackendSkipsAllPairsTable) {
+  Rng rng(8);
+  NetworkOptions opts;
+  opts.routing_table_bytes = 0;  // force tree routing on a small graph
+  const Network net(graph::make_barabasi_albert(80, 2, rng), 0.05, 0.10,
+                    opts);
+  EXPECT_FALSE(net.has_routing_table());
+  EXPECT_THROW(net.routing(), std::logic_error);
+  EXPECT_GT(net.total_link_load(), 0u);
+}
+
+TEST(Network, TreeBackendRoutesEveryPairAlongRealLinks) {
+  Rng rng(9);
+  graph::Graph g = graph::make_barabasi_albert(80, 2, rng);
+  NetworkOptions opts;
+  opts.routing_table_bytes = 0;
+  const Network net(g, 0.05, 0.10, opts);
+  const std::size_t n = net.num_nodes();
+  for (graph::NodeId a = 0; a < n; ++a)
+    for (graph::NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      graph::NodeId at = a;
+      std::size_t hops = 0;
+      while (at != b) {
+        const Network::HopStep hop = net.hop_toward(at, b);
+        ASSERT_TRUE(g.has_edge(at, hop.next)) << at << "->" << hop.next;
+        ASSERT_EQ(net.link_index(at, hop.next), hop.link);
+        at = hop.next;
+        // A tree path visits every node at most once.
+        ASSERT_LT(++hops, n) << a << "->" << b << " did not terminate";
+      }
+    }
+}
+
+TEST(Network, TreeBackendIsExactOnAStar) {
+  // On a tree (the star is one) the BFS tree IS the graph, so tree
+  // routing must agree with the all-pairs table on every hop and on
+  // every link load.
+  NetworkOptions opts;
+  opts.routing_table_bytes = 0;
+  const Network tree(graph::make_star(30), 1.0 / 30.0, 0.0, opts);
+  const Network table(graph::make_star(30), 1.0 / 30.0, 0.0);
+  ASSERT_EQ(tree.num_links(), table.num_links());
+  for (graph::NodeId a = 0; a < 30; ++a)
+    for (graph::NodeId b = 0; b < 30; ++b) {
+      if (a == b) continue;
+      const Network::HopStep x = tree.hop_toward(a, b);
+      const Network::HopStep y = table.hop_toward(a, b);
+      EXPECT_EQ(x.next, y.next);
+      EXPECT_EQ(x.link, y.link);
+    }
+  for (std::size_t l = 0; l < tree.num_links(); ++l)
+    EXPECT_EQ(tree.link_load(l), table.link_load(l));
+  EXPECT_EQ(tree.total_link_load(), table.total_link_load());
+}
+
 }  // namespace
 }  // namespace dq::sim

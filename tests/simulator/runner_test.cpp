@@ -39,7 +39,7 @@ TEST(Runner, AverageLiesWithinRunEnvelope) {
   double lo = 1.0, hi = 0.0;
   for (std::size_t r = 0; r < 5; ++r) {
     SimulationConfig one = cfg;
-    one.seed = cfg.seed + r;
+    one.seed = run_seed(cfg.seed, r);
     WormSimulation sim(net, one);
     const double v = sim.run().ever_infected.back_value();
     lo = std::min(lo, v);
@@ -47,6 +47,33 @@ TEST(Runner, AverageLiesWithinRunEnvelope) {
   }
   EXPECT_GE(avg.ever_infected.back_value(), lo - 1e-9);
   EXPECT_LE(avg.ever_infected.back_value(), hi + 1e-9);
+}
+
+TEST(Runner, SeedSubstreamsDoNotOverlapAcrossAdjacentBases) {
+  // Regression: seeds used to be base + r, so run r of base S was
+  // bit-identical to run r-1 of base S+1 — adjacent-seed sweeps shared
+  // RNG streams. The mix64 substream keeps every (base, run) pair
+  // distinct...
+  const std::uint64_t base = 11;
+  for (std::size_t r = 1; r <= 8; ++r)
+    EXPECT_NE(run_seed(base, r), run_seed(base + 1, r - 1)) << r;
+  EXPECT_NE(run_seed(base, 0), base);  // run 0 is a substream too
+
+  // ...and the trajectories diverge accordingly: run 1 of seed S no
+  // longer repeats run 0 of seed S+1.
+  const Network net(graph::make_star(40), 0.025, 0.0);
+  SimulationConfig a = base_config();
+  a.seed = run_seed(base, 1);
+  SimulationConfig b = base_config();
+  b.seed = run_seed(base + 1, 0);
+  const RunResult ra = WormSimulation(net, a).run();
+  const RunResult rb = WormSimulation(net, b).run();
+  bool identical = ra.ever_infected.size() == rb.ever_infected.size();
+  if (identical)
+    for (std::size_t i = 0; i < ra.ever_infected.size(); ++i)
+      identical = identical && ra.ever_infected.value_at(i) ==
+                                   rb.ever_infected.value_at(i);
+  EXPECT_FALSE(identical);
 }
 
 TEST(Runner, EarlyStoppedRunsExtendToHorizon) {

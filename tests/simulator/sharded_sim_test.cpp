@@ -1,0 +1,225 @@
+// ShardedSimulation's one load-bearing promise: trajectories are a
+// pure function of (network, config) — the shard count must never
+// show through. Each invariance test runs the same scenario at 1, 2,
+// 3, and 7 shards and demands bit-identical results everywhere a
+// number comes out.
+#include "simulator/sharded_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dq::sim {
+namespace {
+
+void expect_series_identical(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.times(), b.times());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  expect_series_identical(a.active_infected, b.active_infected);
+  expect_series_identical(a.ever_infected, b.ever_infected);
+  expect_series_identical(a.removed, b.removed);
+  expect_series_identical(a.seed_subnet_infected, b.seed_subnet_infected);
+  EXPECT_EQ(a.immunization_start_tick, b.immunization_start_tick);
+  EXPECT_EQ(a.detection_tick, b.detection_tick);
+  EXPECT_EQ(a.total_scan_packets, b.total_scan_packets);
+  EXPECT_EQ(a.final_ever_infected_count, b.final_ever_infected_count);
+  EXPECT_EQ(a.quarantine_dropped_packets, b.quarantine_dropped_packets);
+  EXPECT_EQ(a.perf.ticks, b.perf.ticks);
+  EXPECT_EQ(a.perf.packets_forwarded, b.perf.packets_forwarded);
+  EXPECT_EQ(a.quarantine.target_hosts, b.quarantine.target_hosts);
+  EXPECT_EQ(a.quarantine.benign_hosts, b.quarantine.benign_hosts);
+  EXPECT_EQ(a.quarantine.detected_targets, b.quarantine.detected_targets);
+  EXPECT_EQ(a.quarantine.detection_rate, b.quarantine.detection_rate);
+  EXPECT_EQ(a.quarantine.mean_detection_latency,
+            b.quarantine.mean_detection_latency);
+  EXPECT_EQ(a.quarantine.false_positive_hosts,
+            b.quarantine.false_positive_hosts);
+  EXPECT_EQ(a.quarantine.false_positive_rate,
+            b.quarantine.false_positive_rate);
+  EXPECT_EQ(a.quarantine.benign_quarantine_time,
+            b.quarantine.benign_quarantine_time);
+  EXPECT_EQ(a.quarantine.target_quarantine_time,
+            b.quarantine.target_quarantine_time);
+  EXPECT_EQ(a.quarantine.quarantine_events, b.quarantine.quarantine_events);
+}
+
+void expect_shard_invariant(const Network& net,
+                            const SimulationConfig& cfg) {
+  const RunResult base = ShardedSimulation(net, cfg, 1).run();
+  // The interesting outcome: something actually happened.
+  ASSERT_GT(base.final_ever_infected_count, cfg.worm.initial_infected);
+  for (std::size_t shards : {2u, 3u, 7u}) {
+    SCOPED_TRACE(shards);
+    const RunResult result = ShardedSimulation(net, cfg, shards).run();
+    expect_identical(base, result);
+  }
+}
+
+SimulationConfig scale_config() {
+  SimulationConfig cfg;
+  cfg.worm.contact_rate = 1.2;
+  cfg.worm.initial_infected = 3;
+  cfg.max_ticks = 30.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(ShardedSim, ShardCountInvariantDense) {
+  Rng rng(11);
+  const Network net(graph::make_barabasi_albert(500, 2, rng));
+  expect_shard_invariant(net, scale_config());
+}
+
+TEST(ShardedSim, ShardCountInvariantSparseWithDetector) {
+  Rng rng(12);
+  const Network net(graph::make_barabasi_albert(500, 2, rng));
+  SimulationConfig cfg = scale_config();
+  cfg.worm.hit_probability = 0.4;
+  cfg.detector.enabled = true;
+  cfg.detector.observe_probability = 0.05;
+  cfg.detector.threshold = 8;
+  cfg.max_ticks = 40.0;
+  expect_shard_invariant(net, cfg);
+}
+
+TEST(ShardedSim, ShardCountInvariantSubnetLocalPreferential) {
+  Rng rng(13);
+  const Network net(graph::make_subnet_topology(8, 40, rng));
+  SimulationConfig cfg = scale_config();
+  cfg.worm.selection = TargetSelection::kLocalPreferential;
+  cfg.worm.local_bias = 0.7;
+  expect_shard_invariant(net, cfg);
+}
+
+TEST(ShardedSim, ShardCountInvariantQuarantineAndImmunization) {
+  Rng rng(14);
+  const Network net(graph::make_barabasi_albert(400, 2, rng));
+  SimulationConfig cfg = scale_config();
+  cfg.worm.hit_probability = 0.5;
+  cfg.worm.filtered_contact_rate = 0.05;
+  cfg.deployment.host_filter_fraction = 0.3;
+  cfg.quarantine.enabled = true;
+  cfg.quarantine.detector.window = 3.0;
+  cfg.quarantine.detector.contact_rate_threshold = 4.0;
+  cfg.quarantine.policy.base_period = 10.0;
+  cfg.immunization.enabled = true;
+  cfg.immunization.start_at_infected_fraction = 0.3;
+  cfg.immunization.rate = 0.05;
+  cfg.max_ticks = 50.0;
+  expect_shard_invariant(net, cfg);
+}
+
+TEST(ShardedSim, ShardCountInvariantThrottleQuarantine) {
+  Rng rng(15);
+  const Network net(graph::make_barabasi_albert(300, 2, rng));
+  SimulationConfig cfg = scale_config();
+  cfg.worm.hit_probability = 0.6;
+  cfg.quarantine.enabled = true;
+  cfg.quarantine.detector.window = 3.0;
+  cfg.quarantine.detector.contact_rate_threshold = 4.0;
+  cfg.quarantine.policy.treatment = quarantine::Treatment::kThrottle;
+  cfg.quarantine.policy.throttle_rate = 0.1;
+  cfg.quarantine.policy.base_period = 8.0;
+  cfg.max_ticks = 40.0;
+  expect_shard_invariant(net, cfg);
+}
+
+TEST(ShardedSim, RepeatedRunsAreDeterministic) {
+  Rng rng(16);
+  const Network net(graph::make_barabasi_albert(300, 2, rng));
+  const SimulationConfig cfg = scale_config();
+  const RunResult a = ShardedSimulation(net, cfg, 4).run();
+  const RunResult b = ShardedSimulation(net, cfg, 4).run();
+  expect_identical(a, b);
+}
+
+TEST(ShardedSim, SeedChangesTheTrajectory) {
+  Rng rng(17);
+  const Network net(graph::make_barabasi_albert(300, 2, rng));
+  SimulationConfig cfg = scale_config();
+  const RunResult a = ShardedSimulation(net, cfg, 2).run();
+  cfg.seed += 1;
+  const RunResult b = ShardedSimulation(net, cfg, 2).run();
+  EXPECT_NE(a.total_scan_packets, b.total_scan_packets);
+}
+
+TEST(ShardedSim, WorksOnTreeRoutedNetworksWithoutDenseTables) {
+  Rng rng(18);
+  NetworkOptions opts;
+  opts.routing_table_bytes = 0;  // tree routing even at this size
+  const Network net(graph::make_barabasi_albert(400, 2, rng), 0.05, 0.10,
+                    opts);
+  expect_shard_invariant(net, scale_config());
+}
+
+TEST(ShardedSim, StepInterfaceMatchesSerialShape) {
+  Rng rng(19);
+  const Network net(graph::make_barabasi_albert(200, 2, rng));
+  SimulationConfig cfg = scale_config();
+  ShardedSimulation sim(net, cfg, 3);
+  EXPECT_EQ(sim.tick(), 0.0);
+  EXPECT_EQ(sim.ever_infected_count(), cfg.worm.initial_infected);
+  sim.step();
+  EXPECT_EQ(sim.tick(), 1.0);
+  EXPECT_GE(sim.ever_infected_count(), cfg.worm.initial_infected);
+}
+
+TEST(ShardedSim, RejectsMechanismsOutsideTheScaleTier) {
+  Rng rng(20);
+  const Network net(graph::make_barabasi_albert(100, 2, rng));
+  const auto rejects = [&](const SimulationConfig& cfg) {
+    EXPECT_THROW(ShardedSimulation(net, cfg, 2), std::invalid_argument);
+  };
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.deployment.edge_router_limited = true;
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.deployment.backbone_limited = true;
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.deployment.node_forward_cap = {0u, 5u};
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.response.kind = ResponseConfig::Kind::kBlacklist;
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.legit.rate_per_node = 0.5;
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.predator.enabled = true;
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.worm.selection = TargetSelection::kSequential;
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.worm.selection = TargetSelection::kPermutation;
+    rejects(cfg);
+  }
+  {
+    SimulationConfig cfg = scale_config();
+    cfg.worm.selection = TargetSelection::kHitlist;
+    rejects(cfg);
+  }
+}
+
+}  // namespace
+}  // namespace dq::sim

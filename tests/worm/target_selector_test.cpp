@@ -25,9 +25,10 @@ TEST(TargetSelector, Validation) {
   TargetSelectorConfig bad = config(ScanStrategy::kLocalPreferential);
   bad.local_bias = 1.5;
   EXPECT_THROW(TargetSelector(bad, 10, {}, {}, 1), std::invalid_argument);
-  EXPECT_THROW(TargetSelector(config(ScanStrategy::kRandom), 10,
-                              std::vector<std::size_t>(3, 0), {}, 1),
-               std::invalid_argument);
+  const std::vector<std::size_t> wrong_size(3, 0);
+  EXPECT_THROW(
+      TargetSelector(config(ScanStrategy::kRandom), 10, &wrong_size, {}, 1),
+      std::invalid_argument);
 }
 
 TEST(TargetSelector, NeverPicksSelf) {
@@ -159,7 +160,7 @@ TEST(TargetSelector, LocalPreferentialUsesSubnets) {
                                                      {5, 6, 7, 8, 9}};
   TargetSelectorConfig c = config(ScanStrategy::kLocalPreferential);
   c.local_bias = 0.9;
-  TargetSelector selector(c, 10, subnet_of, members, 10);
+  TargetSelector selector(c, 10, &subnet_of, &members, 10);
   Rng rng(11);
   int local = 0;
   const int n = 5000;
@@ -167,6 +168,29 @@ TEST(TargetSelector, LocalPreferentialUsesSubnets) {
     if (selector.pick(0, rng) < 5) ++local;
   // ~0.9 + 0.1*4/9 of picks stay local.
   EXPECT_NEAR(static_cast<double>(local) / n, 0.9 + 0.1 * 4.0 / 9.0, 0.03);
+}
+
+TEST(TargetSelector, StatelessMatchesPickForMemorylessStrategies) {
+  std::vector<std::size_t> subnet_of = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  std::vector<std::vector<graph::NodeId>> members = {{0, 1, 2, 3, 4},
+                                                     {5, 6, 7, 8, 9}};
+  for (ScanStrategy s :
+       {ScanStrategy::kRandom, ScanStrategy::kLocalPreferential}) {
+    TargetSelector selector(config(s), 10, &subnet_of, &members, 21);
+    Rng ra(3), rb(3);
+    TargetSelector mutable_copy(config(s), 10, &subnet_of, &members, 21);
+    for (int i = 0; i < 200; ++i)
+      EXPECT_EQ(selector.pick_stateless(0, ra), mutable_copy.pick(0, rb));
+  }
+}
+
+TEST(TargetSelector, StatelessRejectsCursorStrategies) {
+  Rng rng(4);
+  for (ScanStrategy s : {ScanStrategy::kSequential, ScanStrategy::kPermutation,
+                         ScanStrategy::kHitlist}) {
+    TargetSelector selector = make(s, 20);
+    EXPECT_THROW(selector.pick_stateless(1, rng), std::logic_error);
+  }
 }
 
 TEST(TargetSelector, LocalPreferentialWithoutSubnetsIsRandom) {
