@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dq::obs {
 
@@ -178,6 +179,23 @@ void MetricsRegistry::merge_snapshot(campaign::JsonValue& total,
   out.set("gauges", std::move(gauges));
   out.set("histograms", std::move(histograms));
   total = std::move(out);
+}
+
+std::uint64_t histogram_quantile(const Histogram& h, double q) noexcept {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // ceil(q * total) with a floor of 1: the quantile of a single sample
+  // is that sample's bucket for any q.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    cumulative += h.bucket(b);
+    if (cumulative >= rank) return Histogram::bucket_upper_bound(b);
+  }
+  return Histogram::bucket_upper_bound(Histogram::kBuckets - 1);
 }
 
 }  // namespace dq::obs

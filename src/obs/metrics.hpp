@@ -106,6 +106,13 @@ class Histogram {
 std::string labeled(std::string_view name,
                     std::vector<std::pair<std::string, std::string>> labels);
 
+/// Upper bound of the bucket holding the q-quantile by cumulative
+/// count (q clamped to [0,1]): the smallest bucket upper bound v such
+/// that at least ceil(q * count) recorded values are <= bucket(v).
+/// Log-2 resolution, like the buckets themselves; 0 when empty. Used
+/// for the serve-mode decision-latency percentiles.
+std::uint64_t histogram_quantile(const Histogram& h, double q) noexcept;
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

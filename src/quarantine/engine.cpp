@@ -128,28 +128,31 @@ void QuarantineEngine::observe(std::uint32_t host, std::uint64_t dest_key,
     quarantine(host, now);
 }
 
-double QuarantineEngine::quarantine_time(std::uint32_t host,
-                                         double now) const {
-  const HostRecord& rec = hosts_[host];
+double record_quarantine_time(const HostRecord& rec, double now) noexcept {
   double total = rec.quarantine_time;
   if (rec.state == HostQState::kQuarantined)
     total += std::max(0.0, now - rec.quarantine_start);
   return total;
 }
 
-QuarantineReport QuarantineEngine::report(
-    const std::vector<double>& label_time, double now) const {
-  if (label_time.size() != hosts_.size())
+double QuarantineEngine::quarantine_time(std::uint32_t host,
+                                         double now) const {
+  return record_quarantine_time(hosts_[host], now);
+}
+
+QuarantineReport report_from_records(const std::vector<HostRecord>& hosts,
+                                     const std::vector<double>& label_time,
+                                     double now, std::uint64_t events) {
+  if (label_time.size() != hosts.size())
     throw std::invalid_argument(
-        "QuarantineEngine::report: label vector size mismatch");
+        "report_from_records: label vector size mismatch");
   QuarantineReport out;
   double latency_sum = 0.0;
-  for (std::size_t h = 0; h < hosts_.size(); ++h) {
-    const HostRecord& rec = hosts_[h];
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    const HostRecord& rec = hosts[h];
     if (label_time[h] >= 0.0) {
       ++out.target_hosts;
-      out.target_quarantine_time +=
-          quarantine_time(static_cast<std::uint32_t>(h), now);
+      out.target_quarantine_time += record_quarantine_time(rec, now);
       if (rec.first_quarantined >= 0.0) {
         out.detected_targets += 1.0;
         latency_sum += std::max(0.0, rec.first_quarantined - label_time[h]);
@@ -158,8 +161,7 @@ QuarantineReport QuarantineEngine::report(
       ++out.benign_hosts;
       if (rec.offenses > 0) {
         out.false_positive_hosts += 1.0;
-        out.benign_quarantine_time +=
-            quarantine_time(static_cast<std::uint32_t>(h), now);
+        out.benign_quarantine_time += record_quarantine_time(rec, now);
       }
     }
   }
@@ -174,8 +176,13 @@ QuarantineReport QuarantineEngine::report(
   if (out.false_positive_hosts > 0.0)
     out.mean_benign_quarantine_time =
         out.benign_quarantine_time / out.false_positive_hosts;
-  out.quarantine_events = static_cast<double>(events_);
+  out.quarantine_events = static_cast<double>(events);
   return out;
+}
+
+QuarantineReport QuarantineEngine::report(
+    const std::vector<double>& label_time, double now) const {
+  return report_from_records(hosts_, label_time, now, events_);
 }
 
 QuarantineReport average_quarantine_reports(

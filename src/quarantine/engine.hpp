@@ -64,6 +64,20 @@ struct QuarantineReport {
 QuarantineReport average_quarantine_reports(
     const std::vector<QuarantineReport>& reports);
 
+/// Quarantine time served by `rec` including any interval still open at
+/// `now` — the per-record form of QuarantineEngine::quarantine_time.
+double record_quarantine_time(const HostRecord& rec, double now) noexcept;
+
+/// The report() computation over an externally assembled host-record
+/// array. Shared by QuarantineEngine::report and the serve pipeline,
+/// which gathers records from per-shard engines in *global host order*
+/// so the floating-point accumulation order — and therefore the bytes
+/// of the report — match a single engine over the same flow stream.
+/// `events` is the total quarantine count (summed across engines).
+QuarantineReport report_from_records(const std::vector<HostRecord>& hosts,
+                                     const std::vector<double>& label_time,
+                                     double now, std::uint64_t events);
+
 class QuarantineEngine {
  public:
   /// Validates the config (throws std::invalid_argument).

@@ -1,0 +1,70 @@
+#include "serve/flow.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "campaign/json.hpp"
+#include "obs/events.hpp"
+
+namespace dq::serve {
+
+const char* to_string(Action action) noexcept {
+  switch (action) {
+    case Action::kAllow:
+      return "allow";
+    case Action::kDrop:
+      return "drop";
+    case Action::kThrottle:
+      return "throttle";
+  }
+  return "unknown";
+}
+
+bool parse_flow_line(std::string_view line, std::uint32_t num_hosts,
+                     Flow& out) noexcept {
+  try {
+    const campaign::JsonValue v = campaign::JsonValue::parse(line);
+    if (v.kind() != campaign::JsonValue::Kind::kObject) return false;
+    const campaign::JsonValue* t = v.find("t");
+    const campaign::JsonValue* host = v.find("host");
+    const campaign::JsonValue* dest = v.find("dest");
+    if (t == nullptr || host == nullptr || dest == nullptr) return false;
+    const double time = t->as_number();
+    if (!std::isfinite(time) || time < 0.0) return false;
+    const double host_num = host->as_number();
+    if (host_num < 0.0 ||
+        host_num >= static_cast<double>(num_hosts)) return false;
+    Flow flow;
+    flow.time = time;
+    flow.host = static_cast<std::uint32_t>(host_num);
+    flow.dest = dest->as_uint();
+    if (const campaign::JsonValue* failed = v.find("failed"))
+      flow.failed = failed->as_bool();
+    if (const campaign::JsonValue* worm = v.find("worm"))
+      flow.labeled_worm = worm->as_bool();
+    out = flow;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+void append_decision_line(const Decision& d, std::string& out) {
+  out += "{\"seq\":";
+  out += std::to_string(d.seq);
+  out += ",\"t\":";
+  out += campaign::format_double(d.time);
+  out += ",\"host\":";
+  out += std::to_string(d.host);
+  out += ",\"dest\":";
+  out += std::to_string(d.dest);
+  out += ",\"failed\":";
+  out += d.failed ? "true" : "false";
+  out += ",\"action\":\"";
+  out += to_string(static_cast<Action>(d.action));
+  out += "\",\"state\":\"";
+  out += obs::to_string(static_cast<obs::QState>(d.state));
+  out += "\"}\n";
+}
+
+}  // namespace dq::serve

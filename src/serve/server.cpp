@@ -1,0 +1,362 @@
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <csignal>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/spsc.hpp"
+#include "stats/hash.hpp"
+
+namespace dq::serve {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<bool> g_stop{false};
+std::atomic<bool> g_handlers_installed{false};
+
+extern "C" void stop_signal_handler(int) { g_stop.store(true); }
+
+constexpr std::size_t kWorkerBatch = 256;
+constexpr std::size_t kFlushBytes = std::size_t{1} << 16;
+
+}  // namespace
+
+void install_stop_handlers() {
+  if (g_handlers_installed.exchange(true)) return;
+  std::signal(SIGINT, stop_signal_handler);
+  std::signal(SIGTERM, stop_signal_handler);
+}
+
+void request_stop() noexcept { g_stop.store(true); }
+bool stop_requested() noexcept { return g_stop.load(); }
+void reset_stop() noexcept { g_stop.store(false); }
+
+campaign::JsonValue ServeSummary::to_json() const {
+  using campaign::JsonValue;
+  JsonValue q = JsonValue::object();
+  q.set("target_hosts", JsonValue::integer(report.target_hosts));
+  q.set("benign_hosts", JsonValue::integer(report.benign_hosts));
+  q.set("detected_targets", JsonValue::number(report.detected_targets));
+  q.set("detection_rate", JsonValue::number(report.detection_rate));
+  q.set("mean_detection_latency",
+        JsonValue::number(report.mean_detection_latency));
+  q.set("false_positive_hosts",
+        JsonValue::number(report.false_positive_hosts));
+  q.set("false_positive_rate", JsonValue::number(report.false_positive_rate));
+  q.set("benign_quarantine_time",
+        JsonValue::number(report.benign_quarantine_time));
+  q.set("mean_benign_quarantine_time",
+        JsonValue::number(report.mean_benign_quarantine_time));
+  q.set("target_quarantine_time",
+        JsonValue::number(report.target_quarantine_time));
+  q.set("quarantine_events", JsonValue::number(report.quarantine_events));
+
+  JsonValue s = JsonValue::object();
+  s.set("flows_ingested", JsonValue::integer(flows_ingested));
+  s.set("flows_decided", JsonValue::integer(flows_decided));
+  s.set("parse_errors", JsonValue::integer(parse_errors));
+  s.set("time_regressions", JsonValue::integer(time_regressions));
+  s.set("end_time", JsonValue::number(end_time));
+  s.set("interrupted", JsonValue::boolean(interrupted));
+  s.set("quarantine", std::move(q));
+
+  JsonValue out = JsonValue::object();
+  out.set("summary", std::move(s));
+  return out;
+}
+
+struct ServeServer::Impl {
+  ServeOptions options;
+  bool ran = false;
+
+  // Host partition: owner shard and shard-local id per global host.
+  std::vector<std::uint8_t> owner;
+  std::vector<std::uint32_t> local_id;
+  std::vector<std::uint32_t> owned_count;
+
+  // Ground-truth worm onset per global host; each entry is written only
+  // by its owner shard's worker, read by the router after join().
+  std::vector<double> label_time;
+
+  std::vector<std::unique_ptr<SpscQueue<Flow>>> in_queues;
+  std::vector<std::unique_ptr<SpscQueue<Decision>>> out_queues;
+  std::vector<std::unique_ptr<quarantine::QuarantineEngine>> engines;
+  std::vector<std::thread> workers;
+
+  std::atomic<double> end_time{0.0};
+
+  obs::MetricsRegistry* registry = nullptr;
+  obs::Counter* flows_ingested = nullptr;
+  obs::Counter* flows_decided = nullptr;
+  obs::Counter* parse_errors = nullptr;
+  obs::Counter* time_regressions = nullptr;
+  obs::Histogram* latency = nullptr;
+
+  void worker_loop(std::size_t shard, bool emit);
+};
+
+ServeServer::ServeServer(const ServeOptions& options)
+    : impl_(std::make_unique<Impl>()),
+      registry_(std::make_unique<obs::MetricsRegistry>()) {
+  if (options.shards == 0 || options.shards > 256)
+    throw std::invalid_argument("ServeServer: shards must be in [1, 256]");
+  if (options.num_hosts == 0)
+    throw std::invalid_argument("ServeServer: num_hosts must be > 0");
+  options.quarantine.validate();
+
+  impl_->options = options;
+  impl_->registry = registry_.get();
+  impl_->flows_ingested = &registry_->counter("serve.flows_ingested");
+  impl_->flows_decided = &registry_->counter("serve.flows_decided");
+  impl_->parse_errors = &registry_->counter("serve.parse_errors");
+  impl_->time_regressions = &registry_->counter("serve.time_regressions");
+  impl_->latency = &registry_->histogram("serve.decision_latency_ns",
+                                         obs::Determinism::kWallClock);
+
+  // Hash-partition hosts across shards; shard-local ids are assigned in
+  // ascending global host order, so gathering records back in global
+  // order needs only the two maps.
+  const std::size_t shards = options.shards;
+  impl_->owner.resize(options.num_hosts);
+  impl_->local_id.resize(options.num_hosts);
+  impl_->owned_count.assign(shards, 0);
+  for (std::uint32_t h = 0; h < options.num_hosts; ++h) {
+    const auto s = static_cast<std::size_t>(mix64(h + 1) % shards);
+    impl_->owner[h] = static_cast<std::uint8_t>(s);
+    impl_->local_id[h] = impl_->owned_count[s]++;
+  }
+  impl_->label_time.assign(options.num_hosts, -1.0);
+
+  obs::Sink engine_sink;
+  engine_sink.metrics = registry_.get();
+  for (std::size_t s = 0; s < shards; ++s) {
+    impl_->in_queues.push_back(
+        std::make_unique<SpscQueue<Flow>>(options.queue_capacity));
+    impl_->out_queues.push_back(
+        std::make_unique<SpscQueue<Decision>>(options.queue_capacity));
+    if (impl_->owned_count[s] > 0) {
+      impl_->engines.push_back(std::make_unique<quarantine::QuarantineEngine>(
+          impl_->owned_count[s], options.quarantine));
+      impl_->engines.back()->set_obs(engine_sink);
+    } else {
+      impl_->engines.push_back(nullptr);
+    }
+  }
+}
+
+ServeServer::~ServeServer() = default;
+
+void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
+  SpscQueue<Flow>& in = *in_queues[shard];
+  SpscQueue<Decision>& out = *out_queues[shard];
+  quarantine::QuarantineEngine* engine = engines[shard].get();
+  const bool throttling = options.quarantine.policy.treatment ==
+                          quarantine::Treatment::kThrottle;
+  Flow batch[kWorkerBatch];
+  while (true) {
+    const std::size_t n = in.pop_batch(batch, kWorkerBatch);
+    if (n == 0) {
+      if (in.closed() && in.empty()) break;
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Flow& f = batch[i];
+      engine->advance_to(f.time);
+      const std::uint32_t local = local_id[f.host];
+      if (f.labeled_worm && label_time[f.host] < 0.0)
+        label_time[f.host] = f.time;
+      const bool was_quarantined = engine->quarantined(local);
+      engine->observe(local, f.dest, f.time, f.failed);
+      latency->record(now_ns() - f.ingest_ns);
+      if (emit) {
+        Decision d;
+        d.seq = f.seq;
+        d.time = f.time;
+        d.host = f.host;
+        d.dest = f.dest;
+        d.failed = f.failed;
+        d.action = static_cast<std::uint8_t>(
+            was_quarantined ? (throttling ? Action::kThrottle : Action::kDrop)
+                            : Action::kAllow);
+        d.state = static_cast<std::uint8_t>(engine->state(local));
+        while (!out.try_push(d)) std::this_thread::yield();
+      }
+    }
+    flows_decided->add(n);
+  }
+  // Apply releases pending at the stream's end so gathered records
+  // match a single engine advanced to the same time (the end time is
+  // published before the queue closes).
+  if (engine != nullptr)
+    engine->advance_to(end_time.load(std::memory_order_acquire));
+}
+
+ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
+                              std::ostream* metrics) {
+  Impl& im = *impl_;
+  if (im.ran) throw std::logic_error("ServeServer: one run() per server");
+  im.ran = true;
+  const ServeOptions& opt = im.options;
+  const bool emit = opt.emit_decisions && decisions != nullptr;
+  if (opt.stop_after_flows > 0) install_stop_handlers();
+
+  const std::size_t shards = opt.shards;
+  for (std::size_t s = 0; s < shards; ++s)
+    im.workers.emplace_back([this, s, emit] { impl_->worker_loop(s, emit); });
+
+  // In-order merge bookkeeping: which shard got each outstanding seq.
+  // Outstanding flows are bounded by the queues, so a fixed ring
+  // suffices: every in-flight flow occupies an in-queue slot, a
+  // worker-batch slot, or an out-queue slot.
+  const std::size_t ring_cap = std::bit_ceil(
+      shards * (im.in_queues[0]->capacity() + im.out_queues[0]->capacity() +
+                kWorkerBatch + 2));
+  std::vector<std::uint8_t> pending(ring_cap);
+  std::size_t pend_head = 0, pend_size = 0;
+  std::string outbuf;
+  std::string metric_buf;
+
+  const auto write_decisions = [&](bool force) {
+    if (outbuf.size() >= kFlushBytes || (force && !outbuf.empty())) {
+      decisions->write(outbuf.data(),
+                       static_cast<std::streamsize>(outbuf.size()));
+      outbuf.clear();
+    }
+  };
+  const auto drain_ready = [&] {
+    Decision d;
+    while (pend_size > 0 &&
+           im.out_queues[pending[pend_head & (ring_cap - 1)]]->try_pop(d)) {
+      ++pend_head;
+      --pend_size;
+      append_decision_line(d, outbuf);
+      write_decisions(false);
+    }
+  };
+  std::uint64_t last_parse_errors = 0;
+  const auto sync_parse_errors = [&] {
+    const std::uint64_t pe = source.parse_errors();
+    im.parse_errors->add(pe - last_parse_errors);
+    last_parse_errors = pe;
+  };
+  const auto write_metrics_snapshot = [&] {
+    if (metrics == nullptr) return;
+    sync_parse_errors();
+    metric_buf = im.registry->snapshot(false).dump();
+    metric_buf += '\n';
+    metrics->write(metric_buf.data(),
+                   static_cast<std::streamsize>(metric_buf.size()));
+    metrics->flush();
+  };
+
+  ServeSummary summary;
+  const std::uint64_t t_start = now_ns();
+  double last_time = 0.0;
+  bool exhausted = false;
+  Flow flow;
+  std::uint64_t seq = 0;
+  while (!stop_requested()) {
+    if (!source.next(flow)) {
+      exhausted = true;
+      break;
+    }
+    // Detectors assume non-decreasing time per host; enforce it
+    // globally at the router so every shard count sees the same clock.
+    if (flow.time < last_time) {
+      flow.time = last_time;
+      ++summary.time_regressions;
+      im.time_regressions->add();
+    } else {
+      last_time = flow.time;
+    }
+    flow.seq = ++seq;
+    flow.ingest_ns = now_ns();
+    im.flows_ingested->add();
+    const std::size_t s = im.owner[flow.host];
+    while (!im.in_queues[s]->try_push(flow)) {
+      if (emit) drain_ready();
+      std::this_thread::yield();
+    }
+    if (emit) {
+      pending[(pend_head + pend_size) & (ring_cap - 1)] =
+          static_cast<std::uint8_t>(s);
+      ++pend_size;
+      drain_ready();
+    }
+    if (opt.metrics_interval_flows > 0 &&
+        seq % opt.metrics_interval_flows == 0)
+      write_metrics_snapshot();
+    if (opt.stop_after_flows > 0 && seq == opt.stop_after_flows)
+      std::raise(SIGTERM);
+  }
+  summary.interrupted = !exhausted;
+
+  // Graceful drain: publish the end time, close the in-queues, and
+  // absorb every outstanding decision before joining the workers.
+  double end_time = last_time;
+  if (exhausted) {
+    const double hint = source.end_time_hint();
+    if (hint > end_time) end_time = hint;
+  }
+  im.end_time.store(end_time, std::memory_order_release);
+  for (auto& q : im.in_queues) q->close();
+  while (pend_size > 0) {
+    drain_ready();
+    if (pend_size > 0) std::this_thread::yield();
+  }
+  for (auto& w : im.workers) w.join();
+
+  // Assemble the final report from per-shard records in global host
+  // order — the float accumulation order of a single engine.
+  std::vector<quarantine::HostRecord> records(opt.num_hosts);
+  for (std::uint32_t h = 0; h < opt.num_hosts; ++h) {
+    const quarantine::QuarantineEngine* engine =
+        im.engines[im.owner[h]].get();
+    if (engine != nullptr) records[h] = engine->record(im.local_id[h]);
+  }
+  std::uint64_t events = 0;
+  for (const auto& engine : im.engines)
+    if (engine != nullptr) events += engine->quarantine_events();
+
+  sync_parse_errors();
+  summary.flows_ingested = seq;
+  summary.flows_decided = im.flows_decided->value();
+  summary.parse_errors = last_parse_errors;
+  summary.end_time = end_time;
+  summary.report = quarantine::report_from_records(records, im.label_time,
+                                                   end_time, events);
+  summary.wall_seconds =
+      static_cast<double>(now_ns() - t_start) * 1e-9;
+  summary.flows_per_sec =
+      summary.wall_seconds > 0.0
+          ? static_cast<double>(summary.flows_ingested) / summary.wall_seconds
+          : 0.0;
+  summary.latency_p50_ns = obs::histogram_quantile(*im.latency, 0.50);
+  summary.latency_p90_ns = obs::histogram_quantile(*im.latency, 0.90);
+  summary.latency_p99_ns = obs::histogram_quantile(*im.latency, 0.99);
+  registry_->gauge("serve.flows_per_sec").set(summary.flows_per_sec);
+
+  if (decisions != nullptr) {
+    outbuf += summary.to_json().dump();
+    outbuf += '\n';
+    write_decisions(true);
+    decisions->flush();
+  }
+  write_metrics_snapshot();
+  return summary;
+}
+
+}  // namespace dq::serve

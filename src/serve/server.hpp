@@ -1,0 +1,117 @@
+// The streaming quarantine service behind `dqctl serve`: a router
+// thread ingests a flow stream, hash-partitions it by source host
+// across N shards, and drives one independent QuarantineEngine per
+// shard through lock-free SPSC queues, merging per-flow decisions back
+// into a single NDJSON stream in ingest order.
+//
+// Determinism contract (docs/SERVE.md): every decision depends only on
+// its host's prior flows, which sharding by host keeps in order, so the
+// merged decision stream — and the final summary, assembled from
+// per-host records gathered in global host order — is byte-identical
+// at any shard count. Wall-clock telemetry (decision latency, flows/s)
+// lives in kWallClock metrics and the human stderr summary, never in
+// the decision stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+
+#include "campaign/json.hpp"
+#include "obs/metrics.hpp"
+#include "quarantine/config.hpp"
+#include "quarantine/engine.hpp"
+#include "serve/source.hpp"
+
+namespace dq::serve {
+
+struct ServeOptions {
+  std::size_t shards = 1;
+  /// Host universe; flows address hosts [0, num_hosts). Each shard's
+  /// engine is sized to the hosts hashed to it, so total detector
+  /// state is one num_hosts regardless of shard count.
+  std::uint32_t num_hosts = 1u << 16;
+  quarantine::QuarantineConfig quarantine;
+  /// Per-shard SPSC ring capacity (rounded up to a power of two).
+  std::size_t queue_capacity = 4096;
+  /// When false, workers skip the decision queues entirely (bench
+  /// mode: the summary and metrics still cover every flow).
+  bool emit_decisions = true;
+  /// Every N ingested flows, write a full metrics snapshot line to the
+  /// metrics stream (0 disables; a final snapshot is always written
+  /// when a metrics stream is given).
+  std::uint64_t metrics_interval_flows = 0;
+  /// Testing hook for the graceful-shutdown path: raise SIGTERM to the
+  /// process after ingesting exactly N flows (0 disables). Exercises
+  /// the real signal handler deterministically.
+  std::uint64_t stop_after_flows = 0;
+};
+
+/// Final summary. The quarantine report uses flows' `worm` labels as
+/// ground truth (a labeled host's onset is its first labeled flow);
+/// with no labeled flows it degenerates to zero targets. Matches
+/// QuarantineReport / trace::replay_quarantine semantics.
+struct ServeSummary {
+  std::uint64_t flows_ingested = 0;
+  std::uint64_t flows_decided = 0;
+  std::uint64_t parse_errors = 0;
+  /// Flows whose time ran backwards and were clamped to the stream's
+  /// running maximum (detectors need per-host non-decreasing time).
+  std::uint64_t time_regressions = 0;
+  double end_time = 0.0;
+  bool interrupted = false;  ///< stopped by SIGINT/SIGTERM
+  quarantine::QuarantineReport report;
+
+  // Wall-clock telemetry — reported to stderr/metrics only, excluded
+  // from to_json() so the decision stream stays deterministic.
+  double wall_seconds = 0.0;
+  double flows_per_sec = 0.0;
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p90_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+
+  /// Canonical JSON of the deterministic fields only — the summary
+  /// line appended to the decision stream.
+  campaign::JsonValue to_json() const;
+};
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful stop:
+/// ingestion ends, queues drain, output flushes, the summary is still
+/// emitted. Idempotent.
+void install_stop_handlers();
+/// What the handlers call; async-signal-safe.
+void request_stop() noexcept;
+bool stop_requested() noexcept;
+/// Clears a pending stop request (tests; call before each run).
+void reset_stop() noexcept;
+
+class ServeServer {
+ public:
+  /// Validates options (throws std::invalid_argument: zero shards or
+  /// hosts, invalid quarantine config).
+  explicit ServeServer(const ServeOptions& options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Runs the pipeline until the source is exhausted or a stop is
+  /// requested; drains every ingested flow, writes decisions (NDJSON,
+  /// ending with the summary line) to `decisions` and metrics
+  /// snapshot lines to `metrics` (either may be null), and returns the
+  /// summary. One run() per server.
+  ServeSummary run(FlowSource& source, std::ostream* decisions,
+                   std::ostream* metrics);
+
+  /// Live registry: serve.* counters, the serve.decision_latency_ns
+  /// log-2 histogram (kWallClock), and the engines' quarantine.*
+  /// counters. Valid for the server's lifetime.
+  const obs::MetricsRegistry& metrics() const noexcept { return *registry_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+};
+
+}  // namespace dq::serve

@@ -1,0 +1,115 @@
+// Flow sources for `dqctl serve`: the three ways a flow stream enters
+// the service.
+//
+//  * NdjsonFlowSource    — live ingestion from a stream (stdin, file).
+//    Malformed or truncated lines are counted and skipped, never
+//    fatal: a line-rate front-end must survive garbage input.
+//  * TraceFlowSource     — replays a finalized trace::Trace, computing
+//    the kNoPriorNoDns failure proxy with the exact oracle
+//    replay_quarantine uses, optionally paced at a multiple of real
+//    time (--speed).
+//  * SyntheticFlowSource — deterministic counter-based load generator
+//    for the flows/sec bench: flow i is a pure function of (seed, i),
+//    so any prefix is reproducible and shard-count independent.
+//
+// Sources are single-threaded (the router owns them); all per-flow
+// state lives here so shard workers stay stateless beyond the engine.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+
+#include "serve/flow.hpp"
+#include "trace/quarantine_replay.hpp"
+#include "trace/trace.hpp"
+
+namespace dq::serve {
+
+class FlowSource {
+ public:
+  virtual ~FlowSource() = default;
+
+  /// Fills `out` with the next flow; false at end of stream. Never
+  /// throws on malformed input — implementations count and skip.
+  virtual bool next(Flow& out) = 0;
+
+  /// Lines (or events) rejected so far — feeds `serve.parse_errors`.
+  virtual std::uint64_t parse_errors() const noexcept { return 0; }
+
+  /// Logical end time of an exhausted stream, when the source knows it
+  /// (a trace's duration covers inbound/DNS events after the last
+  /// outbound contact). Negative when unknown; the server then uses
+  /// the last ingested flow time.
+  virtual double end_time_hint() const noexcept { return -1.0; }
+};
+
+class NdjsonFlowSource : public FlowSource {
+ public:
+  /// Flows with host >= num_hosts are parse errors (the engine is
+  /// sized up front; a front-end cannot grow its host table per
+  /// attacker-controlled line).
+  NdjsonFlowSource(std::istream& in, std::uint32_t num_hosts);
+
+  bool next(Flow& out) override;
+  std::uint64_t parse_errors() const noexcept override {
+    return parse_errors_;
+  }
+
+ private:
+  std::istream& in_;
+  std::uint32_t num_hosts_;
+  std::uint64_t parse_errors_ = 0;
+  std::string line_;
+};
+
+class TraceFlowSource : public FlowSource {
+ public:
+  /// `speed` <= 0 replays as fast as possible; otherwise event time is
+  /// paced at `speed` trace-seconds per wall-second. The trace must be
+  /// finalized and carry a census (for worm labels).
+  explicit TraceFlowSource(const trace::Trace& trace, double speed = 0.0);
+
+  bool next(Flow& out) override;
+  double end_time_hint() const noexcept override;
+
+ private:
+  const trace::Trace& trace_;
+  trace::FirstContactOracle oracle_;
+  std::size_t next_event_ = 0;
+  double speed_;
+  std::uint64_t start_ns_ = 0;  ///< wall clock at first event (paced mode)
+};
+
+struct SyntheticConfig {
+  std::uint64_t flows = 1'000'000;
+  std::uint32_t hosts = 1u << 16;
+  /// Leading fraction of the host id space that scans like a worm
+  /// (high failure ratio, wide random destinations); these flows carry
+  /// the ground-truth label.
+  double worm_fraction = 0.01;
+  /// Simulated seconds between consecutive flows (global arrival
+  /// process; per-host rates scale as flows / hosts).
+  double flow_interval = 1e-5;
+  double benign_failure_prob = 0.02;
+  double worm_failure_prob = 0.9;
+  /// Distinct destinations a benign host cycles through.
+  std::uint32_t benign_dest_pool = 8;
+  std::uint64_t seed = 42;
+};
+
+class SyntheticFlowSource : public FlowSource {
+ public:
+  explicit SyntheticFlowSource(const SyntheticConfig& config);
+
+  bool next(Flow& out) override;
+
+  const SyntheticConfig& config() const noexcept { return config_; }
+
+ private:
+  SyntheticConfig config_;
+  std::uint64_t next_flow_ = 0;
+  std::uint32_t worm_hosts_ = 0;
+};
+
+}  // namespace dq::serve

@@ -2,21 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "ratelimit/dns_throttle.hpp"
 
 namespace dq::trace {
 
 namespace {
-
-/// Per-host edge-router knowledge for the first-contact failure proxy
-/// (mirrors the kNoPriorNoDns refinement in analysis.cpp).
-struct HostKnowledge {
-  ratelimit::DnsCache dns;
-  std::unordered_set<IpAddress> inbound_peers;
-};
 
 bool is_worm(HostCategory c) {
   return c == HostCategory::kWormBlaster || c == HostCategory::kWormWelchia;
@@ -34,7 +23,7 @@ QuarantineReplayReport replay_quarantine(
 
   quarantine::QuarantineEngine engine(trace.num_hosts(), config);
   if (obs) engine.set_obs(obs);
-  std::unordered_map<HostId, HostKnowledge> knowledge;
+  FirstContactOracle oracle;
 
   // Target labels for the overall report: a worm host's onset is its
   // first outbound contact (traces do not record the infection moment).
@@ -48,24 +37,11 @@ QuarantineReplayReport replay_quarantine(
                                   "census");
     ++report.events_processed;
     engine.advance_to(e.time);
-    HostKnowledge& known = knowledge[e.host];
-    switch (e.type) {
-      case EventType::kDnsAnswer:
-        known.dns.record(e.remote, e.time + e.dns_ttl);
-        break;
-      case EventType::kInboundContact:
-        known.inbound_peers.insert(e.remote);
-        break;
-      case EventType::kOutboundContact: {
-        if (is_worm(categories[e.host]) && label_time[e.host] < 0.0)
-          label_time[e.host] = e.time;
-        // First-contact proxy: a destination the host neither resolved
-        // nor heard from is the blind connection a scanner makes.
-        const bool failed = !known.inbound_peers.contains(e.remote) &&
-                            !known.dns.valid(e.remote, e.time);
-        engine.observe(e.host, e.remote, e.time, failed);
-        break;
-      }
+    const bool failed = oracle.observe(e);
+    if (e.type == EventType::kOutboundContact) {
+      if (is_worm(categories[e.host]) && label_time[e.host] < 0.0)
+        label_time[e.host] = e.time;
+      engine.observe(e.host, e.remote, e.time, failed);
     }
   }
   const double end = trace.duration();

@@ -13,13 +13,51 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/sink.hpp"
 #include "quarantine/engine.hpp"
+#include "ratelimit/dns_throttle.hpp"
 #include "trace/trace.hpp"
 
 namespace dq::trace {
+
+/// Streaming per-host edge-router knowledge implementing the paper's
+/// kNoPriorNoDns first-contact failure proxy. Feed every trace event
+/// in time order; for an outbound contact, observe() returns whether
+/// it counts as "failed" (no valid DNS translation and no prior
+/// inbound exchange with that peer — the blind connection a scanner
+/// makes). Shared by replay_quarantine and the serve pipeline's trace
+/// source so both compute the identical failure signal.
+class FirstContactOracle {
+ public:
+  /// Updates knowledge with `e`; returns the failure bit for
+  /// kOutboundContact events and false for the others.
+  bool observe(const TraceEvent& e) {
+    HostKnowledge& known = knowledge_[e.host];
+    switch (e.type) {
+      case EventType::kDnsAnswer:
+        known.dns.record(e.remote, e.time + e.dns_ttl);
+        return false;
+      case EventType::kInboundContact:
+        known.inbound_peers.insert(e.remote);
+        return false;
+      case EventType::kOutboundContact:
+        return !known.inbound_peers.contains(e.remote) &&
+               !known.dns.valid(e.remote, e.time);
+    }
+    return false;
+  }
+
+ private:
+  struct HostKnowledge {
+    ratelimit::DnsCache dns;
+    std::unordered_set<IpAddress> inbound_peers;
+  };
+  std::unordered_map<HostId, HostKnowledge> knowledge_;
+};
 
 /// Quarantine outcome for one host category.
 struct CategoryQuarantineStats {

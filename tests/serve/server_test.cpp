@@ -1,0 +1,306 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/department.hpp"
+#include "trace/quarantine_replay.hpp"
+
+namespace dq::serve {
+namespace {
+
+/// Failure-ratio-only detector like the replay tests', tuned hotter
+/// (3 blind contacts out of 70% in a 5 s window) so quarantines
+/// actually fire on the small department trace used here.
+quarantine::QuarantineConfig replay_config() {
+  quarantine::QuarantineConfig c;
+  c.enabled = true;
+  c.detector.window = 5.0;
+  c.detector.contact_rate_threshold = 0.0;
+  c.detector.distinct_dest_threshold = 0.0;
+  c.detector.failure_ratio_threshold = 0.7;
+  c.detector.failure_min_attempts = 3;
+  c.policy.base_period = 120.0;
+  c.policy.escalation = 4.0;
+  c.policy.max_period = 1200.0;
+  return c;
+}
+
+trace::Trace small_department_trace() {
+  trace::DepartmentConfig config;
+  config.normal_clients = 30;
+  config.servers = 3;
+  config.p2p_clients = 3;
+  config.blaster_hosts = 4;
+  config.welchia_hosts = 4;
+  config.duration = 600.0;
+  // The defaults model multi-day duty cycles (scan epochs separated by
+  // ~40 min pauses); compress them so a 600 s trace contains scanning.
+  config.blaster.pause_epoch_mean = 120.0;
+  config.welchia.sweep_interval_mean = 200.0;
+  return trace::generate_department_trace(config, 11);
+}
+
+ServeSummary run_on_trace(const trace::Trace& t, std::size_t shards,
+                          std::ostream* decisions = nullptr,
+                          std::ostream* metrics = nullptr) {
+  ServeOptions options;
+  options.shards = shards;
+  options.num_hosts = static_cast<std::uint32_t>(t.num_hosts());
+  options.quarantine = replay_config();
+  ServeServer server(options);
+  TraceFlowSource source(t);
+  return server.run(source, decisions, metrics);
+}
+
+TEST(ServeServer, TraceReplayMatchesSingleEngineExactly) {
+  const trace::Trace t = small_department_trace();
+  const trace::QuarantineReplayReport expected =
+      trace::replay_quarantine(t, replay_config());
+
+  const ServeSummary summary = run_on_trace(t, 3);
+
+  // Same detectors, same failure oracle, same end time: the serve
+  // report must equal the replay's overall report bit for bit.
+  const quarantine::QuarantineReport& a = summary.report;
+  const quarantine::QuarantineReport& b = expected.overall;
+  EXPECT_EQ(a.target_hosts, b.target_hosts);
+  EXPECT_EQ(a.benign_hosts, b.benign_hosts);
+  EXPECT_EQ(a.detected_targets, b.detected_targets);
+  EXPECT_EQ(a.detection_rate, b.detection_rate);
+  EXPECT_EQ(a.mean_detection_latency, b.mean_detection_latency);
+  EXPECT_EQ(a.false_positive_hosts, b.false_positive_hosts);
+  EXPECT_EQ(a.false_positive_rate, b.false_positive_rate);
+  EXPECT_EQ(a.benign_quarantine_time, b.benign_quarantine_time);
+  EXPECT_EQ(a.mean_benign_quarantine_time, b.mean_benign_quarantine_time);
+  EXPECT_EQ(a.target_quarantine_time, b.target_quarantine_time);
+  EXPECT_EQ(a.quarantine_events, b.quarantine_events);
+
+  EXPECT_EQ(summary.end_time, t.duration());
+  EXPECT_EQ(summary.flows_ingested, summary.flows_decided);
+  EXPECT_GT(summary.flows_ingested, 0u);
+  EXPECT_FALSE(summary.interrupted);
+  EXPECT_GT(summary.report.detected_targets, 0.0);  // quarantines fired
+}
+
+TEST(ServeServer, DecisionStreamByteIdenticalAcrossShardCounts) {
+  const trace::Trace t = small_department_trace();
+  std::vector<std::string> streams;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    std::ostringstream decisions;
+    const ServeSummary summary = run_on_trace(t, shards, &decisions);
+    EXPECT_EQ(summary.flows_decided, summary.flows_ingested);
+    streams.push_back(decisions.str());
+  }
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+  EXPECT_EQ(streams[0], streams[3]);
+
+  // One decision line per flow plus the trailing summary line.
+  std::size_t lines = 0;
+  for (const char c : streams[0]) lines += c == '\n' ? 1 : 0;
+  std::istringstream check(streams[0]);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(check, first_line));
+  EXPECT_EQ(first_line.rfind("{\"seq\":1,", 0), 0u);
+  EXPECT_NE(streams[0].find("\"summary\""), std::string::npos);
+  const ServeSummary reference = run_on_trace(t, 1);
+  EXPECT_EQ(lines, reference.flows_ingested + 1);
+}
+
+TEST(ServeServer, StopMidStreamEqualsUninterruptedPrefixRun) {
+  reset_stop();
+  SyntheticConfig synth;
+  synth.flows = 50'000;
+  synth.hosts = 512;
+  synth.worm_fraction = 0.05;
+  constexpr std::uint64_t kPrefix = 20'000;
+
+  ServeOptions options;
+  options.shards = 4;
+  options.num_hosts = synth.hosts;
+  options.quarantine = replay_config();
+  options.stop_after_flows = kPrefix;
+
+  std::ostringstream interrupted_out;
+  ServeServer interrupted_server(options);
+  SyntheticFlowSource interrupted_source(synth);
+  const ServeSummary interrupted =
+      interrupted_server.run(interrupted_source, &interrupted_out, nullptr);
+  reset_stop();
+
+  ASSERT_TRUE(interrupted.interrupted);
+  ASSERT_EQ(interrupted.flows_ingested, kPrefix);
+  EXPECT_EQ(interrupted.flows_decided, kPrefix);  // drained, not dropped
+
+  // The same stream truncated at the prefix, run to natural exhaustion.
+  synth.flows = kPrefix;
+  options.stop_after_flows = 0;
+  std::ostringstream prefix_out;
+  ServeServer prefix_server(options);
+  SyntheticFlowSource prefix_source(synth);
+  const ServeSummary prefix =
+      prefix_server.run(prefix_source, &prefix_out, nullptr);
+
+  EXPECT_FALSE(prefix.interrupted);
+  EXPECT_EQ(interrupted.report.detected_targets,
+            prefix.report.detected_targets);
+  EXPECT_EQ(interrupted.report.false_positive_hosts,
+            prefix.report.false_positive_hosts);
+  EXPECT_EQ(interrupted.report.quarantine_events,
+            prefix.report.quarantine_events);
+  EXPECT_EQ(interrupted.report.benign_quarantine_time,
+            prefix.report.benign_quarantine_time);
+  EXPECT_EQ(interrupted.end_time, prefix.end_time);
+
+  // Decision lines are identical; only the summary line may differ
+  // (interrupted flag).
+  const std::string a = interrupted_out.str();
+  const std::string b = prefix_out.str();
+  const std::size_t a_cut = a.rfind('\n', a.size() - 2);
+  const std::size_t b_cut = b.rfind('\n', b.size() - 2);
+  ASSERT_NE(a_cut, std::string::npos);
+  EXPECT_EQ(a.substr(0, a_cut), b.substr(0, b_cut));
+  EXPECT_NE(a.find("\"interrupted\":true"), std::string::npos);
+  EXPECT_NE(b.find("\"interrupted\":false"), std::string::npos);
+}
+
+TEST(ServeServer, LatencyHistogramIsWallClockOnly) {
+  const trace::Trace t = small_department_trace();
+  ServeOptions options;
+  options.shards = 2;
+  options.num_hosts = static_cast<std::uint32_t>(t.num_hosts());
+  options.quarantine = replay_config();
+  ServeServer server(options);
+  TraceFlowSource source(t);
+  const ServeSummary summary = server.run(source, nullptr, nullptr);
+
+  // Every decided flow records exactly one latency sample.
+  const campaign::JsonValue full = server.metrics().snapshot(false);
+  const campaign::JsonValue& hist =
+      full.at("histograms").at("serve.decision_latency_ns");
+  EXPECT_EQ(hist.at("count").as_uint(), summary.flows_decided);
+
+  // Percentiles are bucket upper bounds: p50 <= p90 <= p99, all 2^k-1.
+  EXPECT_LE(summary.latency_p50_ns, summary.latency_p90_ns);
+  EXPECT_LE(summary.latency_p90_ns, summary.latency_p99_ns);
+  EXPECT_GT(summary.latency_p99_ns, 0u);
+
+  // Wall-clock telemetry is excluded from deterministic snapshots and
+  // from the summary JSON, so cached artifacts stay byte-stable.
+  const std::string det = server.metrics().snapshot(true).dump();
+  EXPECT_EQ(det.find("decision_latency"), std::string::npos);
+  EXPECT_EQ(det.find("flows_per_sec"), std::string::npos);
+  EXPECT_NE(det.find("serve.flows_ingested"), std::string::npos);
+  const std::string summary_json = summary.to_json().dump();
+  EXPECT_EQ(summary_json.find("latency_p"), std::string::npos);
+  EXPECT_EQ(summary_json.find("flows_per_sec"), std::string::npos);
+  EXPECT_EQ(summary_json.find("wall"), std::string::npos);
+}
+
+TEST(ServeServer, EmptyStreamYieldsZeroReportAndSummaryLine) {
+  std::istringstream in("");
+  NdjsonFlowSource source(in, 64);
+  ServeOptions options;
+  options.shards = 2;
+  options.num_hosts = 64;
+  options.quarantine = replay_config();
+  ServeServer server(options);
+  std::ostringstream decisions;
+  const ServeSummary summary = server.run(source, &decisions, nullptr);
+
+  EXPECT_EQ(summary.flows_ingested, 0u);
+  EXPECT_EQ(summary.flows_decided, 0u);
+  EXPECT_EQ(summary.report.target_hosts, 0u);
+  EXPECT_EQ(summary.report.benign_hosts, 64u);
+  EXPECT_EQ(summary.report.false_positive_hosts, 0.0);
+  EXPECT_FALSE(summary.interrupted);
+  const std::string out = decisions.str();
+  EXPECT_EQ(out.rfind("{\"summary\":", 0), 0u);  // only the summary line
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(ServeServer, GarbageInputCountedInSummaryAndMetric) {
+  std::istringstream in(
+      "garbage\n"
+      "{\"t\":1,\"host\":2,\"dest\":9}\n"
+      "{\"t\":0.5,\"host\":3,\"dest\":9}\n"  // time regression: clamped
+      "also not json\n"
+      "{\"t\":2,\"host\":4,\"dest\":9}\n");
+  NdjsonFlowSource source(in, 16);
+  ServeOptions options;
+  options.num_hosts = 16;
+  options.quarantine = replay_config();
+  ServeServer server(options);
+  std::ostringstream decisions;
+  const ServeSummary summary = server.run(source, &decisions, nullptr);
+
+  EXPECT_EQ(summary.flows_ingested, 3u);
+  EXPECT_EQ(summary.parse_errors, 2u);
+  EXPECT_EQ(summary.time_regressions, 1u);
+  const campaign::JsonValue snap = server.metrics().snapshot(true);
+  EXPECT_EQ(snap.at("counters").at("serve.parse_errors").as_uint(), 2u);
+  EXPECT_EQ(snap.at("counters").at("serve.time_regressions").as_uint(), 1u);
+  // The regressed flow is clamped to the running maximum, t=1.
+  EXPECT_NE(decisions.str().find("{\"seq\":2,\"t\":1,\"host\":3"),
+            std::string::npos);
+}
+
+TEST(ServeServer, MetricsStreamEmitsPeriodicSnapshots) {
+  SyntheticConfig synth;
+  synth.flows = 1000;
+  synth.hosts = 64;
+  ServeOptions options;
+  options.shards = 2;
+  options.num_hosts = synth.hosts;
+  options.quarantine = replay_config();
+  options.metrics_interval_flows = 250;
+  ServeServer server(options);
+  SyntheticFlowSource source(synth);
+  std::ostringstream metrics;
+  server.run(source, nullptr, &metrics);
+
+  // 4 periodic snapshots plus the final one, each one JSON line.
+  std::istringstream lines(metrics.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    const campaign::JsonValue v = campaign::JsonValue::parse(line);
+    EXPECT_NE(v.at("counters").find("serve.flows_ingested"), nullptr);
+  }
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(ServeServer, ValidatesOptions) {
+  ServeOptions bad_shards;
+  bad_shards.shards = 0;
+  bad_shards.quarantine = replay_config();
+  EXPECT_THROW(ServeServer{bad_shards}, std::invalid_argument);
+
+  ServeOptions bad_hosts;
+  bad_hosts.num_hosts = 0;
+  bad_hosts.quarantine = replay_config();
+  EXPECT_THROW(ServeServer{bad_hosts}, std::invalid_argument);
+
+  ServeOptions bad_config;  // default QuarantineConfig window is fine,
+  bad_config.quarantine.detector.window = -1.0;  // this is not
+  EXPECT_THROW(ServeServer{bad_config}, std::invalid_argument);
+
+  ServeOptions ok;
+  ok.num_hosts = 8;
+  ok.quarantine = replay_config();
+  ServeServer server(ok);
+  std::istringstream empty("");
+  NdjsonFlowSource source(empty, 8);
+  server.run(source, nullptr, nullptr);
+  NdjsonFlowSource again(empty, 8);
+  EXPECT_THROW(server.run(again, nullptr, nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dq::serve

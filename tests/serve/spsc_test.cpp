@@ -1,0 +1,97 @@
+#include "serve/spsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace dq::serve {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscQueue, FifoOrderAndFullEmpty) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(SpscQueue, WrapAroundKeepsOrder) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (q.try_push(next_push)) ++next_push;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, next_pop++);
+  }
+}
+
+TEST(SpscQueue, PopBatchDrainsInOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.try_push(i));
+  int batch[4];
+  ASSERT_EQ(q.pop_batch(batch, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch[i], i);
+  ASSERT_EQ(q.pop_batch(batch, 4), 2u);
+  EXPECT_EQ(batch[0], 4);
+  EXPECT_EQ(batch[1], 5);
+  EXPECT_EQ(q.pop_batch(batch, 4), 0u);
+}
+
+TEST(SpscQueue, CloseSignalsEndOfStream) {
+  SpscQueue<int> q(4);
+  EXPECT_FALSE(q.closed());
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));  // drain after close
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, TwoThreadTransferIsLossless) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscQueue<std::uint64_t> q(256);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i)
+      while (!q.try_push(i)) std::this_thread::yield();
+    q.close();
+  });
+  std::uint64_t expected = 0, sum = 0;
+  std::uint64_t batch[64];
+  bool ordered = true;
+  while (true) {
+    const std::size_t n = q.pop_batch(batch, 64);
+    if (n == 0) {
+      if (q.closed() && q.empty()) break;
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ordered = ordered && batch[i] == expected++;
+      sum += batch[i];
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expected, kCount);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace dq::serve

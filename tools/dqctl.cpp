@@ -17,13 +17,17 @@
 // Run any subcommand with --help for its options.
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "campaign/cache.hpp"
@@ -33,6 +37,7 @@
 #include "stats/hash.hpp"
 #include "core/planner.hpp"
 #include "core/scenario.hpp"
+#include "serve/server.hpp"
 #include "trace/analysis.hpp"
 #include "trace/classifier.hpp"
 #include "trace/department.hpp"
@@ -41,6 +46,13 @@
 namespace {
 
 using namespace dq;
+
+/// Argument mistakes (unknown command or flag): main prints the
+/// message and the usage text and exits 2, like no arguments at all —
+/// distinct from runtime failures (exit 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Minimal "--key value / --flag" parser.
 class Args {
@@ -57,6 +69,18 @@ class Args {
       } else {
         positional_.push_back(std::move(token));
       }
+    }
+  }
+
+  /// Strict mode: every --flag present must be in `allowed` (--help is
+  /// always accepted). Called once per subcommand, so a typo fails
+  /// loudly instead of silently falling back to a default.
+  void allow_only(const std::vector<std::string_view>& allowed) const {
+    for (const auto& [key, value] : values_) {
+      if (key == "help") continue;
+      bool known = false;
+      for (const std::string_view a : allowed) known = known || key == a;
+      if (!known) throw UsageError("unknown flag --" + key);
     }
   }
 
@@ -123,7 +147,19 @@ int usage() {
          "                 [--progress]         live one-line progress "
          "meter\n"
          "  dqctl obs summarize FILE [--json]   aggregate an NDJSON "
-         "event trace\n";
+         "event trace\n"
+         "  dqctl serve [--input FILE | --trace FILE [--speed X] | "
+         "--synthetic]\n"
+         "              [--shards N] [--hosts N] [--flows N] "
+         "[--worm-fraction F]\n"
+         "              [--out FILE] [--no-decisions] "
+         "[--metrics-out FILE]\n"
+         "              [--metrics-interval N] [--stop-after N] "
+         "[--queue-capacity N]\n"
+         "              [census flags as for plan] [detector/policy "
+         "flags as for quarantine]\n"
+         "              stream quarantine decisions (NDJSON in, NDJSON "
+         "out)\n";
   return 2;
 }
 
@@ -177,6 +213,9 @@ core::Scenario scenario_from(const Args& args) {
 }
 
 int cmd_scenario(const Args& args) {
+  args.allow_only({"topology", "topology-file", "nodes", "beta", "worm",
+                   "deployment", "host-fraction", "immunize-at", "mu",
+                   "horizon", "runs", "seed", "analytical"});
   const core::Scenario s = scenario_from(args);
   const core::PropagationResult result =
       args.flag("analytical")
@@ -206,6 +245,8 @@ trace::DepartmentConfig department_from(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
+  args.allow_only({"duration", "seed", "out", "normal", "servers", "p2p",
+                   "blaster", "welchia"});
   const trace::DepartmentConfig config = department_from(args);
   const trace::Trace department = trace::generate_department_trace(
       config, static_cast<std::uint64_t>(args.num("seed", 42.0)));
@@ -242,6 +283,7 @@ std::vector<trace::HostId> all_hosts(const trace::Trace& t) {
 }
 
 int cmd_analyze(const Args& args) {
+  args.allow_only({"window", "per-host", "coverage"});
   if (args.positional().empty()) return usage();
   const trace::Trace t = load_trace(args.positional()[0]);
   const std::vector<trace::HostId> hosts = all_hosts(t);
@@ -271,6 +313,7 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_classify(const Args& args) {
+  args.allow_only({});
   if (args.positional().empty()) return usage();
   const trace::Trace t = load_trace(args.positional()[0]);
   const auto features = trace::extract_features(t);
@@ -292,6 +335,7 @@ int cmd_classify(const Args& args) {
 }
 
 int cmd_plan(const Args& args) {
+  args.allow_only({"normal", "servers", "p2p", "blaster", "welchia"});
   if (args.positional().empty()) return usage();
   trace::Trace t = load_trace(args.positional()[0]);
   // Assign categories in id order from the census options (the CSV
@@ -311,28 +355,14 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
-int cmd_quarantine(const Args& args) {
-  // Load a trace CSV when given, else synthesize the department trace;
-  // either way the census flags define the per-category ground truth.
-  const trace::DepartmentConfig census = department_from(args);
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
-  trace::Trace t;
-  if (!args.positional().empty()) {
-    t = load_trace(args.positional()[0]);
-    std::vector<trace::HostCategory> categories;
-    auto fill = [&](std::size_t n, trace::HostCategory c) {
-      categories.insert(categories.end(), n, c);
-    };
-    fill(census.normal_clients, trace::HostCategory::kNormalClient);
-    fill(census.servers, trace::HostCategory::kServer);
-    fill(census.p2p_clients, trace::HostCategory::kP2P);
-    fill(census.blaster_hosts, trace::HostCategory::kWormBlaster);
-    fill(census.welchia_hosts, trace::HostCategory::kWormWelchia);
-    t.set_host_categories(std::move(categories));
-  } else {
-    t = trace::generate_department_trace(census, seed);
-  }
+/// The trace-domain detector/policy flags shared by `quarantine` and
+/// `serve`.
+constexpr std::string_view kQuarantineFlags[] = {
+    "window",        "contact-limit", "distinct-limit",
+    "failure-ratio", "min-attempts",  "strikes",
+    "base-period",   "escalation",    "max-period"};
 
+quarantine::QuarantineConfig quarantine_config_from(const Args& args) {
   quarantine::QuarantineConfig config;
   config.enabled = true;
   config.detector.window = args.num("window", 5.0);
@@ -351,7 +381,44 @@ int cmd_quarantine(const Args& args) {
   config.policy.base_period = args.num("base-period", 300.0);
   config.policy.escalation = args.num("escalation", 4.0);
   config.policy.max_period = args.num("max-period", 3600.0);
+  return config;
+}
 
+/// Assigns census categories in host-id order (the CSV format does not
+/// carry them).
+void apply_census(trace::Trace& t, const trace::DepartmentConfig& census) {
+  std::vector<trace::HostCategory> categories;
+  auto fill = [&](std::size_t n, trace::HostCategory c) {
+    categories.insert(categories.end(), n, c);
+  };
+  fill(census.normal_clients, trace::HostCategory::kNormalClient);
+  fill(census.servers, trace::HostCategory::kServer);
+  fill(census.p2p_clients, trace::HostCategory::kP2P);
+  fill(census.blaster_hosts, trace::HostCategory::kWormBlaster);
+  fill(census.welchia_hosts, trace::HostCategory::kWormWelchia);
+  t.set_host_categories(std::move(categories));
+}
+
+int cmd_quarantine(const Args& args) {
+  std::vector<std::string_view> allowed = {"duration", "seed",   "normal",
+                                           "servers",  "p2p",    "blaster",
+                                           "welchia"};
+  allowed.insert(allowed.end(), std::begin(kQuarantineFlags),
+                 std::end(kQuarantineFlags));
+  args.allow_only(allowed);
+  // Load a trace CSV when given, else synthesize the department trace;
+  // either way the census flags define the per-category ground truth.
+  const trace::DepartmentConfig census = department_from(args);
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+  trace::Trace t;
+  if (!args.positional().empty()) {
+    t = load_trace(args.positional()[0]);
+    apply_census(t, census);
+  } else {
+    t = trace::generate_department_trace(census, seed);
+  }
+
+  const quarantine::QuarantineConfig config = quarantine_config_from(args);
   const trace::QuarantineReplayReport report =
       trace::replay_quarantine(t, config);
 
@@ -389,7 +456,115 @@ int cmd_quarantine(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  std::vector<std::string_view> allowed = {
+      "input",       "trace",      "speed",          "synthetic",
+      "flows",       "hosts",      "worm-fraction",  "shards",
+      "queue-capacity", "out",     "no-decisions",   "metrics-out",
+      "metrics-interval", "stop-after", "seed",      "duration",
+      "normal",      "servers",    "p2p",            "blaster",
+      "welchia"};
+  allowed.insert(allowed.end(), std::begin(kQuarantineFlags),
+                 std::end(kQuarantineFlags));
+  args.allow_only(allowed);
+
+  const bool trace_mode = args.flag("trace");
+  const bool synthetic_mode = args.flag("synthetic");
+  if (trace_mode && synthetic_mode)
+    throw UsageError("serve: --trace and --synthetic are exclusive");
+
+  serve::ServeOptions options;
+  options.shards = static_cast<std::size_t>(args.num("shards", 1.0));
+  options.quarantine = quarantine_config_from(args);
+  options.queue_capacity =
+      static_cast<std::size_t>(args.num("queue-capacity", 4096.0));
+  options.emit_decisions = !args.flag("no-decisions");
+  options.metrics_interval_flows =
+      static_cast<std::uint64_t>(args.num("metrics-interval", 0.0));
+  options.stop_after_flows =
+      static_cast<std::uint64_t>(args.num("stop-after", 0.0));
+
+  // Pick the flow source. Streams opened here must outlive run().
+  std::ifstream input_file;
+  trace::Trace t;
+  serve::SyntheticConfig synth;
+  std::unique_ptr<serve::FlowSource> source;
+  if (trace_mode) {
+    t = load_trace(args.str("trace", ""));
+    apply_census(t, department_from(args));
+    if (t.num_hosts() < 1)
+      throw std::invalid_argument("serve: census is empty");
+    options.num_hosts = static_cast<std::uint32_t>(t.num_hosts());
+    source = std::make_unique<serve::TraceFlowSource>(
+        t, args.num("speed", 0.0));
+  } else if (synthetic_mode) {
+    synth.flows = static_cast<std::uint64_t>(args.num("flows", 1e6));
+    synth.hosts = static_cast<std::uint32_t>(args.num("hosts", 65536.0));
+    synth.worm_fraction = args.num("worm-fraction", 0.01);
+    synth.seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+    options.num_hosts = synth.hosts;
+    source = std::make_unique<serve::SyntheticFlowSource>(synth);
+  } else {
+    options.num_hosts = static_cast<std::uint32_t>(args.num("hosts", 65536.0));
+    const std::string input = args.str("input", "-");
+    std::istream* in = &std::cin;
+    if (input != "-") {
+      input_file.open(input, std::ios::binary);
+      if (!input_file)
+        throw std::invalid_argument("cannot read " + input);
+      in = &input_file;
+    }
+    source =
+        std::make_unique<serve::NdjsonFlowSource>(*in, options.num_hosts);
+  }
+
+  // Decision NDJSON to stdout unless redirected; metrics snapshots only
+  // when asked for.
+  std::ofstream out_file;
+  std::ostream* decisions = &std::cout;
+  const std::string out = args.str("out", "-");
+  if (out != "-") {
+    out_file.open(out, std::ios::binary | std::ios::trunc);
+    if (!out_file) throw std::invalid_argument("cannot write " + out);
+    decisions = &out_file;
+  }
+  std::ofstream metrics_file;
+  std::ostream* metrics = nullptr;
+  const std::string metrics_out = args.str("metrics-out", "");
+  if (!metrics_out.empty()) {
+    metrics_file.open(metrics_out, std::ios::binary | std::ios::trunc);
+    if (!metrics_file)
+      throw std::invalid_argument("cannot write " + metrics_out);
+    metrics = &metrics_file;
+  }
+
+  serve::install_stop_handlers();
+  serve::ServeServer server(options);
+  // With --no-decisions the per-flow lines are skipped but the final
+  // summary line is still written to the decision stream.
+  const serve::ServeSummary summary = server.run(*source, decisions, metrics);
+
+  std::cerr << std::fixed << std::setprecision(3) << summary.flows_ingested
+            << " flows in " << summary.wall_seconds << " s ("
+            << std::setprecision(0) << summary.flows_per_sec
+            << " flows/s), " << summary.parse_errors << " parse errors, "
+            << summary.time_regressions << " time regressions"
+            << (summary.interrupted ? " — interrupted, drained" : "")
+            << '\n';
+  std::cerr << "decision latency p50/p90/p99: " << summary.latency_p50_ns
+            << "/" << summary.latency_p90_ns << "/" << summary.latency_p99_ns
+            << " ns\n";
+  const quarantine::QuarantineReport& r = summary.report;
+  std::cerr << std::setprecision(2) << "detected " << r.detected_targets
+            << " of " << r.target_hosts << " labeled hosts, "
+            << r.false_positive_hosts << " of " << r.benign_hosts
+            << " benign quarantined, " << r.benign_quarantine_time
+            << " s benign quarantine time\n";
+  return 0;
+}
+
 int cmd_figure(const Args& args) {
+  args.allow_only({"csv", "quick"});
   if (args.positional().empty()) return usage();
   const std::string id = args.positional()[0];
   const core::ExperimentOptions options =
@@ -500,6 +675,7 @@ class ProgressMeter {
 };
 
 int cmd_obs(const Args& args) {
+  args.allow_only({"json"});
   if (args.positional().size() < 2 || args.positional()[0] != "summarize")
     return usage();
   const std::string& path = args.positional()[1];
@@ -536,6 +712,8 @@ int cmd_obs(const Args& args) {
 }
 
 int cmd_campaign(const Args& args) {
+  args.allow_only({"jobs", "no-cache", "cache-dir", "out", "runs", "seed",
+                   "quick", "csv", "trace-dir", "metrics-out", "progress"});
   if (args.positional().empty()) return usage();
   const std::string verb = args.positional()[0];
 
@@ -649,6 +827,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
+  if (args.flag("help")) {
+    usage();
+    return 0;
+  }
   try {
     if (command == "scenario") return cmd_scenario(args);
     if (command == "trace") return cmd_trace(args);
@@ -659,9 +841,13 @@ int main(int argc, char** argv) {
     if (command == "figure") return cmd_figure(args);
     if (command == "campaign") return cmd_campaign(args);
     if (command == "obs") return cmd_obs(args);
+    if (command == "serve") return cmd_serve(args);
+    throw UsageError("unknown command: " + command);
+  } catch (const UsageError& e) {
+    std::cerr << "dqctl: " << e.what() << '\n';
+    return usage();
   } catch (const std::exception& e) {
     std::cerr << "dqctl: " << e.what() << '\n';
     return 1;
   }
-  return usage();
 }
