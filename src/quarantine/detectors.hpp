@@ -27,6 +27,17 @@ inline std::uint64_t mix_destination(std::uint64_t key) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Plain-data snapshot of one detector's window state, exchanged with
+/// the checkpoint layer (quarantine/snapshot.hpp). Field-for-field the
+/// detector's internals, so save() → load() is an exact state copy.
+struct DetectorState {
+  std::int64_t window_index = -1;  ///< -1: no observation yet
+  std::uint32_t contacts = 0;
+  std::uint32_t failures = 0;
+  std::uint64_t dest_sketch = 0;
+  bool flagged = false;
+};
+
 /// What one observation did to the host's window state.
 struct ObservationOutcome {
   /// Fully elapsed windows since the previous observation that ended
@@ -47,6 +58,18 @@ class HostDetector {
   /// Clears all window state (used when a host leaves quarantine so it
   /// restarts with a clean slate).
   void reset() noexcept;
+
+  /// Checkpoint/restore: the full window state as plain data.
+  DetectorState save() const noexcept {
+    return {window_index_, contacts_, failures_, dest_sketch_, flagged_};
+  }
+  void load(const DetectorState& s) noexcept {
+    window_index_ = s.window_index;
+    contacts_ = s.contacts;
+    failures_ = s.failures;
+    dest_sketch_ = s.dest_sketch;
+    flagged_ = s.flagged;
+  }
 
   /// Attempted contacts in the currently open window.
   std::uint32_t window_contacts() const noexcept { return contacts_; }

@@ -135,6 +135,21 @@ double record_quarantine_time(const HostRecord& rec, double now) noexcept {
   return total;
 }
 
+void QuarantineEngine::restore_host(std::uint32_t host,
+                                    const HostRecord& rec,
+                                    const DetectorState& det) {
+  if (hosts_[host].state == HostQState::kQuarantined)
+    throw std::logic_error(
+        "QuarantineEngine::restore_host: host already quarantined "
+        "(restore requires a fresh engine)");
+  hosts_[host] = rec;
+  detectors_[host].load(det);
+  if (rec.state == HostQState::kQuarantined) {
+    releases_.push({rec.release_time, host});
+    ++active_;
+  }
+}
+
 double QuarantineEngine::quarantine_time(std::uint32_t host,
                                          double now) const {
   return record_quarantine_time(hosts_[host], now);

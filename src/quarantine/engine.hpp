@@ -113,6 +113,21 @@ class QuarantineEngine {
   /// Quarantine time served by `host` including any open interval.
   double quarantine_time(std::uint32_t host, double now) const;
 
+  // Checkpoint/restore hooks (quarantine/snapshot.hpp). restore_host
+  // overwrites one host's record and detector on a freshly constructed
+  // engine — a restored kQuarantined host re-enters the release queue.
+  // Calling it on a host that is already quarantined would double-count
+  // the release entry, so snapshot restore always starts from a new
+  // engine.
+  DetectorState detector_state(std::uint32_t host) const {
+    return detectors_[host].save();
+  }
+  void restore_host(std::uint32_t host, const HostRecord& rec,
+                    const DetectorState& det);
+  /// Carries the quarantine-event count of a checkpointed prefix
+  /// forward so report totals match the uninterrupted run.
+  void add_quarantine_events(std::uint64_t n) noexcept { events_ += n; }
+
   /// Evaluates against ground truth: label_time[h] >= 0 marks host h a
   /// target with that onset time (e.g. its infection tick); < 0 marks
   /// it benign.

@@ -1,0 +1,322 @@
+#include "quarantine/snapshot.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace dq::quarantine {
+
+namespace {
+
+using campaign::JsonValue;
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("quarantine snapshot: " + what);
+}
+
+const JsonValue& column(const JsonValue& json, const char* key,
+                        std::size_t n) {
+  const JsonValue* col = json.find(key);
+  if (col == nullptr || col->kind() != JsonValue::Kind::kArray)
+    bad(std::string("missing column '") + key + "'");
+  if (col->size() != n)
+    bad(std::string("column '") + key + "' length mismatch");
+  return *col;
+}
+
+/// window_index is the one signed field: -1 ("no observation yet") is
+/// encoded as the number -1, every real index as a full-precision
+/// unsigned integer.
+JsonValue window_to_json(std::int64_t w) {
+  return w < 0 ? JsonValue::number(-1.0)
+               : JsonValue::integer(static_cast<std::uint64_t>(w));
+}
+
+std::int64_t window_from_json(const JsonValue& v) {
+  if (v.as_number() < 0.0) return -1;
+  return static_cast<std::int64_t>(v.as_uint());
+}
+
+}  // namespace
+
+JsonValue config_to_json(const QuarantineConfig& config) {
+  JsonValue d = JsonValue::object();
+  d.set("window", JsonValue::number(config.detector.window));
+  d.set("contact_rate_threshold",
+        JsonValue::number(config.detector.contact_rate_threshold));
+  d.set("distinct_dest_threshold",
+        JsonValue::number(config.detector.distinct_dest_threshold));
+  d.set("failure_ratio_threshold",
+        JsonValue::number(config.detector.failure_ratio_threshold));
+  d.set("failure_min_attempts",
+        JsonValue::integer(config.detector.failure_min_attempts));
+
+  JsonValue p = JsonValue::object();
+  p.set("strikes_to_quarantine",
+        JsonValue::integer(config.policy.strikes_to_quarantine));
+  p.set("base_period", JsonValue::number(config.policy.base_period));
+  p.set("escalation", JsonValue::number(config.policy.escalation));
+  p.set("max_period", JsonValue::number(config.policy.max_period));
+  p.set("treatment",
+        JsonValue::str(config.policy.treatment == Treatment::kThrottle
+                           ? "throttle"
+                           : "drop_all"));
+  p.set("throttle_rate", JsonValue::number(config.policy.throttle_rate));
+
+  JsonValue out = JsonValue::object();
+  out.set("enabled", JsonValue::boolean(config.enabled));
+  out.set("start_on_detection",
+          JsonValue::boolean(config.start_on_detection));
+  out.set("detector", std::move(d));
+  out.set("policy", std::move(p));
+  return out;
+}
+
+JsonValue host_arrays_to_json(const std::vector<HostRecord>& records,
+                              const std::vector<DetectorState>& detectors) {
+  if (records.size() != detectors.size())
+    bad("record/detector array size mismatch");
+  JsonValue state = JsonValue::array();
+  JsonValue strikes = JsonValue::array();
+  JsonValue offenses = JsonValue::array();
+  JsonValue first_suspected = JsonValue::array();
+  JsonValue first_quarantined = JsonValue::array();
+  JsonValue quarantine_start = JsonValue::array();
+  JsonValue release_time = JsonValue::array();
+  JsonValue quarantine_time = JsonValue::array();
+  JsonValue det_window = JsonValue::array();
+  JsonValue det_contacts = JsonValue::array();
+  JsonValue det_failures = JsonValue::array();
+  JsonValue det_sketch = JsonValue::array();
+  JsonValue det_flagged = JsonValue::array();
+  for (std::size_t h = 0; h < records.size(); ++h) {
+    const HostRecord& r = records[h];
+    const DetectorState& d = detectors[h];
+    state.push_back(
+        JsonValue::integer(static_cast<std::uint8_t>(r.state)));
+    strikes.push_back(JsonValue::integer(r.strikes));
+    offenses.push_back(JsonValue::integer(r.offenses));
+    first_suspected.push_back(JsonValue::number(r.first_suspected));
+    first_quarantined.push_back(JsonValue::number(r.first_quarantined));
+    quarantine_start.push_back(JsonValue::number(r.quarantine_start));
+    release_time.push_back(JsonValue::number(r.release_time));
+    quarantine_time.push_back(JsonValue::number(r.quarantine_time));
+    det_window.push_back(window_to_json(d.window_index));
+    det_contacts.push_back(JsonValue::integer(d.contacts));
+    det_failures.push_back(JsonValue::integer(d.failures));
+    det_sketch.push_back(JsonValue::integer(d.dest_sketch));
+    det_flagged.push_back(JsonValue::integer(d.flagged ? 1 : 0));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("num_hosts", JsonValue::integer(records.size()));
+  out.set("state", std::move(state));
+  out.set("strikes", std::move(strikes));
+  out.set("offenses", std::move(offenses));
+  out.set("first_suspected", std::move(first_suspected));
+  out.set("first_quarantined", std::move(first_quarantined));
+  out.set("quarantine_start", std::move(quarantine_start));
+  out.set("release_time", std::move(release_time));
+  out.set("quarantine_time", std::move(quarantine_time));
+  out.set("det_window", std::move(det_window));
+  out.set("det_contacts", std::move(det_contacts));
+  out.set("det_failures", std::move(det_failures));
+  out.set("det_sketch", std::move(det_sketch));
+  out.set("det_flagged", std::move(det_flagged));
+  return out;
+}
+
+namespace {
+
+void append_uint(std::string& out, std::uint64_t u) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), u);
+  (void)ec;
+  out.append(buf, end);
+}
+
+void append_double(std::string& out, double v) {
+  out += campaign::format_double(v);
+}
+
+/// Emits `"key":[f(records[0]),...,f(records[n-1])]` — one column.
+template <typename Vec, typename Fn>
+void append_column(std::string& out, const char* key, const Vec& items,
+                   Fn&& emit) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += ',';
+    first = false;
+    emit(out, item);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+void append_host_arrays_json(const std::vector<HostRecord>& records,
+                             const std::vector<DetectorState>& detectors,
+                             std::string& out) {
+  if (records.size() != detectors.size())
+    bad("record/detector array size mismatch");
+  // Same key order and per-value encoding as host_arrays_to_json:
+  // integers via to_chars (full uint64 precision), doubles via
+  // format_double (shortest round trip), window_index -1 as "-1".
+  out += "{\"num_hosts\":";
+  append_uint(out, records.size());
+  out += ',';
+  append_column(out, "state", records, [](std::string& o, const HostRecord& r) {
+    append_uint(o, static_cast<std::uint8_t>(r.state));
+  });
+  out += ',';
+  append_column(out, "strikes", records,
+                [](std::string& o, const HostRecord& r) {
+                  append_uint(o, r.strikes);
+                });
+  out += ',';
+  append_column(out, "offenses", records,
+                [](std::string& o, const HostRecord& r) {
+                  append_uint(o, r.offenses);
+                });
+  out += ',';
+  append_column(out, "first_suspected", records,
+                [](std::string& o, const HostRecord& r) {
+                  append_double(o, r.first_suspected);
+                });
+  out += ',';
+  append_column(out, "first_quarantined", records,
+                [](std::string& o, const HostRecord& r) {
+                  append_double(o, r.first_quarantined);
+                });
+  out += ',';
+  append_column(out, "quarantine_start", records,
+                [](std::string& o, const HostRecord& r) {
+                  append_double(o, r.quarantine_start);
+                });
+  out += ',';
+  append_column(out, "release_time", records,
+                [](std::string& o, const HostRecord& r) {
+                  append_double(o, r.release_time);
+                });
+  out += ',';
+  append_column(out, "quarantine_time", records,
+                [](std::string& o, const HostRecord& r) {
+                  append_double(o, r.quarantine_time);
+                });
+  out += ',';
+  append_column(out, "det_window", detectors,
+                [](std::string& o, const DetectorState& d) {
+                  if (d.window_index < 0)
+                    o += "-1";
+                  else
+                    append_uint(o,
+                                static_cast<std::uint64_t>(d.window_index));
+                });
+  out += ',';
+  append_column(out, "det_contacts", detectors,
+                [](std::string& o, const DetectorState& d) {
+                  append_uint(o, d.contacts);
+                });
+  out += ',';
+  append_column(out, "det_failures", detectors,
+                [](std::string& o, const DetectorState& d) {
+                  append_uint(o, d.failures);
+                });
+  out += ',';
+  append_column(out, "det_sketch", detectors,
+                [](std::string& o, const DetectorState& d) {
+                  append_uint(o, d.dest_sketch);
+                });
+  out += ',';
+  append_column(out, "det_flagged", detectors,
+                [](std::string& o, const DetectorState& d) {
+                  append_uint(o, d.flagged ? 1 : 0);
+                });
+  out += '}';
+}
+
+HostArrays host_arrays_from_json(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) bad("host arrays not an object");
+  const JsonValue* nh = json.find("num_hosts");
+  if (nh == nullptr) bad("missing num_hosts");
+  const std::size_t n = static_cast<std::size_t>(nh->as_uint());
+  const JsonValue& state = column(json, "state", n);
+  const JsonValue& strikes = column(json, "strikes", n);
+  const JsonValue& offenses = column(json, "offenses", n);
+  const JsonValue& first_suspected = column(json, "first_suspected", n);
+  const JsonValue& first_quarantined = column(json, "first_quarantined", n);
+  const JsonValue& quarantine_start = column(json, "quarantine_start", n);
+  const JsonValue& release_time = column(json, "release_time", n);
+  const JsonValue& quarantine_time = column(json, "quarantine_time", n);
+  const JsonValue& det_window = column(json, "det_window", n);
+  const JsonValue& det_contacts = column(json, "det_contacts", n);
+  const JsonValue& det_failures = column(json, "det_failures", n);
+  const JsonValue& det_sketch = column(json, "det_sketch", n);
+  const JsonValue& det_flagged = column(json, "det_flagged", n);
+
+  HostArrays out;
+  out.records.resize(n);
+  out.detectors.resize(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    HostRecord& r = out.records[h];
+    const std::uint64_t st = state.items()[h].as_uint();
+    if (st > static_cast<std::uint64_t>(HostQState::kQuarantined))
+      bad("state value out of range");
+    r.state = static_cast<HostQState>(st);
+    r.strikes = static_cast<std::uint32_t>(strikes.items()[h].as_uint());
+    r.offenses = static_cast<std::uint32_t>(offenses.items()[h].as_uint());
+    r.first_suspected = first_suspected.items()[h].as_number();
+    r.first_quarantined = first_quarantined.items()[h].as_number();
+    r.quarantine_start = quarantine_start.items()[h].as_number();
+    r.release_time = release_time.items()[h].as_number();
+    r.quarantine_time = quarantine_time.items()[h].as_number();
+    DetectorState& d = out.detectors[h];
+    d.window_index = window_from_json(det_window.items()[h]);
+    d.contacts =
+        static_cast<std::uint32_t>(det_contacts.items()[h].as_uint());
+    d.failures =
+        static_cast<std::uint32_t>(det_failures.items()[h].as_uint());
+    d.dest_sketch = det_sketch.items()[h].as_uint();
+    d.flagged = det_flagged.items()[h].as_uint() != 0;
+  }
+  return out;
+}
+
+JsonValue engine_to_json(const QuarantineEngine& engine) {
+  const std::size_t n = engine.num_hosts();
+  std::vector<HostRecord> records(n);
+  std::vector<DetectorState> detectors(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    const auto host = static_cast<std::uint32_t>(h);
+    records[h] = engine.record(host);
+    detectors[h] = engine.detector_state(host);
+  }
+  JsonValue out = JsonValue::object();
+  out.set("config", config_to_json(engine.config()));
+  out.set("quarantine_events",
+          JsonValue::integer(engine.quarantine_events()));
+  out.set("hosts", host_arrays_to_json(records, detectors));
+  return out;
+}
+
+void restore_engine(QuarantineEngine& engine, const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) bad("snapshot not an object");
+  const JsonValue* config = json.find("config");
+  const JsonValue* events = json.find("quarantine_events");
+  const JsonValue* hosts = json.find("hosts");
+  if (config == nullptr || events == nullptr || hosts == nullptr)
+    bad("missing config/quarantine_events/hosts");
+  if (config->dump() != config_to_json(engine.config()).dump())
+    bad("config mismatch (snapshot taken under different settings)");
+  const HostArrays arrays = host_arrays_from_json(*hosts);
+  if (arrays.records.size() != engine.num_hosts())
+    bad("num_hosts mismatch");
+  for (std::size_t h = 0; h < arrays.records.size(); ++h)
+    engine.restore_host(static_cast<std::uint32_t>(h), arrays.records[h],
+                        arrays.detectors[h]);
+  engine.add_quarantine_events(events->as_uint());
+}
+
+}  // namespace dq::quarantine

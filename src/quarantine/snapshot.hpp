@@ -1,0 +1,70 @@
+// Canonical-JSON serialization of QuarantineEngine state, the
+// foundation of serve-layer checkpoint/restore (serve/checkpoint.hpp).
+//
+// Everything the engine needs to resume a stream mid-flight is plain
+// per-host data: the HostRecord state machine (state, strikes,
+// offenses, first-event times, quarantine interval bookkeeping) and the
+// DetectorState window (index, contact/failure counts, linear-counting
+// sketch bitmap, flagged latch). The release priority queue is *not*
+// serialized — it is derivable: every kQuarantined record re-enters the
+// queue at its release_time on restore, and queue ordering is fully
+// determined by (time, host) contents.
+//
+// Encoding is column-oriented (one JSON array per field, hosts in id
+// order) through the campaign canonical serializer: insertion-ordered
+// keys, shortest-round-trip numbers, no whitespace. Doubles round-trip
+// exactly and plain non-negative integers keep full 64-bit precision
+// (the sketch bitmap), so snapshot → restore → snapshot reproduces
+// identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "quarantine/engine.hpp"
+
+namespace dq::quarantine {
+
+/// Canonical JSON of a full QuarantineConfig. Restore paths compare
+/// dump() of this against the checkpointed config to refuse resuming
+/// under different thresholds (the stream would silently diverge).
+campaign::JsonValue config_to_json(const QuarantineConfig& config);
+
+/// Per-host state gathered in host order; the unit both engine
+/// snapshots and serve checkpoints serialize (the serve layer gathers
+/// across shard engines in *global* host order so checkpoint bytes are
+/// shard-count independent).
+struct HostArrays {
+  std::vector<HostRecord> records;
+  std::vector<DetectorState> detectors;
+};
+
+/// Column-oriented encoding of equally sized record/detector arrays.
+campaign::JsonValue host_arrays_to_json(
+    const std::vector<HostRecord>& records,
+    const std::vector<DetectorState>& detectors);
+
+/// Appends exactly host_arrays_to_json(...).dump() to `out` without
+/// building the JsonValue tree — the hot path of periodic serve
+/// checkpoints, where materializing ~10 nodes per host dominates the
+/// pipeline stall (tests assert byte-equality of both paths).
+void append_host_arrays_json(const std::vector<HostRecord>& records,
+                             const std::vector<DetectorState>& detectors,
+                             std::string& out);
+
+/// Inverse of host_arrays_to_json. Throws std::invalid_argument on
+/// missing columns, length mismatches, or out-of-range values.
+HostArrays host_arrays_from_json(const campaign::JsonValue& json);
+
+/// Full engine snapshot: config, quarantine-event count, host arrays.
+campaign::JsonValue engine_to_json(const QuarantineEngine& engine);
+
+/// Restores a snapshot into `engine`, which must be freshly
+/// constructed with the same num_hosts and a config whose canonical
+/// JSON matches the snapshot's. Throws std::invalid_argument on any
+/// mismatch or malformed input.
+void restore_engine(QuarantineEngine& engine,
+                    const campaign::JsonValue& json);
+
+}  // namespace dq::quarantine

@@ -1,0 +1,98 @@
+#include "serve/failpoints.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace dq::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("failpoints: " + what);
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    bad(std::string("bad ") + what + " '" + std::string(text) + "'");
+  return value;
+}
+
+}  // namespace
+
+Failpoints& Failpoints::global() noexcept {
+  static Failpoints instance;
+  return instance;
+}
+
+void Failpoints::configure(std::string_view spec) {
+  std::vector<std::pair<std::size_t, std::uint64_t>> slow;
+  std::int64_t sink_errors = 0;
+  std::uint64_t torn_at = 0;
+
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+
+    std::vector<std::string_view> parts;
+    std::string_view cursor = entry;
+    while (true) {
+      const std::size_t colon = cursor.find(':');
+      parts.push_back(cursor.substr(0, colon));
+      if (colon == std::string_view::npos) break;
+      cursor = cursor.substr(colon + 1);
+    }
+    const std::string_view name = parts[0];
+    if (name == "slow_shard") {
+      if (parts.size() != 3) bad("slow_shard wants SHARD:MICROS");
+      slow.emplace_back(
+          static_cast<std::size_t>(parse_u64(parts[1], "shard")),
+          parse_u64(parts[2], "microseconds"));
+    } else if (name == "sink_error") {
+      if (parts.size() != 2) bad("sink_error wants a count");
+      sink_errors += static_cast<std::int64_t>(parse_u64(parts[1], "count"));
+    } else if (name == "torn_checkpoint") {
+      if (parts.size() != 2) bad("torn_checkpoint wants a 1-based index");
+      torn_at = parse_u64(parts[1], "index");
+      if (torn_at == 0) bad("torn_checkpoint index is 1-based");
+    } else {
+      bad("unknown failpoint '" + std::string(name) + "'");
+    }
+  }
+
+  slow_shards_ = std::move(slow);
+  sink_errors_.store(sink_errors, std::memory_order_relaxed);
+  checkpoint_writes_.store(0, std::memory_order_relaxed);
+  torn_checkpoint_at_ = torn_at;
+  active_.store(!slow_shards_.empty() ||
+                    sink_errors_.load(std::memory_order_relaxed) > 0 ||
+                    torn_checkpoint_at_ != 0,
+                std::memory_order_relaxed);
+}
+
+std::uint64_t Failpoints::slow_shard_micros(
+    std::size_t shard) const noexcept {
+  for (const auto& [s, micros] : slow_shards_)
+    if (s == shard) return micros;
+  return 0;
+}
+
+bool Failpoints::consume_sink_error() noexcept {
+  if (sink_errors_.load(std::memory_order_relaxed) <= 0) return false;
+  return sink_errors_.fetch_sub(1, std::memory_order_relaxed) > 0;
+}
+
+bool Failpoints::consume_torn_checkpoint() noexcept {
+  if (torn_checkpoint_at_ == 0) return false;
+  return checkpoint_writes_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+         torn_checkpoint_at_;
+}
+
+}  // namespace dq::serve

@@ -1,14 +1,17 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "serve/failpoints.hpp"
 #include "serve/spsc.hpp"
 #include "stats/hash.hpp"
 
@@ -30,6 +33,41 @@ extern "C" void stop_signal_handler(int) { g_stop.store(true); }
 
 constexpr std::size_t kWorkerBatch = 256;
 constexpr std::size_t kFlushBytes = std::size_t{1} << 16;
+constexpr std::size_t kMaxSummarySamples = 5;
+
+/// Bounded exponential backoff for full-queue waits: a few yields,
+/// then sleeps doubling from 1 µs to a 1 ms cap — a stalled peer costs
+/// microseconds of wake-up latency instead of a pegged core, and the
+/// caller gets a periodic hook (each pause) to notice aborts.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ < kYields) {
+      ++spins_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    sleep_us_ = std::min<std::uint64_t>(sleep_us_ * 2, kMaxSleepUs);
+  }
+
+ private:
+  static constexpr int kYields = 64;
+  static constexpr std::uint64_t kMaxSleepUs = 1000;
+  int spins_ = 0;
+  std::uint64_t sleep_us_ = 1;
+};
+
+/// Sleeps `micros` in <=1 ms slices so an injected slow shard still
+/// reacts to an abort within about a millisecond.
+void interruptible_sleep_us(std::uint64_t micros,
+                            const std::atomic<bool>& abort) {
+  while (micros > 0 && !abort.load(std::memory_order_relaxed)) {
+    const std::uint64_t slice = std::min<std::uint64_t>(micros, 1000);
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    micros -= slice;
+  }
+}
 
 }  // namespace
 
@@ -67,7 +105,17 @@ campaign::JsonValue ServeSummary::to_json() const {
   s.set("flows_ingested", JsonValue::integer(flows_ingested));
   s.set("flows_decided", JsonValue::integer(flows_decided));
   s.set("parse_errors", JsonValue::integer(parse_errors));
+  // Emitted only when non-empty so clean streams keep their exact
+  // historical summary bytes.
+  if (!parse_error_samples.empty()) {
+    JsonValue samples = JsonValue::array();
+    for (const std::string& line : parse_error_samples)
+      samples.push_back(JsonValue::str(line));
+    s.set("parse_error_samples", std::move(samples));
+  }
   s.set("time_regressions", JsonValue::integer(time_regressions));
+  s.set("shed_flows", JsonValue::integer(shed_flows));
+  s.set("degraded", JsonValue::boolean(degraded));
   s.set("end_time", JsonValue::number(end_time));
   s.set("interrupted", JsonValue::boolean(interrupted));
   s.set("quarantine", std::move(q));
@@ -87,7 +135,8 @@ struct ServeServer::Impl {
   std::vector<std::uint32_t> owned_count;
 
   // Ground-truth worm onset per global host; each entry is written only
-  // by its owner shard's worker, read by the router after join().
+  // by its owner shard's worker, read by the router after the shard has
+  // quiesced (checkpoint) or joined (final report).
   std::vector<double> label_time;
 
   std::vector<std::unique_ptr<SpscQueue<Flow>>> in_queues;
@@ -95,16 +144,47 @@ struct ServeServer::Impl {
   std::vector<std::unique_ptr<quarantine::QuarantineEngine>> engines;
   std::vector<std::thread> workers;
 
+  /// Per-shard progress counters: `pushed` written by the router,
+  /// `decided` by the shard's worker after each batch (engine state for
+  /// those flows is visible once the release store lands). decided ==
+  /// pushed means the shard is quiescent; the gap feeds the watchdog.
+  struct alignas(kCacheLine) ShardProgress {
+    std::atomic<std::uint64_t> pushed{0};
+    std::atomic<std::uint64_t> decided{0};
+  };
+  std::unique_ptr<ShardProgress[]> progress;
+
   std::atomic<double> end_time{0.0};
+
+  /// Emergency teardown: workers drop everything and exit promptly.
+  std::atomic<bool> abort{false};
+  /// Set by the watchdog after writing stall_diag.
+  std::atomic<bool> stalled{false};
+  std::string stall_diag;
+  std::atomic<bool> watchdog_done{false};
+  std::thread watchdog;
+
+  // Accounting carried in from a restored checkpoint.
+  std::uint64_t base_flows = 0;
+  double base_last_time = 0.0;
+  std::uint64_t base_time_regressions = 0;
+  std::uint64_t base_parse_errors = 0;
+  std::uint64_t base_shed = 0;
+  std::vector<std::string> base_samples;
 
   obs::MetricsRegistry* registry = nullptr;
   obs::Counter* flows_ingested = nullptr;
   obs::Counter* flows_decided = nullptr;
   obs::Counter* parse_errors = nullptr;
   obs::Counter* time_regressions = nullptr;
+  obs::Counter* shed_flows = nullptr;
+  obs::Counter* router_stalls = nullptr;
+  obs::Counter* worker_stalls = nullptr;
+  obs::Counter* sink_retries = nullptr;
   obs::Histogram* latency = nullptr;
 
   void worker_loop(std::size_t shard, bool emit);
+  void watchdog_loop();
 };
 
 ServeServer::ServeServer(const ServeOptions& options)
@@ -114,6 +194,12 @@ ServeServer::ServeServer(const ServeOptions& options)
     throw std::invalid_argument("ServeServer: shards must be in [1, 256]");
   if (options.num_hosts == 0)
     throw std::invalid_argument("ServeServer: num_hosts must be > 0");
+  if (options.stall_timeout_seconds < 0.0)
+    throw std::invalid_argument("ServeServer: stall timeout must be >= 0");
+  if (options.checkpoint_interval_flows > 0 &&
+      options.checkpoint_path.empty())
+    throw std::invalid_argument(
+        "ServeServer: checkpoint interval needs a checkpoint path");
   options.quarantine.validate();
 
   impl_->options = options;
@@ -122,6 +208,17 @@ ServeServer::ServeServer(const ServeOptions& options)
   impl_->flows_decided = &registry_->counter("serve.flows_decided");
   impl_->parse_errors = &registry_->counter("serve.parse_errors");
   impl_->time_regressions = &registry_->counter("serve.time_regressions");
+  // Overload/stall accounting depends on machine timing, never on the
+  // flow stream — wall-clock class keeps deterministic snapshots
+  // byte-stable.
+  impl_->shed_flows = &registry_->counter("serve.shed_flows",
+                                          obs::Determinism::kWallClock);
+  impl_->router_stalls = &registry_->counter("serve.router_stalls",
+                                             obs::Determinism::kWallClock);
+  impl_->worker_stalls = &registry_->counter("serve.worker_stalls",
+                                             obs::Determinism::kWallClock);
+  impl_->sink_retries = &registry_->counter("serve.sink_retries",
+                                            obs::Determinism::kWallClock);
   impl_->latency = &registry_->histogram("serve.decision_latency_ns",
                                          obs::Determinism::kWallClock);
 
@@ -138,6 +235,7 @@ ServeServer::ServeServer(const ServeOptions& options)
     impl_->local_id[h] = impl_->owned_count[s]++;
   }
   impl_->label_time.assign(options.num_hosts, -1.0);
+  impl_->progress = std::make_unique<Impl::ShardProgress[]>(shards);
 
   obs::Sink engine_sink;
   engine_sink.metrics = registry_.get();
@@ -154,6 +252,41 @@ ServeServer::ServeServer(const ServeOptions& options)
       impl_->engines.push_back(nullptr);
     }
   }
+
+  if (options.restore != nullptr) {
+    const CheckpointState& ck = *options.restore;
+    if (ck.num_hosts != options.num_hosts)
+      throw std::invalid_argument(
+          "ServeServer: restore num_hosts mismatch (checkpoint has " +
+          std::to_string(ck.num_hosts) + ", options say " +
+          std::to_string(options.num_hosts) + ")");
+    if (ck.config.dump() !=
+        quarantine::config_to_json(options.quarantine).dump())
+      throw std::invalid_argument(
+          "ServeServer: restore quarantine config mismatch — resuming "
+          "under different thresholds would silently diverge");
+    impl_->label_time = ck.label_time;
+    for (std::uint32_t h = 0; h < options.num_hosts; ++h)
+      impl_->engines[impl_->owner[h]]->restore_host(
+          impl_->local_id[h], ck.hosts.records[h], ck.hosts.detectors[h]);
+    for (auto& engine : impl_->engines)
+      if (engine != nullptr) {
+        engine->add_quarantine_events(ck.quarantine_events);
+        break;
+      }
+    impl_->base_flows = ck.flows_ingested;
+    impl_->base_last_time = ck.last_time;
+    impl_->base_time_regressions = ck.time_regressions;
+    impl_->base_parse_errors = ck.parse_errors;
+    impl_->base_shed = ck.shed_flows;
+    impl_->base_samples = ck.parse_error_samples;
+    // Seed the counters so live metrics continue from the checkpoint.
+    impl_->flows_ingested->add(ck.flows_ingested);
+    impl_->flows_decided->add(ck.flows_ingested - ck.shed_flows);
+    impl_->parse_errors->add(ck.parse_errors);
+    impl_->time_regressions->add(ck.time_regressions);
+    impl_->shed_flows->add(ck.shed_flows);
+  }
 }
 
 ServeServer::~ServeServer() = default;
@@ -162,10 +295,16 @@ void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
   SpscQueue<Flow>& in = *in_queues[shard];
   SpscQueue<Decision>& out = *out_queues[shard];
   quarantine::QuarantineEngine* engine = engines[shard].get();
+  ShardProgress& prog = progress[shard];
   const bool throttling = options.quarantine.policy.treatment ==
                           quarantine::Treatment::kThrottle;
+  const std::uint64_t slow_us =
+      Failpoints::global().active()
+          ? Failpoints::global().slow_shard_micros(shard)
+          : 0;
   Flow batch[kWorkerBatch];
   while (true) {
+    if (abort.load(std::memory_order_relaxed)) return;
     const std::size_t n = in.pop_batch(batch, kWorkerBatch);
     if (n == 0) {
       if (in.closed() && in.empty()) break;
@@ -174,6 +313,10 @@ void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
     }
     for (std::size_t i = 0; i < n; ++i) {
       const Flow& f = batch[i];
+      if (slow_us != 0) {
+        interruptible_sleep_us(slow_us, abort);
+        if (abort.load(std::memory_order_relaxed)) return;
+      }
       engine->advance_to(f.time);
       const std::uint32_t local = local_id[f.host];
       if (f.labeled_worm && label_time[f.host] < 0.0)
@@ -192,9 +335,20 @@ void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
             was_quarantined ? (throttling ? Action::kThrottle : Action::kDrop)
                             : Action::kAllow);
         d.state = static_cast<std::uint8_t>(engine->state(local));
-        while (!out.try_push(d)) std::this_thread::yield();
+        if (!out.try_push(d)) {
+          // Full decision queue: bounded backoff instead of an
+          // unbounded spin, counted once per stall episode.
+          worker_stalls->add();
+          Backoff backoff;
+          do {
+            if (abort.load(std::memory_order_relaxed)) return;
+            backoff.pause();
+          } while (!out.try_push(d));
+        }
       }
     }
+    prog.decided.store(prog.decided.load(std::memory_order_relaxed) + n,
+                       std::memory_order_release);
     flows_decided->add(n);
   }
   // Apply releases pending at the stream's end so gathered records
@@ -204,6 +358,44 @@ void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
     engine->advance_to(end_time.load(std::memory_order_acquire));
 }
 
+void ServeServer::Impl::watchdog_loop() {
+  using Clock = std::chrono::steady_clock;
+  const double timeout = options.stall_timeout_seconds;
+  const auto poll = std::chrono::duration<double>(
+      std::clamp(timeout / 8.0, 0.001, 0.05));
+  const std::size_t shards = options.shards;
+  std::vector<std::uint64_t> last_decided(shards, 0);
+  std::vector<Clock::time_point> last_progress(shards, Clock::now());
+  while (!watchdog_done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    const auto now = Clock::now();
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::uint64_t pushed =
+          progress[s].pushed.load(std::memory_order_acquire);
+      const std::uint64_t decided =
+          progress[s].decided.load(std::memory_order_acquire);
+      if (decided != last_decided[s] || decided >= pushed) {
+        last_decided[s] = decided;
+        last_progress[s] = now;
+        continue;
+      }
+      const double quiet =
+          std::chrono::duration<double>(now - last_progress[s]).count();
+      if (quiet < timeout) continue;
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "serve: stall watchdog: shard %zu made no progress for "
+                    "%.2f s (pushed=%llu decided=%llu backlog=%llu)",
+                    s, quiet, static_cast<unsigned long long>(pushed),
+                    static_cast<unsigned long long>(decided),
+                    static_cast<unsigned long long>(pushed - decided));
+      stall_diag.assign(buf);
+      stalled.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
 ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
                               std::ostream* metrics) {
   Impl& im = *impl_;
@@ -211,11 +403,29 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   im.ran = true;
   const ServeOptions& opt = im.options;
   const bool emit = opt.emit_decisions && decisions != nullptr;
+  const bool fp_active = Failpoints::global().active();
   if (opt.stop_after_flows > 0) install_stop_handlers();
 
   const std::size_t shards = opt.shards;
   for (std::size_t s = 0; s < shards; ++s)
     im.workers.emplace_back([this, s, emit] { impl_->worker_loop(s, emit); });
+
+  // On any exit — normal return (threads already joined, every step
+  // idempotent) or exception (stall, checkpoint IO failure) — make sure
+  // no thread outlives run().
+  struct TeardownGuard {
+    Impl& im;
+    ~TeardownGuard() {
+      im.abort.store(true, std::memory_order_release);
+      im.watchdog_done.store(true, std::memory_order_release);
+      for (auto& q : im.in_queues) q->close();
+      for (auto& w : im.workers)
+        if (w.joinable()) w.join();
+      if (im.watchdog.joinable()) im.watchdog.join();
+    }
+  } teardown_guard{im};
+  if (opt.stall_timeout_seconds > 0.0)
+    im.watchdog = std::thread([this] { impl_->watchdog_loop(); });
 
   // In-order merge bookkeeping: which shard got each outstanding seq.
   // Outstanding flows are bounded by the queues, so a fixed ring
@@ -229,8 +439,26 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   std::string outbuf;
   std::string metric_buf;
 
+  const auto throw_if_stalled = [&] {
+    if (im.stalled.load(std::memory_order_acquire))
+      throw ServeStallError(im.stall_diag);
+  };
   const auto write_decisions = [&](bool force) {
     if (outbuf.size() >= kFlushBytes || (force && !outbuf.empty())) {
+      if (fp_active) {
+        if (force) {
+          // The final flush may not fail — absorb any pending injected
+          // errors as retries so no bytes are lost.
+          while (Failpoints::global().consume_sink_error())
+            im.sink_retries->add();
+        } else if (Failpoints::global().consume_sink_error()) {
+          // Transient sink failure: keep the bytes buffered and retry
+          // at the next flush point. The emitted stream stays
+          // byte-identical, just later.
+          im.sink_retries->add();
+          return;
+        }
+      }
       decisions->write(outbuf.data(),
                        static_cast<std::streamsize>(outbuf.size()));
       outbuf.clear();
@@ -261,13 +489,78 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
                    static_cast<std::streamsize>(metric_buf.size()));
     metrics->flush();
   };
+  const auto merged_samples = [&] {
+    std::vector<std::string> samples = im.base_samples;
+    for (const std::string& line : source.parse_error_samples()) {
+      if (samples.size() >= kMaxSummarySamples) break;
+      samples.push_back(line);
+    }
+    return samples;
+  };
 
   ServeSummary summary;
+  summary.time_regressions = im.base_time_regressions;
+  summary.shed_flows = im.base_shed;
   const std::uint64_t t_start = now_ns();
-  double last_time = 0.0;
+  double last_time = im.base_last_time;
+  std::uint64_t seq = im.base_flows;
+
+  /// Waits until every shard has decided everything pushed to it; the
+  /// merge keeps draining so workers never wedge on a full out-queue,
+  /// and a tripped watchdog aborts the wait.
+  const auto quiesce_shards = [&] {
+    for (std::size_t s = 0; s < shards; ++s) {
+      Backoff backoff;
+      while (im.progress[s].decided.load(std::memory_order_acquire) <
+             im.progress[s].pushed.load(std::memory_order_relaxed)) {
+        if (emit) drain_ready();
+        throw_if_stalled();
+        backoff.pause();
+      }
+    }
+  };
+  /// Gathers full pipeline state (engines must be quiescent and
+  /// advanced to `at_time`) in global host order, so checkpoint bytes
+  /// are identical at any shard count.
+  const auto gather_checkpoint = [&](std::uint64_t flows, double at_time) {
+    CheckpointState ck;
+    ck.num_hosts = opt.num_hosts;
+    ck.flows_ingested = flows;
+    ck.last_time = at_time;
+    ck.time_regressions = summary.time_regressions;
+    sync_parse_errors();
+    ck.parse_errors = im.base_parse_errors + source.parse_errors();
+    ck.parse_error_samples = merged_samples();
+    ck.shed_flows = summary.shed_flows;
+    std::uint64_t events = 0;
+    for (const auto& engine : im.engines)
+      if (engine != nullptr) events += engine->quarantine_events();
+    ck.quarantine_events = events;
+    ck.config = quarantine::config_to_json(opt.quarantine);
+    ck.label_time = im.label_time;
+    ck.hosts.records.resize(opt.num_hosts);
+    ck.hosts.detectors.resize(opt.num_hosts);
+    for (std::uint32_t h = 0; h < opt.num_hosts; ++h) {
+      const quarantine::QuarantineEngine& engine = *im.engines[im.owner[h]];
+      ck.hosts.records[h] = engine.record(im.local_id[h]);
+      ck.hosts.detectors[h] = engine.detector_state(im.local_id[h]);
+    }
+    return ck;
+  };
+  const auto write_checkpoint = [&](std::uint64_t flows, double at_time) {
+    quiesce_shards();
+    // Normalize: apply releases due by the checkpoint clock so the
+    // serialized records are independent of each shard's own advance
+    // schedule (a release is popped lazily, at the owning shard's next
+    // flow — semantically identical, but byte-different until applied).
+    for (auto& engine : im.engines)
+      if (engine != nullptr) engine->advance_to(at_time);
+    write_checkpoint_file(opt.checkpoint_path,
+                          gather_checkpoint(flows, at_time));
+  };
+
   bool exhausted = false;
   Flow flow;
-  std::uint64_t seq = 0;
   while (!stop_requested()) {
     if (!source.next(flow)) {
       exhausted = true;
@@ -285,27 +578,52 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
     flow.seq = ++seq;
     flow.ingest_ns = now_ns();
     im.flows_ingested->add();
+    throw_if_stalled();
     const std::size_t s = im.owner[flow.host];
-    while (!im.in_queues[s]->try_push(flow)) {
+    bool accepted = im.in_queues[s]->try_push(flow);
+    if (!accepted) {
       if (emit) drain_ready();
-      std::this_thread::yield();
+      accepted = im.in_queues[s]->try_push(flow);
+      if (!accepted) {
+        if (opt.overload == OverloadPolicy::kShed) {
+          ++summary.shed_flows;
+          im.shed_flows->add();
+        } else {
+          im.router_stalls->add();
+          Backoff backoff;
+          do {
+            throw_if_stalled();
+            backoff.pause();
+            if (emit) drain_ready();
+          } while (!(accepted = im.in_queues[s]->try_push(flow)));
+        }
+      }
     }
-    if (emit) {
-      pending[(pend_head + pend_size) & (ring_cap - 1)] =
-          static_cast<std::uint8_t>(s);
-      ++pend_size;
-      drain_ready();
+    if (accepted) {
+      Impl::ShardProgress& prog = im.progress[s];
+      prog.pushed.store(prog.pushed.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+      if (emit) {
+        pending[(pend_head + pend_size) & (ring_cap - 1)] =
+            static_cast<std::uint8_t>(s);
+        ++pend_size;
+        drain_ready();
+      }
     }
     if (opt.metrics_interval_flows > 0 &&
         seq % opt.metrics_interval_flows == 0)
       write_metrics_snapshot();
+    if (opt.checkpoint_interval_flows > 0 &&
+        seq % opt.checkpoint_interval_flows == 0)
+      write_checkpoint(seq, last_time);
     if (opt.stop_after_flows > 0 && seq == opt.stop_after_flows)
       std::raise(SIGTERM);
   }
   summary.interrupted = !exhausted;
 
-  // Graceful drain: publish the end time, close the in-queues, and
-  // absorb every outstanding decision before joining the workers.
+  // Graceful drain: publish the end time, close the in-queues, wait for
+  // every pushed flow to be decided (stall-checked — never an unbounded
+  // hang), absorb outstanding decisions, then join.
   double end_time = last_time;
   if (exhausted) {
     const double hint = source.end_time_hint();
@@ -313,11 +631,22 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   }
   im.end_time.store(end_time, std::memory_order_release);
   for (auto& q : im.in_queues) q->close();
+  quiesce_shards();
   while (pend_size > 0) {
     drain_ready();
+    throw_if_stalled();
     if (pend_size > 0) std::this_thread::yield();
   }
   for (auto& w : im.workers) w.join();
+  im.watchdog_done.store(true, std::memory_order_release);
+  if (im.watchdog.joinable()) im.watchdog.join();
+
+  // Final checkpoint: the engines are already advanced to end_time by
+  // their workers, so the gathered state equals a quiesced mid-run
+  // checkpoint taken at the same flow count.
+  if (!opt.checkpoint_path.empty())
+    write_checkpoint_file(opt.checkpoint_path,
+                          gather_checkpoint(seq, end_time));
 
   // Assemble the final report from per-shard records in global host
   // order — the float accumulation order of a single engine.
@@ -334,7 +663,9 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   sync_parse_errors();
   summary.flows_ingested = seq;
   summary.flows_decided = im.flows_decided->value();
-  summary.parse_errors = last_parse_errors;
+  summary.parse_errors = im.base_parse_errors + source.parse_errors();
+  summary.parse_error_samples = merged_samples();
+  summary.degraded = summary.shed_flows > 0;
   summary.end_time = end_time;
   summary.report = quarantine::report_from_records(records, im.label_time,
                                                    end_time, events);

@@ -16,14 +16,39 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "campaign/json.hpp"
 #include "obs/metrics.hpp"
 #include "quarantine/config.hpp"
 #include "quarantine/engine.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/source.hpp"
 
 namespace dq::serve {
+
+/// What the router does when a shard's in-queue is full.
+enum class OverloadPolicy : std::uint8_t {
+  /// Wait with bounded exponential backoff (yield, then sleeps capped
+  /// at ~1 ms). Never drops a flow; a wedged shard eventually trips the
+  /// stall watchdog instead of hanging forever. Stall episodes are
+  /// counted in `serve.router_stalls`.
+  kBlock,
+  /// Degrade instead of stalling: drop the flow, count it in
+  /// `serve.shed_flows`, and mark the summary degraded. Shed flows get
+  /// no decision line (their seq numbers are gaps in the stream).
+  kShed,
+};
+
+/// Raised by ServeServer::run when the stall watchdog fires: some shard
+/// made no progress for stall_timeout_seconds while work was
+/// outstanding. what() carries the per-shard diagnostic.
+class ServeStallError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ServeOptions {
   std::size_t shards = 1;
@@ -45,6 +70,25 @@ struct ServeOptions {
   /// process after ingesting exactly N flows (0 disables). Exercises
   /// the real signal handler deterministically.
   std::uint64_t stop_after_flows = 0;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Stall watchdog: fail the run with ServeStallError when a shard
+  /// with outstanding work makes no progress for this many wall-clock
+  /// seconds (0 disables).
+  double stall_timeout_seconds = 0.0;
+  /// Checkpoint target path (empty disables). When set, a final
+  /// checkpoint is always written as the run completes or drains after
+  /// a stop — so `--stop-after N --checkpoint-out F` persists the state
+  /// at exactly flow N.
+  std::string checkpoint_path;
+  /// Additionally checkpoint every N ingested flows (0: final only).
+  std::uint64_t checkpoint_interval_flows = 0;
+  /// Resume state from serve::load_checkpoint_file. The source must
+  /// deliver the flows after restore->flows_ingested; num_hosts and the
+  /// quarantine config must match the checkpoint (validated in the
+  /// constructor). Decision seq numbers continue from the checkpoint,
+  /// so prefix + resumed stream is byte-identical to an uninterrupted
+  /// run at any shard count.
+  std::shared_ptr<const CheckpointState> restore;
 };
 
 /// Final summary. The quarantine report uses flows' `worm` labels as
@@ -58,6 +102,13 @@ struct ServeSummary {
   /// Flows whose time ran backwards and were clamped to the stream's
   /// running maximum (detectors need per-host non-decreasing time).
   std::uint64_t time_regressions = 0;
+  /// Flows dropped by OverloadPolicy::kShed; > 0 sets `degraded`.
+  std::uint64_t shed_flows = 0;
+  bool degraded = false;
+  /// First few malformed input lines (truncated), from the source plus
+  /// any carried in via --restore. Emitted in to_json() only when
+  /// non-empty.
+  std::vector<std::string> parse_error_samples;
   double end_time = 0.0;
   bool interrupted = false;  ///< stopped by SIGINT/SIGTERM
   quarantine::QuarantineReport report;

@@ -34,6 +34,8 @@ bool NdjsonFlowSource::next(Flow& out) {
     if (line_.empty()) continue;
     if (parse_flow_line(line_, num_hosts_, out)) return true;
     ++parse_errors_;
+    if (samples_.size() < kMaxErrorSamples)
+      samples_.push_back(line_.substr(0, kMaxSampleLength));
   }
   return false;
 }
@@ -88,6 +90,7 @@ SyntheticFlowSource::SyntheticFlowSource(const SyntheticConfig& config)
         "SyntheticFlowSource: benign_dest_pool must be > 0");
   worm_hosts_ = static_cast<std::uint32_t>(
       static_cast<double>(config_.hosts) * config_.worm_fraction);
+  next_flow_ = config_.start_flow;
 }
 
 bool SyntheticFlowSource::next(Flow& out) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <istream>
 #include <string>
+#include <vector>
 
 #include "serve/flow.hpp"
 #include "trace/quarantine_replay.hpp"
@@ -37,6 +38,15 @@ class FlowSource {
   /// Lines (or events) rejected so far — feeds `serve.parse_errors`.
   virtual std::uint64_t parse_errors() const noexcept { return 0; }
 
+  /// The first few rejected lines, truncated — surfaced in the summary
+  /// JSON (`parse_error_samples`) so operators can see *what* failed to
+  /// parse, not just how many. Empty for sources that cannot reject.
+  virtual const std::vector<std::string>& parse_error_samples()
+      const noexcept {
+    static const std::vector<std::string> kNone;
+    return kNone;
+  }
+
   /// Logical end time of an exhausted stream, when the source knows it
   /// (a trace's duration covers inbound/DNS events after the last
   /// outbound contact). Negative when unknown; the server then uses
@@ -51,15 +61,24 @@ class NdjsonFlowSource : public FlowSource {
   /// attacker-controlled line).
   NdjsonFlowSource(std::istream& in, std::uint32_t num_hosts);
 
+  /// Rejected lines kept as samples, and the per-sample length cap.
+  static constexpr std::size_t kMaxErrorSamples = 5;
+  static constexpr std::size_t kMaxSampleLength = 120;
+
   bool next(Flow& out) override;
   std::uint64_t parse_errors() const noexcept override {
     return parse_errors_;
+  }
+  const std::vector<std::string>& parse_error_samples()
+      const noexcept override {
+    return samples_;
   }
 
  private:
   std::istream& in_;
   std::uint32_t num_hosts_;
   std::uint64_t parse_errors_ = 0;
+  std::vector<std::string> samples_;
   std::string line_;
 };
 
@@ -96,6 +115,10 @@ struct SyntheticConfig {
   /// Distinct destinations a benign host cycles through.
   std::uint32_t benign_dest_pool = 8;
   std::uint64_t seed = 42;
+  /// First flow index to emit. Flow i is a pure function of (seed, i),
+  /// so a restored run sets this to the checkpoint's flows_ingested and
+  /// replays exactly the remainder of the uninterrupted stream.
+  std::uint64_t start_flow = 0;
 };
 
 class SyntheticFlowSource : public FlowSource {

@@ -1,0 +1,226 @@
+#include "quarantine/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "quarantine/engine.hpp"
+#include "stats/hash.hpp"
+
+namespace dq::quarantine {
+namespace {
+
+QuarantineConfig make_config() {
+  QuarantineConfig c;
+  c.enabled = true;
+  c.detector.window = 5.0;
+  c.detector.contact_rate_threshold = 6.0;
+  c.detector.distinct_dest_threshold = 5.0;
+  c.detector.failure_ratio_threshold = 0.6;
+  c.detector.failure_min_attempts = 4;
+  c.policy.strikes_to_quarantine = 2;
+  c.policy.base_period = 30.0;
+  c.policy.escalation = 2.0;
+  c.policy.max_period = 240.0;
+  return c;
+}
+
+struct SynthFlow {
+  double time;
+  std::uint32_t host;
+  std::uint64_t dest;
+  bool failed;
+};
+
+/// Deterministic synthetic stream: flow i is a pure function of
+/// (seed, i). A contiguous low block of "worm" hosts scans random
+/// destinations with a high failure rate; the rest revisit a small
+/// per-host pool. Mirrors serve::SyntheticFlowSource so the engine sees
+/// realistic state churn (strikes, quarantines, escalations, releases).
+SynthFlow flow_at(std::uint64_t i, std::uint32_t hosts = 96,
+                  std::uint64_t seed = 42) {
+  const std::uint64_t r0 = mix64(seed ^ (i * 0x9e3779b97f4a7c15ULL));
+  const std::uint64_t r1 = mix64(r0 ^ 0xd1b54a32d192ed03ULL);
+  const std::uint64_t r2 = mix64(r1 ^ 0x8cb92ba72f3d8dd7ULL);
+  SynthFlow f;
+  f.host = static_cast<std::uint32_t>(r0 % hosts);
+  const bool worm = f.host < hosts / 8;
+  f.time = static_cast<double>(i) * 0.05;
+  f.dest = worm ? r1 : static_cast<std::uint64_t>(f.host) * 16 + r1 % 16;
+  const double u = static_cast<double>(r2 >> 11) * 0x1.0p-53;
+  f.failed = u < (worm ? 0.8 : 0.02);
+  return f;
+}
+
+void feed(QuarantineEngine& e, std::uint64_t from, std::uint64_t to) {
+  for (std::uint64_t i = from; i < to; ++i) {
+    const SynthFlow f = flow_at(i);
+    e.advance_to(f.time);
+    e.observe(f.host, f.dest, f.time, f.failed);
+  }
+}
+
+void expect_records_equal(const QuarantineEngine& a,
+                          const QuarantineEngine& b) {
+  ASSERT_EQ(a.num_hosts(), b.num_hosts());
+  for (std::uint32_t h = 0; h < a.num_hosts(); ++h) {
+    const HostRecord& ra = a.record(h);
+    const HostRecord& rb = b.record(h);
+    EXPECT_EQ(ra.state, rb.state) << "host " << h;
+    EXPECT_EQ(ra.strikes, rb.strikes) << "host " << h;
+    EXPECT_EQ(ra.offenses, rb.offenses) << "host " << h;
+    EXPECT_EQ(ra.first_suspected, rb.first_suspected) << "host " << h;
+    EXPECT_EQ(ra.first_quarantined, rb.first_quarantined) << "host " << h;
+    EXPECT_EQ(ra.quarantine_start, rb.quarantine_start) << "host " << h;
+    EXPECT_EQ(ra.release_time, rb.release_time) << "host " << h;
+    EXPECT_EQ(ra.quarantine_time, rb.quarantine_time) << "host " << h;
+    const DetectorState da = a.detector_state(h);
+    const DetectorState db = b.detector_state(h);
+    EXPECT_EQ(da.window_index, db.window_index) << "host " << h;
+    EXPECT_EQ(da.contacts, db.contacts) << "host " << h;
+    EXPECT_EQ(da.failures, db.failures) << "host " << h;
+    EXPECT_EQ(da.dest_sketch, db.dest_sketch) << "host " << h;
+    EXPECT_EQ(da.flagged, db.flagged) << "host " << h;
+  }
+}
+
+TEST(QuarantineSnapshot, RestoredEngineReplaysIdenticallyFromAnyPrefix) {
+  constexpr std::uint64_t kFlows = 30'000;
+  QuarantineEngine uninterrupted(96, make_config());
+  feed(uninterrupted, 0, kFlows);
+  ASSERT_GT(uninterrupted.quarantine_events(), 0u);  // non-trivial stream
+
+  for (const std::uint64_t cut : {1ULL, 500ULL, 7'321ULL, 29'999ULL}) {
+    QuarantineEngine prefix(96, make_config());
+    feed(prefix, 0, cut);
+    const campaign::JsonValue snap = engine_to_json(prefix);
+
+    QuarantineEngine resumed(96, make_config());
+    restore_engine(resumed, snap);
+    expect_records_equal(prefix, resumed);
+    EXPECT_EQ(resumed.quarantine_events(), prefix.quarantine_events());
+    EXPECT_EQ(resumed.currently_quarantined(),
+              prefix.currently_quarantined());
+
+    feed(resumed, cut, kFlows);
+    expect_records_equal(uninterrupted, resumed);
+    EXPECT_EQ(resumed.quarantine_events(),
+              uninterrupted.quarantine_events());
+
+    // Reports are bit-identical too: same records, same accumulation
+    // order (host id order), same event totals.
+    std::vector<double> labels(96, -1.0);
+    for (std::uint32_t h = 0; h < 96 / 8; ++h) labels[h] = 0.0;
+    const double now = flow_at(kFlows - 1).time;
+    const QuarantineReport ru = uninterrupted.report(labels, now);
+    const QuarantineReport rr = resumed.report(labels, now);
+    EXPECT_EQ(ru.detected_targets, rr.detected_targets);
+    EXPECT_EQ(ru.mean_detection_latency, rr.mean_detection_latency);
+    EXPECT_EQ(ru.false_positive_hosts, rr.false_positive_hosts);
+    EXPECT_EQ(ru.benign_quarantine_time, rr.benign_quarantine_time);
+    EXPECT_EQ(ru.target_quarantine_time, rr.target_quarantine_time);
+    EXPECT_EQ(ru.quarantine_events, rr.quarantine_events);
+  }
+}
+
+TEST(QuarantineSnapshot, SnapshotOfRestoredEngineIsByteIdentical) {
+  QuarantineEngine e(96, make_config());
+  feed(e, 0, 12'000);
+  const std::string bytes = engine_to_json(e).dump();
+
+  QuarantineEngine restored(96, make_config());
+  restore_engine(restored, engine_to_json(e));
+  EXPECT_EQ(engine_to_json(restored).dump(), bytes);
+}
+
+TEST(QuarantineSnapshot, HostArraysRoundTripPreservesFullSketchPrecision) {
+  std::vector<HostRecord> records(3);
+  std::vector<DetectorState> detectors(3);
+  records[1].state = HostQState::kQuarantined;
+  records[1].strikes = 2;
+  records[1].offenses = 3;
+  records[1].first_suspected = 1.25;
+  records[1].first_quarantined = 2.5;
+  records[1].quarantine_start = 100.125;
+  records[1].release_time = 340.125;
+  records[2].state = HostQState::kSuspected;
+  records[2].quarantine_time = 0.1;  // not exactly representable
+  detectors[0].window_index = -1;    // never observed
+  detectors[1].window_index = 7;
+  detectors[1].contacts = 19;
+  detectors[1].failures = 11;
+  detectors[1].dest_sketch = 0xffffffffffffffffULL;  // needs 64 bits
+  detectors[1].flagged = true;
+
+  const campaign::JsonValue json = host_arrays_to_json(records, detectors);
+  const HostArrays back = host_arrays_from_json(json);
+  ASSERT_EQ(back.records.size(), 3u);
+  EXPECT_EQ(back.records[1].state, HostQState::kQuarantined);
+  EXPECT_EQ(back.records[1].release_time, 340.125);
+  EXPECT_EQ(back.records[2].quarantine_time, 0.1);
+  EXPECT_EQ(back.detectors[0].window_index, -1);
+  EXPECT_EQ(back.detectors[1].dest_sketch, 0xffffffffffffffffULL);
+  EXPECT_TRUE(back.detectors[1].flagged);
+  // And the encoding itself round-trips byte-for-byte.
+  EXPECT_EQ(
+      host_arrays_to_json(back.records, back.detectors).dump(),
+      json.dump());
+}
+
+TEST(QuarantineSnapshot, RejectsMalformedInput) {
+  QuarantineEngine fresh(4, make_config());
+
+  EXPECT_THROW(restore_engine(fresh, campaign::JsonValue::number(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(restore_engine(fresh, campaign::JsonValue::object()),
+               std::invalid_argument);
+
+  QuarantineEngine donor(4, make_config());
+  // Wrong host count.
+  {
+    QuarantineEngine bigger(8, make_config());
+    EXPECT_THROW(restore_engine(bigger, engine_to_json(donor)),
+                 std::invalid_argument);
+  }
+  // Wrong config: thresholds differ, resuming would silently diverge.
+  {
+    QuarantineConfig other = make_config();
+    other.policy.base_period = 60.0;
+    QuarantineEngine mismatched(4, other);
+    EXPECT_THROW(restore_engine(mismatched, engine_to_json(donor)),
+                 std::invalid_argument);
+  }
+  // Column arrays of unequal length.
+  EXPECT_THROW(
+      host_arrays_to_json(std::vector<HostRecord>(2),
+                          std::vector<DetectorState>(3)),
+      std::invalid_argument);
+  // Out-of-range state enum.
+  {
+    std::vector<HostRecord> recs(1);
+    std::vector<DetectorState> dets(1);
+    campaign::JsonValue json = host_arrays_to_json(recs, dets);
+    campaign::JsonValue bad_states = campaign::JsonValue::array();
+    bad_states.push_back(campaign::JsonValue::integer(9));
+    json.set("state", std::move(bad_states));
+    EXPECT_THROW(host_arrays_from_json(json), std::invalid_argument);
+  }
+}
+
+TEST(QuarantineSnapshot, RestoreHostRefusesAlreadyQuarantinedTarget) {
+  QuarantineEngine e(4, make_config());
+  // Two over-threshold windows: strike, strike, quarantine.
+  for (int i = 0; i < 8; ++i)
+    e.observe(0, static_cast<std::uint64_t>(i), 1.0, false);
+  for (int i = 0; i < 8; ++i)
+    e.observe(0, static_cast<std::uint64_t>(i), 6.0, false);
+  ASSERT_TRUE(e.quarantined(0));
+  EXPECT_THROW(e.restore_host(0, HostRecord{}, DetectorState{}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dq::quarantine

@@ -15,6 +15,7 @@
 //                                per-kind event counts)
 //
 // Run any subcommand with --help for its options.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <initializer_list>
@@ -37,6 +38,7 @@
 #include "stats/hash.hpp"
 #include "core/planner.hpp"
 #include "core/scenario.hpp"
+#include "serve/failpoints.hpp"
 #include "serve/server.hpp"
 #include "trace/analysis.hpp"
 #include "trace/classifier.hpp"
@@ -156,6 +158,11 @@ int usage() {
          "[--metrics-out FILE]\n"
          "              [--metrics-interval N] [--stop-after N] "
          "[--queue-capacity N]\n"
+         "              [--checkpoint-out FILE [--checkpoint-interval N]] "
+         "[--restore FILE]\n"
+         "              [--overload block|shed] [--stall-timeout SECONDS]\n"
+         "              [--inject SPEC]         failpoints, also via "
+         "DQ_FAILPOINTS (docs/ROBUSTNESS.md)\n"
          "              [census flags as for plan] [detector/policy "
          "flags as for quarantine]\n"
          "              stream quarantine decisions (NDJSON in, NDJSON "
@@ -463,7 +470,8 @@ int cmd_serve(const Args& args) {
       "queue-capacity", "out",     "no-decisions",   "metrics-out",
       "metrics-interval", "stop-after", "seed",      "duration",
       "normal",      "servers",    "p2p",            "blaster",
-      "welchia"};
+      "welchia",     "checkpoint-out", "checkpoint-interval",
+      "restore",     "overload",   "stall-timeout",  "inject"};
   allowed.insert(allowed.end(), std::begin(kQuarantineFlags),
                  std::end(kQuarantineFlags));
   args.allow_only(allowed);
@@ -484,6 +492,42 @@ int cmd_serve(const Args& args) {
   options.stop_after_flows =
       static_cast<std::uint64_t>(args.num("stop-after", 0.0));
 
+  const std::string overload = args.str("overload", "block");
+  if (overload == "block")
+    options.overload = serve::OverloadPolicy::kBlock;
+  else if (overload == "shed")
+    options.overload = serve::OverloadPolicy::kShed;
+  else
+    throw UsageError("serve: --overload must be block or shed");
+  options.stall_timeout_seconds = args.num("stall-timeout", 0.0);
+  options.checkpoint_path = args.str("checkpoint-out", "");
+  options.checkpoint_interval_flows =
+      static_cast<std::uint64_t>(args.num("checkpoint-interval", 0.0));
+
+  // Fault injection: --inject wins over the DQ_FAILPOINTS environment
+  // variable; either way the spec is validated before the run starts.
+  std::string inject = args.str("inject", "");
+  if (!args.flag("inject")) {
+    if (const char* env = std::getenv("DQ_FAILPOINTS")) inject = env;
+  }
+  serve::Failpoints::global().configure(inject);
+
+  // A corrupt or truncated checkpoint raises serve::CheckpointError,
+  // which main() reports on stderr with exit 1 — never a crash, never a
+  // silent fresh start.
+  std::shared_ptr<const serve::CheckpointState> restore;
+  const std::string restore_path = args.str("restore", "");
+  if (!restore_path.empty()) {
+    if (trace_mode)
+      throw std::invalid_argument(
+          "serve: --restore is not supported with --trace (the trace "
+          "failure oracle is in-memory state; restore NDJSON or "
+          "synthetic streams)");
+    restore = std::make_shared<const serve::CheckpointState>(
+        serve::load_checkpoint_file(restore_path));
+  }
+  options.restore = restore;
+
   // Pick the flow source. Streams opened here must outlive run().
   std::ifstream input_file;
   trace::Trace t;
@@ -502,10 +546,25 @@ int cmd_serve(const Args& args) {
     synth.hosts = static_cast<std::uint32_t>(args.num("hosts", 65536.0));
     synth.worm_fraction = args.num("worm-fraction", 0.01);
     synth.seed = static_cast<std::uint64_t>(args.num("seed", 42.0));
+    if (restore != nullptr) {
+      if (args.flag("hosts") && synth.hosts != restore->num_hosts)
+        throw std::invalid_argument(
+            "serve: --hosts disagrees with the checkpoint's host count");
+      synth.hosts = restore->num_hosts;
+      // Flow i is a pure function of (seed, i): resume emits exactly
+      // the remainder of the uninterrupted stream.
+      synth.start_flow = restore->flows_ingested;
+    }
     options.num_hosts = synth.hosts;
     source = std::make_unique<serve::SyntheticFlowSource>(synth);
   } else {
     options.num_hosts = static_cast<std::uint32_t>(args.num("hosts", 65536.0));
+    if (restore != nullptr) {
+      if (args.flag("hosts") && options.num_hosts != restore->num_hosts)
+        throw std::invalid_argument(
+            "serve: --hosts disagrees with the checkpoint's host count");
+      options.num_hosts = restore->num_hosts;
+    }
     const std::string input = args.str("input", "-");
     std::istream* in = &std::cin;
     if (input != "-") {
@@ -543,12 +602,19 @@ int cmd_serve(const Args& args) {
   // With --no-decisions the per-flow lines are skipped but the final
   // summary line is still written to the decision stream.
   const serve::ServeSummary summary = server.run(*source, decisions, metrics);
+  if (out_file.is_open() && !out_file)
+    throw std::runtime_error("serve: error writing " + out);
 
+  std::string degraded_note;
+  if (summary.degraded)
+    degraded_note = ", " + std::to_string(summary.shed_flows) +
+                    " flows shed (DEGRADED)";
   std::cerr << std::fixed << std::setprecision(3) << summary.flows_ingested
             << " flows in " << summary.wall_seconds << " s ("
             << std::setprecision(0) << summary.flows_per_sec
             << " flows/s), " << summary.parse_errors << " parse errors, "
             << summary.time_regressions << " time regressions"
+            << degraded_note
             << (summary.interrupted ? " — interrupted, drained" : "")
             << '\n';
   std::cerr << "decision latency p50/p90/p99: " << summary.latency_p50_ns
