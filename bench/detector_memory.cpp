@@ -1,0 +1,125 @@
+// detector_memory — side-by-side memory and throughput comparison of
+// the two detector-state backends (docs/QUARANTINE.md, "Estimator
+// backends"): the exact per-host HostDetector table vs the shared-
+// bitmap CompactEstimatorStore, at 10^5, 10^6 and 10^7 tracked hosts.
+//
+// For each host count and backend the bench reports resident state
+// bytes, bytes per host, and single-threaded observe throughput over
+// the same synthetic traffic mix the scale tests use (a scanning
+// minority plus background chatter, several window rolls). This is the
+// exploratory companion to `perf_microbench --estimator_json`, which
+// gates the compact numbers in CI (bench/data/BENCH_estimator.json);
+// this binary exists to eyeball the exact-vs-compact trade-off.
+//
+//   detector_memory [--quick]        (table to stdout)
+//
+// --quick drops the 10^7-host row and trims flows, for laptops.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "quarantine/compact_store.hpp"
+#include "quarantine/detectors.hpp"
+#include "stats/hash.hpp"
+
+namespace {
+
+using namespace dq;
+
+quarantine::DetectorSettings bench_settings() {
+  quarantine::DetectorSettings settings;
+  settings.window = 5.0;
+  settings.contact_rate_threshold = 0.0;
+  settings.distinct_dest_threshold = 0.0;
+  settings.failure_ratio_threshold = 0.7;
+  settings.failure_min_attempts = 3;
+  return settings;
+}
+
+/// Flow i of the shared traffic mix: hosts divisible by 97 scan wide
+/// random destinations, everyone else cycles a small benign pool.
+struct MixFlow {
+  std::uint32_t host;
+  std::uint64_t dest;
+  bool failed;
+};
+
+MixFlow mix_flow(std::uint64_t i, std::size_t hosts) {
+  const std::uint64_t r = mix64(i * 0x9e3779b97f4a7c15ULL + 1);
+  const auto host = static_cast<std::uint32_t>(r % hosts);
+  const bool worm = host % 97 == 0;
+  return {host, worm ? mix64(r) : host % 1024, worm};
+}
+
+struct BackendResult {
+  std::size_t state_bytes = 0;
+  double seconds = 0.0;
+  std::uint64_t strikes = 0;
+};
+
+BackendResult run_exact(std::size_t hosts, std::uint64_t flows, double dt) {
+  using clock = std::chrono::steady_clock;
+  const quarantine::DetectorSettings settings = bench_settings();
+  std::vector<quarantine::HostDetector> table(hosts);
+  BackendResult result;
+  result.state_bytes = hosts * sizeof(quarantine::HostDetector);
+  const auto start = clock::now();
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    const MixFlow flow = mix_flow(i, hosts);
+    const quarantine::ObservationOutcome out = table[flow.host].observe(
+        settings, static_cast<double>(i) * dt, flow.dest, flow.failed);
+    result.strikes += out.strike ? 1 : 0;
+  }
+  result.seconds = std::chrono::duration<double>(clock::now() - start).count();
+  return result;
+}
+
+BackendResult run_compact(std::size_t hosts, std::uint64_t flows, double dt) {
+  using clock = std::chrono::steady_clock;
+  const quarantine::CompactSettings compact;  // production defaults
+  quarantine::CompactEstimatorStore store(hosts, bench_settings(), compact);
+  BackendResult result;
+  result.state_bytes = store.memory_bytes();
+  const auto start = clock::now();
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    const MixFlow flow = mix_flow(i, hosts);
+    const quarantine::ObservationOutcome out = store.observe(
+        flow.host, static_cast<double>(i) * dt, flow.dest, flow.failed);
+    result.strikes += out.strike ? 1 : 0;
+  }
+  result.seconds = std::chrono::duration<double>(clock::now() - start).count();
+  return result;
+}
+
+void print_row(const char* backend, std::size_t hosts, std::uint64_t flows,
+               const BackendResult& r) {
+  std::printf("%-14s %10zu %14zu %10.2f %12.2e %12llu\n", backend, hosts,
+              r.state_bytes,
+              static_cast<double>(r.state_bytes) / static_cast<double>(hosts),
+              static_cast<double>(flows) / r.seconds,
+              static_cast<unsigned long long>(r.strikes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  std::vector<std::size_t> host_counts = {100'000, 1'000'000};
+  if (!quick) host_counts.push_back(10'000'000);
+
+  std::printf("%-14s %10s %14s %10s %12s %12s\n", "backend", "hosts",
+              "state_bytes", "bytes/host", "flows/s", "strikes");
+  for (const std::size_t hosts : host_counts) {
+    const std::uint64_t flows = quick ? 1'000'000 : 4'000'000;
+    const double dt = 25.0 / static_cast<double>(flows);  // 5 window rolls
+    print_row("exact", hosts, flows, run_exact(hosts, flows, dt));
+    print_row("shared_bitmap", hosts, flows, run_compact(hosts, flows, dt));
+  }
+  return 0;
+}

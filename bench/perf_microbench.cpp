@@ -25,6 +25,13 @@
 // bench/data/BENCH_scale.json is written from this mode.
 // `--scale_json_small[=PATH]` runs the same gate on a 5·10³/5·10⁴
 // curve for the CI fast lane.
+//
+// `--estimator_json[=PATH]` is the detector-memory gate for the
+// shared-bitmap estimator backend: at 10⁶ and 10⁷ tracked hosts it
+// asserts CompactEstimatorStore stays within the bytes/host ceiling
+// and above a raw observe-throughput floor, then runs a compact-backend
+// serve pipeline to hold the same flows/sec floor as BENCH_serve.json.
+// bench/data/BENCH_estimator.json is written from this mode.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -41,11 +48,16 @@
 #include "epidemic/si_model.hpp"
 #include "graph/builders.hpp"
 #include "graph/routing.hpp"
+#include "quarantine/compact_store.hpp"
+#include "quarantine/detectors.hpp"
 #include "ratelimit/dns_throttle.hpp"
 #include "ratelimit/sliding_window.hpp"
 #include "ratelimit/williamson.hpp"
+#include "serve/server.hpp"
+#include "serve/source.hpp"
 #include "simulator/sharded_sim.hpp"
 #include "simulator/worm_sim.hpp"
+#include "stats/hash.hpp"
 #include "stats/rng.hpp"
 #include "trace/analysis.hpp"
 #include "trace/department.hpp"
@@ -556,6 +568,177 @@ int run_scale_json(const char* path, bool small) {
   return ok ? 0 : 1;
 }
 
+// ---- --estimator_json mode ----
+
+/// Hard ceiling on compact detector state: the backend exists to track
+/// 10^7 hosts in tens of megabytes, so a few bytes per host, ceiling 8.
+constexpr double kBytesPerHostCeiling = 8.0;
+/// Floor on the raw store observe loop (flows per wall second,
+/// single-threaded). An order of magnitude below what the store
+/// delivers — the gate catches an accidental O(v) or allocating path
+/// in observe, not scheduler noise.
+constexpr double kObserveFloorFlowsPerSec = 2.0e6;
+/// Floor on compact-backend serve ingest. Half of BENCH_serve.json's
+/// exact-backend floor: this point tracks a 2^20-host universe (16x
+/// BENCH_serve's), so per-flow cost carries an extra cache-miss tax;
+/// the floor still sits well under the ~1.8M flows/s delivered.
+constexpr double kServeFloorFlowsPerSec = 5.0e5;
+
+struct EstimatorPoint {
+  std::size_t hosts = 0;
+  double bytes_per_host = 0.0;
+  std::size_t memory_bytes = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t strikes = 0;
+  double seconds_observe = 0.0;
+  double observe_flows_per_sec = 0.0;
+};
+
+/// Feeds `flows` synthetic observations (scanning minority + background
+/// chatter, several window rolls) through a compact store sized for
+/// `hosts`, timing the observe loop.
+EstimatorPoint run_estimator_point(std::size_t hosts, std::uint64_t flows) {
+  using clock = std::chrono::steady_clock;
+  quarantine::DetectorSettings settings;
+  settings.window = 5.0;
+  settings.contact_rate_threshold = 0.0;
+  settings.distinct_dest_threshold = 0.0;
+  settings.failure_ratio_threshold = 0.7;
+  settings.failure_min_attempts = 3;
+  const quarantine::CompactSettings compact;  // production defaults
+
+  quarantine::CompactEstimatorStore store(hosts, settings, compact);
+  EstimatorPoint point;
+  point.hosts = hosts;
+  point.bytes_per_host = store.bytes_per_host();
+  point.memory_bytes = store.memory_bytes();
+  point.flows = flows;
+
+  const double dt = 25.0 / static_cast<double>(flows);  // 5 window rolls
+  const auto start = clock::now();
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    const std::uint64_t r = mix64(i * 0x9e3779b97f4a7c15ULL + 1);
+    const auto host = static_cast<std::uint32_t>(r % hosts);
+    const bool worm = host % 97 == 0;
+    const std::uint64_t dest = worm ? mix64(r) : host % 1024;
+    const quarantine::ObservationOutcome out =
+        store.observe(host, static_cast<double>(i) * dt, dest, worm);
+    point.strikes += out.strike ? 1 : 0;
+  }
+  point.seconds_observe =
+      std::chrono::duration<double>(clock::now() - start).count();
+  point.observe_flows_per_sec =
+      static_cast<double>(flows) / point.seconds_observe;
+  return point;
+}
+
+int run_estimator_json(const char* path) {
+  std::FILE* out = path != nullptr ? std::fopen(path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf_microbench: cannot open %s\n", path);
+    return 1;
+  }
+
+  bool ok = true;
+  std::vector<EstimatorPoint> points;
+  for (const auto& [hosts, flows] :
+       {std::pair<std::size_t, std::uint64_t>{1'000'000, 4'000'000},
+        {10'000'000, 8'000'000}}) {
+    const EstimatorPoint point = run_estimator_point(hosts, flows);
+    if (point.bytes_per_host > kBytesPerHostCeiling) {
+      std::fprintf(stderr,
+                   "perf_microbench: %zu-host store %.2f bytes/host "
+                   "over ceiling %.1f\n",
+                   hosts, point.bytes_per_host, kBytesPerHostCeiling);
+      ok = false;
+    }
+    if (point.observe_flows_per_sec < kObserveFloorFlowsPerSec) {
+      std::fprintf(stderr,
+                   "perf_microbench: %zu-host observe %.0f flows/sec "
+                   "below floor %.0f\n",
+                   hosts, point.observe_flows_per_sec,
+                   kObserveFloorFlowsPerSec);
+      ok = false;
+    }
+    if (point.strikes == 0) {
+      std::fprintf(stderr,
+                   "perf_microbench: %zu-host run produced no strikes — "
+                   "the observe loop is not exercising the detector\n",
+                   hosts);
+      ok = false;
+    }
+    points.push_back(point);
+  }
+
+  // Serve pipeline on the compact backend: same synthetic workload
+  // shape as BENCH_serve.json's 4-shard point, same throughput floor.
+  serve::SyntheticConfig synth;
+  synth.flows = 2'000'000;
+  synth.hosts = 1u << 20;
+  synth.worm_fraction = 0.01;
+  serve::ServeOptions options;
+  options.shards = 4;
+  options.num_hosts = synth.hosts;
+  options.quarantine.enabled = true;
+  options.quarantine.detector.window = 0.5;
+  options.quarantine.detector.failure_ratio_threshold = 0.7;
+  options.quarantine.detector.failure_min_attempts = 3;
+  options.quarantine.policy.base_period = 5.0;
+  options.quarantine.estimator_backend =
+      quarantine::EstimatorBackend::kSharedBitmap;
+  serve::ServeServer server(options);
+  serve::SyntheticFlowSource source(synth);
+  const serve::ServeSummary summary = server.run(source, nullptr, nullptr);
+  if (summary.flows_per_sec < kServeFloorFlowsPerSec) {
+    std::fprintf(stderr,
+                 "perf_microbench: compact serve %.0f flows/sec below "
+                 "floor %.0f\n",
+                 summary.flows_per_sec, kServeFloorFlowsPerSec);
+    ok = false;
+  }
+
+  std::fprintf(out,
+               "{\n"
+               "  \"scenario\": \"estimator-memory\",\n"
+               "  \"backend\": \"shared_bitmap\",\n"
+               "  \"exact_state_bytes_per_host\": %zu,\n"
+               "  \"bytes_per_host_ceiling\": %.1f,\n"
+               "  \"observe_floor_flows_per_sec\": %.0f,\n"
+               "  \"serve_floor_flows_per_sec\": %.0f,\n"
+               "  \"points\": [\n",
+               sizeof(quarantine::HostDetector), kBytesPerHostCeiling,
+               kObserveFloorFlowsPerSec, kServeFloorFlowsPerSec);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const EstimatorPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"hosts\": %zu, \"bytes_per_host\": %.3f, "
+                 "\"memory_bytes\": %zu, \"flows\": %llu, "
+                 "\"strikes\": %llu, \"seconds_observe\": %.6f, "
+                 "\"observe_flows_per_sec\": %.1f}%s\n",
+                 p.hosts, p.bytes_per_host, p.memory_bytes,
+                 static_cast<unsigned long long>(p.flows),
+                 static_cast<unsigned long long>(p.strikes),
+                 p.seconds_observe, p.observe_flows_per_sec,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"serve_point\": {\"shards\": %zu, \"hosts\": %u, "
+               "\"flows\": %llu, \"wall_seconds\": %.6f, "
+               "\"flows_per_sec\": %.1f, \"detected_targets\": %.0f, "
+               "\"false_positive_hosts\": %.0f},\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               options.shards, synth.hosts,
+               static_cast<unsigned long long>(summary.flows_ingested),
+               summary.wall_seconds, summary.flows_per_sec,
+               summary.report.detected_targets,
+               summary.report.false_positive_hosts,
+               ok ? "true" : "false");
+  if (out != stdout) std::fclose(out);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -574,6 +757,10 @@ int main(int argc, char** argv) {
       return run_scale_json(nullptr, /*small=*/true);
     if (std::strncmp(argv[i], "--scale_json_small=", 19) == 0)
       return run_scale_json(argv[i] + 19, /*small=*/true);
+    if (std::strcmp(argv[i], "--estimator_json") == 0)
+      return run_estimator_json(nullptr);
+    if (std::strncmp(argv[i], "--estimator_json=", 17) == 0)
+      return run_estimator_json(argv[i] + 17);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

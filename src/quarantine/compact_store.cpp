@@ -1,0 +1,309 @@
+#include "quarantine/compact_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace dq::quarantine {
+
+namespace {
+// SplitMix64 sequence step — position-table generation only; the per
+// destination hash stays mix_destination so the compact backend buckets
+// destinations exactly like the exact sketch does.
+inline std::uint64_t next_u64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  return mix_destination(state - 0x9e3779b97f4a7c15ULL);
+}
+}  // namespace
+
+CompactEstimatorStore::CompactEstimatorStore(std::size_t num_hosts,
+                                             const DetectorSettings& detector,
+                                             const CompactSettings& compact)
+    : detector_(detector),
+      block_hosts_(compact.block_hosts),
+      virtual_bits_(compact.virtual_bits) {
+  if (num_hosts == 0)
+    throw std::invalid_argument("CompactEstimatorStore: need >= 1 host");
+  if (block_hosts_ == 0 || compact.pool_bits_per_host == 0)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: block_hosts and pool_bits_per_host >= 1");
+  if (virtual_bits_ == 0 || (virtual_bits_ & (virtual_bits_ - 1)) != 0)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: virtual_bits must be a power of two");
+  const std::uint64_t pool_bits =
+      static_cast<std::uint64_t>(block_hosts_) * compact.pool_bits_per_host;
+  if (pool_bits < virtual_bits_)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: pool smaller than one virtual bitmap");
+  if (pool_bits > 0xffffffffULL)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: pool exceeds 2^32 bits per block");
+  pool_bits_ = static_cast<std::uint32_t>(pool_bits);
+  words_ = (static_cast<std::size_t>(pool_bits_) + 63) / 64;
+
+  const std::size_t blocks = (num_hosts + block_hosts_ - 1) / block_hosts_;
+  cells_.resize(num_hosts);
+  pool_.assign(blocks * words_per_block(), 0);
+  windows_.assign(blocks, -1);
+  zeros_.assign(blocks * 2, pool_bits_);
+
+  // Fixed position table, shared by every block: v distinct physical
+  // positions per host offset, drawn by rejection from a SplitMix64
+  // stream (terminates because the pool holds >= v bits). The scratch
+  // bitmap keeps row generation O(M + v) instead of O(v^2).
+  positions_.resize(static_cast<std::size_t>(block_hosts_) * virtual_bits_);
+  std::vector<std::uint8_t> used(pool_bits_);
+  for (std::uint32_t r = 0; r < block_hosts_; ++r) {
+    std::uint64_t state =
+        compact.seed ^ mix_destination(0x51700000ULL + r);
+    std::uint32_t* row = positions_.data() +
+                         static_cast<std::size_t>(r) * virtual_bits_;
+    std::fill(used.begin(), used.end(), std::uint8_t{0});
+    for (std::uint32_t i = 0; i < virtual_bits_; ++i) {
+      for (;;) {
+        const std::uint32_t pos =
+            static_cast<std::uint32_t>(next_u64(state) % pool_bits_);
+        if (used[pos]) continue;
+        used[pos] = 1;
+        row[i] = pos;
+        break;
+      }
+    }
+  }
+}
+
+void CompactEstimatorStore::roll_block(std::size_t block,
+                                       std::int64_t w) noexcept {
+  const std::int64_t prev = windows_[block];
+  const std::uint64_t jump =
+      prev < 0 ? static_cast<std::uint64_t>(kMaxBack)
+               : static_cast<std::uint64_t>(w - prev);
+  const std::size_t lo = block * block_hosts_;
+  const std::size_t hi =
+      std::min(lo + block_hosts_, cells_.size());
+  for (std::size_t h = lo; h < hi; ++h) {
+    HostCell& c = cells_[h];
+    if (c.window_back == kNever) continue;
+    const std::uint64_t back = c.window_back + jump;
+    c.window_back =
+        back > kMaxBack ? kMaxBack : static_cast<std::uint16_t>(back);
+  }
+  std::memset(pool_.data() + block * words_per_block(), 0,
+              words_per_block() * sizeof(std::uint64_t));
+  zeros_[block * 2] = pool_bits_;
+  zeros_[block * 2 + 1] = pool_bits_;
+  windows_[block] = w;
+}
+
+bool CompactEstimatorStore::set_bit(std::size_t block, int pool,
+                                    std::uint32_t pos) noexcept {
+  std::uint64_t& word =
+      pool_[block * words_per_block() +
+            static_cast<std::size_t>(pool) * words_ + pos / 64];
+  const std::uint64_t mask = 1ULL << (pos & 63);
+  if (word & mask) return false;
+  word |= mask;
+  --zeros_[block * 2 + static_cast<std::size_t>(pool)];
+  return true;
+}
+
+double CompactEstimatorStore::estimate(std::uint32_t host,
+                                       int pool) const noexcept {
+  const std::size_t block = host / block_hosts_;
+  const std::uint32_t r = host % block_hosts_;
+  const std::uint32_t pool_zeros =
+      zeros_[block * 2 + static_cast<std::size_t>(pool)];
+  if (pool_zeros == 0) return kSaturated;
+  const std::uint64_t* words =
+      pool_.data() + block * words_per_block() +
+      static_cast<std::size_t>(pool) * words_;
+  const std::uint32_t* row =
+      positions_.data() + static_cast<std::size_t>(r) * virtual_bits_;
+  std::uint32_t host_zeros = 0;
+  for (std::uint32_t i = 0; i < virtual_bits_; ++i) {
+    const std::uint32_t pos = row[i];
+    host_zeros += (words[pos / 64] >> (pos & 63) & 1ULL) == 0;
+  }
+  if (host_zeros == 0) return kSaturated;
+  const double v = static_cast<double>(virtual_bits_);
+  // Noise correction measured from the pool OUTSIDE the host's virtual
+  // positions: other hosts' bits land on inside and outside bits at the
+  // same per-bit rate (their positions are independent of this row), so
+  // the outside zero fraction estimates exactly the noise thinning that
+  // the host's own zeros suffered. Unlike the classic whole-pool
+  // correction (which models the host's self-collisions as n/M and
+  // biases high once n is comparable to v), this is unbiased at every
+  // fill factor and degrades to plain linear counting in an empty pool.
+  if (pool_bits_ == virtual_bits_) {
+    // Degenerate geometry: the virtual bitmap IS the pool; no outside
+    // region to measure noise from (and none to correct for).
+    return -v * std::log(static_cast<double>(host_zeros) / v);
+  }
+  const std::uint32_t out_zeros = pool_zeros - host_zeros;
+  if (out_zeros == 0) return kSaturated;
+  const double out_bits = static_cast<double>(pool_bits_ - virtual_bits_);
+  const double est =
+      v * (std::log(static_cast<double>(out_zeros) / out_bits) -
+           std::log(static_cast<double>(host_zeros) / v));
+  return est > 0.0 ? est : 0.0;
+}
+
+bool CompactEstimatorStore::suspicious(std::uint32_t host,
+                                       const HostCell& c) const noexcept {
+  const std::uint32_t contacts = c.contacts & kCountMask;
+  if (detector_.contact_rate_threshold > 0.0 &&
+      static_cast<double>(contacts) > detector_.contact_rate_threshold)
+    return true;
+  // Raw-contact gate: a window's distinct destinations never exceed its
+  // attempted contacts, so the shared estimate is only consulted (and
+  // can only leak a neighbor-noise strike) once the host's own activity
+  // clears the threshold. Also keeps observe O(1) for quiet hosts.
+  if (detector_.distinct_dest_threshold > 0.0 &&
+      static_cast<double>(contacts) > detector_.distinct_dest_threshold &&
+      attempt_estimate(host) > detector_.distinct_dest_threshold)
+    return true;
+  if (detector_.failure_ratio_threshold > 0.0 &&
+      contacts >= detector_.failure_min_attempts &&
+      static_cast<double>(c.failures) >=
+          detector_.failure_ratio_threshold * static_cast<double>(contacts) &&
+      // Pool confirmation: the distinct failed destinations must carry
+      // the same ratio — one-sided, it can only suppress a raw-counter
+      // strike, never add one (docs/QUARANTINE.md tolerance contract).
+      failure_estimate(host) >=
+          detector_.failure_ratio_threshold * attempt_estimate(host))
+    return true;
+  return false;
+}
+
+ObservationOutcome CompactEstimatorStore::observe(std::uint32_t host,
+                                                  double now,
+                                                  std::uint64_t dest_key,
+                                                  bool failed) noexcept {
+  ObservationOutcome outcome;
+  const std::size_t block = host / block_hosts_;
+  const std::uint32_t r = host % block_hosts_;
+  std::int64_t w =
+      static_cast<std::int64_t>(std::floor(now / detector_.window));
+  if (w > windows_[block]) roll_block(block, w);
+
+  HostCell& c = cells_[host];
+  if (c.window_back != 0) {  // host's first observation in this window
+    if (c.window_back != kNever)
+      outcome.clean_windows = static_cast<std::uint64_t>(c.window_back) -
+                              ((c.contacts & kFlag) ? 1 : 0);
+    c.contacts = 0;
+    c.failures = 0;
+    c.window_back = 0;
+  }
+
+  if ((c.contacts & kCountMask) != kCountMask) ++c.contacts;
+  if (failed && c.failures != 0xffff) ++c.failures;
+
+  const std::uint32_t vi =
+      static_cast<std::uint32_t>(mix_destination(dest_key)) &
+      (virtual_bits_ - 1);
+  const std::uint32_t pos =
+      positions_[static_cast<std::size_t>(r) * virtual_bits_ + vi];
+  set_bit(block, 0, pos);
+  if (failed) set_bit(block, 1, pos);
+
+  if (!(c.contacts & kFlag) && suspicious(host, c)) {
+    c.contacts |= kFlag;
+    outcome.strike = true;
+  }
+  return outcome;
+}
+
+void CompactEstimatorStore::reset_host(std::uint32_t host) noexcept {
+  cells_[host] = HostCell{};
+}
+
+DetectorState CompactEstimatorStore::host_state(
+    std::uint32_t host) const noexcept {
+  const HostCell& c = cells_[host];
+  DetectorState s;
+  if (c.window_back != kNever)
+    s.window_index =
+        windows_[host / block_hosts_] - static_cast<std::int64_t>(c.window_back);
+  s.contacts = c.contacts & kCountMask;
+  s.failures = c.failures;
+  s.flagged = (c.contacts & kFlag) != 0;
+  return s;
+}
+
+void CompactEstimatorStore::restore_host(std::uint32_t host,
+                                         const DetectorState& s) {
+  if (s.dest_sketch != 0)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: per-host dest_sketch must be 0 (virtual "
+        "bits live in the block pools)");
+  if (s.contacts > kCountMask)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: contacts exceed the 15-bit counter");
+  if (s.failures > 0xffff)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: failures exceed the 16-bit counter");
+  HostCell c;
+  if (s.window_index >= 0) {
+    const std::int64_t bw = windows_[host / block_hosts_];
+    if (s.window_index > bw)
+      throw std::invalid_argument(
+          "CompactEstimatorStore: host window " +
+          std::to_string(s.window_index) + " newer than its block window " +
+          std::to_string(bw));
+    const std::int64_t back = bw - s.window_index;
+    c.window_back =
+        back > kMaxBack ? kMaxBack : static_cast<std::uint16_t>(back);
+  }
+  c.contacts = static_cast<std::uint16_t>(s.contacts) |
+               (s.flagged ? kFlag : std::uint16_t{0});
+  c.failures = static_cast<std::uint16_t>(s.failures);
+  cells_[host] = c;
+}
+
+void CompactEstimatorStore::restore_block(std::size_t block,
+                                          std::int64_t window,
+                                          const std::uint64_t* words) {
+  if (window < -1)
+    throw std::invalid_argument(
+        "CompactEstimatorStore: block window must be >= -1");
+  const std::uint32_t tail = pool_bits_ & 63;
+  const std::uint64_t tail_mask =
+      tail == 0 ? ~0ULL : ((1ULL << tail) - 1);
+  for (int pool = 0; pool < 2; ++pool) {
+    std::uint32_t ones = 0;
+    for (std::size_t i = 0; i < words_; ++i) {
+      const std::uint64_t word = words[static_cast<std::size_t>(pool) * words_ + i];
+      if (i + 1 == words_ && (word & ~tail_mask) != 0)
+        throw std::invalid_argument(
+            "CompactEstimatorStore: pool word has bits beyond the pool "
+            "width");
+      if (window < 0 && word != 0)
+        throw std::invalid_argument(
+            "CompactEstimatorStore: untouched block (window -1) with "
+            "nonzero pool bits");
+      ones += static_cast<std::uint32_t>(__builtin_popcountll(word));
+    }
+    zeros_[block * 2 + static_cast<std::size_t>(pool)] = pool_bits_ - ones;
+  }
+  std::memcpy(pool_.data() + block * words_per_block(), words,
+              words_per_block() * sizeof(std::uint64_t));
+  windows_[block] = window;
+}
+
+std::size_t CompactEstimatorStore::memory_bytes() const noexcept {
+  return sizeof(*this) + cells_.size() * sizeof(HostCell) +
+         pool_.size() * sizeof(std::uint64_t) +
+         windows_.size() * sizeof(std::int64_t) +
+         zeros_.size() * sizeof(std::uint32_t) +
+         positions_.size() * sizeof(std::uint32_t);
+}
+
+double CompactEstimatorStore::bytes_per_host() const noexcept {
+  return static_cast<double>(memory_bytes()) /
+         static_cast<double>(cells_.size());
+}
+
+}  // namespace dq::quarantine

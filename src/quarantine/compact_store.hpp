@@ -1,0 +1,172 @@
+// Shared-bitmap detector state for millions of tracked hosts — the
+// EstimatorBackend::kSharedBitmap implementation behind QuarantineEngine.
+//
+// Construction (Zhou–Zhou–Chen–Kreidl, "Limiting Self-Propagating
+// Malware Based on Connection Failure Behavior through Hyper-Compact
+// Estimators", arXiv 1602.03153): hosts are grouped into fixed blocks
+// of K hosts; each block owns two physical bit pools of M = K *
+// pool_bits_per_host bits — one fed by attempted destinations, one by
+// failed ones. A host's evidence is a *virtual bitmap*: v physical
+// positions drawn pseudo-randomly (but fixed) from its block's pool by
+// hashing (host offset within block, virtual index). An observation of
+// destination d sets the position for virtual index hash(d) mod v. The
+// distinct-destination estimate is the noise-corrected virtual
+// linear count
+//
+//   n̂ = v · (ln((Z_pool − z_host) / (M − v)) − ln(z_host / v))
+//
+// where z_host is the zero count among the host's v positions and
+// Z_pool the zero count of the whole pool. The first term measures the
+// noise rate from the pool region *outside* the host's own positions:
+// other hosts' bits land inside and outside at the same per-bit rate,
+// so the outside zero fraction is exactly the thinning the host's
+// zeros suffered. (The classic whole-pool correction with a 1 − v/M
+// de-bias factor models the host's self-collisions as n/M and reads
+// high once n is comparable to v; the outside-region form is unbiased
+// at every fill factor and reduces to plain linear counting when the
+// rest of the pool is empty.)
+//
+// Alongside the pools, each host carries exactly six bytes: a 15-bit
+// saturating contact counter plus the strike latch, a 16-bit saturating
+// failure counter, and a 16-bit window distance (how many windows ago
+// the host last observed, clamped — block metadata holds the full
+// 64-bit current window index). Total: 6 bytes + 2 * pool_bits_per_host
+// bits per host, ~7.6 bytes at the defaults.
+//
+// Window semantics are the exact backend's tumbling windows on the
+// global grid floor(now / window). Pools are physical and shared, so
+// they clear when the *block* enters a new window (bits are only ever
+// set inside one window); per-host counters roll lazily via the window
+// distance. Because every pool, counter, and estimate is a pure
+// function of the block's own observation stream, and the serve router
+// and sharded simulator both partition hosts in whole blocks,
+// decisions are byte-identical at any shard count.
+//
+// Requirement: observation times must be non-decreasing across the
+// engine (all in-repo drivers guarantee this — the serve router clamps
+// its clock, trace replay is event-ordered, the simulator ticks
+// forward). A regressing time is clamped into the block's open window.
+//
+// The decision tolerance contract vs the exact backend is documented
+// in docs/QUARANTINE.md and enforced by tests/serve/
+// estimator_equivalence_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quarantine/config.hpp"
+#include "quarantine/detectors.hpp"
+
+namespace dq::quarantine {
+
+class CompactEstimatorStore {
+ public:
+  /// Distinct-estimate value reported when a virtual bitmap (or its
+  /// pool) has no zeros left — matches the exact backend's saturation
+  /// sentinel.
+  static constexpr double kSaturated = 1e9;
+
+  /// Validates geometry against `detector`/`compact` (throws
+  /// std::invalid_argument — QuarantineConfig::validate covers the
+  /// same rules).
+  CompactEstimatorStore(std::size_t num_hosts,
+                        const DetectorSettings& detector,
+                        const CompactSettings& compact);
+
+  /// The exact backend's HostDetector::observe, over shared state:
+  /// rolls the host's (and block's) window, bumps the saturating
+  /// counters, sets the virtual-bitmap bits, and evaluates the strike
+  /// predicate with the raw-counter gates described in
+  /// docs/QUARANTINE.md.
+  ObservationOutcome observe(std::uint32_t host, double now,
+                             std::uint64_t dest_key, bool failed) noexcept;
+
+  /// Clears one host's counters (release from quarantine). The host's
+  /// pool bits stay until its block's window rolls — shared bits cannot
+  /// be unset per host; the raw-contact gate keeps the residue from
+  /// firing a strike on its own.
+  void reset_host(std::uint32_t host) noexcept;
+
+  /// Noise-corrected distinct estimates for the host's current window
+  /// (attempted / failed destinations). >= 0, or kSaturated.
+  double attempt_estimate(std::uint32_t host) const noexcept {
+    return estimate(host, 0);
+  }
+  double failure_estimate(std::uint32_t host) const noexcept {
+    return estimate(host, 1);
+  }
+
+  /// Snapshot interchange: the host's state in the exact backend's
+  /// DetectorState shape (dest_sketch is always 0 — the virtual bits
+  /// live in the block pools, serialized separately). window_index is
+  /// reconstructed from the block window minus the stored distance, so
+  /// hosts idle longer than ~65534 windows report a clamped (younger)
+  /// index; decisions are unaffected (strike decay saturates long
+  /// before).
+  DetectorState host_state(std::uint32_t host) const noexcept;
+  /// Inverse of host_state on a restored store (restore the block
+  /// windows first). Throws std::invalid_argument on a nonzero sketch,
+  /// counters beyond the saturating widths, or a window index newer
+  /// than the host's block window.
+  void restore_host(std::uint32_t host, const DetectorState& s);
+
+  // --- pool serialization (quarantine/snapshot.cpp) ---
+  std::size_t num_hosts() const noexcept { return cells_.size(); }
+  std::size_t num_blocks() const noexcept { return windows_.size(); }
+  /// u64 words per block: both pools, attempts then failures.
+  std::size_t words_per_block() const noexcept { return 2 * words_; }
+  /// Current window of `block`; -1 before its first observation.
+  std::int64_t block_window(std::size_t block) const noexcept {
+    return windows_[block];
+  }
+  const std::uint64_t* block_words(std::size_t block) const noexcept {
+    return pool_.data() + block * words_per_block();
+  }
+  /// Overwrites one block's window and pool words (words_per_block()
+  /// of them); zero-bit counts are recomputed. Throws
+  /// std::invalid_argument when bits beyond the pool width are set.
+  void restore_block(std::size_t block, std::int64_t window,
+                     const std::uint64_t* words);
+
+  /// Bytes held per tracked host: pools + per-host cells + per-block
+  /// metadata + the shared position table, divided by num_hosts. The
+  /// detector_memory bench gates this at <= 8.
+  double bytes_per_host() const noexcept;
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct HostCell {
+    std::uint16_t contacts = 0;  ///< low 15 bits count, bit 15 = flagged
+    std::uint16_t failures = 0;
+    std::uint16_t window_back = kNever;  ///< block window − host window
+  };
+  static constexpr std::uint16_t kFlag = 0x8000;
+  static constexpr std::uint16_t kCountMask = 0x7fff;
+  static constexpr std::uint16_t kNever = 0xffff;   ///< no observation yet
+  static constexpr std::uint16_t kMaxBack = 0xfffe; ///< distance clamp
+
+  /// Advances `block` to window `w`: clears both pools and bumps every
+  /// resident cell's window distance by the elapsed count.
+  void roll_block(std::size_t block, std::int64_t w) noexcept;
+  bool suspicious(std::uint32_t host, const HostCell& c) const noexcept;
+  double estimate(std::uint32_t host, int pool) const noexcept;
+  bool set_bit(std::size_t block, int pool, std::uint32_t pos) noexcept;
+
+  DetectorSettings detector_;
+  std::uint32_t block_hosts_;   ///< K
+  std::uint32_t virtual_bits_;  ///< v (power of two)
+  std::uint32_t pool_bits_;     ///< M = K * pool_bits_per_host
+  std::size_t words_;           ///< ceil(M / 64), per pool
+
+  std::vector<HostCell> cells_;        ///< per host
+  std::vector<std::uint64_t> pool_;    ///< blocks × (attempts | failures)
+  std::vector<std::int64_t> windows_;  ///< per block; -1 = untouched
+  std::vector<std::uint32_t> zeros_;   ///< per block × 2: pool zero bits
+  /// positions_[r * v + i]: physical bit for virtual index i of the
+  /// host at offset r in its block — the same fixed table for every
+  /// block, v distinct positions per row.
+  std::vector<std::uint32_t> positions_;
+};
+
+}  // namespace dq::quarantine

@@ -38,6 +38,45 @@ struct DetectorSettings {
   std::uint32_t failure_min_attempts = 2;
 };
 
+/// Which detector-state backend the engine allocates (docs/QUARANTINE.md,
+/// "Estimator backends").
+enum class EstimatorBackend : std::uint8_t {
+  /// One private HostDetector per host: exact 32-bit contact/failure
+  /// counters plus a 64-bucket linear-counting sketch (~24 bytes/host).
+  /// The reference semantics every other backend is measured against.
+  kExact,
+  /// CompactEstimatorStore: per-host virtual bitmaps drawn by hashed
+  /// offsets from a bit pool shared across a block of hosts, with
+  /// noise-corrected estimates (Zhou–Zhou–Chen–Kreidl, "Hyper-Compact
+  /// Estimators") and 16-bit saturating window counters — a few
+  /// bytes/host, for boxes fronting millions of hosts. Approximate:
+  /// see the tolerance contract in docs/QUARANTINE.md.
+  kSharedBitmap,
+};
+
+/// Geometry of the shared bit pool (EstimatorBackend::kSharedBitmap).
+/// Hosts are grouped into fixed blocks of `block_hosts`; each block owns
+/// two private pools of `block_hosts * pool_bits_per_host` bits (one for
+/// attempted destinations, one for failed ones), and a host's
+/// `virtual_bits` virtual bitmap is a fixed pseudo-random subset of its
+/// block's pool. Sharing — and therefore estimator noise — never
+/// crosses a block boundary, which is what keeps decisions byte-
+/// identical at any shard count: the serve router and the sharded
+/// simulator both partition hosts in whole blocks.
+struct CompactSettings {
+  /// Hosts per pool block. Larger blocks share noise more widely;
+  /// smaller blocks waste pool on rounding. Must be >= 1.
+  std::uint32_t block_hosts = 256;
+  /// Physical pool bits per host *per pool* (two pools per block).
+  std::uint32_t pool_bits_per_host = 6;
+  /// Virtual bitmap size per host. Power of two; the estimate
+  /// saturates near v·ln v distinct destinations (~266 at 64), the
+  /// same dynamic range as the exact backend's 64-bucket sketch.
+  std::uint32_t virtual_bits = 64;
+  /// Salt for the per-host offset hashing.
+  std::uint64_t seed = 0x7f4a7c15u;
+};
+
 /// What happens to a quarantined host's traffic.
 enum class Treatment : std::uint8_t {
   /// Full isolation: nothing in or out (the paper's quarantine).
@@ -74,6 +113,12 @@ struct QuarantineConfig {
   bool start_on_detection = false;
   DetectorSettings detector;
   PolicySettings policy;
+  /// Detector-state backend; kExact is the reference implementation,
+  /// kSharedBitmap trades bounded estimator noise for a few bytes/host
+  /// (tolerance contract: docs/QUARANTINE.md).
+  EstimatorBackend estimator_backend = EstimatorBackend::kExact;
+  /// Pool geometry, used only under kSharedBitmap.
+  CompactSettings compact;
 
   /// Throws std::invalid_argument on out-of-range settings.
   void validate() const {
@@ -105,6 +150,27 @@ struct QuarantineConfig {
         policy.throttle_rate < 0.0)
       throw std::invalid_argument(
           "QuarantineConfig: throttle rate must be >= 0");
+    if (estimator_backend == EstimatorBackend::kSharedBitmap) {
+      if (compact.block_hosts == 0)
+        throw std::invalid_argument(
+            "QuarantineConfig: compact block_hosts must be >= 1");
+      if (compact.pool_bits_per_host == 0)
+        throw std::invalid_argument(
+            "QuarantineConfig: compact pool_bits_per_host must be >= 1");
+      if (compact.virtual_bits == 0 ||
+          (compact.virtual_bits & (compact.virtual_bits - 1)) != 0)
+        throw std::invalid_argument(
+            "QuarantineConfig: compact virtual_bits must be a power of two");
+      // A host needs virtual_bits distinct physical positions inside
+      // its block's pool.
+      const std::uint64_t pool_bits =
+          static_cast<std::uint64_t>(compact.block_hosts) *
+          compact.pool_bits_per_host;
+      if (pool_bits < compact.virtual_bits)
+        throw std::invalid_argument(
+            "QuarantineConfig: compact pool smaller than one virtual "
+            "bitmap (block_hosts * pool_bits_per_host < virtual_bits)");
+    }
   }
 };
 

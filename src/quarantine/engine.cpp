@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 namespace dq::quarantine {
@@ -17,10 +18,15 @@ static_assert(static_cast<std::uint8_t>(HostQState::kQuarantined) ==
 
 QuarantineEngine::QuarantineEngine(std::size_t num_hosts,
                                    const QuarantineConfig& config)
-    : config_(config), hosts_(num_hosts), detectors_(num_hosts) {
+    : config_(config), hosts_(num_hosts) {
   config_.validate();
   if (num_hosts == 0)
     throw std::invalid_argument("QuarantineEngine: need at least one host");
+  if (config_.estimator_backend == EstimatorBackend::kSharedBitmap)
+    store_ = std::make_unique<CompactEstimatorStore>(
+        num_hosts, config_.detector, config_.compact);
+  else
+    detectors_.resize(num_hosts);
 }
 
 void QuarantineEngine::set_obs(obs::Sink sink) {
@@ -83,7 +89,10 @@ void QuarantineEngine::release(std::uint32_t host) {
   // A released host restarts with a clean detector; if it is still
   // misbehaving it will re-strike within a window or two and serve the
   // escalated period.
-  detectors_[host].reset();
+  if (store_)
+    store_->reset_host(host);
+  else
+    detectors_[host].reset();
   --active_;
 }
 
@@ -93,7 +102,9 @@ void QuarantineEngine::observe(std::uint32_t host, std::uint64_t dest_key,
   if (rec.state == HostQState::kQuarantined) return;
 
   const ObservationOutcome outcome =
-      detectors_[host].observe(config_.detector, now, dest_key, failed);
+      store_ ? store_->observe(host, now, dest_key, failed)
+             : detectors_[host].observe(config_.detector, now, dest_key,
+                                        failed);
 
   if (outcome.clean_windows > 0 && rec.strikes > 0) {
     rec.strikes = outcome.clean_windows >= rec.strikes
@@ -143,7 +154,10 @@ void QuarantineEngine::restore_host(std::uint32_t host,
         "QuarantineEngine::restore_host: host already quarantined "
         "(restore requires a fresh engine)");
   hosts_[host] = rec;
-  detectors_[host].load(det);
+  if (store_)
+    store_->restore_host(host, det);
+  else
+    detectors_[host].load(det);
   if (rec.state == HostQState::kQuarantined) {
     releases_.push({rec.release_time, host});
     ++active_;

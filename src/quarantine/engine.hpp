@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "obs/sink.hpp"
+#include "quarantine/compact_store.hpp"
 #include "quarantine/config.hpp"
 #include "quarantine/detectors.hpp"
 
@@ -120,8 +122,15 @@ class QuarantineEngine {
   // the release entry, so snapshot restore always starts from a new
   // engine.
   DetectorState detector_state(std::uint32_t host) const {
-    return detectors_[host].save();
+    return store_ ? store_->host_state(host) : detectors_[host].save();
   }
+  /// The shared-bitmap store when config().estimator_backend is
+  /// kSharedBitmap, nullptr under kExact. The snapshot layer uses it to
+  /// serialize/restore the block pools alongside the per-host columns.
+  const CompactEstimatorStore* compact_store() const noexcept {
+    return store_.get();
+  }
+  CompactEstimatorStore* compact_store() noexcept { return store_.get(); }
   void restore_host(std::uint32_t host, const HostRecord& rec,
                     const DetectorState& det);
   /// Carries the quarantine-event count of a checkpointed prefix
@@ -145,7 +154,10 @@ class QuarantineEngine {
   obs::Counter* obs_transitions_ = nullptr;
   QuarantineConfig config_;
   std::vector<HostRecord> hosts_;
+  /// Exactly one backend is populated, per config_.estimator_backend:
+  /// private exact detectors, or the block-shared compact store.
   std::vector<HostDetector> detectors_;
+  std::unique_ptr<CompactEstimatorStore> store_;
   /// Pending releases: (release_time, host), earliest first. A host is
   /// enqueued at most once (it cannot be re-quarantined while already
   /// quarantined).

@@ -63,13 +63,73 @@ JsonValue config_to_json(const QuarantineConfig& config) {
                            : "drop_all"));
   p.set("throttle_rate", JsonValue::number(config.policy.throttle_rate));
 
+  // The estimator backend is part of the config identity: restoring a
+  // compact snapshot into an exact engine (or under different pool
+  // geometry) must fail the config comparison, not silently diverge.
+  JsonValue e = JsonValue::object();
+  if (config.estimator_backend == EstimatorBackend::kSharedBitmap) {
+    e.set("backend", JsonValue::str("shared_bitmap"));
+    e.set("block_hosts", JsonValue::integer(config.compact.block_hosts));
+    e.set("pool_bits_per_host",
+          JsonValue::integer(config.compact.pool_bits_per_host));
+    e.set("virtual_bits", JsonValue::integer(config.compact.virtual_bits));
+    e.set("seed", JsonValue::integer(config.compact.seed));
+  } else {
+    e.set("backend", JsonValue::str("exact"));
+  }
+
   JsonValue out = JsonValue::object();
   out.set("enabled", JsonValue::boolean(config.enabled));
   out.set("start_on_detection",
           JsonValue::boolean(config.start_on_detection));
   out.set("detector", std::move(d));
   out.set("policy", std::move(p));
+  out.set("estimator", std::move(e));
   return out;
+}
+
+JsonValue store_to_json(const CompactEstimatorStore& store) {
+  JsonValue window = JsonValue::array();
+  JsonValue pool = JsonValue::array();
+  for (std::size_t b = 0; b < store.num_blocks(); ++b) {
+    window.push_back(window_to_json(store.block_window(b)));
+    const std::uint64_t* words = store.block_words(b);
+    for (std::size_t i = 0; i < store.words_per_block(); ++i)
+      pool.push_back(JsonValue::integer(words[i]));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("num_blocks", JsonValue::integer(store.num_blocks()));
+  out.set("words_per_block", JsonValue::integer(store.words_per_block()));
+  out.set("window", std::move(window));
+  out.set("pool", std::move(pool));
+  return out;
+}
+
+void restore_store(CompactEstimatorStore& store, const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject)
+    bad("estimator store not an object");
+  const JsonValue* nb = json.find("num_blocks");
+  const JsonValue* wpb = json.find("words_per_block");
+  if (nb == nullptr || wpb == nullptr)
+    bad("estimator store missing num_blocks/words_per_block");
+  if (nb->as_uint() != store.num_blocks())
+    bad("estimator store block count mismatch");
+  if (wpb->as_uint() != store.words_per_block())
+    bad("estimator store words_per_block mismatch (pool geometry)");
+  const JsonValue& window = column(json, "window", store.num_blocks());
+  const JsonValue& pool =
+      column(json, "pool", store.num_blocks() * store.words_per_block());
+  std::vector<std::uint64_t> words(store.words_per_block());
+  for (std::size_t b = 0; b < store.num_blocks(); ++b) {
+    for (std::size_t i = 0; i < words.size(); ++i)
+      words[i] = pool.items()[b * words.size() + i].as_uint();
+    try {
+      store.restore_block(b, window_from_json(window.items()[b]),
+                          words.data());
+    } catch (const std::invalid_argument& e) {
+      bad(std::string("block ") + std::to_string(b) + ": " + e.what());
+    }
+  }
 }
 
 JsonValue host_arrays_to_json(const std::vector<HostRecord>& records,
@@ -237,6 +297,36 @@ void append_host_arrays_json(const std::vector<HostRecord>& records,
   out += '}';
 }
 
+void append_store_json(const CompactEstimatorStore& store,
+                       std::string& out) {
+  // Same key order and value encoding as store_to_json: integers via
+  // to_chars, window -1 as "-1".
+  out += "{\"num_blocks\":";
+  append_uint(out, store.num_blocks());
+  out += ",\"words_per_block\":";
+  append_uint(out, store.words_per_block());
+  out += ",\"window\":[";
+  for (std::size_t b = 0; b < store.num_blocks(); ++b) {
+    if (b != 0) out += ',';
+    const std::int64_t w = store.block_window(b);
+    if (w < 0)
+      out += "-1";
+    else
+      append_uint(out, static_cast<std::uint64_t>(w));
+  }
+  out += "],\"pool\":[";
+  bool first = true;
+  for (std::size_t b = 0; b < store.num_blocks(); ++b) {
+    const std::uint64_t* words = store.block_words(b);
+    for (std::size_t i = 0; i < store.words_per_block(); ++i) {
+      if (!first) out += ',';
+      first = false;
+      append_uint(out, words[i]);
+    }
+  }
+  out += "]}";
+}
+
 HostArrays host_arrays_from_json(const JsonValue& json) {
   if (json.kind() != JsonValue::Kind::kObject) bad("host arrays not an object");
   const JsonValue* nh = json.find("num_hosts");
@@ -294,15 +384,25 @@ JsonValue engine_to_json(const QuarantineEngine& engine) {
     detectors[h] = engine.detector_state(host);
   }
   JsonValue out = JsonValue::object();
+  out.set("version", JsonValue::integer(kSnapshotVersion));
   out.set("config", config_to_json(engine.config()));
   out.set("quarantine_events",
           JsonValue::integer(engine.quarantine_events()));
   out.set("hosts", host_arrays_to_json(records, detectors));
+  if (engine.compact_store() != nullptr)
+    out.set("store", store_to_json(*engine.compact_store()));
   return out;
 }
 
 void restore_engine(QuarantineEngine& engine, const JsonValue& json) {
   if (json.kind() != JsonValue::Kind::kObject) bad("snapshot not an object");
+  const JsonValue* version = json.find("version");
+  if (version == nullptr)
+    bad("missing schema version (pre-v2 snapshot?)");
+  if (version->as_uint() != kSnapshotVersion)
+    bad("unsupported schema version " +
+        std::to_string(version->as_uint()) + " (expected " +
+        std::to_string(kSnapshotVersion) + ")");
   const JsonValue* config = json.find("config");
   const JsonValue* events = json.find("quarantine_events");
   const JsonValue* hosts = json.find("hosts");
@@ -313,6 +413,16 @@ void restore_engine(QuarantineEngine& engine, const JsonValue& json) {
   const HostArrays arrays = host_arrays_from_json(*hosts);
   if (arrays.records.size() != engine.num_hosts())
     bad("num_hosts mismatch");
+  // Block pools first: compact per-host window indices restore
+  // relative to their block's window.
+  if (engine.compact_store() != nullptr) {
+    const JsonValue* store = json.find("store");
+    if (store == nullptr)
+      bad("shared_bitmap engine but snapshot has no 'store' section");
+    restore_store(*engine.compact_store(), *store);
+  } else if (json.find("store") != nullptr) {
+    bad("snapshot has a 'store' section but the engine is exact");
+  }
   for (std::size_t h = 0; h < arrays.records.size(); ++h)
     engine.restore_host(static_cast<std::uint32_t>(h), arrays.records[h],
                         arrays.detectors[h]);

@@ -57,8 +57,37 @@ void append_host_arrays_json(const std::vector<HostRecord>& records,
 /// missing columns, length mismatches, or out-of-range values.
 HostArrays host_arrays_from_json(const campaign::JsonValue& json);
 
-/// Full engine snapshot: config, quarantine-event count, host arrays.
+/// Shared-bitmap pool state (EstimatorBackend::kSharedBitmap): per
+/// block, the current window index and both pools' words, blocks in
+/// global order. Zero-bit counts are derived on restore.
+campaign::JsonValue store_to_json(const CompactEstimatorStore& store);
+
+/// Direct-emission twin of store_to_json (byte-identical dump), for
+/// the serve checkpoint hot path.
+void append_store_json(const CompactEstimatorStore& store,
+                       std::string& out);
+
+/// Inverse of store_to_json. `store` must have matching geometry
+/// (block count, words per block — both implied by the engine config
+/// the caller already validated). Throws std::invalid_argument on
+/// mismatch, malformed input, or pool words with stray bits. Restore
+/// block pools *before* per-host detector state: compact host windows
+/// are stored relative to their block's window.
+void restore_store(CompactEstimatorStore& store,
+                   const campaign::JsonValue& json);
+
+/// Full engine snapshot: schema version, config, quarantine-event
+/// count, host arrays, and (under kSharedBitmap) the block pool store.
+///
+/// Version history — restore_engine refuses anything but the current:
+///   1  (implicit, no "version" key): exact backend only.
+///   2  "version":2; config gains the "estimator" object; compact
+///      engines add a "store" section and their det_sketch column is
+///      all zeros (virtual bits live in the store).
 campaign::JsonValue engine_to_json(const QuarantineEngine& engine);
+
+/// The version engine_to_json writes and restore_engine requires.
+inline constexpr std::uint64_t kSnapshotVersion = 2;
 
 /// Restores a snapshot into `engine`, which must be freshly
 /// constructed with the same num_hosts and a config whose canonical

@@ -46,6 +46,7 @@ JsonValue CheckpointState::to_json() const {
   out.set("label_time", std::move(labels));
   out.set("hosts",
           quarantine::host_arrays_to_json(hosts.records, hosts.detectors));
+  if (!store.is_null()) out.set("estimator_store", store);
   return out;
 }
 
@@ -82,6 +83,10 @@ CheckpointState CheckpointState::from_json(const JsonValue& json) {
     state.hosts = quarantine::host_arrays_from_json(need(json, "hosts"));
     if (state.hosts.records.size() != state.num_hosts)
       corrupt("host state length mismatch");
+    // Present only for shared-bitmap runs; the server validates it
+    // against its own engine geometry on restore.
+    if (const JsonValue* store = json.find("estimator_store"))
+      state.store = *store;
     return state;
   } catch (const CheckpointError&) {
     throw;
@@ -135,6 +140,12 @@ std::string serialize_checkpoint(const CheckpointState& state) {
   out += "],\"hosts\":";
   quarantine::append_host_arrays_json(state.hosts.records,
                                       state.hosts.detectors, out);
+  if (!state.store.is_null()) {
+    // The store tree is ~0.2 nodes/host (one word per 64 pool bits),
+    // so dumping it is off the hot path the columns dominate.
+    out += ",\"estimator_store\":";
+    out += state.store.dump();
+  }
   out += '}';
   return out;
 }

@@ -35,7 +35,12 @@ class CheckpointError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr std::uint64_t kCheckpointVersion = 1;
+/// Version history — load refuses anything but the current:
+///   1: exact detector backend only.
+///   2: quarantine_config gains the "estimator" object (via
+///      quarantine::config_to_json) and shared-bitmap runs add an
+///      "estimator_store" section with the block pools.
+inline constexpr std::uint64_t kCheckpointVersion = 2;
 
 struct CheckpointState {
   std::uint32_t num_hosts = 0;
@@ -58,6 +63,9 @@ struct CheckpointState {
   std::vector<double> label_time;
   /// Engine state per global host (quarantine/snapshot.hpp).
   quarantine::HostArrays hosts;
+  /// Shared-bitmap block pools (quarantine::store_to_json), blocks in
+  /// global order; JSON null when the run used the exact backend.
+  campaign::JsonValue store;
 
   campaign::JsonValue to_json() const;
   /// Throws CheckpointError on anything malformed or inconsistent.

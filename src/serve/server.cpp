@@ -133,6 +133,12 @@ struct ServeServer::Impl {
   std::vector<std::uint8_t> owner;
   std::vector<std::uint32_t> local_id;
   std::vector<std::uint32_t> owned_count;
+  // Under the shared-bitmap backend hosts are partitioned in whole
+  // estimator blocks (sharing never crosses a block, so decisions stay
+  // byte-identical at any shard count): global block -> owner shard and
+  // shard-local block index.
+  std::vector<std::uint8_t> block_owner;
+  std::vector<std::uint32_t> block_local;
 
   // Ground-truth worm onset per global host; each entry is written only
   // by its owner shard's worker, read by the router after the shard has
@@ -224,15 +230,37 @@ ServeServer::ServeServer(const ServeOptions& options)
 
   // Hash-partition hosts across shards; shard-local ids are assigned in
   // ascending global host order, so gathering records back in global
-  // order needs only the two maps.
+  // order needs only the two maps. The shared-bitmap backend hashes the
+  // *block* id instead, keeping every estimator block whole on one
+  // shard: ascending assignment then guarantees a shard's hosts form
+  // whole blocks in global block order (a partial block only at the
+  // global tail), so each shard-local CompactEstimatorStore sees
+  // exactly the same block-local streams as a single engine would.
   const std::size_t shards = options.shards;
+  const bool compact = options.quarantine.estimator_backend ==
+                       quarantine::EstimatorBackend::kSharedBitmap;
+  const std::uint32_t block_hosts = options.quarantine.compact.block_hosts;
   impl_->owner.resize(options.num_hosts);
   impl_->local_id.resize(options.num_hosts);
   impl_->owned_count.assign(shards, 0);
   for (std::uint32_t h = 0; h < options.num_hosts; ++h) {
-    const auto s = static_cast<std::size_t>(mix64(h + 1) % shards);
+    const std::uint64_t key = compact ? h / block_hosts : h;
+    const auto s = static_cast<std::size_t>(mix64(key + 1) % shards);
     impl_->owner[h] = static_cast<std::uint8_t>(s);
     impl_->local_id[h] = impl_->owned_count[s]++;
+  }
+  if (compact) {
+    const std::size_t num_blocks =
+        (options.num_hosts + block_hosts - 1) / block_hosts;
+    impl_->block_owner.resize(num_blocks);
+    impl_->block_local.resize(num_blocks);
+    std::vector<std::uint32_t> blocks_owned(shards, 0);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const std::uint8_t s =
+          impl_->owner[static_cast<std::uint32_t>(b) * block_hosts];
+      impl_->block_owner[b] = s;
+      impl_->block_local[b] = blocks_owned[s]++;
+    }
   }
   impl_->label_time.assign(options.num_hosts, -1.0);
   impl_->progress = std::make_unique<Impl::ShardProgress[]>(shards);
@@ -266,6 +294,59 @@ ServeServer::ServeServer(const ServeOptions& options)
           "ServeServer: restore quarantine config mismatch — resuming "
           "under different thresholds would silently diverge");
     impl_->label_time = ck.label_time;
+    // Block pools first: compact host windows restore relative to
+    // their block's window.
+    if (compact) {
+      if (ck.store.is_null())
+        throw std::invalid_argument(
+            "ServeServer: restore checkpoint has no estimator_store but "
+            "the configured backend is shared_bitmap");
+      try {
+        const campaign::JsonValue* nb = ck.store.find("num_blocks");
+        const campaign::JsonValue* wpb = ck.store.find("words_per_block");
+        const campaign::JsonValue* window = ck.store.find("window");
+        const campaign::JsonValue* pool = ck.store.find("pool");
+        if (nb == nullptr || wpb == nullptr || window == nullptr ||
+            pool == nullptr)
+          throw std::invalid_argument(
+              "missing num_blocks/words_per_block/window/pool");
+        const std::size_t num_blocks = impl_->block_owner.size();
+        if (nb->as_uint() != num_blocks)
+          throw std::invalid_argument("block count mismatch");
+        std::size_t engine_wpb = 0;
+        for (const auto& engine : impl_->engines)
+          if (engine != nullptr) {
+            engine_wpb = engine->compact_store()->words_per_block();
+            break;
+          }
+        if (wpb->as_uint() != engine_wpb)
+          throw std::invalid_argument(
+              "words_per_block mismatch (pool geometry)");
+        if (window->size() != num_blocks ||
+            pool->size() != num_blocks * engine_wpb)
+          throw std::invalid_argument("window/pool length mismatch");
+        std::vector<std::uint64_t> words(engine_wpb);
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+          for (std::size_t i = 0; i < engine_wpb; ++i)
+            words[i] = pool->items()[b * engine_wpb + i].as_uint();
+          const campaign::JsonValue& w = window->items()[b];
+          const std::int64_t wi =
+              w.as_number() < 0.0 ? -1
+                                  : static_cast<std::int64_t>(w.as_uint());
+          impl_->engines[impl_->block_owner[b]]
+              ->compact_store()
+              ->restore_block(impl_->block_local[b], wi, words.data());
+        }
+      } catch (const std::exception& e) {
+        throw std::invalid_argument(
+            std::string("ServeServer: restore estimator store: ") +
+            e.what());
+      }
+    } else if (!ck.store.is_null()) {
+      throw std::invalid_argument(
+          "ServeServer: restore checkpoint carries an estimator_store "
+          "but the configured backend is exact");
+    }
     for (std::uint32_t h = 0; h < options.num_hosts; ++h)
       impl_->engines[impl_->owner[h]]->restore_host(
           impl_->local_id[h], ck.hosts.records[h], ck.hosts.detectors[h]);
@@ -544,6 +625,40 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
       const quarantine::QuarantineEngine& engine = *im.engines[im.owner[h]];
       ck.hosts.records[h] = engine.record(im.local_id[h]);
       ck.hosts.detectors[h] = engine.detector_state(im.local_id[h]);
+    }
+    // Shared-bitmap block pools, gathered in *global* block order —
+    // the same document quarantine::store_to_json produces for a
+    // single engine over the stream, so checkpoint bytes stay
+    // shard-count independent (robustness tests assert this).
+    if (!im.block_owner.empty()) {
+      using campaign::JsonValue;
+      std::size_t wpb = 0;
+      for (const auto& engine : im.engines)
+        if (engine != nullptr) {
+          wpb = engine->compact_store()->words_per_block();
+          break;
+        }
+      JsonValue window = JsonValue::array();
+      JsonValue pool = JsonValue::array();
+      for (std::size_t b = 0; b < im.block_owner.size(); ++b) {
+        const quarantine::CompactEstimatorStore& store =
+            *im.engines[im.block_owner[b]]->compact_store();
+        const std::size_t lb = im.block_local[b];
+        const std::int64_t w = store.block_window(lb);
+        window.push_back(
+            w < 0 ? JsonValue::number(-1.0)
+                  : JsonValue::integer(static_cast<std::uint64_t>(w)));
+        const std::uint64_t* words = store.block_words(lb);
+        for (std::size_t i = 0; i < wpb; ++i)
+          pool.push_back(JsonValue::integer(words[i]));
+      }
+      JsonValue store_json = JsonValue::object();
+      store_json.set("num_blocks",
+                     JsonValue::integer(im.block_owner.size()));
+      store_json.set("words_per_block", JsonValue::integer(wpb));
+      store_json.set("window", std::move(window));
+      store_json.set("pool", std::move(pool));
+      ck.store = std::move(store_json);
     }
     return ck;
   };

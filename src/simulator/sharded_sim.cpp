@@ -64,13 +64,31 @@ ShardedSimulation::ShardedSimulation(const Network& net,
   if (num_shards == 0)
     num_shards = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   num_shards = std::min(num_shards, n);
+  // Under the shared-bitmap quarantine backend, shard boundaries are
+  // rounded to estimator-block multiples so a block's bit pool never
+  // straddles two engines — shard-local node id v - begin then keeps
+  // v's block offset, and per-block state is a pure function of the
+  // block's own emission stream, preserving the any-shard-count
+  // trajectory invariance. Rounding can empty a shard; such shards
+  // carry no quarantine engine (the engine requires >= 1 host).
+  const bool block_aligned =
+      config_.quarantine.enabled &&
+      config_.quarantine.estimator_backend ==
+          quarantine::EstimatorBackend::kSharedBitmap;
+  const std::size_t bh = config_.quarantine.compact.block_hosts;
   shards_.resize(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     Shard& sh = shards_[s];
-    sh.begin = static_cast<NodeId>(s * n / num_shards);
-    sh.end = static_cast<NodeId>((s + 1) * n / num_shards);
+    std::size_t begin = s * n / num_shards;
+    std::size_t end = (s + 1) * n / num_shards;
+    if (block_aligned) {
+      begin = std::min(n, (begin + bh / 2) / bh * bh);
+      end = s + 1 == num_shards ? n : std::min(n, (end + bh / 2) / bh * bh);
+    }
+    sh.begin = static_cast<NodeId>(begin);
+    sh.end = static_cast<NodeId>(end);
     sh.outbox.resize(num_shards);
-    if (config_.quarantine.enabled)
+    if (config_.quarantine.enabled && sh.end > sh.begin)
       sh.quarantine.emplace(sh.end - sh.begin, config_.quarantine);
   }
   quarantine_armed_ =
@@ -439,6 +457,7 @@ quarantine::QuarantineReport ShardedSimulation::quarantine_report() const {
   quarantine::QuarantineReport out;
   double latency_sum = 0.0;
   for (const Shard& sh : shards_) {
+    if (!sh.quarantine) continue;  // block-rounding emptied this shard
     for (NodeId v = sh.begin; v < sh.end; ++v) {
       const std::uint32_t local = v - sh.begin;
       const quarantine::HostRecord& rec = sh.quarantine->record(local);
@@ -488,7 +507,8 @@ void ShardedSimulation::flush_metrics() {
   m.histogram("sim.run_ticks").record(result_.perf.ticks);
   if (config_.quarantine.enabled) {
     std::uint64_t events = 0;
-    for (const Shard& sh : shards_) events += sh.quarantine->quarantine_events();
+    for (const Shard& sh : shards_)
+      if (sh.quarantine) events += sh.quarantine->quarantine_events();
     m.counter("quarantine.events").add(events);
     m.counter("quarantine.dropped_packets")
         .add(result_.quarantine_dropped_packets);

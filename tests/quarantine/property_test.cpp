@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "quarantine/compact_store.hpp"
 #include "quarantine/detectors.hpp"
 #include "stats/rng.hpp"
 
@@ -83,6 +84,210 @@ TEST(SketchProperty, EstimateWithinTheoreticalErrorBound) {
       // seeds must sit well inside a single trial's envelope.
       EXPECT_LE(std::abs(total_error / unsaturated), 1.5 * sigma + 1.0)
           << "n=" << n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Three-way accuracy harness: exact std::set count vs the private
+// 64-bucket linear-counting sketch vs the shared-bitmap virtual
+// estimate, across cardinalities 1..10^5 and pool fill factors.
+//
+// Per trial, one block hosts the subject (offset 0) plus `bg_hosts`
+// background hosts each contributing `bg_keys` distinct destinations —
+// the background drives the pool fill the noise correction must
+// subtract. The error envelope is a delta-method bound on the
+// outside-noise-corrected estimate n̂ = v (ln V_out − ln V_h): with
+// host-zero fraction p ≈ e^{−n/v} q and outside-zero fraction q,
+//
+//   Var n̂ ≈ v² [ (1−p)/(v p) + (1−q)/((M−v) q) ]
+//
+// (binomial zero counts, log linearised). In an empty pool (q = 1)
+// this reduces to v (e^{n/v} − 1) — the plain linear-counting
+// envelope up to the covariance term Whang et al. subtract.
+
+/// One shared-bitmap trial; returns the subject's attempt estimate (or
+/// the failure estimate when `failed`), with the exact subject
+/// cardinality written to *exact_n and the pool zeros fraction to *vm.
+double compact_trial(const CompactSettings& cs, std::size_t n,
+                     std::size_t bg_hosts, std::size_t bg_keys,
+                     std::uint64_t seed, bool failed, double* vm) {
+  const DetectorSettings settings = passive_settings();
+  CompactEstimatorStore store(cs.block_hosts, settings, cs);
+  Rng rng(0x9e3779b97f4a7c15ULL * (seed + 1) + n * 31 + bg_hosts);
+  for (std::size_t b = 0; b < bg_hosts; ++b) {
+    const auto host = static_cast<std::uint32_t>(1 + b);
+    std::set<std::uint64_t> keys;
+    while (keys.size() < bg_keys) {
+      const std::uint64_t key = rng.next_u64();
+      if (keys.insert(key).second) store.observe(host, 0.5, key, failed);
+    }
+  }
+  std::set<std::uint64_t> keys;
+  while (keys.size() < n) {
+    const std::uint64_t key = rng.next_u64();
+    if (keys.insert(key).second) store.observe(0, 0.5, key, failed);
+  }
+  // Pool zeros fraction, recovered from the estimator itself: feed a
+  // fresh probe host nothing — its estimate is 0, so instead derive
+  // V_m by popcounting the serialized block.
+  const std::uint64_t* words = store.block_words(0);
+  std::uint64_t ones = 0;
+  const std::size_t pool_words = store.words_per_block() / 2;
+  const std::size_t off = failed ? pool_words : 0;
+  for (std::size_t i = 0; i < pool_words; ++i)
+    ones += static_cast<std::uint64_t>(__builtin_popcountll(words[off + i]));
+  const double m =
+      static_cast<double>(cs.block_hosts) * cs.pool_bits_per_host;
+  *vm = 1.0 - static_cast<double>(ones) / m;
+  return failed ? store.failure_estimate(0) : store.attempt_estimate(0);
+}
+
+struct AccuracyCase {
+  CompactSettings compact;
+  std::vector<std::size_t> sizes;
+  std::size_t bg_hosts;
+  std::size_t bg_keys;
+};
+
+void run_accuracy_case(const AccuracyCase& c, bool failed_pool) {
+  const double v = static_cast<double>(c.compact.virtual_bits);
+  const double m = static_cast<double>(c.compact.block_hosts) *
+                   c.compact.pool_bits_per_host;
+  for (const std::size_t n : c.sizes) {
+    double total_error = 0.0;
+    double total_sigma = 0.0;
+    std::size_t unsaturated = 0;
+    constexpr std::uint64_t kSeeds = 12;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      double vm = 1.0;
+      const double estimate =
+          compact_trial(c.compact, n, c.bg_hosts, c.bg_keys, seed,
+                        failed_pool, &vm);
+      ASSERT_GT(vm, 0.05) << "harness drove the pool to saturation; "
+                             "choose a bigger pool for n=" << n;
+      if (estimate >= CompactEstimatorStore::kSaturated) {
+        // All v virtual bits set: needs at least v distinct keys'
+        // worth of occupancy between subject and background.
+        ASSERT_GE(n + c.bg_hosts * c.bg_keys, c.compact.virtual_bits);
+        continue;
+      }
+      ++unsaturated;
+      const double error = estimate - static_cast<double>(n);
+      total_error += error;
+      // Delta-method sigma from the measured pool occupancy (vm as a
+      // proxy for the outside-zero fraction q).
+      const double ph = std::exp(-static_cast<double>(n) / v) * vm;
+      const double var =
+          (1.0 - ph) / (v * ph) +
+          (m > v ? (1.0 - vm) / ((m - v) * vm) : 0.0);
+      const double sigma = v * std::sqrt(var);
+      total_sigma += sigma;
+      // Per-trial envelope: 5 sigma plus discreteness slack.
+      EXPECT_LE(std::abs(error), 5.0 * sigma + 2.0)
+          << "v=" << v << " n=" << n << " bg=" << c.bg_hosts << "x"
+          << c.bg_keys << " seed=" << seed << " estimate=" << estimate
+          << " vm=" << vm;
+    }
+    if (unsaturated >= kSeeds / 2) {
+      // The outside-region noise correction is unbiased at every fill
+      // factor: the mean error over seeds (~sigma/sqrt(kSeeds) noise)
+      // stays well inside one trial's envelope.
+      const double mean_sigma = total_sigma / unsaturated;
+      EXPECT_LE(std::abs(total_error / unsaturated), 1.2 * mean_sigma + 2.0)
+          << "v=" << v << " n=" << n << " bg=" << c.bg_hosts << "x"
+          << c.bg_keys;
+    }
+  }
+}
+
+TEST(SketchProperty, SharedBitmapTracksExactAtDefaultGeometry) {
+  // The production default (v=64, 6 bits/host over 256-host blocks),
+  // empty and busy blocks. Cardinalities to the sketch's useful range.
+  AccuracyCase c;
+  c.sizes = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144};
+  c.bg_hosts = 0;
+  c.bg_keys = 0;
+  run_accuracy_case(c, false);
+  c.bg_hosts = 64;  // quarter of the block active
+  c.bg_keys = 8;
+  run_accuracy_case(c, false);
+}
+
+TEST(SketchProperty, SharedBitmapTracksExactAtMidCardinality) {
+  AccuracyCase c;
+  c.compact.block_hosts = 64;
+  c.compact.pool_bits_per_host = 256;  // M = 16384, v/M = 1/4
+  c.compact.virtual_bits = 4096;
+  c.sizes = {233, 500, 1000, 2000, 5000, 10000};
+  c.bg_hosts = 0;
+  c.bg_keys = 0;
+  run_accuracy_case(c, false);
+  c.bg_hosts = 16;
+  c.bg_keys = 2000;  // pool roughly half full
+  run_accuracy_case(c, false);
+}
+
+TEST(SketchProperty, SharedBitmapTracksExactAtHundredThousand) {
+  AccuracyCase c;
+  c.compact.block_hosts = 64;
+  c.compact.pool_bits_per_host = 2048;  // M = 131072
+  c.compact.virtual_bits = 32768;
+  c.sizes = {20000, 100000};
+  c.bg_hosts = 0;
+  c.bg_keys = 0;
+  run_accuracy_case(c, false);
+  c.bg_hosts = 8;
+  c.bg_keys = 20000;
+  run_accuracy_case(c, false);
+}
+
+TEST(SketchProperty, SharedBitmapFailurePoolSameEnvelope) {
+  // The failure pool is the same construction fed by failed contacts
+  // only; it must obey the same envelope.
+  AccuracyCase c;
+  c.sizes = {1, 5, 21, 89};
+  c.bg_hosts = 32;
+  c.bg_keys = 8;
+  run_accuracy_case(c, true);
+}
+
+TEST(SketchProperty, ExactLinearCountingAndSharedBitmapAgree) {
+  // Direct three-way comparison at matched geometry (v = 64 for both
+  // sketches): on identical key streams, the private linear count and
+  // the noise-free shared-bitmap estimate must agree within their
+  // common envelope of the exact count, and each other.
+  const DetectorSettings settings = passive_settings();
+  CompactSettings cs;  // defaults: v = 64
+  for (const std::size_t n : {3u, 10u, 30u, 100u}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      Rng rng(0xd1b54a32d192ed03ULL * (seed + 1) + n);
+      HostDetector detector;
+      CompactEstimatorStore store(cs.block_hosts, settings, cs);
+      std::set<std::uint64_t> exact;
+      while (exact.size() < n) {
+        const std::uint64_t key = rng.next_u64();
+        if (!exact.insert(key).second) continue;
+        detector.observe(settings, 0.5, key, false);
+        store.observe(0, 0.5, key, false);
+      }
+      const double lc = detector.distinct_estimate();
+      const double sb = store.attempt_estimate(0);
+      const double sigma =
+          linear_counting_sigma(static_cast<double>(n), 64.0);
+      if (lc < 1e9) {
+        EXPECT_LE(std::abs(lc - static_cast<double>(n)), 5.0 * sigma + 1.0);
+      }
+      if (sb < 1e9) {
+        EXPECT_LE(std::abs(sb - static_cast<double>(n)), 5.0 * sigma + 1.0);
+      }
+      // With the rest of the pool empty the noise term vanishes, and
+      // both sketches bucket destinations as hash(d) mod 64 — the two
+      // estimates are the same formula on the same zero count.
+      if (lc < 1e9 && sb < 1e9) {
+        EXPECT_NEAR(lc, sb, 1e-9 * (1.0 + lc))
+            << "n=" << n << " seed=" << seed;
+      }
     }
   }
 }

@@ -210,6 +210,220 @@ TEST(QuarantineSnapshot, RejectsMalformedInput) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Shared-bitmap backend: the v2 snapshot carries the block pools in a
+// "store" section, restored before per-host state (host window
+// distances are encoded relative to their block's window).
+
+QuarantineConfig make_compact_config() {
+  QuarantineConfig c = make_config();
+  // Hotter failure gate than make_config: the synthetic stream spreads
+  // flows so thin (~1 per host-window) that the exact config barely
+  // quarantines, and the pool-confirmation gate needs several strike
+  // windows to guarantee churn worth snapshotting.
+  c.detector.failure_min_attempts = 3;
+  c.detector.failure_ratio_threshold = 0.5;
+  c.estimator_backend = EstimatorBackend::kSharedBitmap;
+  c.compact.block_hosts = 16;  // 96 hosts -> 6 blocks
+  c.compact.pool_bits_per_host = 16;
+  c.compact.virtual_bits = 64;
+  return c;
+}
+
+/// Copy of `obj` minus one key (JsonValue has no erase).
+campaign::JsonValue without_key(const campaign::JsonValue& obj,
+                                std::string_view key) {
+  campaign::JsonValue out = campaign::JsonValue::object();
+  for (const auto& [k, v] : obj.members())
+    if (k != key) out.set(k, v);
+  return out;
+}
+
+TEST(QuarantineSnapshot, CompactEngineReplaysIdenticallyFromAnyPrefix) {
+  constexpr std::uint64_t kFlows = 30'000;
+  QuarantineEngine uninterrupted(96, make_compact_config());
+  feed(uninterrupted, 0, kFlows);
+  ASSERT_GT(uninterrupted.quarantine_events(), 0u);
+
+  for (const std::uint64_t cut : {1ULL, 500ULL, 7'321ULL, 29'999ULL}) {
+    QuarantineEngine prefix(96, make_compact_config());
+    feed(prefix, 0, cut);
+    const campaign::JsonValue snap = engine_to_json(prefix);
+
+    QuarantineEngine resumed(96, make_compact_config());
+    restore_engine(resumed, snap);
+    expect_records_equal(prefix, resumed);
+    EXPECT_EQ(resumed.quarantine_events(), prefix.quarantine_events());
+
+    // The restored pools must be bit-identical, not just the visible
+    // per-host states: any lost pool bit would skew later estimates.
+    const CompactEstimatorStore* sp = prefix.compact_store();
+    const CompactEstimatorStore* sr = resumed.compact_store();
+    ASSERT_NE(sp, nullptr);
+    ASSERT_NE(sr, nullptr);
+    for (std::size_t b = 0; b < sp->num_blocks(); ++b) {
+      EXPECT_EQ(sp->block_window(b), sr->block_window(b)) << "block " << b;
+      const std::uint64_t* wp = sp->block_words(b);
+      const std::uint64_t* wr = sr->block_words(b);
+      for (std::size_t w = 0; w < sp->words_per_block(); ++w)
+        EXPECT_EQ(wp[w], wr[w]) << "block " << b << " word " << w;
+    }
+
+    feed(resumed, cut, kFlows);
+    expect_records_equal(uninterrupted, resumed);
+    EXPECT_EQ(resumed.quarantine_events(),
+              uninterrupted.quarantine_events());
+  }
+}
+
+TEST(QuarantineSnapshot, CompactSnapshotOfRestoredEngineIsByteIdentical) {
+  QuarantineEngine e(96, make_compact_config());
+  feed(e, 0, 12'000);
+  const std::string bytes = engine_to_json(e).dump();
+  EXPECT_NE(bytes.find("\"store\""), std::string::npos);
+  EXPECT_NE(bytes.find("\"version\":2"), std::string::npos);
+
+  QuarantineEngine restored(96, make_compact_config());
+  restore_engine(restored, engine_to_json(e));
+  EXPECT_EQ(engine_to_json(restored).dump(), bytes);
+}
+
+TEST(QuarantineSnapshot, SnapshotVersionIsRequiredAndChecked) {
+  QuarantineEngine donor(96, make_config());
+  feed(donor, 0, 100);
+  const campaign::JsonValue snap = engine_to_json(donor);
+
+  {
+    QuarantineEngine fresh(96, make_config());
+    try {
+      restore_engine(fresh, without_key(snap, "version"));
+      FAIL() << "missing version accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("pre-v2"), std::string::npos);
+    }
+  }
+  for (const double bad : {1.0, 3.0, 99.0}) {
+    campaign::JsonValue wrong = snap;
+    wrong.set("version", campaign::JsonValue::number(bad));
+    QuarantineEngine fresh(96, make_config());
+    EXPECT_THROW(restore_engine(fresh, wrong), std::invalid_argument);
+  }
+}
+
+TEST(QuarantineSnapshot, BackendMismatchBetweenSnapshotAndEngineRejected) {
+  QuarantineEngine exact(96, make_config());
+  QuarantineEngine compact(96, make_compact_config());
+  feed(exact, 0, 100);
+  feed(compact, 0, 100);
+
+  // Config dumps differ (estimator section), so restore must refuse in
+  // both directions rather than silently dropping or inventing pools.
+  {
+    QuarantineEngine fresh(96, make_compact_config());
+    EXPECT_THROW(restore_engine(fresh, engine_to_json(exact)),
+                 std::invalid_argument);
+  }
+  {
+    QuarantineEngine fresh(96, make_config());
+    EXPECT_THROW(restore_engine(fresh, engine_to_json(compact)),
+                 std::invalid_argument);
+  }
+}
+
+TEST(QuarantineSnapshot, CompactRestoreRejectsCorruptStore) {
+  // 6 bits/host over 16-host blocks: 96-bit pools, so each pool's
+  // second word has 32 permanently-zero tail bits to corrupt.
+  QuarantineConfig cfg = make_compact_config();
+  cfg.compact.pool_bits_per_host = 6;
+  QuarantineEngine donor(96, cfg);
+  feed(donor, 0, 5'000);
+  const campaign::JsonValue snap = engine_to_json(donor);
+  const campaign::JsonValue& store = snap.at("store");
+
+  // Missing store section entirely.
+  {
+    QuarantineEngine fresh(96, cfg);
+    EXPECT_THROW(restore_engine(fresh, without_key(snap, "store")),
+                 std::invalid_argument);
+  }
+  // Truncated pool array (one word short).
+  {
+    campaign::JsonValue pool = campaign::JsonValue::array();
+    const auto& words = store.at("pool").items();
+    for (std::size_t i = 0; i + 1 < words.size(); ++i)
+      pool.push_back(words[i]);
+    campaign::JsonValue bad_store = without_key(store, "pool");
+    bad_store.set("pool", std::move(pool));
+    campaign::JsonValue bad = snap;
+    bad.set("store", std::move(bad_store));
+    QuarantineEngine fresh(96, cfg);
+    EXPECT_THROW(restore_engine(fresh, bad), std::invalid_argument);
+  }
+  // Stray bits past the pool tail: 96-bit pools leave the top 32 bits
+  // of each pool's last word permanently zero.
+  {
+    campaign::JsonValue pool = campaign::JsonValue::array();
+    const auto& words = store.at("pool").items();
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (i == 1) {  // block 0, attempts pool, tail word
+        pool.push_back(campaign::JsonValue::integer(
+            words[i].as_uint() | (1ULL << 63)));
+      } else {
+        pool.push_back(words[i]);
+      }
+    }
+    campaign::JsonValue bad_store = without_key(store, "pool");
+    bad_store.set("pool", std::move(pool));
+    campaign::JsonValue bad = snap;
+    bad.set("store", std::move(bad_store));
+    QuarantineEngine fresh(96, cfg);
+    try {
+      restore_engine(fresh, bad);
+      FAIL() << "stray tail bits accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("block 0"), std::string::npos);
+    }
+  }
+  // Nonzero pool bits in an untouched (window -1) block: snapshot a
+  // fresh engine (every block untouched) and flip one pool bit on.
+  {
+    QuarantineEngine untouched(96, cfg);
+    campaign::JsonValue bad = engine_to_json(untouched);
+    const campaign::JsonValue& zero_store = bad.at("store");
+    ASSERT_LT(zero_store.at("window").items()[0].as_number(), 0.0);
+    campaign::JsonValue pool = campaign::JsonValue::array();
+    pool.push_back(campaign::JsonValue::integer(1));  // block 0, word 0
+    for (std::size_t i = 1; i < zero_store.at("pool").size(); ++i)
+      pool.push_back(campaign::JsonValue::integer(0));
+    campaign::JsonValue bad_store = without_key(zero_store, "pool");
+    bad_store.set("pool", std::move(pool));
+    bad.set("store", std::move(bad_store));
+    QuarantineEngine fresh(96, cfg);
+    EXPECT_THROW(restore_engine(fresh, bad), std::invalid_argument);
+  }
+}
+
+TEST(QuarantineSnapshot, CompactRestoreHostValidatesInterchangeState) {
+  QuarantineConfig cfg = make_compact_config();
+  QuarantineEngine e(96, cfg);
+  e.observe(0, 7, 1.0, false);
+
+  // The compact backend cannot reconstruct a private 64-bit sketch, so
+  // host interchange states always carry dest_sketch = 0; a nonzero
+  // sketch means the snapshot came from an exact engine.
+  DetectorState bad_sketch = e.detector_state(1);
+  bad_sketch.dest_sketch = 0x1;
+  EXPECT_THROW(e.restore_host(1, HostRecord{}, bad_sketch),
+               std::invalid_argument);
+
+  // A host cannot be ahead of its block's window.
+  DetectorState future = e.detector_state(1);
+  future.window_index = 1'000;
+  future.contacts = 1;
+  EXPECT_THROW(e.restore_host(1, HostRecord{}, future),
+               std::invalid_argument);
+}
+
 TEST(QuarantineSnapshot, RestoreHostRefusesAlreadyQuarantinedTarget) {
   QuarantineEngine e(4, make_config());
   // Two over-threshold windows: strike, strike, quarantine.

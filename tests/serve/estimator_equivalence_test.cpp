@@ -1,0 +1,207 @@
+// Engine equivalence for the shared-bitmap estimator backend.
+//
+// Two claims, matching the docs/QUARANTINE.md tolerance contract:
+//   * determinism — under EstimatorBackend::kSharedBitmap the serve
+//     pipeline's decisions and report are byte-identical at any shard
+//     count, and identical to a single engine fed the same stream
+//     (block-confined sharing makes every estimate a pure function of
+//     the block's own observation stream);
+//   * accuracy — on a labeled department trace, the compact backend's
+//     quarantine report tracks the exact backend's within a bounded
+//     tolerance, and the failure-gate pool confirmation is one-sided
+//     (it can suppress a raw-counter strike, never add one).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "trace/department.hpp"
+#include "trace/quarantine_replay.hpp"
+
+namespace dq::serve {
+namespace {
+
+/// Failure-ratio detector tuned so quarantines fire on the small
+/// department trace (same shape as server_test.cpp's replay_config).
+quarantine::QuarantineConfig exact_config() {
+  quarantine::QuarantineConfig c;
+  c.enabled = true;
+  c.detector.window = 5.0;
+  c.detector.contact_rate_threshold = 0.0;
+  c.detector.distinct_dest_threshold = 0.0;
+  c.detector.failure_ratio_threshold = 0.7;
+  c.detector.failure_min_attempts = 3;
+  c.policy.base_period = 120.0;
+  c.policy.escalation = 4.0;
+  c.policy.max_period = 1200.0;
+  return c;
+}
+
+/// The same thresholds on the shared-bitmap backend, with small blocks
+/// so the department's few dozen hosts span several blocks (and the
+/// serve router actually distributes them across shards).
+quarantine::QuarantineConfig compact_config() {
+  quarantine::QuarantineConfig c = exact_config();
+  c.estimator_backend = quarantine::EstimatorBackend::kSharedBitmap;
+  c.compact.block_hosts = 16;
+  c.compact.pool_bits_per_host = 6;
+  c.compact.virtual_bits = 64;
+  return c;
+}
+
+trace::Trace small_department_trace() {
+  trace::DepartmentConfig config;
+  config.normal_clients = 30;
+  config.servers = 3;
+  config.p2p_clients = 3;
+  config.blaster_hosts = 4;
+  config.welchia_hosts = 4;
+  config.duration = 600.0;
+  config.blaster.pause_epoch_mean = 120.0;
+  config.welchia.sweep_interval_mean = 200.0;
+  return trace::generate_department_trace(config, 11);
+}
+
+ServeSummary run_on_trace(const trace::Trace& t,
+                          const quarantine::QuarantineConfig& config,
+                          std::size_t shards,
+                          std::ostream* decisions = nullptr) {
+  ServeOptions options;
+  options.shards = shards;
+  options.num_hosts = static_cast<std::uint32_t>(t.num_hosts());
+  options.quarantine = config;
+  ServeServer server(options);
+  TraceFlowSource source(t);
+  return server.run(source, decisions, nullptr);
+}
+
+TEST(EstimatorEquivalence, CompactServeMatchesSingleEngineExactly) {
+  const trace::Trace t = small_department_trace();
+  const trace::QuarantineReplayReport expected =
+      trace::replay_quarantine(t, compact_config());
+
+  const ServeSummary summary = run_on_trace(t, compact_config(), 3);
+
+  // Block-confined sharing: the sharded serve pipeline must reproduce
+  // the single-engine replay bit for bit, exactly like the exact
+  // backend does in ServeServer.TraceReplayMatchesSingleEngineExactly.
+  const quarantine::QuarantineReport& a = summary.report;
+  const quarantine::QuarantineReport& b = expected.overall;
+  EXPECT_EQ(a.target_hosts, b.target_hosts);
+  EXPECT_EQ(a.benign_hosts, b.benign_hosts);
+  EXPECT_EQ(a.detected_targets, b.detected_targets);
+  EXPECT_EQ(a.detection_rate, b.detection_rate);
+  EXPECT_EQ(a.mean_detection_latency, b.mean_detection_latency);
+  EXPECT_EQ(a.false_positive_hosts, b.false_positive_hosts);
+  EXPECT_EQ(a.false_positive_rate, b.false_positive_rate);
+  EXPECT_EQ(a.benign_quarantine_time, b.benign_quarantine_time);
+  EXPECT_EQ(a.target_quarantine_time, b.target_quarantine_time);
+  EXPECT_EQ(a.quarantine_events, b.quarantine_events);
+  EXPECT_GT(a.detected_targets, 0.0);  // quarantines actually fired
+}
+
+TEST(EstimatorEquivalence, CompactDecisionsByteIdenticalAcrossShards) {
+  const trace::Trace t = small_department_trace();
+  std::vector<std::string> streams;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    std::ostringstream decisions;
+    const ServeSummary summary =
+        run_on_trace(t, compact_config(), shards, &decisions);
+    EXPECT_EQ(summary.flows_decided, summary.flows_ingested);
+    streams.push_back(decisions.str());
+  }
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+  EXPECT_EQ(streams[0], streams[3]);
+}
+
+TEST(EstimatorEquivalence, CompactSyntheticDecisionsByteIdenticalAcrossShards) {
+  SyntheticConfig synth;
+  synth.flows = 20'000;
+  synth.hosts = 1024;
+  synth.worm_fraction = 0.05;
+
+  quarantine::QuarantineConfig config = compact_config();
+  config.compact.block_hosts = 64;
+
+  std::vector<std::string> streams;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ServeOptions options;
+    options.shards = shards;
+    options.num_hosts = synth.hosts;
+    options.quarantine = config;
+    ServeServer server(options);
+    SyntheticFlowSource source(synth);
+    std::ostringstream decisions;
+    const ServeSummary summary = server.run(source, &decisions, nullptr);
+    EXPECT_EQ(summary.flows_decided, synth.flows);
+    streams.push_back(decisions.str());
+  }
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+  EXPECT_EQ(streams[0], streams[3]);
+}
+
+TEST(EstimatorEquivalence, CompactReportTracksExactWithinTolerance) {
+  const trace::Trace t = small_department_trace();
+  const trace::QuarantineReplayReport exact =
+      trace::replay_quarantine(t, exact_config());
+  const trace::QuarantineReplayReport compact =
+      trace::replay_quarantine(t, compact_config());
+
+  const quarantine::QuarantineReport& e = exact.overall;
+  const quarantine::QuarantineReport& c = compact.overall;
+  ASSERT_GT(e.detected_targets, 0.0);
+
+  // Tolerance contract (docs/QUARANTINE.md): with only the failure
+  // gate enabled, the compact backend's pool confirmation is strictly
+  // one-sided — it can suppress a raw-counter strike, never add one —
+  // so detections and false positives never exceed the exact run's.
+  EXPECT_LE(c.detected_targets, e.detected_targets);
+  EXPECT_LE(c.false_positive_hosts, e.false_positive_hosts);
+  EXPECT_LE(c.quarantine_events, e.quarantine_events);
+
+  // And the suppression is rare: at these pool sizes the compact run
+  // keeps at least 90% of the exact run's detections, and detection
+  // latency moves by under one detector window.
+  EXPECT_GE(c.detected_targets, 0.9 * e.detected_targets);
+  if (c.mean_detection_latency >= 0.0 && e.mean_detection_latency >= 0.0) {
+    EXPECT_NEAR(c.mean_detection_latency, e.mean_detection_latency,
+                exact_config().detector.window);
+  }
+}
+
+TEST(EstimatorEquivalence, DistinctThresholdGateAgreesOnTrace) {
+  // Exercise the estimate-driven distinct-destination gate (the
+  // failure-only configs above never consult it). The raw-contact gate
+  // bounds compact strikes by exact ones on the high side only when
+  // the estimate under-reads; over-reads from pool noise can add
+  // strikes, so here the contract is a bounded FP delta, not a
+  // one-sided inequality.
+  quarantine::QuarantineConfig exact_cfg = exact_config();
+  exact_cfg.detector.failure_ratio_threshold = 0.0;
+  exact_cfg.detector.distinct_dest_threshold = 20.0;
+  quarantine::QuarantineConfig compact_cfg = compact_config();
+  compact_cfg.detector.failure_ratio_threshold = 0.0;
+  compact_cfg.detector.distinct_dest_threshold = 20.0;
+
+  const trace::Trace t = small_department_trace();
+  const trace::QuarantineReplayReport exact =
+      trace::replay_quarantine(t, exact_cfg);
+  const trace::QuarantineReplayReport compact =
+      trace::replay_quarantine(t, compact_cfg);
+
+  const quarantine::QuarantineReport& e = exact.overall;
+  const quarantine::QuarantineReport& c = compact.overall;
+  ASSERT_GT(e.detected_targets, 0.0);
+  EXPECT_GE(c.detected_targets, 0.9 * e.detected_targets);
+  EXPECT_NEAR(c.false_positive_hosts, e.false_positive_hosts,
+              0.05 * static_cast<double>(e.benign_hosts) + 1.0);
+}
+
+}  // namespace
+}  // namespace dq::serve

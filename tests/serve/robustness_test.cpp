@@ -306,6 +306,145 @@ TEST(ServeRobustness, RestoreValidatesHostCountAndConfig) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Shared-bitmap backend: checkpoints gain an "estimator_store" section
+// (the block pools), which must survive shard-count changes and reject
+// corruption with typed errors.
+
+ServeOptions compact_options(std::size_t shards) {
+  ServeOptions o = base_options(shards);
+  o.quarantine.estimator_backend =
+      quarantine::EstimatorBackend::kSharedBitmap;
+  o.quarantine.compact.block_hosts = 64;  // 512 hosts -> 8 blocks
+  o.quarantine.compact.pool_bits_per_host = 6;
+  o.quarantine.compact.virtual_bits = 64;
+  return o;
+}
+
+/// Copy of `obj` minus one key (JsonValue has no erase).
+campaign::JsonValue without_key(const campaign::JsonValue& obj,
+                                std::string_view key) {
+  campaign::JsonValue out = campaign::JsonValue::object();
+  for (const auto& [k, v] : obj.members())
+    if (k != key) out.set(k, v);
+  return out;
+}
+
+TEST(ServeRobustness, CompactRestoreIsByteIdenticalAcrossShardCounts) {
+  constexpr std::uint64_t kFlows = 20'000;
+  constexpr std::uint64_t kCut = 12'000;
+  const std::string full =
+      run_synthetic(compact_options(1), synth_config(kFlows)).decisions;
+  ASSERT_FALSE(full.empty());
+
+  for (const auto& [ck_shards, resume_shards] :
+       {std::pair<std::size_t, std::size_t>{1, 4}, {4, 1}}) {
+    TempFile ck("compact_restore_ck");
+    ServeOptions prefix_opt = compact_options(ck_shards);
+    prefix_opt.checkpoint_path = ck.path.string();
+    const RunResult prefix =
+        run_synthetic(prefix_opt, synth_config(kCut));
+    EXPECT_EQ(prefix.summary.flows_ingested, kCut);
+
+    ServeOptions resume_opt = compact_options(resume_shards);
+    resume_opt.restore = std::make_shared<const CheckpointState>(
+        load_checkpoint_file(ck.path.string()));
+    SyntheticConfig resume_synth = synth_config(kFlows);
+    resume_synth.start_flow = kCut;
+    const RunResult resumed = run_synthetic(resume_opt, resume_synth);
+
+    EXPECT_EQ(resumed.summary.flows_ingested, kFlows);
+    EXPECT_EQ(drop_summary_line(prefix.decisions) + resumed.decisions,
+              full)
+        << "checkpoint at " << ck_shards << " shards, resume at "
+        << resume_shards;
+  }
+}
+
+TEST(ServeRobustness, CompactCheckpointBytesAreShardCountInvariant) {
+  constexpr std::uint64_t kCut = 12'000;
+  std::string first;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    TempFile ck("compact_invariant_ck");
+    ServeOptions opt = compact_options(shards);
+    opt.checkpoint_path = ck.path.string();
+    run_synthetic(opt, synth_config(kCut));
+    std::ifstream in(ck.path);
+    std::stringstream bytes;
+    bytes << in.rdbuf();
+    ASSERT_FALSE(bytes.str().empty());
+    if (first.empty())
+      first = bytes.str();
+    else
+      EXPECT_EQ(bytes.str(), first) << shards << " shards";
+  }
+  EXPECT_NE(first.find("\"estimator_store\""), std::string::npos);
+
+  // The document round-trips through the typed state exactly — the
+  // direct serializer and the JsonValue-tree dump must agree byte for
+  // byte on the store section too.
+  const CheckpointState state =
+      CheckpointState::from_json(campaign::JsonValue::parse(first));
+  EXPECT_FALSE(state.store.is_null());
+  EXPECT_EQ(state.to_json().dump() + "\n", first);
+}
+
+TEST(ServeRobustness, CorruptEstimatorStoreIsRejectedOnRestore) {
+  TempFile ck("compact_corrupt_ck");
+  ServeOptions opt = compact_options(2);
+  opt.checkpoint_path = ck.path.string();
+  run_synthetic(opt, synth_config(5'000));
+  const CheckpointState good = load_checkpoint_file(ck.path.string());
+  ASSERT_FALSE(good.store.is_null());
+
+  // Store section dropped from a compact checkpoint.
+  {
+    CheckpointState bad = good;
+    bad.store = campaign::JsonValue();
+    ServeOptions r = compact_options(2);
+    r.restore = std::make_shared<const CheckpointState>(bad);
+    EXPECT_THROW(ServeServer{r}, std::invalid_argument);
+  }
+  // Truncated pool array.
+  {
+    CheckpointState bad = good;
+    campaign::JsonValue pool = campaign::JsonValue::array();
+    const auto& words = good.store.at("pool").items();
+    for (std::size_t i = 0; i + 1 < words.size(); ++i)
+      pool.push_back(words[i]);
+    campaign::JsonValue store = without_key(good.store, "pool");
+    store.set("pool", std::move(pool));
+    bad.store = std::move(store);
+    ServeOptions r = compact_options(2);
+    r.restore = std::make_shared<const CheckpointState>(bad);
+    EXPECT_THROW(ServeServer{r}, std::invalid_argument);
+  }
+  // Wrong geometry (block count from some other config).
+  {
+    CheckpointState bad = good;
+    campaign::JsonValue store = without_key(good.store, "num_blocks");
+    store.set("num_blocks", campaign::JsonValue::integer(99));
+    bad.store = std::move(store);
+    ServeOptions r = compact_options(2);
+    r.restore = std::make_shared<const CheckpointState>(bad);
+    EXPECT_THROW(ServeServer{r}, std::invalid_argument);
+  }
+}
+
+TEST(ServeRobustness, EstimatorStoreOnExactCheckpointRejected) {
+  TempFile ck("exact_store_ck");
+  ServeOptions opt = base_options(1);
+  opt.checkpoint_path = ck.path.string();
+  run_synthetic(opt, synth_config(5'000));
+  CheckpointState bad = load_checkpoint_file(ck.path.string());
+  ASSERT_TRUE(bad.store.is_null());
+  bad.store = campaign::JsonValue::object();  // store on an exact engine
+
+  ServeOptions r = base_options(1);
+  r.restore = std::make_shared<const CheckpointState>(bad);
+  EXPECT_THROW(ServeServer{r}, std::invalid_argument);
+}
+
 TEST(ServeRobustness, ParseErrorSamplesSurfaceInSummary) {
   std::stringstream in;
   const std::string long_junk(300, 'x');

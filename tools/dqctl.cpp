@@ -130,6 +130,8 @@ int usage() {
          "[--strikes K]\n"
          "                   [--base-period P] [--escalation E] "
          "[--max-period M] [--seed S]\n"
+         "                   [--estimator exact|shared_bitmap] "
+         "[--block-hosts K] [--pool-bits B] [--virtual-bits V]\n"
          "  dqctl figure ID [--csv] [--quick]   (fig1a fig1b fig2 fig3a "
          "fig3b fig4 fig5 fig6 fig7a fig7b fig8a fig8b fig9a fig9b fig10 "
          "fig11)\n"
@@ -367,7 +369,9 @@ int cmd_plan(const Args& args) {
 constexpr std::string_view kQuarantineFlags[] = {
     "window",        "contact-limit", "distinct-limit",
     "failure-ratio", "min-attempts",  "strikes",
-    "base-period",   "escalation",    "max-period"};
+    "base-period",   "escalation",    "max-period",
+    "estimator",     "block-hosts",   "pool-bits",
+    "virtual-bits"};
 
 quarantine::QuarantineConfig quarantine_config_from(const Args& args) {
   quarantine::QuarantineConfig config;
@@ -388,6 +392,20 @@ quarantine::QuarantineConfig quarantine_config_from(const Args& args) {
   config.policy.base_period = args.num("base-period", 300.0);
   config.policy.escalation = args.num("escalation", 4.0);
   config.policy.max_period = args.num("max-period", 3600.0);
+  // Detector-state backend (docs/QUARANTINE.md "Estimator backends"):
+  // exact per-host detectors, or the shared-bitmap pool at a few
+  // bytes/host for million-host fronts.
+  const std::string estimator = args.str("estimator", "exact");
+  if (estimator == "shared_bitmap")
+    config.estimator_backend = quarantine::EstimatorBackend::kSharedBitmap;
+  else if (estimator != "exact")
+    throw UsageError("--estimator must be exact or shared_bitmap");
+  config.compact.block_hosts =
+      static_cast<std::uint32_t>(args.num("block-hosts", 256.0));
+  config.compact.pool_bits_per_host =
+      static_cast<std::uint32_t>(args.num("pool-bits", 6.0));
+  config.compact.virtual_bits =
+      static_cast<std::uint32_t>(args.num("virtual-bits", 64.0));
   return config;
 }
 
