@@ -302,6 +302,14 @@ constexpr double kOffRegressionBound = 1.03;
 constexpr double kMetricsOverheadBound = 1.25;
 constexpr double kTraceOverheadBound = 2.00;
 
+/// Span-profiler bound. Spans are measured on a ShardedSimulation run
+/// two orders of magnitude longer than the sparse10k case (the profiler
+/// records ~5 spans per *tick*, not per event, so its fixed cost only
+/// reads against a run long enough for percent-level resolution); the
+/// disabled path is a single null check and the enabled path is two
+/// clock reads per phase, so 5% headroom is generous.
+constexpr double kSpanOverheadBound = 1.05;
+
 struct ObsSample {
   double seconds = 0.0;                ///< best-of-kObsReps wall time
   std::uint64_t ticks = 0;
@@ -336,6 +344,36 @@ ObsSample run_obs_case(const sim::Network& net, const sim::SimulationConfig& cfg
   return sample;
 }
 
+/// Wall-times the sharded engine with the span profiler on or off.
+/// One shard keeps the measurement serial (no scheduler noise from
+/// phase barriers) and maximizes span density per wall second — the
+/// worst case for profiler overhead.
+ObsSample run_spans_case(const sim::Network& net,
+                         const sim::SimulationConfig& cfg, bool spans_on) {
+  using clock = std::chrono::steady_clock;
+  constexpr int kSpanReps = 7;
+  ObsSample sample;
+  for (int rep = 0; rep < kSpanReps; ++rep) {
+    // Fresh profiler per rep so every measured run pays the same
+    // buffer-allocation cost a real --profile-out run pays.
+    obs::Profiler profiler;
+    obs::Sink sink;
+    if (spans_on) sink.spans = profiler.track("sim");
+    sim::ShardedSimulation sim(net, cfg, /*num_shards=*/1, sink);
+    const auto start = clock::now();
+    const sim::RunResult result = sim.run();
+    const double secs =
+        std::chrono::duration<double>(clock::now() - start).count();
+    if (rep == 0 || secs < sample.seconds) {
+      sample.seconds = secs;
+      sample.ticks = result.perf.ticks;
+      sample.ever_infected = result.final_ever_infected_count;
+      sample.events = spans_on ? profiler.total_spans() : 0;
+    }
+  }
+  return sample;
+}
+
 int run_obs_json(const char* path) {
   constexpr std::size_t kNodes = 10000;
 
@@ -358,6 +396,22 @@ int run_obs_json(const char* path) {
   const ObsSample off = run_obs_case(net, cfg, ObsMode::kOff);
   const ObsSample metrics = run_obs_case(net, cfg, ObsMode::kMetrics);
   const ObsSample trace = run_obs_case(net, cfg, ObsMode::kTrace);
+
+  // Span point: the sharded engine on a denser, longer run (~10ms, vs
+  // ~75us for sparse10k) so the per-tick span cost resolves against
+  // the 1.05x bound instead of drowning in timer noise.
+  sim::SimulationConfig span_cfg;
+  span_cfg.worm.contact_rate = 1.0;
+  span_cfg.worm.hit_probability = 0.5;
+  span_cfg.worm.initial_infected = 10;
+  span_cfg.max_ticks = 60.0;
+  span_cfg.stop_when_saturated = false;
+  span_cfg.seed = 3;
+  Rng span_rng(7);
+  const sim::Network span_net(
+      graph::make_barabasi_albert(20'000, 2, span_rng));
+  const ObsSample spans_off = run_spans_case(span_net, span_cfg, false);
+  const ObsSample spans_on = run_spans_case(span_net, span_cfg, true);
 
   bool ok = true;
   // The sink must never perturb the simulation: identical trajectories
@@ -392,6 +446,27 @@ int run_obs_json(const char* path) {
                  trace_ratio, kTraceOverheadBound);
     ok = false;
   }
+  // Same contract for spans: the profiler must not perturb the sharded
+  // trajectory, and its cost must stay under the tight bound.
+  if (spans_on.ticks != spans_off.ticks ||
+      spans_on.ever_infected != spans_off.ever_infected) {
+    std::fprintf(stderr,
+                 "perf_microbench: span profiler changed the trajectory "
+                 "(off %llu/%llu, on %llu/%llu)\n",
+                 static_cast<unsigned long long>(spans_off.ticks),
+                 static_cast<unsigned long long>(spans_off.ever_infected),
+                 static_cast<unsigned long long>(spans_on.ticks),
+                 static_cast<unsigned long long>(spans_on.ever_infected));
+    ok = false;
+  }
+  const double spans_ratio = spans_on.seconds / spans_off.seconds;
+  if (spans_ratio > kSpanOverheadBound) {
+    std::fprintf(stderr,
+                 "perf_microbench: span overhead %.3fx exceeds bound "
+                 "%.2fx\n",
+                 spans_ratio, kSpanOverheadBound);
+    ok = false;
+  }
 
   const double off_tps = static_cast<double>(off.ticks) / off.seconds;
   std::fprintf(out,
@@ -406,11 +481,15 @@ int run_obs_json(const char* path) {
                "\"overhead_vs_off\": %.4f},\n"
                "  \"trace\": {\"seconds_total\": %.9f, "
                "\"overhead_vs_off\": %.4f, \"events_captured\": %llu},\n"
+               "  \"spans\": {\"scenario\": \"sharded20k\", "
+               "\"seconds_off\": %.9f, \"seconds_on\": %.9f, "
+               "\"overhead_vs_off\": %.4f, \"spans_captured\": %llu},\n"
                "  \"prepr_baseline\": {\"seconds_total\": %.9f, "
                "\"ticks_per_sec\": %.1f},\n"
                "  \"off_vs_prepr_ratio\": %.4f,\n"
                "  \"off_regression_bound\": %.2f,\n"
-               "  \"bounds\": {\"metrics\": %.2f, \"trace\": %.2f},\n"
+               "  \"bounds\": {\"metrics\": %.2f, \"trace\": %.2f, "
+               "\"spans\": %.2f},\n"
                "  \"pass\": %s\n"
                "}\n",
                kNodes,
@@ -420,10 +499,13 @@ int run_obs_json(const char* path) {
                metrics.seconds, metrics_ratio,
                trace.seconds, trace_ratio,
                static_cast<unsigned long long>(trace.events),
+               spans_off.seconds, spans_on.seconds, spans_ratio,
+               static_cast<unsigned long long>(spans_on.events),
                kPreprSecondsTotal, kPreprTicksPerSec,
                kPreprTicksPerSec / off_tps,
                kOffRegressionBound,
                kMetricsOverheadBound, kTraceOverheadBound,
+               kSpanOverheadBound,
                ok ? "true" : "false");
   if (out != stdout) std::fclose(out);
   return ok ? 0 : 1;

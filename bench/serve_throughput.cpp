@@ -41,6 +41,7 @@ struct BenchPoint {
   double flows_per_sec = 0.0;
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_p999_ns = 0;
   double detected_targets = 0.0;
   double false_positive_hosts = 0.0;
 };
@@ -92,6 +93,7 @@ BenchPoint run_point(std::size_t shards, std::uint64_t flows,
   point.flows_per_sec = summary.flows_per_sec;
   point.latency_p50_ns = summary.latency_p50_ns;
   point.latency_p99_ns = summary.latency_p99_ns;
+  point.latency_p999_ns = summary.latency_p999_ns;
   point.detected_targets = summary.report.detected_targets;
   point.false_positive_hosts = summary.report.false_positive_hosts;
   return point;
@@ -170,12 +172,14 @@ int main(int argc, char** argv) {
                  "    {\"shards\": %zu, \"flows\": %llu, "
                  "\"wall_seconds\": %.6f, \"flows_per_sec\": %.1f, "
                  "\"latency_p50_ns\": %llu, \"latency_p99_ns\": %llu, "
+                 "\"latency_p999_ns\": %llu, "
                  "\"detected_targets\": %.0f, "
                  "\"false_positive_hosts\": %.0f}%s\n",
                  p.shards, static_cast<unsigned long long>(p.flows),
                  p.wall_seconds, p.flows_per_sec,
                  static_cast<unsigned long long>(p.latency_p50_ns),
                  static_cast<unsigned long long>(p.latency_p99_ns),
+                 static_cast<unsigned long long>(p.latency_p999_ns),
                  p.detected_targets, p.false_positive_hosts,
                  i + 1 < points.size() ? "," : "");
   }

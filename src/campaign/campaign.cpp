@@ -90,9 +90,15 @@ JobOutcome execute_job(const std::string& name, const JobConfig& config,
   outcome.hash = job_hash(config);
   const auto start = std::chrono::steady_clock::now();
   notify(options, index, name, JobPhase::kStarted);
+  // One span track per job: the Chrome trace lays jobs out as parallel
+  // tracks, each holding the whole-job span plus its phases.
+  obs::SpanBuffer* spans =
+      options.profiler != nullptr ? options.profiler->track(name) : nullptr;
+  const obs::Span job_span(spans, "job");
   try {
     const ArtifactCache cache(options.cache_dir);
     if (options.use_cache) {
+      const obs::Span span(spans, "cache_lookup");
       if (std::optional<std::string> bytes = cache.load(outcome.hash)) {
         outcome.artifact = std::move(*bytes);
         outcome.cache_hit = true;
@@ -111,17 +117,27 @@ JobOutcome execute_job(const std::string& name, const JobConfig& config,
                                tracing ? options.trace_ring_capacity : 0);
         // Serial inner runs: campaign parallelism is across jobs, and
         // nesting thread fan-out would oversubscribe the pool.
-        const sim::AveragedResult avg = sim::run_many(
-            net, cfg, config.runs, /*max_parallelism=*/1, &sink);
+        std::optional<sim::AveragedResult> avg_out;
+        {
+          const obs::Span span(spans, "simulate");
+          avg_out = sim::run_many(net, cfg, config.runs,
+                                  /*max_parallelism=*/1, &sink);
+        }
+        const sim::AveragedResult& avg = *avg_out;
         // The artifact embeds the deterministic-only snapshot: a pure
         // function of the job config (commutative counters, wall-clock
         // metrics excluded), so artifact bytes stay identical across
         // thread counts, cache states, and tracing on/off — and a
         // cache hit restores the same telemetry a fresh run produces.
-        JsonValue art = averaged_result_to_json(avg);
-        art.set("metrics", sink.metrics().snapshot(/*deterministic_only=*/true));
-        outcome.artifact = art.dump();
+        {
+          const obs::Span span(spans, "serialize");
+          JsonValue art = averaged_result_to_json(avg);
+          art.set("metrics",
+                  sink.metrics().snapshot(/*deterministic_only=*/true));
+          outcome.artifact = art.dump();
+        }
         if (tracing) {
+          const obs::Span span(spans, "write_trace");
           std::filesystem::create_directories(options.trace_dir);
           std::ofstream out(options.trace_dir / trace_file_name(name),
                             std::ios::binary | std::ios::trunc);

@@ -80,6 +80,12 @@ struct RunOptions {
   /// Lifecycle callback; invoked from worker threads (must be
   /// thread-safe). Null = no notifications.
   std::function<void(const JobEvent&)> on_job_event;
+  /// Span profiler for job lifecycle timing (null disables). Each job
+  /// gets its own track (named after the job), so the Chrome trace
+  /// shows the campaign's parallel schedule; Profiler::track() is
+  /// thread-safe and spans never touch job state, so artifacts stay
+  /// byte-identical with profiling on or off.
+  obs::Profiler* profiler = nullptr;
 };
 
 class Campaign {

@@ -21,6 +21,12 @@ enum class EventKind : std::uint8_t {
   kImmunizationStart,     ///< immunization campaign began
   kImmunization,          ///< node patched/removed (node = host)
   kPredatorTake,          ///< predator converted a node (node = host)
+  kCheckpointWrite,       ///< serve checkpoint written (value = flows)
+  kCheckpointRestore,     ///< serve resumed from checkpoint (value = flows)
+  kShedStart,             ///< serve entered overload shedding
+  kShedEnd,               ///< serve left shedding (value = flows shed)
+  kSinkRetry,             ///< decision-sink write retried (value = retries)
+  kStall,                 ///< pipeline stall detected (id = shard)
 };
 
 /// Stable snake_case names used in NDJSON output.

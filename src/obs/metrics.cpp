@@ -184,12 +184,15 @@ void MetricsRegistry::merge_snapshot(campaign::JsonValue& total,
 std::uint64_t histogram_quantile(const Histogram& h, double q) noexcept {
   const std::uint64_t total = h.count();
   if (total == 0) return 0;
-  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Clamp to [0,1]; the negated comparison also sends NaN to 0 (a NaN
+  // would otherwise survive both ordered comparisons and poison rank).
+  q = !(q > 0.0) ? 0.0 : (q > 1.0 ? 1.0 : q);
   // ceil(q * total) with a floor of 1: the quantile of a single sample
   // is that sample's bucket for any q.
   std::uint64_t rank =
       static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
   if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
   std::uint64_t cumulative = 0;
   for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
     cumulative += h.bucket(b);

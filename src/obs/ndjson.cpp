@@ -48,6 +48,18 @@ const char* to_string(EventKind kind) noexcept {
       return "immunization";
     case EventKind::kPredatorTake:
       return "predator_take";
+    case EventKind::kCheckpointWrite:
+      return "checkpoint_write";
+    case EventKind::kCheckpointRestore:
+      return "checkpoint_restore";
+    case EventKind::kShedStart:
+      return "shed_start";
+    case EventKind::kShedEnd:
+      return "shed_end";
+    case EventKind::kSinkRetry:
+      return "sink_retry";
+    case EventKind::kStall:
+      return "stall";
   }
   return "unknown";
 }
@@ -102,6 +114,21 @@ campaign::JsonValue event_to_json(const Event& e, long run) {
       break;
     case EventKind::kDetectorAlarm:
       o.set("sightings", JsonValue::integer(e.value));
+      break;
+    case EventKind::kCheckpointWrite:
+    case EventKind::kCheckpointRestore:
+      o.set("flows", JsonValue::integer(e.value));
+      break;
+    case EventKind::kShedStart:
+      break;
+    case EventKind::kShedEnd:
+      o.set("shed", JsonValue::integer(e.value));
+      break;
+    case EventKind::kSinkRetry:
+      o.set("retries", JsonValue::integer(e.value));
+      break;
+    case EventKind::kStall:
+      o.set("shard", JsonValue::integer(e.id));
       break;
     case EventKind::kImmunizationStart:
       break;

@@ -1,0 +1,408 @@
+#include "obs/prometheus.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dq::obs {
+
+namespace {
+
+using campaign::JsonValue;
+
+/// Prometheus metric-name characters are [a-zA-Z0-9_:]; everything
+/// else (the registry's dots, mostly) becomes '_'.
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+/// Splits an obs::labeled() registry name ("base{k1=v1,k2=v2}") into a
+/// sanitized base and its label pairs; a plain name has no labels.
+struct MetricName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+MetricName parse_name(const std::string& raw) {
+  MetricName m;
+  const std::size_t brace = raw.find('{');
+  if (brace == std::string::npos || raw.back() != '}') {
+    m.base = sanitize_name(raw);
+    return m;
+  }
+  m.base = sanitize_name(std::string_view(raw).substr(0, brace));
+  const std::string_view body =
+      std::string_view(raw).substr(brace + 1, raw.size() - brace - 2);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string_view::npos) comma = body.size();
+    const std::string_view kv = body.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) continue;
+    m.labels.emplace_back(sanitize_name(kv.substr(0, eq)),
+                          std::string(kv.substr(eq + 1)));
+  }
+  return m;
+}
+
+void append_escaped_label_value(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+}
+
+/// Renders `{k1="v1",k2="v2"}` (with `extra` appended last), or
+/// nothing when there are no labels at all.
+std::string label_block(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    std::string_view extra_key = {}, std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped_label_value(out, v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped_label_value(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  out += buf;
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+/// Largest value in the log-2 bucket whose lower bound is `lower`
+/// (0 -> 0, else 2*lower - 1; saturates instead of overflowing).
+std::uint64_t upper_from_lower(std::uint64_t lower) noexcept {
+  if (lower == 0) return 0;
+  if (lower > (std::numeric_limits<std::uint64_t>::max() >> 1))
+    return std::numeric_limits<std::uint64_t>::max();
+  return 2 * lower - 1;
+}
+
+void emit_type_line(std::string& out, std::string& last_base,
+                    const std::string& base, const char* type) {
+  if (base == last_base) return;
+  last_base = base;
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+constexpr std::pair<double, const char*> kQuantiles[] = {
+    {0.50, "0.5"}, {0.90, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}};
+
+}  // namespace
+
+std::uint64_t snapshot_histogram_quantile(const campaign::JsonValue& hist,
+                                          double q) noexcept {
+  try {
+    const JsonValue* count = hist.find("count");
+    const JsonValue* buckets = hist.find("buckets");
+    if (count == nullptr || buckets == nullptr) return 0;
+    const std::uint64_t total = count->as_uint();
+    if (total == 0) return 0;
+    if (!(q > 0.0)) q = 0.0;  // NaN and negatives clamp to 0
+    if (q > 1.0) q = 1.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (rank == 0) rank = 1;
+    if (rank > total) rank = total;
+    std::uint64_t cumulative = 0;
+    std::uint64_t last_lower = 0;
+    for (const JsonValue& pair : buckets->items()) {
+      last_lower = pair.items()[0].as_uint();
+      cumulative += pair.items()[1].as_uint();
+      if (cumulative >= rank) return upper_from_lower(last_lower);
+    }
+    return upper_from_lower(last_lower);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+std::string prometheus_render(const campaign::JsonValue& snapshot) {
+  std::string out;
+  std::string last_base;
+
+  if (const JsonValue* counters = snapshot.find("counters")) {
+    for (const auto& [raw, value] : counters->members()) {
+      const MetricName m = parse_name(raw);
+      emit_type_line(out, last_base, m.base, "counter");
+      out += m.base;
+      out += label_block(m.labels);
+      out += ' ';
+      append_uint(out, value.as_uint());
+      out += '\n';
+    }
+  }
+
+  last_base.clear();
+  if (const JsonValue* gauges = snapshot.find("gauges")) {
+    for (const auto& [raw, value] : gauges->members()) {
+      const MetricName m = parse_name(raw);
+      emit_type_line(out, last_base, m.base, "gauge");
+      out += m.base;
+      out += label_block(m.labels);
+      out += ' ';
+      append_number(out, value.as_number());
+      out += '\n';
+    }
+  }
+
+  const JsonValue* histograms = snapshot.find("histograms");
+  if (histograms == nullptr) return out;
+
+  // Log-2 buckets become the cumulative-`le` form Prometheus expects;
+  // the upper bound of bucket [lower, 2*lower-1] is recoverable from
+  // the serialized lower bound alone.
+  last_base.clear();
+  for (const auto& [raw, hist] : histograms->members()) {
+    const MetricName m = parse_name(raw);
+    emit_type_line(out, last_base, m.base, "histogram");
+    std::uint64_t cumulative = 0;
+    if (const JsonValue* buckets = hist.find("buckets")) {
+      for (const JsonValue& pair : buckets->items()) {
+        cumulative += pair.items()[1].as_uint();
+        out += m.base;
+        out += "_bucket";
+        out += label_block(
+            m.labels, "le",
+            std::to_string(upper_from_lower(pair.items()[0].as_uint())));
+        out += ' ';
+        append_uint(out, cumulative);
+        out += '\n';
+      }
+    }
+    const std::uint64_t count =
+        hist.find("count") != nullptr ? hist.find("count")->as_uint() : 0;
+    out += m.base;
+    out += "_bucket";
+    out += label_block(m.labels, "le", "+Inf");
+    out += ' ';
+    append_uint(out, count);
+    out += '\n';
+    out += m.base;
+    out += "_sum";
+    out += label_block(m.labels);
+    out += ' ';
+    append_uint(out, hist.find("sum") != nullptr ? hist.find("sum")->as_uint()
+                                                 : 0);
+    out += '\n';
+    out += m.base;
+    out += "_count";
+    out += label_block(m.labels);
+    out += ' ';
+    append_uint(out, count);
+    out += '\n';
+  }
+
+  // Percentile gauges (log-2 resolution): scrape-friendly tails
+  // without client-side bucket math.
+  last_base.clear();
+  for (const auto& [raw, hist] : histograms->members()) {
+    const MetricName m = parse_name(raw);
+    const std::string family = m.base + "_quantile";
+    emit_type_line(out, last_base, family, "gauge");
+    for (const auto& [q, q_label] : kQuantiles) {
+      out += family;
+      out += label_block(m.labels, "q", q_label);
+      out += ' ';
+      append_uint(out, snapshot_histogram_quantile(hist, q));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+// ---- HTTP listener ----
+
+struct PromHttpListener::Impl {
+  int fd = -1;
+  std::uint16_t bound_port = 0;
+  std::function<std::string()> render;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  void loop();
+  void handle(int client);
+};
+
+namespace {
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void PromHttpListener::Impl::handle(int client) {
+  char buf[1024];
+  const ssize_t n = ::recv(client, buf, sizeof buf - 1, 0);
+  std::string_view request;
+  if (n > 0) request = std::string_view(buf, static_cast<std::size_t>(n));
+  // Only the request line matters: "GET /metrics HTTP/1.x".
+  const std::size_t sp1 = request.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request.find(' ', sp1 + 1);
+  const std::string_view method =
+      sp1 == std::string_view::npos ? std::string_view{}
+                                    : request.substr(0, sp1);
+  std::string_view path;
+  if (sp2 != std::string_view::npos)
+    path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t query = path.find('?');
+      query != std::string_view::npos)
+    path = path.substr(0, query);
+
+  std::string response;
+  if (method == "GET" && path == "/metrics") {
+    const std::string body = render ? render() : std::string();
+    response = "HTTP/1.0 200 OK\r\n"
+               "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+               "Content-Length: " +
+               std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  } else {
+    const std::string_view body = "not found\n";
+    response = "HTTP/1.0 404 Not Found\r\n"
+               "Content-Type: text/plain; charset=utf-8\r\n"
+               "Content-Length: " +
+               std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + std::string(body);
+  }
+  send_all(client, response);
+  ::close(client);
+}
+
+void PromHttpListener::Impl::loop() {
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) continue;
+    handle(client);
+  }
+}
+
+PromHttpListener::PromHttpListener(const std::string& addr,
+                                   std::function<std::string()> render)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->render = std::move(render);
+
+  std::string host = "127.0.0.1";
+  std::string port_str = addr;
+  if (const std::size_t colon = addr.rfind(':');
+      colon != std::string::npos) {
+    if (colon > 0) host = addr.substr(0, colon);
+    port_str = addr.substr(colon + 1);
+  }
+  int port = 0;
+  try {
+    if (!port_str.empty()) port = std::stoi(port_str);
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port < 0 || port > 65535)
+    throw std::runtime_error("PromHttpListener: bad port in address \"" +
+                             addr + "\"");
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1)
+    throw std::runtime_error("PromHttpListener: cannot parse host \"" + host +
+                             "\" (IPv4 literal expected)");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error("PromHttpListener: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+    ::close(fd);
+    throw std::runtime_error("PromHttpListener: cannot bind " + addr + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    throw std::runtime_error("PromHttpListener: listen() failed");
+  }
+  socklen_t len = sizeof sa;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+  impl_->bound_port = ntohs(sa.sin_port);
+  impl_->fd = fd;
+  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
+}
+
+PromHttpListener::~PromHttpListener() {
+  impl_->stop.store(true, std::memory_order_release);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  if (impl_->fd >= 0) ::close(impl_->fd);
+}
+
+std::uint16_t PromHttpListener::port() const noexcept {
+  return impl_->bound_port;
+}
+
+}  // namespace dq::obs

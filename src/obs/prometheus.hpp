@@ -1,0 +1,65 @@
+// Prometheus text exposition (format 0.0.4) for MetricsRegistry
+// snapshots, plus a minimal HTTP/1.0 `GET /metrics` listener — the
+// first socket in front of `dqctl serve` (ROADMAP "network listener"
+// stepping stone).
+//
+// Rendering works from the snapshot JSON document rather than the
+// registry itself, so anything that can produce a snapshot (a live
+// registry, a metrics NDJSON line on disk) can be exposed. Dotted
+// metric names become underscore names (`serve.flows_ingested` ->
+// `serve_flows_ingested`); obs::labeled() names (`name{k=v}`) become
+// proper label sets (`name{k="v"}`); log-2 histograms render as
+// cumulative-`le` Prometheus histograms plus a `<name>_quantile{q=..}`
+// gauge family carrying p50/p90/p99/p999 (log-2 bucket resolution,
+// like histogram_quantile).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "campaign/json.hpp"
+
+namespace dq::obs {
+
+/// Renders a MetricsRegistry::snapshot() document as Prometheus text
+/// exposition. Counters/gauges/histograms keep their snapshot order
+/// (sorted names), so equal snapshots render to equal bytes.
+std::string prometheus_render(const campaign::JsonValue& snapshot);
+
+/// Upper bound of the bucket holding the q-quantile of a snapshot
+/// histogram object ({"count":..,"sum":..,"buckets":[[lower,n],..]}).
+/// Same semantics as histogram_quantile on a live Histogram: q is
+/// clamped to [0,1] (NaN -> 0), empty histograms yield 0. Lets
+/// consumers of metrics NDJSON (dqctl obs report, the Prometheus
+/// renderer) recover percentiles without the live registry.
+std::uint64_t snapshot_histogram_quantile(const campaign::JsonValue& hist,
+                                          double q) noexcept;
+
+/// Minimal HTTP/1.0 metrics endpoint: one background thread accepts
+/// connections on `addr` ("host:port", ":port", or "port"; port 0
+/// binds an ephemeral port — read it back with port()) and answers
+/// `GET /metrics` with `render()` as `text/plain; version=0.0.4`,
+/// anything else with 404. `render` is invoked on the listener thread
+/// and must be thread-safe. The destructor stops the thread and closes
+/// the socket. Throws std::runtime_error when the address cannot be
+/// parsed or bound.
+class PromHttpListener {
+ public:
+  PromHttpListener(const std::string& addr,
+                   std::function<std::string()> render);
+  ~PromHttpListener();
+
+  PromHttpListener(const PromHttpListener&) = delete;
+  PromHttpListener& operator=(const PromHttpListener&) = delete;
+
+  /// The bound TCP port (resolves port 0 to the kernel's pick).
+  std::uint16_t port() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dq::obs

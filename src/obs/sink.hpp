@@ -11,6 +11,7 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace dq::obs {
 
@@ -21,6 +22,7 @@ struct Sink {
   MetricsRegistry* metrics = nullptr;
   TraceRing* trace = nullptr;
   Counter* trace_dropped = nullptr;  ///< bumped when the ring evicts
+  SpanBuffer* spans = nullptr;       ///< phase-timing track (see obs/span.hpp)
 
   explicit operator bool() const noexcept {
     return metrics != nullptr || trace != nullptr;

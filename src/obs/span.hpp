@@ -1,0 +1,142 @@
+// Scoped span profiler: RAII timers writing into per-track
+// fixed-capacity buffers, merged after the run into a Chrome
+// trace-event JSON (chrome://tracing, Perfetto) and an aggregated
+// per-phase table.
+//
+// The design mirrors obs::Sink's nullable-pointer contract: a Span
+// constructed over a null SpanBuffer* costs a single predictable
+// branch and never reads the clock, so instrumentation sites are free
+// when profiling is off. Each SpanBuffer is single-writer (one buffer
+// per thread — the serve router, each shard worker, each campaign
+// job); the Profiler only walks the buffers after the writers have
+// finished. Span timing shares no state with any RNG stream, so
+// profiled runs are byte-identical to unprofiled ones (enforced by
+// tests/serve/observability_test.cpp and the perf_microbench
+// --obs_json spans gate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dq::obs {
+
+/// Monotonic nanosecond clock shared by all spans (steady_clock).
+std::uint64_t span_clock_ns() noexcept;
+
+/// One closed span on some track. `name` must be a string literal (or
+/// otherwise outlive the profiler) — spans never own their names.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+inline constexpr std::size_t kDefaultSpanCapacity = std::size_t{1} << 16;
+
+/// Fixed-capacity span store for one writer thread. When full, further
+/// spans are counted in dropped() instead of recorded — overflow is
+/// never silent and never reallocates on the hot path.
+class SpanBuffer {
+ public:
+  explicit SpanBuffer(std::string track, std::size_t capacity)
+      : track_(std::move(track)) {
+    spans_.reserve(capacity);
+    capacity_ = capacity;
+  }
+
+  void record(const char* name, std::uint64_t start_ns,
+              std::uint64_t dur_ns) noexcept {
+    if (spans_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    spans_.push_back(SpanRecord{name, start_ns, dur_ns});
+  }
+
+  const std::string& track() const noexcept { return track_; }
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::string track_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII scoped timer. Null buffer = disabled: the constructor is one
+/// branch, the destructor another, and the clock is never read.
+class Span {
+ public:
+  Span(SpanBuffer* buffer, const char* name) noexcept
+      : buffer_(buffer), name_(name) {
+    if (buffer_ != nullptr) start_ns_ = span_clock_ns();
+  }
+  ~Span() {
+    if (buffer_ != nullptr)
+      buffer_->record(name_, start_ns_, span_clock_ns() - start_ns_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanBuffer* buffer_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Aggregated per-phase timing across every track.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Owns one SpanBuffer per named track. track() is find-or-create
+/// under a mutex — call it once at thread/phase setup, not per span
+/// (the returned pointer is stable for the profiler's lifetime).
+/// Reading (write_chrome_trace, aggregate) is only valid once the
+/// writer threads have finished.
+class Profiler {
+ public:
+  explicit Profiler(std::size_t capacity_per_track = kDefaultSpanCapacity)
+      : capacity_(capacity_per_track) {}
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  SpanBuffer* track(const std::string& name);
+
+  std::uint64_t total_spans() const;
+  std::uint64_t total_dropped() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}): one "M"
+  /// thread_name metadata event per track, then every span as a
+  /// complete ("X") event with microsecond timestamps normalized to
+  /// the earliest span. Loadable in chrome://tracing and Perfetto.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Per-name count/total/min/max across all tracks, sorted by total
+  /// time descending.
+  std::vector<PhaseStats> aggregate() const;
+
+  /// Human-readable aggregate table (the per-phase profile printed to
+  /// stderr after a profiled run).
+  std::string render_table() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SpanBuffer>> tracks_;
+};
+
+}  // namespace dq::obs

@@ -1,16 +1,20 @@
 #include "serve/server.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "obs/prometheus.hpp"
 #include "serve/failpoints.hpp"
 #include "serve/spsc.hpp"
 #include "stats/hash.hpp"
@@ -69,6 +73,28 @@ void interruptible_sleep_us(std::uint64_t micros,
   }
 }
 
+/// Resident set size from /proc/self/statm (0 where unavailable).
+std::uint64_t read_rss_bytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+obs::Event robustness_event(obs::EventKind kind, double time,
+                            std::uint32_t id = 0, std::uint64_t value = 0) {
+  obs::Event e;
+  e.time = time;
+  e.id = id;
+  e.kind = kind;
+  e.value = value;
+  return e;
+}
+
 }  // namespace
 
 void install_stop_handlers() {
@@ -118,6 +144,9 @@ campaign::JsonValue ServeSummary::to_json() const {
   s.set("degraded", JsonValue::boolean(degraded));
   s.set("end_time", JsonValue::number(end_time));
   s.set("interrupted", JsonValue::boolean(interrupted));
+  // Opt-in and wall-clock-dependent: only --slo-ms runs carry it, so
+  // SLO-free streams keep their exact historical summary bytes.
+  if (slo_ms > 0.0) s.set("slo_breached", JsonValue::boolean(slo_breached));
   s.set("quarantine", std::move(q));
 
   JsonValue out = JsonValue::object();
@@ -167,8 +196,31 @@ struct ServeServer::Impl {
   /// Set by the watchdog after writing stall_diag.
   std::atomic<bool> stalled{false};
   std::string stall_diag;
+  /// Which shard the watchdog saw wedged (valid once `stalled` is set);
+  /// the router emits the kStall trace event — the ring is
+  /// single-writer, so the watchdog thread must never push.
+  std::atomic<std::uint32_t> stall_shard{0};
   std::atomic<bool> watchdog_done{false};
   std::thread watchdog;
+
+  // Health sampler (wall-clock cadence) + Prometheus exposition.
+  std::atomic<bool> sampler_done{false};
+  std::thread sampler;
+  /// Serializes writes to the metrics ostream (router flow-count
+  /// snapshots vs sampler wall-clock snapshots) and the prom file.
+  std::mutex metrics_mu;
+  bool health_enabled = false;
+  std::vector<obs::Gauge*> queue_depth_g;
+  std::vector<obs::Gauge*> backlog_g;
+  std::vector<obs::Gauge*> decided_g;
+  obs::Gauge* rss_g = nullptr;
+  std::unique_ptr<obs::PromHttpListener> listener;
+
+  // Span profiler tracks (null when profiling is off).
+  obs::SpanBuffer* router_spans = nullptr;
+  std::vector<obs::SpanBuffer*> worker_spans;
+
+  std::uint64_t slo_ns = 0;  ///< 0 disables breach counting
 
   // Accounting carried in from a restored checkpoint.
   std::uint64_t base_flows = 0;
@@ -187,10 +239,15 @@ struct ServeServer::Impl {
   obs::Counter* router_stalls = nullptr;
   obs::Counter* worker_stalls = nullptr;
   obs::Counter* sink_retries = nullptr;
+  obs::Counter* slo_breaches = nullptr;
   obs::Histogram* latency = nullptr;
 
   void worker_loop(std::size_t shard, bool emit);
   void watchdog_loop();
+  void sampler_loop(std::ostream* metrics);
+  void sample_health();
+  std::string render_prom();
+  void write_prom_file();
 };
 
 ServeServer::ServeServer(const ServeOptions& options)
@@ -225,8 +282,13 @@ ServeServer::ServeServer(const ServeOptions& options)
                                              obs::Determinism::kWallClock);
   impl_->sink_retries = &registry_->counter("serve.sink_retries",
                                             obs::Determinism::kWallClock);
+  impl_->slo_breaches = &registry_->counter("serve.slo_breaches",
+                                            obs::Determinism::kWallClock);
   impl_->latency = &registry_->histogram("serve.decision_latency_ns",
                                          obs::Determinism::kWallClock);
+  if (options.slo_ms < 0.0)
+    throw std::invalid_argument("ServeServer: slo_ms must be >= 0");
+  impl_->slo_ns = static_cast<std::uint64_t>(options.slo_ms * 1e6);
 
   // Hash-partition hosts across shards; shard-local ids are assigned in
   // ascending global host order, so gathering records back in global
@@ -264,6 +326,36 @@ ServeServer::ServeServer(const ServeOptions& options)
   }
   impl_->label_time.assign(options.num_hosts, -1.0);
   impl_->progress = std::make_unique<Impl::ShardProgress[]>(shards);
+
+  // Per-shard health gauges are registered only when something will
+  // sample them (the ms-cadence sampler, the prom file, or the HTTP
+  // listener) — registering unconditionally would change full-snapshot
+  // bytes for every existing run. All kWallClock: they reflect machine
+  // timing, never the flow stream.
+  impl_->health_enabled = options.metrics_interval_ms > 0 ||
+                          !options.prom_path.empty() ||
+                          !options.metrics_addr.empty();
+  if (impl_->health_enabled) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::vector<std::pair<std::string, std::string>> labels{
+          {"shard", std::to_string(s)}};
+      impl_->queue_depth_g.push_back(
+          &registry_->gauge(obs::labeled("serve.shard_queue_depth", labels)));
+      impl_->backlog_g.push_back(
+          &registry_->gauge(obs::labeled("serve.shard_backlog", labels)));
+      impl_->decided_g.push_back(
+          &registry_->gauge(obs::labeled("serve.shard_decided", labels)));
+    }
+    impl_->rss_g = &registry_->gauge("serve.rss_bytes");
+  }
+  if (options.profiler != nullptr) {
+    impl_->router_spans = options.profiler->track("serve/router");
+    for (std::size_t s = 0; s < shards; ++s)
+      impl_->worker_spans.push_back(
+          options.profiler->track("serve/shard" + std::to_string(s)));
+  } else {
+    impl_->worker_spans.assign(shards, nullptr);
+  }
 
   obs::Sink engine_sink;
   engine_sink.metrics = registry_.get();
@@ -367,10 +459,24 @@ ServeServer::ServeServer(const ServeOptions& options)
     impl_->parse_errors->add(ck.parse_errors);
     impl_->time_regressions->add(ck.time_regressions);
     impl_->shed_flows->add(ck.shed_flows);
+    impl_->options.obs.emit(robustness_event(obs::EventKind::kCheckpointRestore,
+                                             ck.last_time, 0,
+                                             ck.flows_ingested));
   }
+
+  // The listener binds here, not in run(), so tests (and callers using
+  // an ephemeral port) can read metrics_port() before the run starts.
+  if (!options.metrics_addr.empty())
+    impl_->listener = std::make_unique<obs::PromHttpListener>(
+        options.metrics_addr,
+        [impl = impl_.get()] { return impl->render_prom(); });
 }
 
 ServeServer::~ServeServer() = default;
+
+std::uint16_t ServeServer::metrics_port() const noexcept {
+  return impl_->listener != nullptr ? impl_->listener->port() : 0;
+}
 
 void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
   SpscQueue<Flow>& in = *in_queues[shard];
@@ -383,6 +489,7 @@ void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
       Failpoints::global().active()
           ? Failpoints::global().slow_shard_micros(shard)
           : 0;
+  obs::SpanBuffer* spans = worker_spans[shard];
   Flow batch[kWorkerBatch];
   while (true) {
     if (abort.load(std::memory_order_relaxed)) return;
@@ -392,6 +499,10 @@ void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
       std::this_thread::yield();
       continue;
     }
+    // One span per popped batch, not per flow: batch granularity keeps
+    // the profiler's cost well under the 1.05x gate while still showing
+    // where worker time goes.
+    obs::Span batch_span(spans, "worker_batch");
     for (std::size_t i = 0; i < n; ++i) {
       const Flow& f = batch[i];
       if (slow_us != 0) {
@@ -404,7 +515,9 @@ void ServeServer::Impl::worker_loop(std::size_t shard, bool emit) {
         label_time[f.host] = f.time;
       const bool was_quarantined = engine->quarantined(local);
       engine->observe(local, f.dest, f.time, f.failed);
-      latency->record(now_ns() - f.ingest_ns);
+      const std::uint64_t lat_ns = now_ns() - f.ingest_ns;
+      latency->record(lat_ns);
+      if (slo_ns > 0 && lat_ns > slo_ns) slo_breaches->add();
       if (emit) {
         Decision d;
         d.seq = f.seq;
@@ -471,9 +584,71 @@ void ServeServer::Impl::watchdog_loop() {
                     static_cast<unsigned long long>(decided),
                     static_cast<unsigned long long>(pushed - decided));
       stall_diag.assign(buf);
+      stall_shard.store(static_cast<std::uint32_t>(s),
+                        std::memory_order_relaxed);
       stalled.store(true, std::memory_order_release);
       return;
     }
+  }
+}
+
+void ServeServer::Impl::sample_health() {
+  if (!health_enabled) return;
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    queue_depth_g[s]->set(
+        static_cast<double>(in_queues[s]->size_approx()));
+    const std::uint64_t pushed =
+        progress[s].pushed.load(std::memory_order_acquire);
+    const std::uint64_t decided =
+        progress[s].decided.load(std::memory_order_acquire);
+    backlog_g[s]->set(
+        static_cast<double>(pushed >= decided ? pushed - decided : 0));
+    decided_g[s]->set(static_cast<double>(decided));
+  }
+  rss_g->set(static_cast<double>(read_rss_bytes()));
+}
+
+std::string ServeServer::Impl::render_prom() {
+  // Called from the listener thread too: gauge stores are atomic and
+  // snapshot() locks the registry, so a scrape mid-run is safe.
+  sample_health();
+  return obs::prometheus_render(registry->snapshot(false));
+}
+
+void ServeServer::Impl::write_prom_file() {
+  const std::string text = render_prom();
+  const std::string tmp = options.prom_path + ".tmp";
+  const std::lock_guard<std::mutex> lock(metrics_mu);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;  // transient FS trouble: next tick retries
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::rename(tmp.c_str(), options.prom_path.c_str());
+}
+
+void ServeServer::Impl::sampler_loop(std::ostream* metrics) {
+  const std::uint64_t interval_ms =
+      options.metrics_interval_ms > 0 ? options.metrics_interval_ms : 1000;
+  std::uint64_t next_ns = now_ns() + interval_ms * 1000000;
+  while (!sampler_done.load(std::memory_order_acquire)) {
+    // Sleep in short slices so shutdown never waits a whole interval.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::uint64_t>(interval_ms, 10)));
+    if (now_ns() < next_ns) continue;
+    next_ns = now_ns() + interval_ms * 1000000;
+    sample_health();
+    // Wall-clock snapshot lines interleave with the router's flow-count
+    // lines; each line is a complete snapshot, so readers need no
+    // ordering between the two cadences. parse_errors may lag here —
+    // syncing it requires the source, which is router-owned.
+    if (options.metrics_interval_ms > 0 && metrics != nullptr) {
+      std::string line = registry->snapshot(false).dump();
+      line += '\n';
+      const std::lock_guard<std::mutex> lock(metrics_mu);
+      metrics->write(line.data(), static_cast<std::streamsize>(line.size()));
+      metrics->flush();
+    }
+    if (!options.prom_path.empty()) write_prom_file();
   }
 }
 
@@ -499,14 +674,18 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
     ~TeardownGuard() {
       im.abort.store(true, std::memory_order_release);
       im.watchdog_done.store(true, std::memory_order_release);
+      im.sampler_done.store(true, std::memory_order_release);
       for (auto& q : im.in_queues) q->close();
       for (auto& w : im.workers)
         if (w.joinable()) w.join();
       if (im.watchdog.joinable()) im.watchdog.join();
+      if (im.sampler.joinable()) im.sampler.join();
     }
   } teardown_guard{im};
   if (opt.stall_timeout_seconds > 0.0)
     im.watchdog = std::thread([this] { impl_->watchdog_loop(); });
+  if (opt.metrics_interval_ms > 0 || !opt.prom_path.empty())
+    im.sampler = std::thread([this, metrics] { impl_->sampler_loop(metrics); });
 
   // In-order merge bookkeeping: which shard got each outstanding seq.
   // Outstanding flows are bounded by the queues, so a fixed ring
@@ -520,9 +699,22 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   std::string outbuf;
   std::string metric_buf;
 
+  ServeSummary summary;
+  summary.time_regressions = im.base_time_regressions;
+  summary.shed_flows = im.base_shed;
+  const std::uint64_t t_start = now_ns();
+  double last_time = im.base_last_time;
+  std::uint64_t seq = im.base_flows;
+
   const auto throw_if_stalled = [&] {
-    if (im.stalled.load(std::memory_order_acquire))
+    if (im.stalled.load(std::memory_order_acquire)) {
+      // The stall event rides the ring from here (router thread), not
+      // from the watchdog: TraceRing is single-writer.
+      im.options.obs.emit(robustness_event(
+          obs::EventKind::kStall, last_time,
+          im.stall_shard.load(std::memory_order_relaxed)));
       throw ServeStallError(im.stall_diag);
+    }
   };
   const auto write_decisions = [&](bool force) {
     if (outbuf.size() >= kFlushBytes || (force && !outbuf.empty())) {
@@ -530,13 +722,20 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
         if (force) {
           // The final flush may not fail — absorb any pending injected
           // errors as retries so no bytes are lost.
-          while (Failpoints::global().consume_sink_error())
+          while (Failpoints::global().consume_sink_error()) {
             im.sink_retries->add();
+            im.options.obs.emit(robustness_event(obs::EventKind::kSinkRetry,
+                                                 last_time, 0,
+                                                 im.sink_retries->value()));
+          }
         } else if (Failpoints::global().consume_sink_error()) {
           // Transient sink failure: keep the bytes buffered and retry
           // at the next flush point. The emitted stream stays
           // byte-identical, just later.
           im.sink_retries->add();
+          im.options.obs.emit(robustness_event(obs::EventKind::kSinkRetry,
+                                               last_time, 0,
+                                               im.sink_retries->value()));
           return;
         }
       }
@@ -563,9 +762,11 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   };
   const auto write_metrics_snapshot = [&] {
     if (metrics == nullptr) return;
+    const obs::Span span(im.router_spans, "metrics_snapshot");
     sync_parse_errors();
     metric_buf = im.registry->snapshot(false).dump();
     metric_buf += '\n';
+    const std::lock_guard<std::mutex> lock(im.metrics_mu);
     metrics->write(metric_buf.data(),
                    static_cast<std::streamsize>(metric_buf.size()));
     metrics->flush();
@@ -578,13 +779,6 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
     }
     return samples;
   };
-
-  ServeSummary summary;
-  summary.time_regressions = im.base_time_regressions;
-  summary.shed_flows = im.base_shed;
-  const std::uint64_t t_start = now_ns();
-  double last_time = im.base_last_time;
-  std::uint64_t seq = im.base_flows;
 
   /// Waits until every shard has decided everything pushed to it; the
   /// merge keeps draining so workers never wedge on a full out-queue,
@@ -663,6 +857,7 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
     return ck;
   };
   const auto write_checkpoint = [&](std::uint64_t flows, double at_time) {
+    const obs::Span span(im.router_spans, "checkpoint");
     quiesce_shards();
     // Normalize: apply releases due by the checkpoint clock so the
     // serialized records are independent of each shard's own advance
@@ -672,9 +867,13 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
       if (engine != nullptr) engine->advance_to(at_time);
     write_checkpoint_file(opt.checkpoint_path,
                           gather_checkpoint(flows, at_time));
+    im.options.obs.emit(robustness_event(obs::EventKind::kCheckpointWrite,
+                                         at_time, 0, flows));
   };
 
   bool exhausted = false;
+  bool shedding = false;
+  std::uint64_t shed_episode_base = 0;
   Flow flow;
   while (!stop_requested()) {
     if (!source.next(flow)) {
@@ -701,6 +900,12 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
       accepted = im.in_queues[s]->try_push(flow);
       if (!accepted) {
         if (opt.overload == OverloadPolicy::kShed) {
+          if (!shedding) {
+            shedding = true;
+            shed_episode_base = summary.shed_flows;
+            im.options.obs.emit(
+                robustness_event(obs::EventKind::kShedStart, flow.time));
+          }
           ++summary.shed_flows;
           im.shed_flows->add();
         } else {
@@ -715,6 +920,12 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
       }
     }
     if (accepted) {
+      if (shedding) {
+        shedding = false;
+        im.options.obs.emit(robustness_event(
+            obs::EventKind::kShedEnd, flow.time, 0,
+            summary.shed_flows - shed_episode_base));
+      }
       Impl::ShardProgress& prog = im.progress[s];
       prog.pushed.store(prog.pushed.load(std::memory_order_relaxed) + 1,
                         std::memory_order_relaxed);
@@ -755,21 +966,36 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   for (auto& w : im.workers) w.join();
   im.watchdog_done.store(true, std::memory_order_release);
   if (im.watchdog.joinable()) im.watchdog.join();
+  // Stop the sampler before the final prom/metrics writes below so the
+  // tmp-file rename and stream writes have a single writer again.
+  im.sampler_done.store(true, std::memory_order_release);
+  if (im.sampler.joinable()) im.sampler.join();
+  if (shedding)
+    im.options.obs.emit(robustness_event(
+        obs::EventKind::kShedEnd, end_time, 0,
+        summary.shed_flows - shed_episode_base));
 
   // Final checkpoint: the engines are already advanced to end_time by
   // their workers, so the gathered state equals a quiesced mid-run
   // checkpoint taken at the same flow count.
-  if (!opt.checkpoint_path.empty())
+  if (!opt.checkpoint_path.empty()) {
+    const obs::Span span(im.router_spans, "checkpoint");
     write_checkpoint_file(opt.checkpoint_path,
                           gather_checkpoint(seq, end_time));
+    im.options.obs.emit(robustness_event(obs::EventKind::kCheckpointWrite,
+                                         end_time, 0, seq));
+  }
 
   // Assemble the final report from per-shard records in global host
   // order — the float accumulation order of a single engine.
   std::vector<quarantine::HostRecord> records(opt.num_hosts);
-  for (std::uint32_t h = 0; h < opt.num_hosts; ++h) {
-    const quarantine::QuarantineEngine* engine =
-        im.engines[im.owner[h]].get();
-    if (engine != nullptr) records[h] = engine->record(im.local_id[h]);
+  {
+    const obs::Span span(im.router_spans, "gather_report");
+    for (std::uint32_t h = 0; h < opt.num_hosts; ++h) {
+      const quarantine::QuarantineEngine* engine =
+          im.engines[im.owner[h]].get();
+      if (engine != nullptr) records[h] = engine->record(im.local_id[h]);
+    }
   }
   std::uint64_t events = 0;
   for (const auto& engine : im.engines)
@@ -793,6 +1019,10 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
   summary.latency_p50_ns = obs::histogram_quantile(*im.latency, 0.50);
   summary.latency_p90_ns = obs::histogram_quantile(*im.latency, 0.90);
   summary.latency_p99_ns = obs::histogram_quantile(*im.latency, 0.99);
+  summary.latency_p999_ns = obs::histogram_quantile(*im.latency, 0.999);
+  summary.slo_ms = opt.slo_ms;
+  summary.slo_breaches = im.slo_breaches->value();
+  summary.slo_breached = summary.slo_breaches > 0;
   registry_->gauge("serve.flows_per_sec").set(summary.flows_per_sec);
 
   if (decisions != nullptr) {
@@ -801,6 +1031,10 @@ ServeSummary ServeServer::run(FlowSource& source, std::ostream* decisions,
     write_decisions(true);
     decisions->flush();
   }
+  // Final health sample + prom render so the last snapshot/file reflect
+  // the drained pipeline (zero queues, final counters).
+  im.sample_health();
+  if (!opt.prom_path.empty()) im.write_prom_file();
   write_metrics_snapshot();
   return summary;
 }

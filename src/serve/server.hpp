@@ -22,6 +22,8 @@
 
 #include "campaign/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "quarantine/config.hpp"
 #include "quarantine/engine.hpp"
 #include "serve/checkpoint.hpp"
@@ -66,6 +68,39 @@ struct ServeOptions {
   /// metrics stream (0 disables; a final snapshot is always written
   /// when a metrics stream is given).
   std::uint64_t metrics_interval_flows = 0;
+  /// Wall-clock variant: the health sampler writes a full metrics
+  /// snapshot line every N milliseconds (0 disables). Independent of
+  /// metrics_interval_flows — both may be active; each snapshot line is
+  /// complete on its own, so interleaving is harmless. The wall-clock
+  /// cadence is what keeps paced `--speed` replays observable when flow
+  /// counts trickle. Enabling it (or prom_path / metrics_addr) also
+  /// turns on the per-shard health gauges (queue depth, backlog,
+  /// decided, RSS), all kWallClock.
+  std::uint64_t metrics_interval_ms = 0;
+  /// Prometheus text-exposition file, rewritten (atomically, via a tmp
+  /// file + rename) on every health-sampler tick and once at the end of
+  /// the run (empty disables). Uses the sampler cadence when
+  /// metrics_interval_ms > 0, else a 1000 ms default.
+  std::string prom_path;
+  /// HTTP listener address for `GET /metrics` ("host:port", ":port",
+  /// or "port"; port 0 picks an ephemeral port — read it back with
+  /// metrics_port()). Empty disables. The listener binds in the
+  /// constructor and serves for the server's lifetime.
+  std::string metrics_addr;
+  /// Decision-latency SLO in milliseconds (0 disables): flows whose
+  /// ingest-to-decision latency exceeds this are counted in
+  /// `serve.slo_breaches` and the summary gains slo_breaches /
+  /// `"slo_breached"`. Wall-clock-dependent, like the latency
+  /// histogram it derives from.
+  double slo_ms = 0.0;
+  /// Span profiler for router/worker/checkpoint phase timing (null
+  /// disables — instrumentation sites cost one branch). Spans never
+  /// touch decision state, so profiled runs are byte-identical.
+  obs::Profiler* profiler = nullptr;
+  /// Event sink for robustness transitions (checkpoint write/restore,
+  /// shed start/end, sink retry, stall). Only the TraceRing side is
+  /// consulted; all events are emitted from the router thread.
+  obs::Sink obs;
   /// Testing hook for the graceful-shutdown path: raise SIGTERM to the
   /// process after ingesting exactly N flows (0 disables). Exercises
   /// the real signal handler deterministically.
@@ -120,6 +155,16 @@ struct ServeSummary {
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p90_ns = 0;
   std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_p999_ns = 0;
+
+  // SLO accounting (ServeOptions::slo_ms). slo_breaches counts flows
+  // over budget; both are wall-clock telemetry, but `"slo_breached"`
+  // (a bool: any breach at all) is additionally emitted in to_json()
+  // when an SLO was configured — callers opting into --slo-ms opt into
+  // that one wall-clock-dependent summary key (docs/SERVE.md).
+  double slo_ms = 0.0;
+  std::uint64_t slo_breaches = 0;
+  bool slo_breached = false;
 
   /// Canonical JSON of the deterministic fields only — the summary
   /// line appended to the decision stream.
@@ -158,6 +203,10 @@ class ServeServer {
   /// log-2 histogram (kWallClock), and the engines' quarantine.*
   /// counters. Valid for the server's lifetime.
   const obs::MetricsRegistry& metrics() const noexcept { return *registry_; }
+
+  /// Bound port of the `GET /metrics` listener (0 when metrics_addr was
+  /// empty). Known from construction, before run().
+  std::uint16_t metrics_port() const noexcept;
 
  private:
   struct Impl;

@@ -86,6 +86,15 @@ class SpscQueue {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Approximate occupancy from any thread (the health sampler's
+  /// queue-depth gauge): racy but always in [0, capacity] because the
+  /// tail is read after the head.
+  std::size_t size_approx() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
  private:
   const std::uint64_t mask_;
   std::vector<T> slots_;

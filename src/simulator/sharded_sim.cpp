@@ -396,35 +396,54 @@ void ShardedSimulation::step() {
   const std::uint64_t imm_base =
       mix64(imm_stream_ ^ (kTickStride * tick_index_));
 
-  parallel_shards(
-      [&](Shard& sh) { phase_emit(sh, emit_base, imm_base); });
-
-  // Serial merge A: fold emission deltas in ascending shard order.
-  for (const Shard& sh : shards_) {
-    result_.total_scan_packets += sh.scan_packets;
-    detector_sightings_ += sh.sightings;
-    infected_count_ -= sh.immunized_infected;
-    susceptible_count_ -= sh.immunized_susceptible;
-    removed_count_ += sh.immunized_infected + sh.immunized_susceptible;
-  }
-  if (config_.detector.enabled && detection_tick_ < 0.0 &&
-      detector_sightings_ >= config_.detector.threshold) {
-    detection_tick_ = tick_;
-    result_.detection_tick = tick_;
+  // Per-phase spans (obs_.spans; null when profiling is off) time the
+  // two parallel phases and the serial merges separately — the merge /
+  // phase ratio is the scaling diagnostic. Spans read only the clock,
+  // never RNG or sim state, so profiled runs stay byte-identical.
+  {
+    const obs::Span span(obs_.spans, "emit");
+    parallel_shards(
+        [&](Shard& sh) { phase_emit(sh, emit_base, imm_base); });
   }
 
-  parallel_shards([&](Shard& sh) { phase_apply(sh); });
-
-  // Serial merge B: fold delivery deltas.
-  for (const Shard& sh : shards_) {
-    result_.perf.packets_forwarded += sh.delivered;
-    result_.quarantine_dropped_packets += sh.quarantine_dropped;
-    infected_count_ += sh.new_infections;
-    ever_count_ += sh.new_infections;
-    susceptible_count_ -= sh.new_infections;
+  {
+    const obs::Span span(obs_.spans, "merge_emit");
+    // Serial merge A: fold emission deltas in ascending shard order.
+    for (const Shard& sh : shards_) {
+      result_.total_scan_packets += sh.scan_packets;
+      detector_sightings_ += sh.sightings;
+      infected_count_ -= sh.immunized_infected;
+      susceptible_count_ -= sh.immunized_susceptible;
+      removed_count_ += sh.immunized_infected + sh.immunized_susceptible;
+    }
+    if (config_.detector.enabled && detection_tick_ < 0.0 &&
+        detector_sightings_ >= config_.detector.threshold) {
+      detection_tick_ = tick_;
+      result_.detection_tick = tick_;
+    }
   }
 
-  record();
+  {
+    const obs::Span span(obs_.spans, "apply");
+    parallel_shards([&](Shard& sh) { phase_apply(sh); });
+  }
+
+  {
+    const obs::Span span(obs_.spans, "merge_apply");
+    // Serial merge B: fold delivery deltas.
+    for (const Shard& sh : shards_) {
+      result_.perf.packets_forwarded += sh.delivered;
+      result_.quarantine_dropped_packets += sh.quarantine_dropped;
+      infected_count_ += sh.new_infections;
+      ever_count_ += sh.new_infections;
+      susceptible_count_ -= sh.new_infections;
+    }
+  }
+
+  {
+    const obs::Span span(obs_.spans, "record");
+    record();
+  }
   ++result_.perf.ticks;
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -128,6 +129,52 @@ TEST(Labeled, SortsKeysForStableNames) {
   EXPECT_EQ(labeled("drops", {{"dir", "in"}, {"kind", "worm"}}),
             "drops{dir=in,kind=worm}");
   EXPECT_EQ(labeled("plain", {}), "plain");
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZeroForAnyQ) {
+  Histogram h;
+  EXPECT_EQ(histogram_quantile(h, 0.0), 0u);
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0u);
+  EXPECT_EQ(histogram_quantile(h, 1.0), 0u);
+}
+
+TEST(HistogramQuantile, SingleSampleIsItsBucketForAnyQ) {
+  Histogram h;
+  h.record(100);  // bucket [64, 127]
+  const std::uint64_t upper = 127;
+  EXPECT_EQ(histogram_quantile(h, 0.0), upper);
+  EXPECT_EQ(histogram_quantile(h, 0.5), upper);
+  EXPECT_EQ(histogram_quantile(h, 0.999), upper);
+  EXPECT_EQ(histogram_quantile(h, 1.0), upper);
+}
+
+TEST(HistogramQuantile, ExtremeQClampsInsteadOfOverOrUnderflowing) {
+  Histogram h;
+  h.record(1);
+  h.record(1000);  // bucket [512, 1023]
+  // q <= 0 clamps to rank 1 (smallest bucket); q >= 1 to rank count.
+  EXPECT_EQ(histogram_quantile(h, -3.0), 1u);
+  EXPECT_EQ(histogram_quantile(h, 0.0), 1u);
+  EXPECT_EQ(histogram_quantile(h, 1.0), 1023u);
+  EXPECT_EQ(histogram_quantile(h, 7.0), 1023u);
+}
+
+TEST(HistogramQuantile, NanQBehavesLikeZero) {
+  Histogram h;
+  h.record(1);
+  h.record(1000);
+  EXPECT_EQ(histogram_quantile(h, std::nan("")),
+            histogram_quantile(h, 0.0));
+}
+
+TEST(HistogramQuantile, RanksSplitAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);    // bucket [8, 15]
+  for (int i = 0; i < 10; ++i) h.record(5000);  // bucket [4096, 8191]
+  EXPECT_EQ(histogram_quantile(h, 0.5), 15u);
+  EXPECT_EQ(histogram_quantile(h, 0.90), 15u);   // rank 90: last in low
+  EXPECT_EQ(histogram_quantile(h, 0.901), 8191u);
+  EXPECT_EQ(histogram_quantile(h, 0.99), 8191u);
 }
 
 TEST(MetricsRegistry, ConcurrentUpdatesCommuteToExactTotals) {

@@ -1,0 +1,178 @@
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dq::obs {
+namespace {
+
+/// Renders a registry's full snapshot to Prometheus text.
+std::string render(MetricsRegistry& reg) {
+  return prometheus_render(reg.snapshot(/*deterministic_only=*/false));
+}
+
+TEST(PrometheusRender, CountersAndGaugesWithSanitizedNames) {
+  MetricsRegistry reg;
+  reg.counter("serve.flows_ingested").add(42);
+  reg.gauge("serve.rss_bytes", Determinism::kWallClock).set(12345.0);
+
+  const std::string text = render(reg);
+  EXPECT_NE(text.find("# TYPE serve_flows_ingested counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_flows_ingested 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_rss_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("serve_rss_bytes 12345\n"), std::string::npos);
+}
+
+TEST(PrometheusRender, LabeledMetricsBecomeQuotedLabelSets) {
+  MetricsRegistry reg;
+  reg.gauge(labeled("serve.shard_queue_depth", {{"shard", "3"}}),
+            Determinism::kWallClock)
+      .set(7.0);
+
+  const std::string text = render(reg);
+  EXPECT_NE(text.find("serve_shard_queue_depth{shard=\"3\"} 7\n"),
+            std::string::npos);
+  // The TYPE line names the base family, without labels.
+  EXPECT_NE(text.find("# TYPE serve_shard_queue_depth gauge"),
+            std::string::npos);
+}
+
+TEST(PrometheusRender, OneTypeLinePerLabeledFamily) {
+  MetricsRegistry reg;
+  for (int s = 0; s < 3; ++s)
+    reg.gauge(labeled("q.depth", {{"shard", std::to_string(s)}}),
+              Determinism::kWallClock)
+        .set(s);
+
+  const std::string text = render(reg);
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("# TYPE q_depth gauge");
+       pos != std::string::npos;
+       pos = text.find("# TYPE q_depth gauge", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(PrometheusRender, HistogramsExposeCumulativeBucketsAndQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("serve.decision_latency_ns");
+  h.record(3);   // bucket [2,3]
+  h.record(3);
+  h.record(100);  // bucket [64,127]
+
+  const std::string text = render(reg);
+  EXPECT_NE(text.find("# TYPE serve_decision_latency_ns histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("serve_decision_latency_ns_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_decision_latency_ns_bucket{le=\"127\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_decision_latency_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_decision_latency_ns_sum 106\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_decision_latency_ns_count 3\n"),
+            std::string::npos);
+  // Quantile gauges derived from the log-2 buckets.
+  EXPECT_NE(text.find("serve_decision_latency_ns_quantile{q=\"0.5\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("serve_decision_latency_ns_quantile{q=\"0.999\"} 127\n"),
+      std::string::npos);
+}
+
+TEST(SnapshotHistogramQuantile, MatchesLiveHistogramAndHandlesEdges) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(5000);
+
+  const campaign::JsonValue snap = reg.snapshot(false);
+  const campaign::JsonValue& hist = snap.at("histograms").at("lat");
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(snapshot_histogram_quantile(hist, q), histogram_quantile(h, q))
+        << "q=" << q;
+  EXPECT_EQ(snapshot_histogram_quantile(hist, std::nan("")),
+            histogram_quantile(h, 0.0));
+
+  // Empty histogram snapshot → 0 for any q.
+  reg.histogram("empty");
+  const campaign::JsonValue snap2 = reg.snapshot(false);
+  EXPECT_EQ(
+      snapshot_histogram_quantile(snap2.at("histograms").at("empty"), 0.99),
+      0u);
+
+  // Malformed input degrades to 0 instead of throwing (the function is
+  // noexcept; callers feed it parsed NDJSON from disk).
+  EXPECT_EQ(snapshot_histogram_quantile(campaign::JsonValue::object(), 0.5),
+            0u);
+}
+
+/// Fetches `request` from 127.0.0.1:`port` and returns the raw
+/// response bytes (empty on connect failure).
+std::string http_fetch(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) response.append(buf, n);
+  ::close(fd);
+  return response;
+}
+
+TEST(PromHttpListener, ServesMetricsOnEphemeralPort) {
+  MetricsRegistry reg;
+  reg.counter("hits").add(5);
+  PromHttpListener listener("127.0.0.1:0", [&reg] { return render(reg); });
+  ASSERT_NE(listener.port(), 0);
+
+  const std::string response = http_fetch(
+      listener.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("hits 5\n"), std::string::npos);
+
+  // The render callback is re-invoked per scrape: updates are visible.
+  reg.counter("hits").add(1);
+  const std::string again = http_fetch(
+      listener.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(again.find("hits 6\n"), std::string::npos);
+}
+
+TEST(PromHttpListener, UnknownPathIs404) {
+  PromHttpListener listener("127.0.0.1:0", [] { return std::string(); });
+  const std::string response = http_fetch(
+      listener.port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("404"), std::string::npos);
+}
+
+TEST(PromHttpListener, BadAddressThrows) {
+  EXPECT_THROW(
+      PromHttpListener("not-an-address:-1", [] { return std::string(); }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dq::obs

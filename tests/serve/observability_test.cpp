@@ -1,0 +1,189 @@
+// Observability must be free: the span profiler, health sampler,
+// Prometheus listener, and SLO tracking may never perturb the decision
+// stream or the deterministic metric snapshot. These tests run the
+// same synthetic stream with everything on and everything off and
+// demand byte identity, then smoke the live /metrics endpoint.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/span.hpp"
+#include "serve/server.hpp"
+#include "serve/source.hpp"
+
+namespace dq::serve {
+namespace {
+
+SyntheticConfig synth_config() {
+  SyntheticConfig synth;
+  synth.flows = 40'000;
+  synth.hosts = 1024;
+  synth.worm_fraction = 0.05;
+  return synth;
+}
+
+quarantine::QuarantineConfig hot_config() {
+  quarantine::QuarantineConfig c;
+  c.enabled = true;
+  c.detector.window = 5.0;
+  c.detector.contact_rate_threshold = 0.0;
+  c.detector.distinct_dest_threshold = 0.0;
+  c.detector.failure_ratio_threshold = 0.7;
+  c.detector.failure_min_attempts = 5;
+  c.policy.base_period = 5.0;
+  c.policy.escalation = 4.0;
+  c.policy.max_period = 50.0;
+  return c;
+}
+
+struct RunCapture {
+  std::string decisions;
+  std::string det_snapshot;  ///< deterministic-only registry snapshot
+};
+
+/// Runs the synthetic stream at `shards` with the full observability
+/// surface on (observed=true) or entirely off.
+RunCapture run_synthetic(std::size_t shards, bool observed) {
+  ServeOptions options;
+  options.shards = shards;
+  options.num_hosts = 1024;
+  options.quarantine = hot_config();
+  obs::Profiler profiler;
+  // slo_ms stays off here: it deliberately adds a "slo_breached" key
+  // to the summary line (an opt-in wall-clock field), which would
+  // break the byte comparison for the wrong reason.
+  if (observed) {
+    options.profiler = &profiler;
+    options.metrics_interval_ms = 20;
+    options.metrics_addr = "127.0.0.1:0";
+  }
+  SyntheticFlowSource source(synth_config());
+  ServeServer server(options);
+  std::ostringstream decisions;
+  std::ostringstream metrics;
+  const ServeSummary summary =
+      server.run(source, &decisions, observed ? &metrics : nullptr);
+  EXPECT_EQ(summary.flows_decided, summary.flows_ingested);
+  if (observed) {
+    EXPECT_NE(server.metrics_port(), 0);
+    EXPECT_GT(profiler.total_spans(), 0u);
+    EXPECT_FALSE(metrics.str().empty());
+  } else {
+    EXPECT_EQ(server.metrics_port(), 0);
+  }
+  RunCapture capture;
+  capture.decisions = decisions.str();
+  capture.det_snapshot =
+      server.metrics().snapshot(/*deterministic_only=*/true).dump();
+  return capture;
+}
+
+TEST(ServeObservability, ProfilerSamplerAndListenerNeverPerturbDecisions) {
+  for (const std::size_t shards : {1u, 4u}) {
+    const RunCapture off = run_synthetic(shards, /*observed=*/false);
+    const RunCapture on = run_synthetic(shards, /*observed=*/true);
+    ASSERT_FALSE(off.decisions.empty());
+    EXPECT_EQ(off.decisions, on.decisions) << "shards=" << shards;
+    EXPECT_EQ(off.det_snapshot, on.det_snapshot) << "shards=" << shards;
+  }
+}
+
+TEST(ServeObservability, SloSummaryFieldsAreConsistent) {
+  ServeOptions options;
+  options.shards = 2;
+  options.num_hosts = 1024;
+  options.quarantine = hot_config();
+  // A 1 ns SLO effectively breaches on every flow — the breach
+  // counter must cover the stream and flip the summary flag.
+  options.slo_ms = 1e-6;
+  SyntheticFlowSource source(synth_config());
+  ServeServer server(options);
+  const ServeSummary summary = server.run(source, nullptr, nullptr);
+  EXPECT_GT(summary.slo_breaches, 0u);
+  EXPECT_TRUE(summary.slo_breached);
+  EXPECT_DOUBLE_EQ(summary.slo_ms, 1e-6);
+  // The opted-in summary key appears in the decision-stream JSON.
+  EXPECT_NE(summary.to_json().dump().find("\"slo_breached\":true"),
+            std::string::npos);
+
+  // No SLO configured: fields stay zero and the key stays out.
+  ServeOptions plain;
+  plain.shards = 2;
+  plain.num_hosts = 1024;
+  plain.quarantine = hot_config();
+  SyntheticFlowSource source2(synth_config());
+  ServeServer server2(plain);
+  const ServeSummary s2 = server2.run(source2, nullptr, nullptr);
+  EXPECT_EQ(s2.slo_breaches, 0u);
+  EXPECT_FALSE(s2.slo_breached);
+  EXPECT_EQ(s2.to_json().dump().find("slo_breached"), std::string::npos);
+}
+
+TEST(ServeObservability, NegativeSloIsRejected) {
+  ServeOptions options;
+  options.slo_ms = -1.0;
+  EXPECT_THROW(ServeServer{options}, std::invalid_argument);
+}
+
+/// Plain-socket fetch of /metrics (empty string on connect failure).
+std::string fetch_metrics(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) response.append(buf, n);
+  ::close(fd);
+  return response;
+}
+
+TEST(ServeObservability, MetricsEndpointServesPrometheusText) {
+  ServeOptions options;
+  options.shards = 4;
+  options.num_hosts = 1024;
+  options.quarantine = hot_config();
+  options.metrics_addr = "127.0.0.1:0";
+  SyntheticFlowSource source(synth_config());
+  ServeServer server(options);
+  // The listener is live from construction: scrape before run() works
+  // (zeros), and the port is already known.
+  const std::uint16_t port = server.metrics_port();
+  ASSERT_NE(port, 0);
+  server.run(source, nullptr, nullptr);
+
+  const std::string response = fetch_metrics(port);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  // Per-shard health gauges and latency quantiles, per the acceptance
+  // criteria; shard labels cover the whole shard range.
+  EXPECT_NE(response.find("# TYPE serve_shard_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_shard_queue_depth{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_shard_queue_depth{shard=\"3\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_decision_latency_ns_bucket"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_decision_latency_ns_quantile{q=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_flows_ingested 40000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dq::serve

@@ -242,13 +242,21 @@ TEST(ServeRobustness, TransientSinkErrorsRetryWithoutChangingTheStream) {
 
 TEST(ServeRobustness, TornCheckpointWriteIsRejectedOnRestore) {
   TempFile ck("torn_ck");
+  obs::TraceRing ring(obs::kDefaultRingCapacity);
   {
     ScopedFailpoints fp("torn_checkpoint:1");
     ServeOptions opt = base_options(1);
     opt.checkpoint_path = ck.path.string();
+    opt.obs.trace = &ring;
     run_synthetic(opt, synth_config(5'000));
   }
   EXPECT_THROW(load_checkpoint_file(ck.path.string()), CheckpointError);
+  // The service believed the write succeeded — the trace records it;
+  // the torn bytes are caught on restore, not write.
+  std::size_t writes = 0;
+  for (const obs::Event& e : ring.events())
+    writes += e.kind == obs::EventKind::kCheckpointWrite ? 1 : 0;
+  EXPECT_EQ(writes, 1u);
 }
 
 TEST(ServeRobustness, CorruptCheckpointsRaiseCheckpointError) {
@@ -518,6 +526,131 @@ TEST(ServeRobustness, FailpointGrammarIsValidated) {
   EXPECT_FALSE(fp.consume_sink_error());
   fp.configure("");
   EXPECT_FALSE(fp.active());
+}
+
+// ---------------------------------------------------------------------
+// Robustness transitions are observable: the serve pipeline emits
+// TraceRing events for checkpoint writes/restores, shed episodes, sink
+// retries, and stalls, so chaos runs can be audited after the fact.
+
+std::size_t count_events(const obs::TraceRing& ring, obs::EventKind kind) {
+  std::size_t n = 0;
+  for (const obs::Event& e : ring.events()) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+TEST(ServeRobustness, ShedEpisodesEmitTraceEvents) {
+  ScopedFailpoints fp("slow_shard:0:1000");
+  obs::TraceRing ring(obs::kDefaultRingCapacity);
+  ServeOptions opt = base_options(2);
+  opt.overload = OverloadPolicy::kShed;
+  opt.queue_capacity = 64;
+  opt.obs.trace = &ring;
+  const RunResult r = run_synthetic(opt, synth_config(30'000));
+  ASSERT_GT(r.summary.shed_flows, 0u);
+
+  // Episodes are bracketed: every shed_start has a matching shed_end,
+  // and the shed_end values (flows shed per episode) sum to the total.
+  const std::size_t starts = count_events(ring, obs::EventKind::kShedStart);
+  const std::size_t ends = count_events(ring, obs::EventKind::kShedEnd);
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, ends);
+  std::uint64_t shed_total = 0;
+  for (const obs::Event& e : ring.events())
+    if (e.kind == obs::EventKind::kShedEnd) shed_total += e.value;
+  EXPECT_EQ(shed_total, r.summary.shed_flows);
+}
+
+TEST(ServeRobustness, SinkRetriesEmitTraceEvents) {
+  ScopedFailpoints fp("sink_error:3");
+  obs::TraceRing ring(obs::kDefaultRingCapacity);
+  ServeOptions opt = base_options(2);
+  opt.obs.trace = &ring;
+  run_synthetic(opt, synth_config(20'000));
+  const std::size_t retries =
+      count_events(ring, obs::EventKind::kSinkRetry);
+  EXPECT_EQ(retries, 3u);
+}
+
+TEST(ServeRobustness, CheckpointWriteAndRestoreEmitTraceEvents) {
+  TempFile ck("obs_ck");
+  obs::TraceRing write_ring(obs::kDefaultRingCapacity);
+  {
+    ServeOptions opt = base_options(2);
+    opt.checkpoint_path = ck.path.string();
+    opt.checkpoint_interval_flows = 3'000;
+    opt.obs.trace = &write_ring;
+    run_synthetic(opt, synth_config(10'000));
+  }
+  // 10k flows / 3k interval = 3 periodic writes, plus the final one.
+  EXPECT_EQ(count_events(write_ring, obs::EventKind::kCheckpointWrite), 4u);
+  // The final write records the full stream.
+  std::uint64_t last_flows = 0;
+  for (const obs::Event& e : write_ring.events())
+    if (e.kind == obs::EventKind::kCheckpointWrite) last_flows = e.value;
+  EXPECT_EQ(last_flows, 10'000u);
+
+  obs::TraceRing restore_ring(obs::kDefaultRingCapacity);
+  ServeOptions resume = base_options(2);
+  resume.restore = std::make_shared<const CheckpointState>(
+      load_checkpoint_file(ck.path.string()));
+  resume.obs.trace = &restore_ring;
+  SyntheticConfig tail = synth_config(12'000);
+  tail.start_flow = 10'000;
+  run_synthetic(resume, tail);
+  const std::vector<obs::Event> events = restore_ring.events();
+  ASSERT_FALSE(events.empty());
+  // The restore event leads the trace and carries the restored flow
+  // count.
+  EXPECT_EQ(events[0].kind, obs::EventKind::kCheckpointRestore);
+  EXPECT_EQ(events[0].value, 10'000u);
+}
+
+TEST(ServeRobustness, StallsEmitATraceEventNamingTheShard) {
+  ScopedFailpoints fp("slow_shard:1:1000000");
+  obs::TraceRing ring(obs::kDefaultRingCapacity);
+  ServeOptions opt = base_options(2);
+  opt.overload = OverloadPolicy::kBlock;
+  opt.queue_capacity = 16;
+  opt.stall_timeout_seconds = 0.3;
+  opt.obs.trace = &ring;
+  ServeServer server(opt);
+  SyntheticFlowSource source(synth_config(50'000));
+  EXPECT_THROW(server.run(source, nullptr, nullptr), ServeStallError);
+  bool found = false;
+  for (const obs::Event& e : ring.events())
+    if (e.kind == obs::EventKind::kStall) {
+      found = true;
+      EXPECT_EQ(e.id, 1u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeRobustness, ProfilerOnOrOffKeepsDecisionBytes) {
+  // Chaos leg: a sink-retry run with the profiler on must still equal
+  // the clean, unprofiled stream byte for byte (retries are invisible,
+  // spans are invisible).
+  const std::string clean =
+      run_synthetic(base_options(2), synth_config(20'000)).decisions;
+  ASSERT_FALSE(clean.empty());
+  {
+    ScopedFailpoints fp("sink_error:3");
+    obs::Profiler profiler;
+    ServeOptions opt = base_options(2);
+    opt.profiler = &profiler;
+    const RunResult r = run_synthetic(opt, synth_config(20'000));
+    EXPECT_GT(profiler.total_spans(), 0u);
+    EXPECT_EQ(r.decisions, clean);
+    EXPECT_EQ(counter_value(r.counters, "serve.sink_retries"), 3u);
+  }
+  // Failpoint-free leg at a different shard count.
+  obs::Profiler profiler;
+  ServeOptions opt = base_options(4);
+  opt.profiler = &profiler;
+  const std::string profiled =
+      run_synthetic(opt, synth_config(20'000)).decisions;
+  EXPECT_GT(profiler.total_spans(), 0u);
+  EXPECT_EQ(profiled, clean);
 }
 
 TEST(ServeRobustness, ServerOptionValidation) {

@@ -13,6 +13,10 @@
 //   dqctl obs summarize FILE     aggregate an NDJSON event trace
 //                                (detection latency, false positives,
 //                                per-kind event counts)
+//   dqctl obs report FILE        render a metrics-snapshot NDJSON
+//                                series (dqctl serve --metrics-out)
+//                                into per-shard utilization and
+//                                latency-percentile tables
 //
 // Run any subcommand with --help for its options.
 #include <cstdlib>
@@ -34,6 +38,8 @@
 #include "campaign/cache.hpp"
 #include "campaign/scenarios.hpp"
 #include "obs/ndjson.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/span.hpp"
 #include "core/experiments.hpp"
 #include "stats/hash.hpp"
 #include "core/planner.hpp"
@@ -148,18 +154,27 @@ int usage() {
          "event traces\n"
          "                 [--metrics-out FILE] write merged metrics "
          "snapshot (JSON)\n"
+         "                 [--profile-out FILE] write a Chrome trace of "
+         "the job schedule\n"
          "                 [--progress]         live one-line progress "
          "meter\n"
          "  dqctl obs summarize FILE [--json]   aggregate an NDJSON "
          "event trace\n"
+         "  dqctl obs report FILE               per-shard health + "
+         "latency tables from\n"
+         "                                      a serve --metrics-out "
+         "snapshot series\n"
          "  dqctl serve [--input FILE | --trace FILE [--speed X] | "
          "--synthetic]\n"
          "              [--shards N] [--hosts N] [--flows N] "
          "[--worm-fraction F]\n"
          "              [--out FILE] [--no-decisions] "
          "[--metrics-out FILE]\n"
-         "              [--metrics-interval N] [--stop-after N] "
-         "[--queue-capacity N]\n"
+         "              [--metrics-interval N] "
+         "[--metrics-interval-ms MS] [--stop-after N]\n"
+         "              [--queue-capacity N] [--slo-ms MS]\n"
+         "              [--prom-out FILE] [--metrics-addr HOST:PORT] "
+         "[--profile-out FILE]\n"
          "              [--checkpoint-out FILE [--checkpoint-interval N]] "
          "[--restore FILE]\n"
          "              [--overload block|shed] [--stall-timeout SECONDS]\n"
@@ -489,7 +504,9 @@ int cmd_serve(const Args& args) {
       "metrics-interval", "stop-after", "seed",      "duration",
       "normal",      "servers",    "p2p",            "blaster",
       "welchia",     "checkpoint-out", "checkpoint-interval",
-      "restore",     "overload",   "stall-timeout",  "inject"};
+      "restore",     "overload",   "stall-timeout",  "inject",
+      "metrics-interval-ms", "prom-out", "metrics-addr", "slo-ms",
+      "profile-out"};
   allowed.insert(allowed.end(), std::begin(kQuarantineFlags),
                  std::end(kQuarantineFlags));
   args.allow_only(allowed);
@@ -507,8 +524,21 @@ int cmd_serve(const Args& args) {
   options.emit_decisions = !args.flag("no-decisions");
   options.metrics_interval_flows =
       static_cast<std::uint64_t>(args.num("metrics-interval", 0.0));
+  options.metrics_interval_ms =
+      static_cast<std::uint64_t>(args.num("metrics-interval-ms", 0.0));
+  options.prom_path = args.str("prom-out", "");
+  options.metrics_addr = args.str("metrics-addr", "");
+  options.slo_ms = args.num("slo-ms", 0.0);
   options.stop_after_flows =
       static_cast<std::uint64_t>(args.num("stop-after", 0.0));
+  // Profiling is process-local: the profiler outlives the server and is
+  // rendered after run() returns (Chrome trace file + stderr table).
+  std::unique_ptr<obs::Profiler> profiler;
+  const std::string profile_out = args.str("profile-out", "");
+  if (!profile_out.empty()) {
+    profiler = std::make_unique<obs::Profiler>();
+    options.profiler = profiler.get();
+  }
 
   const std::string overload = args.str("overload", "block");
   if (overload == "block")
@@ -617,11 +647,25 @@ int cmd_serve(const Args& args) {
 
   serve::install_stop_handlers();
   serve::ServeServer server(options);
+  if (!options.metrics_addr.empty())
+    std::cerr << "metrics: http://127.0.0.1:" << server.metrics_port()
+              << "/metrics\n";
   // With --no-decisions the per-flow lines are skipped but the final
   // summary line is still written to the decision stream.
   const serve::ServeSummary summary = server.run(*source, decisions, metrics);
   if (out_file.is_open() && !out_file)
     throw std::runtime_error("serve: error writing " + out);
+
+  if (profiler != nullptr) {
+    std::ofstream trace_file(profile_out,
+                             std::ios::binary | std::ios::trunc);
+    if (!trace_file)
+      throw std::runtime_error("serve: cannot write " + profile_out);
+    profiler->write_chrome_trace(trace_file);
+    std::cerr << "profile: " << profiler->total_spans() << " spans -> "
+              << profile_out << '\n'
+              << profiler->render_table();
+  }
 
   std::string degraded_note;
   if (summary.degraded)
@@ -635,9 +679,14 @@ int cmd_serve(const Args& args) {
             << degraded_note
             << (summary.interrupted ? " — interrupted, drained" : "")
             << '\n';
-  std::cerr << "decision latency p50/p90/p99: " << summary.latency_p50_ns
-            << "/" << summary.latency_p90_ns << "/" << summary.latency_p99_ns
+  std::cerr << "decision latency p50/p90/p99/p999: "
+            << summary.latency_p50_ns << "/" << summary.latency_p90_ns << "/"
+            << summary.latency_p99_ns << "/" << summary.latency_p999_ns
             << " ns\n";
+  if (summary.slo_ms > 0.0)
+    std::cerr << "SLO " << summary.slo_ms << " ms: " << summary.slo_breaches
+              << " breaches"
+              << (summary.slo_breached ? " (BREACHED)" : " (met)") << '\n';
   const quarantine::QuarantineReport& r = summary.report;
   std::cerr << std::setprecision(2) << "detected " << r.detected_targets
             << " of " << r.target_hosts << " labeled hosts, "
@@ -758,10 +807,147 @@ class ProgressMeter {
   std::size_t last_width_ = 0;
 };
 
+/// `dqctl obs report FILE`: renders a serve --metrics-out snapshot
+/// series (full-snapshot NDJSON, one per line) into per-shard
+/// utilization / queue-saturation and latency-percentile tables.
+/// Per-shard rows need the health gauges (--metrics-interval-ms,
+/// --prom-out, or --metrics-addr on the producing run); the latency
+/// table needs only the serve.decision_latency_ns histogram every
+/// serve run records.
+int cmd_obs_report(const std::string& path) {
+  using campaign::JsonValue;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot read " + path);
+
+  std::vector<JsonValue> snaps;
+  std::string line;
+  std::size_t malformed = 0;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    try {
+      snaps.push_back(JsonValue::parse(line));
+    } catch (const std::exception&) {
+      ++malformed;
+    }
+  }
+  if (snaps.empty())
+    throw std::runtime_error("obs report: no metrics snapshots in " + path);
+  if (malformed > 0)
+    std::cerr << "obs report: skipped " << malformed
+              << " malformed lines\n";
+
+  // Per-shard health: peaks over the series, final decided counts.
+  struct ShardRow {
+    double max_queue = 0.0;
+    double max_backlog = 0.0;
+    double decided = 0.0;
+  };
+  std::map<std::uint64_t, ShardRow> shards;
+  const auto shard_of = [](const std::string& name,
+                           std::string_view prefix) -> long {
+    // "<prefix>{shard=N}"
+    if (name.size() <= prefix.size() + 8 ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(prefix.size(), 7, "{shard=") != 0 ||
+        name.back() != '}')
+      return -1;
+    try {
+      return std::stol(name.substr(prefix.size() + 7));
+    } catch (const std::exception&) {
+      return -1;
+    }
+  };
+  for (const JsonValue& snap : snaps) {
+    const JsonValue* gauges = snap.find("gauges");
+    if (gauges == nullptr) continue;
+    for (const auto& [name, value] : gauges->members()) {
+      long s;
+      if ((s = shard_of(name, "serve.shard_queue_depth")) >= 0) {
+        ShardRow& row = shards[static_cast<std::uint64_t>(s)];
+        row.max_queue = std::max(row.max_queue, value.as_number());
+      } else if ((s = shard_of(name, "serve.shard_backlog")) >= 0) {
+        ShardRow& row = shards[static_cast<std::uint64_t>(s)];
+        row.max_backlog = std::max(row.max_backlog, value.as_number());
+      } else if ((s = shard_of(name, "serve.shard_decided")) >= 0) {
+        shards[static_cast<std::uint64_t>(s)].decided = value.as_number();
+      }
+    }
+  }
+
+  char buf[200];
+  if (!shards.empty()) {
+    double total_decided = 0.0;
+    for (const auto& [s, row] : shards) total_decided += row.decided;
+    std::cout << "per-shard health (" << snaps.size() << " snapshots)\n";
+    std::snprintf(buf, sizeof buf, "%-8s %14s %14s %14s %8s\n", "shard",
+                  "max queue", "max backlog", "decided", "share");
+    std::cout << buf;
+    for (const auto& [s, row] : shards) {
+      const double share =
+          total_decided > 0.0 ? 100.0 * row.decided / total_decided : 0.0;
+      std::snprintf(buf, sizeof buf, "%-8llu %14.0f %14.0f %14.0f %7.1f%%\n",
+                    static_cast<unsigned long long>(s), row.max_queue,
+                    row.max_backlog, row.decided, share);
+      std::cout << buf;
+    }
+    std::cout << '\n';
+  } else {
+    std::cout << "no per-shard health gauges in the series (enable with "
+                 "--metrics-interval-ms, --prom-out, or --metrics-addr)\n\n";
+  }
+
+  // Latency percentiles per snapshot (log-2 bucket resolution).
+  bool any_latency = false;
+  for (const JsonValue& snap : snaps) {
+    const JsonValue* hists = snap.find("histograms");
+    if (hists != nullptr &&
+        hists->find("serve.decision_latency_ns") != nullptr) {
+      any_latency = true;
+      break;
+    }
+  }
+  if (any_latency) {
+    std::cout << "decision latency (us, log-2 bucket upper bounds)\n";
+    std::snprintf(buf, sizeof buf, "%-10s %14s %12s %12s %12s %12s\n",
+                  "snapshot", "flows", "p50", "p90", "p99", "p999");
+    std::cout << buf;
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      const JsonValue* hists = snaps[i].find("histograms");
+      const JsonValue* hist =
+          hists != nullptr ? hists->find("serve.decision_latency_ns")
+                           : nullptr;
+      if (hist == nullptr) continue;
+      std::uint64_t flows = 0;
+      if (const JsonValue* counters = snaps[i].find("counters"))
+        if (const JsonValue* fi = counters->find("serve.flows_ingested"))
+          flows = fi->as_uint();
+      const double scale = 1e-3;  // ns -> us
+      std::snprintf(
+          buf, sizeof buf, "%-10zu %14llu %12.1f %12.1f %12.1f %12.1f\n", i,
+          static_cast<unsigned long long>(flows),
+          static_cast<double>(obs::snapshot_histogram_quantile(*hist, 0.50)) *
+              scale,
+          static_cast<double>(obs::snapshot_histogram_quantile(*hist, 0.90)) *
+              scale,
+          static_cast<double>(obs::snapshot_histogram_quantile(*hist, 0.99)) *
+              scale,
+          static_cast<double>(
+              obs::snapshot_histogram_quantile(*hist, 0.999)) *
+              scale);
+      std::cout << buf;
+    }
+  } else {
+    std::cout << "no serve.decision_latency_ns histogram in the series\n";
+  }
+  return 0;
+}
+
 int cmd_obs(const Args& args) {
   args.allow_only({"json"});
-  if (args.positional().size() < 2 || args.positional()[0] != "summarize")
-    return usage();
+  if (args.positional().size() < 2) return usage();
+  const std::string& verb = args.positional()[0];
+  if (verb == "report") return cmd_obs_report(args.positional()[1]);
+  if (verb != "summarize") return usage();
   const std::string& path = args.positional()[1];
   std::ifstream file(path, std::ios::binary);
   if (!file) throw std::runtime_error("cannot read " + path);
@@ -797,7 +983,8 @@ int cmd_obs(const Args& args) {
 
 int cmd_campaign(const Args& args) {
   args.allow_only({"jobs", "no-cache", "cache-dir", "out", "runs", "seed",
-                   "quick", "csv", "trace-dir", "metrics-out", "progress"});
+                   "quick", "csv", "trace-dir", "metrics-out", "progress",
+                   "profile-out"});
   if (args.positional().empty()) return usage();
   const std::string verb = args.positional()[0];
 
@@ -816,6 +1003,12 @@ int cmd_campaign(const Args& args) {
   run_options.use_cache = !args.flag("no-cache");
   run_options.cache_dir = args.str("cache-dir", ".dq-cache");
   run_options.trace_dir = args.str("trace-dir", "");
+  std::unique_ptr<obs::Profiler> profiler;
+  const std::string profile_out = args.str("profile-out", "");
+  if (!profile_out.empty()) {
+    profiler = std::make_unique<obs::Profiler>();
+    run_options.profiler = profiler.get();
+  }
   ProgressMeter meter;
   if (args.flag("progress"))
     run_options.on_job_event = [&meter](const campaign::JobEvent& event) {
@@ -855,6 +1048,16 @@ int cmd_campaign(const Args& args) {
   const campaign::CampaignReport report =
       campaign::run_scenarios(select_scenarios(catalogue, args), run_options);
   meter.finish();
+
+  if (profiler != nullptr) {
+    std::ofstream trace_file(profile_out,
+                             std::ios::binary | std::ios::trunc);
+    if (!trace_file) throw std::runtime_error("cannot write " + profile_out);
+    profiler->write_chrome_trace(trace_file);
+    std::cerr << "profile: " << profiler->total_spans() << " spans -> "
+              << profile_out << '\n'
+              << profiler->render_table();
+  }
 
   const std::string metrics_out = args.str("metrics-out", "");
   if (!metrics_out.empty()) {
